@@ -1,0 +1,80 @@
+package phomc
+
+import (
+	"repro/internal/diffusion"
+	"repro/internal/inverse"
+	"repro/internal/stats"
+	"repro/internal/tof"
+)
+
+// Analysis helpers re-exported from the diffusion-theory and time-of-flight
+// subsystems.
+
+type (
+	// DiffusionMedium is the analytic diffusion-approximation model of a
+	// semi-infinite medium — the closed-form baseline for validating Monte
+	// Carlo results (Farrell dipole model).
+	DiffusionMedium = diffusion.Medium
+	// TPSF is a temporal point spread function derived from a detected
+	// pathlength histogram.
+	TPSF = tof.TPSF
+	// Histogram is the weighted histogram used by tallies.
+	Histogram = stats.Histogram
+)
+
+// SpeedOfLight is c in mm/ns, the unit system of this library.
+const SpeedOfLight = tof.C0
+
+// NewDiffusionMedium derives the diffusion model from optical properties
+// and the outside refractive index. It fails outside the diffusive regime
+// (µa ≳ µs′ or no scattering).
+func NewDiffusionMedium(p Properties, nOut float64) (DiffusionMedium, error) {
+	return diffusion.New(p, nOut)
+}
+
+// TimeGate converts a temporal detection window [tMin, tMax] ns into the
+// pathlength Gate the kernel applies, assuming a uniform refractive index —
+// the physical form of the paper's "gated differential pathlengths".
+func TimeGate(tMinNs, tMaxNs, n float64) (Gate, error) {
+	return tof.GateFromTimeWindow(tMinNs, tMaxNs, n)
+}
+
+// TPSFFromTally converts a tally's detected-pathlength histogram into a
+// temporal point spread function. It returns nil when the run did not
+// request a PathHist.
+func TPSFFromTally(t *Tally, n float64) *TPSF {
+	return tof.FromPathHistogram(t.PathHist, n)
+}
+
+// Inverse-problem types: fitting optical properties from measured
+// reflectance profiles — the role the paper's forward model plays in
+// optical imaging studies.
+type (
+	// ReflectanceMeasurement is a spatially resolved R(ρ) profile.
+	ReflectanceMeasurement = inverse.Measurement
+	// FitResult is a recovered (µa, µs′) pair with diagnostics.
+	FitResult = inverse.Result
+	// FitOptions tune the inverse solver.
+	FitOptions = inverse.Options
+)
+
+// FitOpticalProperties recovers the absorption and transport scattering
+// coefficients of a semi-infinite medium from a measured radial reflectance
+// profile, using the diffusion dipole model and a simplex search.
+func FitOpticalProperties(m ReflectanceMeasurement, n, nOut float64, opt FitOptions) (FitResult, error) {
+	return inverse.FitSemiInfinite(m, n, nOut, opt)
+}
+
+// MeasurementFromTally extracts the (ρ, R) profile of a run that scored
+// radial reflectance, restricted to the given radius window.
+func MeasurementFromTally(t *Tally, rhoMin, rhoMax float64) ReflectanceMeasurement {
+	rho, r := t.RadialReflectance()
+	var m ReflectanceMeasurement
+	for i := range rho {
+		if rho[i] >= rhoMin && rho[i] <= rhoMax {
+			m.Rho = append(m.Rho, rho[i])
+			m.R = append(m.R, r[i])
+		}
+	}
+	return m
+}

@@ -1,0 +1,306 @@
+// Benchmarks regenerating every table and figure of the paper, plus kernel
+// micro-benchmarks and design-choice ablations. Run:
+//
+//	go test -bench=. -benchmem .
+//
+// Paper-shape expectations are encoded as reported metrics (speedup,
+// efficiency, makespan hours, detected fractions) rather than assertions,
+// so a bench run doubles as an experiment log.
+package phomc_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	phomc "repro"
+	"repro/internal/cluster"
+	"repro/internal/distsys"
+	"repro/internal/grid"
+	"repro/internal/mc"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/tissue"
+)
+
+// --- Figure/table regenerators -----------------------------------------
+
+// BenchmarkFig2Speedup regenerates the speedup curve (Fig 2) via the
+// cluster DES and reports speedup and efficiency at 60 processors.
+func BenchmarkFig2Speedup(b *testing.B) {
+	p := cluster.Params{
+		TotalPhotons: 1e9,
+		Policy:       sched.FixedChunk{Photons: 1e6},
+		Seed:         1,
+	}
+	var last cluster.SpeedupPoint
+	for i := 0; i < b.N; i++ {
+		pts := cluster.SpeedupCurve([]int{1, 10, 20, 30, 40, 50, 60}, 210,
+			cluster.CampusLAN(), p)
+		last = pts[len(pts)-1]
+	}
+	b.ReportMetric(last.Speedup, "speedup@60")
+	b.ReportMetric(100*last.Efficiency, "%efficiency@60")
+}
+
+// BenchmarkTable2Heterogeneous simulates the 10⁹-photon job on the paper's
+// 150-client fleet (Table 2) and reports the predicted makespan in hours
+// (paper: ≈2 h).
+func BenchmarkTable2Heterogeneous(b *testing.B) {
+	fleet := cluster.Table2Fleet()
+	var hours float64
+	for i := 0; i < b.N; i++ {
+		res := cluster.Simulate(fleet, cluster.CampusLAN(), cluster.Params{
+			TotalPhotons: 1e9,
+			NonDedicated: true,
+			Seed:         uint64(i + 1),
+		})
+		hours = res.Makespan.Hours()
+	}
+	b.ReportMetric(hours, "makespan-h")
+}
+
+// BenchmarkFig3Banana runs the Fig 3 experiment (homogeneous white matter,
+// 50³ path grid) at one photon per iteration and reports the detected
+// fraction.
+func BenchmarkFig3Banana(b *testing.B) {
+	cfg := phomc.Fig3Config(3, 1, 50, 12)
+	tally, err := phomc.Run(cfg, int64(b.N), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(tally.DetectedFraction(), "detected-frac")
+}
+
+// BenchmarkFig4HeadModel runs the Fig 4 experiment (layered adult head,
+// 50³ absorption grid) and reports the white-matter penetration fraction.
+func BenchmarkFig4HeadModel(b *testing.B) {
+	cfg := phomc.Fig4Config(50, 40)
+	tally, err := phomc.Run(cfg, int64(b.N), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(tally.PenetrationFraction(4), "white-pen-frac")
+}
+
+// BenchmarkTable1AdultHead benchmarks the plain Table 1 model without
+// scoring grids — the paper's core workload per photon.
+func BenchmarkTable1AdultHead(b *testing.B) {
+	cfg := &phomc.Config{Model: phomc.AdultHead()}
+	tally, err := phomc.Run(cfg, int64(b.N), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(tally.DiffuseReflectance(), "Rd")
+}
+
+// --- Kernel and substrate micro-benchmarks ------------------------------
+
+func BenchmarkPhotonWhiteMatter(b *testing.B) {
+	cfg := &phomc.Config{Model: phomc.HomogeneousWhiteMatter()}
+	if _, err := phomc.Run(cfg, int64(b.N), 1); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkPhotonScalpSlab(b *testing.B) {
+	cfg := &phomc.Config{
+		Model: phomc.HomogeneousSlab("scalp", tissue.ScalpProps, 10),
+	}
+	if _, err := phomc.Run(cfg, int64(b.N), 1); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkLocalRunnerParallel(b *testing.B) {
+	// Informative only on 1-CPU hosts; shows goroutine fan-out overhead.
+	cfg := &phomc.Config{Model: phomc.AdultHead()}
+	if _, err := phomc.RunParallel(cfg, int64(b.N), 1, 4); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// --- Ablations: the paper's design choices -------------------------------
+
+// BenchmarkBoundaryProbabilistic vs BenchmarkBoundaryDeterministic compare
+// the two boundary-physics modes ("classical physics or probabilistic
+// methods") on the layered head.
+func BenchmarkBoundaryProbabilistic(b *testing.B) {
+	cfg := &phomc.Config{Model: phomc.AdultHead(), Boundary: phomc.BoundaryProbabilistic}
+	if _, err := phomc.Run(cfg, int64(b.N), 1); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkBoundaryDeterministic(b *testing.B) {
+	cfg := &phomc.Config{Model: phomc.AdultHead(), Boundary: phomc.BoundaryDeterministic}
+	if _, err := phomc.Run(cfg, int64(b.N), 1); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkSourcePencil(b *testing.B)   { benchSource(b, phomc.PencilSource()) }
+func BenchmarkSourceGaussian(b *testing.B) { benchSource(b, phomc.GaussianSource(2)) }
+func BenchmarkSourceUniform(b *testing.B)  { benchSource(b, phomc.UniformSource(2)) }
+
+func benchSource(b *testing.B, src phomc.Source) {
+	b.Helper()
+	cfg := &phomc.Config{Model: phomc.AdultHead(), Source: src}
+	if _, err := phomc.Run(cfg, int64(b.N), 1); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSchedulers compares static scheduling policies on the
+// heterogeneous fleet (the reference [4] study).
+func BenchmarkSchedulerEqualSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sched.EqualSplit(1e9, 150)
+	}
+}
+
+func BenchmarkSchedulerProportional(b *testing.B) {
+	speeds := table2Speeds()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.ProportionalSplit(1e9, speeds)
+	}
+}
+
+func BenchmarkSchedulerGA(b *testing.B) {
+	speeds := table2Speeds()
+	opt := sched.DefaultGAOptions()
+	opt.Generations = 100
+	b.ResetTimer()
+	var ms float64
+	for i := 0; i < b.N; i++ {
+		_, ms = sched.GASplit(1e9, speeds, opt)
+	}
+	best := sched.Makespan(sched.ProportionalSplit(1e9, speeds), speeds)
+	b.ReportMetric(ms/best, "vs-optimal")
+}
+
+func table2Speeds() []float64 {
+	fleet := cluster.Table2Fleet()
+	r := rng.New(1)
+	speeds := make([]float64, len(fleet))
+	for i, p := range fleet {
+		speeds[i] = p.Mflops(r)
+	}
+	return speeds
+}
+
+// --- Reduction & transport ----------------------------------------------
+
+func BenchmarkGridMerge50(b *testing.B) {
+	a := grid.NewCube(50, 40)
+	c := grid.NewCube(50, 40)
+	for i := range c.Data {
+		c.Data[i] = float64(i % 7)
+	}
+	b.SetBytes(int64(len(c.Data) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Merge(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTallyMerge(b *testing.B) {
+	cfg := phomc.Fig4Config(50, 40)
+	if err := cfg.Normalize(); err != nil {
+		b.Fatal(err)
+	}
+	part, err := phomc.Run(phomc.Fig4Config(50, 40), 2000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := mc.NewTally(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := total.Merge(part); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProtocolResult measures gob encode+decode of a realistic chunk
+// result (tally with a 50³ grid) — the per-chunk wire cost.
+func BenchmarkProtocolResult(b *testing.B) {
+	tally, err := phomc.Run(phomc.Fig4Config(50, 40), 2000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := &protocol.Message{Type: protocol.MsgTaskResult,
+		Result: &protocol.TaskResult{ChunkID: 1, Tally: tally}}
+
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	dec := gob.NewDecoder(&buf)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := enc.Encode(msg); err != nil {
+			b.Fatal(err)
+		}
+		var out protocol.Message
+		if err := dec.Decode(&out); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len()))
+		buf.Reset()
+	}
+}
+
+// BenchmarkDistributedLoopback runs a complete DataManager job with four
+// in-process TCP workers per iteration — the end-to-end distributed path.
+func BenchmarkDistributedLoopback(b *testing.B) {
+	spec := phomc.NewSpec(
+		phomc.HomogeneousSlab("slab", tissue.ScalpProps, 5),
+		phomc.SourceSpec{Kind: "pencil"},
+		phomc.DetectorSpec{Kind: "annulus", RMin: 1, RMax: 4},
+	)
+	for i := 0; i < b.N; i++ {
+		dm, err := distsys.NewDataManager(distsys.JobOptions{
+			Spec: spec, TotalPhotons: 2000, ChunkPhotons: 250, Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go dm.Serve(l)
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				distsys.WorkTCP(l.Addr().String(), distsys.WorkerOptions{
+					Name: string(rune('a' + w)),
+				})
+			}(w)
+		}
+		if _, err := dm.Wait(time.Minute); err != nil {
+			b.Fatal(err)
+		}
+		wg.Wait()
+	}
+}
+
+// BenchmarkGatedDetection measures the cost of pathlength gating.
+func BenchmarkGatedDetection(b *testing.B) {
+	cfg := &phomc.Config{
+		Model:    phomc.AdultHead(),
+		Detector: phomc.AnnulusDetector(5, 15),
+		Gate:     phomc.Gate{MinPath: 20, MaxPath: 200},
+	}
+	if _, err := phomc.Run(cfg, int64(b.N), 1); err != nil {
+		b.Fatal(err)
+	}
+}

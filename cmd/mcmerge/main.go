@@ -1,0 +1,52 @@
+// Command mcmerge reduces saved partial tallies offline — the file-based
+// counterpart of the DataManager's in-flight reduction. Workers (or mcsim
+// -save runs with distinct -stream indices) write .tally files; mcmerge
+// verifies they belong to the same experiment, merges them exactly once and
+// prints the combined summary.
+//
+//	mcsim -photons 1e6 -stream 0 -streams 4 -save part0.tally &
+//	mcsim -photons 1e6 -stream 1 -streams 4 -save part1.tally &
+//	...
+//	mcmerge -o full.tally part*.tally
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/report"
+)
+
+func main() {
+	out := flag.String("o", "", "write the merged tally to this file")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mcmerge [-o merged.tally] part1.tally part2.tally ...")
+		os.Exit(2)
+	}
+
+	total, err := report.MergeFiles(flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcmerge:", err)
+		os.Exit(1)
+	}
+
+	cfg, err := total.Spec.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcmerge:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("merged %d files (experiment %s, workers %s)\n\n",
+		flag.NArg(), total.SpecDigest[:8], total.Worker)
+	cli.PrintTally(os.Stdout, total.Tally, cfg.Model)
+
+	if *out != "" {
+		if err := total.Save(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "mcmerge:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nmerged tally written to %s\n", *out)
+	}
+}

@@ -1,0 +1,127 @@
+// Command mcserver runs the DataManager: it listens for worker clients,
+// hands out simulation chunks, reduces returned tallies and prints the
+// final result — the server half of the paper's distributed platform.
+//
+// Example (three terminals):
+//
+//	mcserver -addr :9876 -photons 1000000 -chunk 50000 -model adult-head
+//	mcworker -addr localhost:9876 -name pc1
+//	mcworker -addr localhost:9876 -name pc2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/distsys"
+)
+
+func main() {
+	fs := flag.NewFlagSet("mcserver", flag.ExitOnError)
+	var sf cli.SpecFlags
+	sf.Register(fs)
+	addr := fs.String("addr", ":9876", "listen address")
+	photons := fs.Int64("photons", 1_000_000, "total photon packets")
+	chunk := fs.Int64("chunk", 50_000, "photons per work unit")
+	seed := fs.Uint64("seed", 1, "master RNG seed")
+	timeout := fs.Duration("chunk-timeout", 5*time.Minute,
+		"reassign a chunk if no result arrives in this window")
+	verbose := fs.Bool("v", false, "log assignments and worker churn")
+	ckptPath := fs.String("checkpoint", "",
+		"periodically save a resumable job snapshot to this file")
+	resume := fs.Bool("resume", false, "resume the job from -checkpoint instead of starting fresh")
+	fs.Parse(os.Args[1:])
+
+	spec, err := sf.Build()
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := distsys.JobOptions{
+		Spec:         spec,
+		TotalPhotons: *photons,
+		ChunkPhotons: *chunk,
+		Seed:         *seed,
+		ChunkTimeout: *timeout,
+	}
+	if *verbose {
+		opts.Logf = log.Printf
+	}
+
+	var dm *distsys.DataManager
+	if *resume {
+		if *ckptPath == "" {
+			fatal(fmt.Errorf("-resume requires -checkpoint"))
+		}
+		cp, err := distsys.LoadCheckpoint(*ckptPath)
+		if err != nil {
+			fatal(err)
+		}
+		dm, err = distsys.Resume(cp, opts)
+		if err != nil {
+			fatal(err)
+		}
+		done, total := dm.Progress()
+		fmt.Printf("resumed job from %s: %d/%d chunks already reduced\n",
+			*ckptPath, done, total)
+	} else {
+		dm, err = distsys.NewDataManager(opts)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("datamanager listening on %s — %d photons in %d chunks\n",
+		l.Addr(), *photons, dm.NumChunks())
+
+	go func() {
+		tick := time.NewTicker(5 * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-dm.Done():
+				return
+			case <-tick.C:
+				done, total := dm.Progress()
+				fmt.Printf("progress: %d/%d chunks\n", done, total)
+				if *ckptPath != "" {
+					if err := dm.Checkpoint().Save(*ckptPath); err != nil {
+						log.Printf("mcserver: checkpoint: %v", err)
+					}
+				}
+			}
+		}
+	}()
+
+	go dm.Serve(l)
+	res, err := dm.Wait(0)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg, err := spec.Build()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\njob complete in %v (%d chunks, %d reassigned, %d duplicate results)\n",
+		res.Elapsed.Round(time.Millisecond), res.Chunks, res.Reassigned, res.Duplicates)
+	for _, w := range res.Workers {
+		fmt.Printf("  %-16s %5d chunks  (%.0f Mflop/s reported)\n", w.Name, w.Chunks, w.Mflops)
+	}
+	fmt.Println()
+	cli.PrintTally(os.Stdout, res.Tally, cfg.Model)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcserver:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+// Command mcworker is the client half of the distributed platform (the
+// paper's "Algorithm" class): it connects to a DataManager, pulls
+// simulation chunks, computes them and returns the tallies, until the job
+// completes.
+//
+// Example:
+//
+//	mcworker -addr localhost:9876 -name lab-pc-07
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/distsys"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:9876", "DataManager address")
+	name := flag.String("name", hostnameDefault(), "worker name reported to the server")
+	mflops := flag.Float64("mflops", 0, "self-reported processing rate (informational)")
+	slowdown := flag.Float64("slowdown", 0,
+		"artificial slowdown factor (testing heterogeneous fleets)")
+	verbose := flag.Bool("v", false, "log each chunk")
+	flag.Parse()
+
+	opts := distsys.WorkerOptions{
+		Name:     *name,
+		Mflops:   *mflops,
+		Slowdown: *slowdown,
+	}
+	if *verbose {
+		opts.Logf = log.Printf
+	}
+
+	start := time.Now()
+	stats, err := distsys.WorkTCP(*addr, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcworker:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("done: %d chunks, %d photons, %.1fs compute, %.1fs wall\n",
+		stats.Chunks, stats.Photons, stats.Compute.Seconds(), time.Since(start).Seconds())
+}
+
+func hostnameDefault() string {
+	h, err := os.Hostname()
+	if err != nil {
+		return "worker"
+	}
+	return h
+}

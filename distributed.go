@@ -1,0 +1,75 @@
+package phomc
+
+import (
+	"io"
+	"net"
+
+	"repro/internal/distsys"
+	"repro/internal/mc"
+)
+
+// Distributed execution, re-exported from the DataManager/worker subsystem.
+type (
+	// JobOptions configure a distributed simulation job on the server.
+	JobOptions = distsys.JobOptions
+	// DataManager is the server that assigns chunks and reduces results.
+	DataManager = distsys.DataManager
+	// JobResult is a completed distributed job's outcome.
+	JobResult = distsys.Result
+	// WorkerOptions configure a worker client.
+	WorkerOptions = distsys.WorkerOptions
+	// WorkerStats summarise one worker session.
+	WorkerStats = distsys.WorkerStats
+	// JobCheckpoint is a resumable snapshot of a running job.
+	JobCheckpoint = distsys.Checkpoint
+)
+
+// LoadCheckpoint reads a job checkpoint saved by DataManager.Checkpoint.
+func LoadCheckpoint(path string) (*JobCheckpoint, error) {
+	return distsys.LoadCheckpoint(path)
+}
+
+// ResumeJob rebuilds a DataManager from a checkpoint; already-reduced
+// chunks stay reduced and the completed job is bit-identical to an
+// uninterrupted one.
+func ResumeJob(cp *JobCheckpoint, opts JobOptions) (*DataManager, error) {
+	return distsys.Resume(cp, opts)
+}
+
+// NewSpec packages a model, source spec and detector spec into the
+// serialisable Spec a DataManager distributes to its workers.
+func NewSpec(model *Model, src SourceSpec, det DetectorSpec) *Spec {
+	return mc.NewSpec(model, src, det)
+}
+
+// NewDataManager prepares a distributed job.
+func NewDataManager(opts JobOptions) (*DataManager, error) {
+	return distsys.NewDataManager(opts)
+}
+
+// Work runs a worker session over any stream transport until the job
+// completes.
+func Work(rw io.ReadWriteCloser, opts WorkerOptions) (*WorkerStats, error) {
+	return distsys.Work(rw, opts)
+}
+
+// WorkTCP dials the DataManager at addr and runs a worker session.
+func WorkTCP(addr string, opts WorkerOptions) (*WorkerStats, error) {
+	return distsys.WorkTCP(addr, opts)
+}
+
+// ServeJob is the one-call server convenience: it listens on addr (e.g.
+// ":9876"), serves workers until the job completes, and returns the reduced
+// result. The returned address is useful with addr ":0".
+func ServeJob(addr string, opts JobOptions) (*JobResult, error) {
+	dm, err := distsys.NewDataManager(opts)
+	if err != nil {
+		return nil, err
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go dm.Serve(l)
+	return dm.Wait(0)
+}

@@ -1,0 +1,26 @@
+// Package phomc is a distributed Monte Carlo simulator of light transport
+// in tissue, reproducing Page, Coyle et al., "Distributed Monte Carlo
+// Simulation of Light Transportation in Tissue" (IPPS 2006).
+//
+// Photon packets are traced through layered tissue models (hop–drop–spin
+// with Henyey–Greenstein scattering, Fresnel refraction and internal
+// reflection at layer boundaries, Russian roulette), scored on user-defined
+// 3-D grids and surface detectors with optional pathlength gating, and the
+// work can be fanned out over goroutines or a DataManager/worker cluster
+// with exactly-once, order-independent reduction.
+//
+// # Quick start
+//
+//	cfg := &phomc.Config{
+//		Model:    phomc.AdultHead(),
+//		Source:   phomc.PencilSource(),
+//		Detector: phomc.DiskDetector(20, 2.5),
+//	}
+//	tally, err := phomc.RunParallel(cfg, 1_000_000, 42, 0)
+//	if err != nil { ... }
+//	fmt.Println("DPF:", tally.DPF(20))
+//
+// The library is organised as a thin facade over focused internal packages;
+// see DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+// paper-figure reproductions.
+package phomc

@@ -1,0 +1,48 @@
+// Banana (Fig 3): map the most common paths of detected photons through
+// homogeneous white matter. The spatial sensitivity profile between a laser
+// source and a detector forms the classic "banana" shape; this example
+// renders it as an ASCII heat map, exactly as the paper's Fig 3 does in
+// image form (granularity 50³, thresholded, detected photons only).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	phomc "repro"
+	"repro/internal/render"
+)
+
+func main() {
+	photons := flag.Int64("photons", 400_000, "photon packets to launch")
+	sep := flag.Float64("sep", 3, "source–detector separation, mm")
+	flag.Parse()
+
+	// Granularity 50³ over a 12 mm cube around the optode axis.
+	cfg := phomc.Fig3Config(*sep, 1.0, 50, 12)
+
+	fmt.Printf("tracing %d photons through homogeneous white matter (µs′=9.1, µa=0.014 mm⁻¹)...\n",
+		*photons)
+	tally, err := phomc.RunParallel(cfg, *photons, 7, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("detected %d photon paths at x = %g mm (%.2e of launched)\n",
+		tally.DetectedCount, *sep, tally.DetectedFraction())
+	fmt.Printf("mean pathlength %.1f mm → DPF %.1f; mean probing depth %.2f mm\n\n",
+		tally.MeanPathlength(), tally.DPF(*sep), tally.DepthStats.Mean())
+
+	// Threshold away rare excursions, as the paper does, then project onto
+	// the x–z plane.
+	g := tally.PathGrid.Clone()
+	g.Threshold(0.02)
+	rows := render.Downsample(render.CropDepth(g.ProjectY()), 100, 34)
+	render.Frame(os.Stdout,
+		fmt.Sprintf("detected-photon path density — source at x=0, detector at x=%g mm (log scale)", *sep),
+		rows, "x", "depth z")
+	fmt.Println("\nThe bright arc connecting source and detector is the banana:")
+	fmt.Println("photons that reach the detector preferentially sample that volume.")
+}

@@ -1,0 +1,57 @@
+// Gating: the paper's "gated differential pathlengths" feature. In a real
+// time-gated experiment the source and detector operate only between
+// pulses, so only photons within a pathlength (time-of-flight) window are
+// recorded. This example sweeps gate windows over the adult head and shows
+// how the gate selects shallow, direct photons versus deep, late ones.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	phomc "repro"
+)
+
+func main() {
+	const (
+		photons = 150_000
+		sep     = 10.0 // optode separation, mm
+	)
+	base := func(gate phomc.Gate) *phomc.Config {
+		return &phomc.Config{
+			Model:    phomc.AdultHead(),
+			Source:   phomc.PencilSource(),
+			Detector: phomc.AnnulusDetector(sep-1, sep+1),
+			Gate:     gate,
+		}
+	}
+
+	fmt.Printf("gated detection at a %g mm optode on the adult head (%d photons per run)\n\n",
+		sep, photons)
+	fmt.Printf("%-18s %10s %12s %12s %10s\n",
+		"gate (mm path)", "detected", "weight/ph", "mean path", "mean depth")
+
+	gates := []struct {
+		name string
+		g    phomc.Gate
+	}{
+		{"open", phomc.Gate{}},
+		{"0–30", phomc.Gate{MaxPath: 30}},
+		{"0–60", phomc.Gate{MaxPath: 60}},
+		{"60–120", phomc.Gate{MinPath: 60, MaxPath: 120}},
+		{"120–300", phomc.Gate{MinPath: 120, MaxPath: 300}},
+		{"300+", phomc.Gate{MinPath: 300}},
+	}
+	for _, gc := range gates {
+		tally, err := phomc.Run(base(gc.g), photons, 99)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %10d %12.2e %9.1f mm %7.2f mm\n",
+			gc.name, tally.DetectedCount, tally.DetectedFraction(),
+			tally.MeanPathlength(), tally.DepthStats.Mean())
+	}
+
+	fmt.Println("\nLate gates select photons that wandered deeper before escaping —")
+	fmt.Println("the handle experimenters use to bias sensitivity toward the cortex.")
+}

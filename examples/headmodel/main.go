@@ -1,0 +1,56 @@
+// Head model (Fig 4): trace photons through the five-layer adult head of
+// Table 1 and report where light actually goes — absorption per layer,
+// penetration to the CSF/grey/white matter, and an ASCII absorption map
+// with the layer boundaries marked.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	phomc "repro"
+	"repro/internal/render"
+)
+
+func main() {
+	photons := flag.Int64("photons", 200_000, "photon packets to launch")
+	deterministic := flag.Bool("deterministic", false,
+		"use classical weight-splitting boundaries instead of probabilistic Fresnel")
+	flag.Parse()
+
+	cfg := phomc.Fig4Config(50, 40)
+	if *deterministic {
+		cfg.Boundary = phomc.BoundaryDeterministic
+	}
+
+	fmt.Printf("tracing %d photons through the adult head (boundaries: %v)...\n",
+		*photons, cfg.Boundary)
+	tally, err := phomc.RunParallel(cfg, *photons, 11, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\ndiffuse reflectance %.3f, absorbed %.3f\n",
+		tally.DiffuseReflectance(), tally.Absorbance())
+	fmt.Printf("%-14s %12s %16s\n", "layer", "absorbed", "penetration")
+	for i, l := range cfg.Model.Layers {
+		fmt.Printf("%-14s %11.4f%% %15.4f%%\n",
+			l.Name, 100*tally.LayerAbsorbed[i]/tally.N(), 100*tally.PenetrationFraction(i))
+	}
+
+	g := tally.AbsGrid.Clone()
+	g.Threshold(0.001)
+	rows := render.Downsample(render.CropDepth(g.ProjectY()), 100, 34)
+	fmt.Println()
+	render.Frame(os.Stdout,
+		"absorbed weight, x–z projection (scalp 0–3, skull 3–10, CSF 10–12, grey 12–16, white >16 mm)",
+		rows, "x", "depth z")
+
+	fmt.Println("\nAs the paper reports: most photons are reflected before entering the")
+	fmt.Printf("CSF (only %.1f%% of launched weight gets there), and a small fraction\n",
+		100*tally.PenetrationFraction(2))
+	fmt.Printf("(%.2f%%) penetrates all the way into the white matter.\n",
+		100*tally.PenetrationFraction(4))
+}

@@ -1,0 +1,69 @@
+// Neonate vs adult: the superficial-tissue-thickness study the paper cites
+// (Fukui, Ajichi & Okada 2003). Thinner scalp/skull/CSF in the neonatal
+// head let far more light reach the grey and white matter, which changes
+// optode design for infant monitoring. This example runs both Table 1-style
+// models and compares penetration, absorption and DPF side by side.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	phomc "repro"
+)
+
+func main() {
+	photons := flag.Int64("photons", 150_000, "photon packets per model")
+	sep := flag.Float64("sep", 10, "optode separation, mm")
+	flag.Parse()
+
+	type result struct {
+		name  string
+		tally *phomc.Tally
+		model *phomc.Model
+	}
+	var results []result
+	for _, m := range []*phomc.Model{phomc.AdultHead(), phomc.Neonate()} {
+		cfg := &phomc.Config{
+			Model:    m,
+			Source:   phomc.PencilSource(),
+			Detector: phomc.AnnulusDetector(*sep-1, *sep+1),
+		}
+		tally, err := phomc.RunParallel(cfg, *photons, 13, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, result{m.Name, tally, m})
+	}
+
+	fmt.Printf("adult vs neonatal head, %d photons each, optode at %g mm\n\n",
+		*photons, *sep)
+	fmt.Printf("%-28s %14s %14s\n", "", results[0].name, results[1].name)
+	row := func(label string, f func(*phomc.Tally) float64, format string) {
+		fmt.Printf("%-28s "+format+" "+format+"\n", label,
+			f(results[0].tally), f(results[1].tally))
+	}
+	row("diffuse reflectance", (*phomc.Tally).DiffuseReflectance, "%14.4f")
+	row("absorbed fraction", (*phomc.Tally).Absorbance, "%14.4f")
+	row("reaches CSF (weight)", func(t *phomc.Tally) float64 {
+		return t.PenetrationFraction(2)
+	}, "%14.5f")
+	row("reaches grey matter", func(t *phomc.Tally) float64 {
+		return t.PenetrationFraction(3)
+	}, "%14.5f")
+	row("reaches white matter", func(t *phomc.Tally) float64 {
+		return t.PenetrationFraction(4)
+	}, "%14.5f")
+	row("detected mean path (mm)", (*phomc.Tally).MeanPathlength, "%14.1f")
+	row("DPF", func(t *phomc.Tally) float64 { return t.DPF(*sep) }, "%14.1f")
+
+	fmt.Println("\nbrain-layer absorption (grey+white, fraction of launched):")
+	for _, r := range results {
+		brain := (r.tally.LayerAbsorbed[3] + r.tally.LayerAbsorbed[4]) / r.tally.N()
+		fmt.Printf("  %-14s %.5f\n", r.name, brain)
+	}
+	fmt.Println("\nThe thinner neonatal superficial layers let substantially more light")
+	fmt.Println("interrogate the cortex — the effect Fukui et al. quantified and the")
+	fmt.Println("reason neonatal NIRS uses closer optode spacings.")
+}

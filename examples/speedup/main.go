@@ -1,0 +1,60 @@
+// Speedup (Fig 2): regenerate the paper's speedup graph with the
+// discrete-event cluster simulator — a 10⁹-photon job self-scheduled over
+// 1…60 homogeneous Pentium IV-class machines on a campus LAN — and print
+// the curve plus an ASCII plot.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/sched"
+)
+
+func main() {
+	params := cluster.Params{
+		TotalPhotons: 1e9,
+		Policy:       sched.FixedChunk{Photons: 1e6},
+		Seed:         1,
+	}
+	counts := []int{1, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60}
+	pts := cluster.SpeedupCurve(counts, 210, cluster.CampusLAN(), params)
+
+	fmt.Println("speedup of the distributed Monte Carlo simulation (DES, homogeneous fleet)")
+	fmt.Printf("%8s %12s %10s %12s\n", "workers", "makespan", "speedup", "efficiency")
+	for _, pt := range pts {
+		fmt.Printf("%8d %11.0fs %10.2f %11.1f%%\n",
+			pt.Workers, pt.Makespan.Seconds(), pt.Speedup, 100*pt.Efficiency)
+	}
+
+	// ASCII speedup plot: x = workers, y = speedup, with the ideal line.
+	fmt.Println("\n  speedup")
+	const h = 16
+	maxK := float64(counts[len(counts)-1])
+	for row := h; row >= 0; row-- {
+		y := maxK * float64(row) / h
+		line := make([]byte, 62)
+		for i := range line {
+			line[i] = ' '
+		}
+		for _, pt := range pts {
+			x := int(float64(pt.Workers) / maxK * 60)
+			if int(pt.Speedup/maxK*float64(h)+0.5) == row {
+				line[x] = '*'
+			}
+		}
+		// ideal y = x reference
+		xi := int(y / maxK * 60)
+		if xi >= 0 && xi < len(line) && line[xi] == ' ' {
+			line[xi] = '.'
+		}
+		fmt.Printf("%5.0f |%s\n", y, strings.TrimRight(string(line), " "))
+	}
+	fmt.Printf("      +%s\n", strings.Repeat("-", 61))
+	fmt.Printf("       0%58s\n", fmt.Sprintf("%d workers", int(maxK)))
+	fmt.Println("\n'*' measured speedup, '.' ideal linear speedup")
+	last := pts[len(pts)-1]
+	fmt.Printf("\nefficiency at %d processors: %.1f%% (paper: ≥97%%)\n",
+		last.Workers, 100*last.Efficiency)
+}

@@ -1,0 +1,55 @@
+package phomc
+
+import (
+	"repro/internal/detector"
+	"repro/internal/mc"
+	"repro/internal/source"
+	"repro/internal/tissue"
+)
+
+// Experiment presets: the exact configurations behind the paper's figures,
+// shared by the examples, the cmd/experiments harness and the benchmarks.
+
+// Fig3Config returns the Fig 3 banana experiment: a laser (delta) source on
+// homogeneous white matter, a disk detector at the given source–detector
+// separation, and an N³ path-density grid spanning edgeMM (the paper used
+// granularity 50³). Only detected photons score into the grid.
+func Fig3Config(separationMM, detRadiusMM float64, gridN int, edgeMM float64) *Config {
+	return &Config{
+		Model:    tissue.HomogeneousWhiteMatter(),
+		Source:   source.Pencil{},
+		Detector: detector.Disk{CenterX: separationMM, Radius: detRadiusMM},
+		PathGrid: &mc.GridSpec{N: gridN, Edge: edgeMM},
+		PathHist: &mc.HistSpec{Min: 0, Max: 400, Bins: 200},
+	}
+}
+
+// Fig3Spec is the serialisable form of Fig3Config for distributed runs.
+func Fig3Spec(separationMM, detRadiusMM float64, gridN int, edgeMM float64) *Spec {
+	s := mc.NewSpec(tissue.HomogeneousWhiteMatter(),
+		source.Spec{Kind: source.KindPencil},
+		detector.Spec{Kind: detector.KindDisk, CenterX: separationMM, Radius: detRadiusMM})
+	s.PathGrid = &mc.GridSpec{N: gridN, Edge: edgeMM}
+	s.PathHist = &mc.HistSpec{Min: 0, Max: 400, Bins: 200}
+	return s
+}
+
+// Fig4Config returns the Fig 4 layered-head experiment: a laser source on
+// the Table 1 adult head model, scoring absorption on an N³ grid and
+// capturing the whole surface so penetration statistics cover every photon.
+func Fig4Config(gridN int, edgeMM float64) *Config {
+	return &Config{
+		Model:   tissue.AdultHead(),
+		Source:  source.Pencil{},
+		AbsGrid: &mc.GridSpec{N: gridN, Edge: edgeMM},
+	}
+}
+
+// Fig4Spec is the serialisable form of Fig4Config for distributed runs.
+func Fig4Spec(gridN int, edgeMM float64) *Spec {
+	s := mc.NewSpec(tissue.AdultHead(),
+		source.Spec{Kind: source.KindPencil},
+		detector.Spec{Kind: detector.KindAll})
+	s.AbsGrid = &mc.GridSpec{N: gridN, Edge: edgeMM}
+	return s
+}

@@ -1,0 +1,136 @@
+package cli
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/mc"
+	"repro/internal/source"
+	"repro/internal/tissue"
+)
+
+func parse(t *testing.T, args ...string) *SpecFlags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var sf SpecFlags
+	sf.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return &sf
+}
+
+func TestDefaultsBuild(t *testing.T) {
+	spec, err := parse(t).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Model.Name != "adult-head" {
+		t.Fatalf("default model %q", spec.Model.Name)
+	}
+	if spec.Source.Kind != source.KindPencil {
+		t.Fatalf("default source %q", spec.Source.Kind)
+	}
+	if spec.Detector.Kind != detector.KindAll {
+		t.Fatalf("default detector %q", spec.Detector.Kind)
+	}
+}
+
+func TestAllModels(t *testing.T) {
+	for _, m := range []string{"adult-head", "neonate", "white-matter"} {
+		if _, err := parse(t, "-model", m).Build(); err != nil {
+			t.Errorf("model %s: %v", m, err)
+		}
+	}
+	if _, err := parse(t, "-model", "liver").Build(); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestDetectorFlags(t *testing.T) {
+	spec, err := parse(t, "-detector", "disk", "-det-sep", "20", "-det-radius", "2.5").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Detector.CenterX != 20 || spec.Detector.Radius != 2.5 {
+		t.Fatalf("disk flags lost: %+v", spec.Detector)
+	}
+	spec, err = parse(t, "-detector", "annulus", "-det-rmin", "4", "-det-rmax", "6").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Detector.RMin != 4 || spec.Detector.RMax != 6 {
+		t.Fatalf("annulus flags lost: %+v", spec.Detector)
+	}
+}
+
+func TestGateAndBoundaryFlags(t *testing.T) {
+	spec, err := parse(t, "-gate-min", "10", "-gate-max", "90",
+		"-boundary", "deterministic").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Detector.Gate.MinPath != 10 || spec.Detector.Gate.MaxPath != 90 {
+		t.Fatalf("gate lost: %+v", spec.Detector.Gate)
+	}
+	if spec.Boundary != mc.BoundaryDeterministic {
+		t.Fatal("boundary flag lost")
+	}
+	if _, err := parse(t, "-boundary", "quantum").Build(); err == nil {
+		t.Error("unknown boundary accepted")
+	}
+}
+
+func TestGridFlags(t *testing.T) {
+	spec, err := parse(t, "-path-grid", "-abs-grid", "-grid", "25", "-grid-edge", "30").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.PathGrid == nil || spec.PathGrid.N != 25 || spec.PathGrid.Edge != 30 {
+		t.Fatalf("path grid flags lost: %+v", spec.PathGrid)
+	}
+	if spec.AbsGrid == nil {
+		t.Fatal("abs grid flag lost")
+	}
+}
+
+func TestBadSourceRejected(t *testing.T) {
+	if _, err := parse(t, "-source", "gaussian", "-source-param", "-1").Build(); err == nil {
+		t.Error("negative gaussian sigma accepted")
+	}
+}
+
+func TestPrintTally(t *testing.T) {
+	model := tissue.AdultHead()
+	cfg := &mc.Config{
+		Model:    model,
+		Detector: detector.Annulus{RMin: 5, RMax: 15},
+		Gate:     detector.Gate{MaxPath: 100},
+	}
+	tally, err := mc.Run(cfg, 3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	PrintTally(&buf, tally, model)
+	out := buf.String()
+	for _, want := range []string{
+		"photons launched", "diffuse reflectance", "scalp", "white matter",
+		"mean pathlength",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q", want)
+		}
+	}
+}
+
+func TestUnderline(t *testing.T) {
+	var buf bytes.Buffer
+	Underline(&buf, "abc")
+	if !strings.Contains(buf.String(), "===") {
+		t.Fatal("no underline")
+	}
+}

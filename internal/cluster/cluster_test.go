@@ -1,0 +1,260 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+func TestTable2FleetMatchesPaper(t *testing.T) {
+	f := Table2Fleet()
+	if len(f) != 150 {
+		t.Fatalf("fleet size %d, want 150 clients", len(f))
+	}
+	counts := map[string]int{}
+	for _, p := range f {
+		// Strip the per-machine suffix.
+		counts[p.OS]++
+	}
+	if counts["Linux"] != 148 || counts["Windows XP"] != 1 || counts["FreeBSD"] != 1 {
+		t.Fatalf("OS distribution %v", counts)
+	}
+	// Aggregate rating ≈ 13.6 Gflop/s at mid-range.
+	agg := f.TotalMflops()
+	if agg < 12000 || agg > 15000 {
+		t.Fatalf("aggregate %g Mflop/s outside plausible Table 2 range", agg)
+	}
+}
+
+func TestHomogeneousFleet(t *testing.T) {
+	f := Homogeneous(60, 210)
+	if len(f) != 60 {
+		t.Fatalf("fleet size %d", len(f))
+	}
+	r := rng.New(1)
+	for _, p := range f {
+		if p.Mflops(r) != 210 {
+			t.Fatal("homogeneous fleet should have fixed rating")
+		}
+	}
+}
+
+func TestProcessorMflopsRange(t *testing.T) {
+	p := Processor{MflopsMin: 190, MflopsMax: 229}
+	r := rng.New(2)
+	for i := 0; i < 1000; i++ {
+		m := p.Mflops(r)
+		if m < 190 || m > 229 {
+			t.Fatalf("rating %g outside range", m)
+		}
+	}
+}
+
+func TestSimulateSingleProcessor(t *testing.T) {
+	// One dedicated machine: makespan ≈ compute time + per-chunk overheads.
+	net := Network{Latency: time.Millisecond, BandwidthMBps: 10,
+		MasterService: time.Millisecond, ResultBytes: 1000}
+	res := Simulate(Homogeneous(1, 100), net, Params{
+		TotalPhotons:    1e6,
+		Policy:          sched.FixedChunk{Photons: 1e5},
+		PhotonCostFlops: 1e5,
+		Seed:            1,
+	})
+	compute := 1e6 * 1e5 / (100e6) // = 1000 s
+	got := res.Makespan.Seconds()
+	if got < compute || got > compute*1.01 {
+		t.Fatalf("makespan %g s, want slightly above %g s", got, compute)
+	}
+	if res.Chunks != 10 {
+		t.Fatalf("chunks = %d", res.Chunks)
+	}
+}
+
+func TestSimulateConservesPhotons(t *testing.T) {
+	res := Simulate(Homogeneous(7, 100), CampusLAN(), Params{
+		TotalPhotons: 1_234_567,
+		Policy:       sched.FixedChunk{Photons: 100_000},
+		Seed:         3,
+	})
+	var total int64
+	for _, p := range res.PerProc {
+		total += p.Photons
+	}
+	if total != 1_234_567 {
+		t.Fatalf("photons conserved? got %d", total)
+	}
+}
+
+func TestFig2SpeedupShape(t *testing.T) {
+	// The headline claim: near-linear speedup, ≥97 % efficiency at 60
+	// homogeneous processors.
+	p := Params{
+		TotalPhotons: 1e9,
+		Policy:       sched.FixedChunk{Photons: 1e6},
+		Seed:         1,
+	}
+	pts := SpeedupCurve([]int{1, 2, 4, 8, 16, 30, 60}, 210, CampusLAN(), p)
+	for i, pt := range pts {
+		if pt.Speedup <= 0 {
+			t.Fatalf("non-positive speedup at k=%d", pt.Workers)
+		}
+		if pt.Efficiency > 1.000001 {
+			t.Fatalf("super-linear efficiency %g at k=%d", pt.Efficiency, pt.Workers)
+		}
+		if i > 0 && pt.Speedup < pts[i-1].Speedup {
+			t.Fatalf("speedup not monotone at k=%d", pt.Workers)
+		}
+		if pt.Efficiency < 0.95 {
+			t.Fatalf("efficiency %g at k=%d below the paper's regime",
+				pt.Efficiency, pt.Workers)
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.Workers != 60 || last.Efficiency < 0.97 {
+		t.Fatalf("efficiency at 60 procs = %g, paper reports ≥0.97", last.Efficiency)
+	}
+}
+
+func TestMasterBottleneckDegradesEfficiency(t *testing.T) {
+	// With a pathologically slow master, efficiency at high k must drop —
+	// the model has to expose the serial bottleneck.
+	slow := Network{Latency: time.Millisecond, BandwidthMBps: 10,
+		MasterService: 2 * time.Second, ResultBytes: 64 << 10}
+	p := Params{TotalPhotons: 1e8, Policy: sched.FixedChunk{Photons: 1e6}, Seed: 1}
+	pts := SpeedupCurve([]int{60}, 210, slow, p)
+	if pts[0].Efficiency > 0.9 {
+		t.Fatalf("slow master should hurt efficiency, got %g", pts[0].Efficiency)
+	}
+}
+
+func TestTable2RuntimeMatchesPaper(t *testing.T) {
+	// §4: 1 billion photons ≈ 2 h on the non-dedicated Table 2 fleet.
+	res := Simulate(Table2Fleet(), CampusLAN(), Params{
+		TotalPhotons: 1e9,
+		NonDedicated: true,
+		Seed:         2,
+	})
+	h := res.Makespan.Hours()
+	if h < 1.0 || h > 3.0 {
+		t.Fatalf("Table 2 makespan %.2f h, paper reports ≈2 h", h)
+	}
+	if u := res.Utilization(); u < 0.7 {
+		t.Fatalf("self-scheduling utilisation %g suspiciously low", u)
+	}
+}
+
+func TestHeterogeneousSelfSchedulingBalances(t *testing.T) {
+	// Fast machines must take proportionally more chunks; every machine
+	// must contribute.
+	fleet := Table2Fleet()
+	res := Simulate(fleet, CampusLAN(), Params{TotalPhotons: 3e8, Seed: 4})
+	var fastChunks, slowChunks float64
+	var nFast, nSlow int
+	for _, p := range res.PerProc {
+		if p.Chunks == 0 {
+			t.Fatalf("machine %s got no work", p.Name)
+		}
+		if p.Mflops > 150 {
+			fastChunks += float64(p.Chunks)
+			nFast++
+		}
+		if p.Mflops < 35 {
+			slowChunks += float64(p.Chunks)
+			nSlow++
+		}
+	}
+	if nFast == 0 || nSlow == 0 {
+		t.Fatal("fleet classes missing")
+	}
+	if fastChunks/float64(nFast) <= 2*slowChunks/float64(nSlow) {
+		t.Fatalf("fast machines (%g avg) not pulling ≥2× slow machines (%g avg)",
+			fastChunks/float64(nFast), slowChunks/float64(nSlow))
+	}
+}
+
+func TestNonDedicatedSlower(t *testing.T) {
+	base := Params{TotalPhotons: 1e8, Seed: 5}
+	ded := Simulate(Table2Fleet(), CampusLAN(), base)
+	nonDed := base
+	nonDed.NonDedicated = true
+	shared := Simulate(Table2Fleet(), CampusLAN(), nonDed)
+	if shared.Makespan <= ded.Makespan {
+		t.Fatalf("background load should slow the fleet: %v vs %v",
+			shared.Makespan, ded.Makespan)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	p := Params{TotalPhotons: 1e8, NonDedicated: true, Seed: 6}
+	a := Simulate(Table2Fleet(), CampusLAN(), p)
+	b := Simulate(Table2Fleet(), CampusLAN(), p)
+	if a.Makespan != b.Makespan || a.Chunks != b.Chunks {
+		t.Fatal("simulation not deterministic for a fixed seed")
+	}
+}
+
+func TestGuidedBeatsFixedOnTail(t *testing.T) {
+	// Guided self-scheduling shrinks chunks near the drain, reducing tail
+	// imbalance versus large fixed chunks.
+	fixed := Params{TotalPhotons: 1e8, Policy: sched.FixedChunk{Photons: 1e7}, Seed: 7}
+	guided := Params{TotalPhotons: 1e8, Policy: sched.Guided{Min: 1e5}, Seed: 7}
+	fleet := Homogeneous(16, 210)
+	tFixed := Simulate(fleet, CampusLAN(), fixed).Makespan
+	tGuided := Simulate(fleet, CampusLAN(), guided).Makespan
+	if tGuided >= tFixed {
+		t.Fatalf("guided (%v) not faster than coarse fixed chunks (%v)", tGuided, tFixed)
+	}
+}
+
+func TestStaticResultMatchesMakespanModel(t *testing.T) {
+	fleet := Homogeneous(4, 100)
+	alloc := sched.EqualSplit(4e6, 4)
+	p := Params{TotalPhotons: 4e6, PhotonCostFlops: 1e5, Seed: 8}
+	res := StaticResult(fleet, CampusLAN(), p, alloc)
+	// Each machine: 1e6 photons × 1e5 flops / 100e6 = 1000 s.
+	if math.Abs(res.Makespan.Seconds()-1000) > 1 {
+		t.Fatalf("static makespan %g s, want ≈1000 s", res.Makespan.Seconds())
+	}
+}
+
+func TestStaticGABeatsEqualOnHeterogeneous(t *testing.T) {
+	fleet := Table2Fleet()
+	r := rng.New(9)
+	speeds := make([]float64, len(fleet))
+	for i, p := range fleet {
+		speeds[i] = p.Mflops(r)
+	}
+	const total = int64(1e9)
+	p := Params{TotalPhotons: total, Seed: 9}
+
+	equal := StaticResult(fleet, CampusLAN(), p, sched.EqualSplit(total, len(fleet)))
+	opt := sched.DefaultGAOptions()
+	opt.Generations = 120
+	gaAlloc, _ := sched.GASplit(total, speeds, opt)
+	ga := StaticResult(fleet, CampusLAN(), p, gaAlloc)
+
+	if ga.Makespan >= equal.Makespan {
+		t.Fatalf("GA static plan (%v) not better than equal split (%v) on a heterogeneous fleet",
+			ga.Makespan, equal.Makespan)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if res := Simulate(nil, CampusLAN(), Params{TotalPhotons: 10}); res.Makespan != 0 {
+		t.Fatal("empty fleet should do nothing")
+	}
+	if res := Simulate(Homogeneous(2, 100), CampusLAN(), Params{}); res.Chunks != 0 {
+		t.Fatal("zero photons should do nothing")
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	res := Simulate(Homogeneous(8, 210), CampusLAN(), Params{TotalPhotons: 1e8, Seed: 10})
+	u := res.Utilization()
+	if u <= 0 || u > 1 {
+		t.Fatalf("utilisation %g outside (0,1]", u)
+	}
+}

@@ -1,0 +1,139 @@
+// Package detector implements the surface detectors of the simulation: a
+// photon that escapes through the z = 0 surface is captured if it exits
+// inside the detector footprint, optionally subject to a pathlength gate
+// (the paper's "gated differential pathlengths" feature, which models
+// sources/detectors that only operate between pulses).
+package detector
+
+import (
+	"fmt"
+	"math"
+)
+
+// Detector decides whether a photon exiting the surface at (x, y) is
+// captured. Implementations must be usable concurrently (they are
+// immutable).
+type Detector interface {
+	Captures(x, y float64) bool
+	Describe() string
+}
+
+// Kind names a detector type for wire serialisation.
+type Kind string
+
+const (
+	KindDisk    Kind = "disk"
+	KindAnnulus Kind = "annulus"
+	KindAll     Kind = "all"
+)
+
+// Disk is a circular detector of the given radius centred at (CenterX, 0):
+// the usual optode placed at a source–detector separation along +x.
+type Disk struct {
+	CenterX float64
+	Radius  float64
+}
+
+// Captures implements Detector.
+func (d Disk) Captures(x, y float64) bool {
+	dx := x - d.CenterX
+	return dx*dx+y*y <= d.Radius*d.Radius
+}
+
+// Describe implements Detector.
+func (d Disk) Describe() string {
+	return fmt.Sprintf("disk r=%g mm at x=%g mm", d.Radius, d.CenterX)
+}
+
+// Annulus captures photons exiting at radial distance ρ ∈ [RMin, RMax] from
+// the source axis, exploiting the axial symmetry of normally incident
+// sources to collect every azimuth (variance reduction for reflectance
+// curves).
+type Annulus struct {
+	RMin, RMax float64
+}
+
+// Captures implements Detector.
+func (a Annulus) Captures(x, y float64) bool {
+	r2 := x*x + y*y
+	return r2 >= a.RMin*a.RMin && r2 <= a.RMax*a.RMax
+}
+
+// Describe implements Detector.
+func (a Annulus) Describe() string {
+	return fmt.Sprintf("annulus ρ∈[%g,%g] mm", a.RMin, a.RMax)
+}
+
+// All captures every photon that escapes through the surface; useful for
+// total diffuse reflectance measurements.
+type All struct{}
+
+// Captures implements Detector.
+func (All) Captures(float64, float64) bool { return true }
+
+// Describe implements Detector.
+func (All) Describe() string { return "entire surface" }
+
+// Gate restricts capture to photons whose total optical pathlength lies in
+// [MinPath, MaxPath] mm. A zero Gate (MaxPath == 0) is open: it accepts any
+// pathlength.
+type Gate struct {
+	MinPath, MaxPath float64
+}
+
+// Open reports whether the gate accepts every pathlength.
+func (g Gate) Open() bool { return g.MaxPath == 0 && g.MinPath == 0 }
+
+// Accepts reports whether pathlength p passes the gate.
+func (g Gate) Accepts(p float64) bool {
+	if g.Open() {
+		return true
+	}
+	max := g.MaxPath
+	if max == 0 {
+		max = math.Inf(1)
+	}
+	return p >= g.MinPath && p <= max
+}
+
+// Validate reports whether the gate window is well-formed.
+func (g Gate) Validate() error {
+	if g.MinPath < 0 || g.MaxPath < 0 {
+		return fmt.Errorf("detector: negative gate bound [%g,%g]", g.MinPath, g.MaxPath)
+	}
+	if g.MaxPath != 0 && g.MinPath > g.MaxPath {
+		return fmt.Errorf("detector: gate min %g exceeds max %g", g.MinPath, g.MaxPath)
+	}
+	return nil
+}
+
+// Spec is a serialisable detector description for the wire protocol.
+type Spec struct {
+	Kind            Kind
+	CenterX, Radius float64 // disk
+	RMin, RMax      float64 // annulus
+	Gate            Gate
+}
+
+// New materialises the Spec into a Detector.
+func (s Spec) New() (Detector, error) {
+	if err := s.Gate.Validate(); err != nil {
+		return nil, err
+	}
+	switch s.Kind {
+	case KindDisk:
+		if s.Radius <= 0 {
+			return nil, fmt.Errorf("detector: disk needs positive radius, got %g", s.Radius)
+		}
+		return Disk{CenterX: s.CenterX, Radius: s.Radius}, nil
+	case KindAnnulus:
+		if s.RMax <= s.RMin || s.RMin < 0 {
+			return nil, fmt.Errorf("detector: bad annulus [%g,%g]", s.RMin, s.RMax)
+		}
+		return Annulus{RMin: s.RMin, RMax: s.RMax}, nil
+	case KindAll, "":
+		return All{}, nil
+	default:
+		return nil, fmt.Errorf("detector: unknown kind %q", s.Kind)
+	}
+}

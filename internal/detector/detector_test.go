@@ -1,0 +1,196 @@
+package detector
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestDiskCaptures(t *testing.T) {
+	d := Disk{CenterX: 10, Radius: 2}
+	cases := []struct {
+		x, y float64
+		want bool
+	}{
+		{10, 0, true},
+		{12, 0, true}, // on the rim
+		{10, 2, true}, // on the rim
+		{12.1, 0, false},
+		{0, 0, false},
+		{10, -1.9, true},
+		{8.6, 1.4, true},
+	}
+	for _, c := range cases {
+		if got := d.Captures(c.x, c.y); got != c.want {
+			t.Errorf("Disk.Captures(%g,%g) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestAnnulusCaptures(t *testing.T) {
+	a := Annulus{RMin: 5, RMax: 10}
+	cases := []struct {
+		x, y float64
+		want bool
+	}{
+		{5, 0, true},
+		{10, 0, true},
+		{0, 7, true},
+		{4.9, 0, false},
+		{10.1, 0, false},
+		{0, 0, false},
+		{-7, 0, true}, // all azimuths
+	}
+	for _, c := range cases {
+		if got := a.Captures(c.x, c.y); got != c.want {
+			t.Errorf("Annulus.Captures(%g,%g) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestAllCaptures(t *testing.T) {
+	if !(All{}).Captures(1e9, -1e9) {
+		t.Fatal("All should capture everything")
+	}
+}
+
+// Property: a disk at the origin and an annulus [0, r] agree everywhere.
+func TestDiskAnnulusEquivalence(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		radius := 1 + 9*r.Float64()
+		d := Disk{CenterX: 0, Radius: radius}
+		a := Annulus{RMin: 0, RMax: radius}
+		for i := 0; i < 100; i++ {
+			x := 30*r.Float64() - 15
+			y := 30*r.Float64() - 15
+			if d.Captures(x, y) != a.Captures(x, y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGateOpen(t *testing.T) {
+	var g Gate
+	if !g.Open() {
+		t.Fatal("zero gate should be open")
+	}
+	if !g.Accepts(0) || !g.Accepts(1e9) {
+		t.Fatal("open gate rejected a pathlength")
+	}
+}
+
+func TestGateWindow(t *testing.T) {
+	g := Gate{MinPath: 10, MaxPath: 50}
+	cases := []struct {
+		p    float64
+		want bool
+	}{
+		{9.99, false}, {10, true}, {30, true}, {50, true}, {50.01, false},
+	}
+	for _, c := range cases {
+		if got := g.Accepts(c.p); got != c.want {
+			t.Errorf("Gate.Accepts(%g) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestGateMinOnly(t *testing.T) {
+	g := Gate{MinPath: 10}
+	if g.Open() {
+		t.Fatal("min-only gate should not be open")
+	}
+	if g.Accepts(5) || !g.Accepts(1e12) {
+		t.Fatal("min-only gate misbehaved")
+	}
+}
+
+// Property: gating is monotone — widening the window never rejects a
+// previously accepted pathlength.
+func TestGateMonotonicity(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		lo := 100 * r.Float64()
+		hi := lo + 100*r.Float64() + 1
+		narrow := Gate{MinPath: lo, MaxPath: hi}
+		wide := Gate{MinPath: lo / 2, MaxPath: hi * 2}
+		for i := 0; i < 200; i++ {
+			p := 400 * r.Float64()
+			if narrow.Accepts(p) && !wide.Accepts(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGateValidate(t *testing.T) {
+	if err := (Gate{MinPath: 5, MaxPath: 3}).Validate(); err == nil {
+		t.Fatal("inverted gate accepted")
+	}
+	if err := (Gate{MinPath: -1}).Validate(); err == nil {
+		t.Fatal("negative gate accepted")
+	}
+	if err := (Gate{MinPath: 1, MaxPath: 2}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	cases := []Spec{
+		{Kind: KindAll},
+		{Kind: ""},
+		{Kind: KindDisk, CenterX: 10, Radius: 1},
+		{Kind: KindAnnulus, RMin: 2, RMax: 4},
+		{Kind: KindDisk, CenterX: 5, Radius: 2, Gate: Gate{MinPath: 1, MaxPath: 9}},
+	}
+	for _, c := range cases {
+		d, err := c.New()
+		if err != nil {
+			t.Fatalf("Spec %+v: %v", c, err)
+		}
+		if d.Describe() == "" {
+			t.Fatalf("Spec %+v gave empty description", c)
+		}
+	}
+}
+
+func TestSpecRejectsBad(t *testing.T) {
+	bad := []Spec{
+		{Kind: KindDisk, Radius: 0},
+		{Kind: KindAnnulus, RMin: 4, RMax: 2},
+		{Kind: KindAnnulus, RMin: -1, RMax: 2},
+		{Kind: "sphere"},
+		{Kind: KindDisk, Radius: 1, Gate: Gate{MinPath: 9, MaxPath: 1}},
+	}
+	for _, c := range bad {
+		if _, err := c.New(); err == nil {
+			t.Fatalf("Spec %+v accepted, want error", c)
+		}
+	}
+}
+
+func TestDescriptions(t *testing.T) {
+	for _, d := range []Detector{Disk{CenterX: 1, Radius: 2}, Annulus{RMin: 1, RMax: 2}, All{}} {
+		if d.Describe() == "" {
+			t.Fatalf("%T empty description", d)
+		}
+	}
+}
+
+func TestGateAcceptsInfinity(t *testing.T) {
+	g := Gate{MinPath: 1}
+	if !g.Accepts(math.Inf(1)) {
+		t.Fatal("min-only gate should accept +Inf pathlength")
+	}
+}

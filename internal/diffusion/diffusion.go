@@ -1,0 +1,152 @@
+// Package diffusion implements the diffusion approximation to radiative
+// transport for a semi-infinite homogeneous medium — the analytic baseline
+// the paper's Sect. 2 contrasts with Monte Carlo ("Light transport in
+// tissue is analysed using radiative transport theory or the diffusion
+// approximation"). It provides the extrapolated-boundary dipole model of
+// spatially resolved steady-state diffuse reflectance (Farrell, Patterson &
+// Wilson 1992), total reflectance, effective attenuation, penetration depth
+// and the analytic differential pathlength factor, all of which the test
+// suite compares against the Monte Carlo kernel.
+package diffusion
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/optics"
+)
+
+// Medium holds the diffusion parameters derived from optical properties.
+type Medium struct {
+	MuA      float64 // absorption, mm⁻¹
+	MuSPrime float64 // transport scattering µs(1−g), mm⁻¹
+	N        float64 // refractive index of the tissue
+	NOut     float64 // refractive index outside (usually air, 1.0)
+}
+
+// New derives a diffusion Medium from transport-level properties.
+func New(p optics.Properties, nOut float64) (Medium, error) {
+	m := Medium{MuA: p.MuA, MuSPrime: p.MuSPrime(), N: p.N, NOut: nOut}
+	if m.MuSPrime <= 0 {
+		return m, fmt.Errorf("diffusion: non-scattering medium (µs′=%g) has no diffusive regime", m.MuSPrime)
+	}
+	if m.MuA < 0 {
+		return m, fmt.Errorf("diffusion: negative absorption %g", m.MuA)
+	}
+	if m.MuA > m.MuSPrime {
+		return m, fmt.Errorf("diffusion: µa=%g > µs′=%g violates the diffusion regime", m.MuA, m.MuSPrime)
+	}
+	return m, nil
+}
+
+// MuTPrime returns the transport interaction coefficient µt′ = µa + µs′.
+func (m Medium) MuTPrime() float64 { return m.MuA + m.MuSPrime }
+
+// D returns the diffusion constant 1/(3µt′) in mm.
+func (m Medium) D() float64 { return 1 / (3 * m.MuTPrime()) }
+
+// MuEff returns the effective attenuation coefficient sqrt(3µa·µt′) mm⁻¹.
+func (m Medium) MuEff() float64 { return math.Sqrt(3 * m.MuA * m.MuTPrime()) }
+
+// PenetrationDepth returns 1/µeff, the 1/e depth of the diffuse fluence.
+func (m Medium) PenetrationDepth() float64 { return 1 / m.MuEff() }
+
+// Z0 returns the depth of the isotropic point source, one transport mean
+// free path.
+func (m Medium) Z0() float64 { return 1 / m.MuTPrime() }
+
+// InternalReflectionParameter returns the boundary mismatch parameter A of
+// the extrapolated-boundary condition, using the empirical polynomial of
+// Groenhuis et al. for the effective internal reflection coefficient.
+func (m Medium) InternalReflectionParameter() float64 {
+	nRel := m.N / m.NOut
+	if nRel == 1 {
+		return 1
+	}
+	rd := -1.440/(nRel*nRel) + 0.710/nRel + 0.668 + 0.0636*nRel
+	if rd < 0 {
+		rd = 0
+	}
+	if rd > 0.9999 {
+		rd = 0.9999
+	}
+	return (1 + rd) / (1 - rd)
+}
+
+// Zb returns the extrapolated boundary offset 2AD.
+func (m Medium) Zb() float64 { return 2 * m.InternalReflectionParameter() * m.D() }
+
+// ReflectanceAt returns the spatially resolved steady-state diffuse
+// reflectance R(ρ) in mm⁻² per incident photon at radial distance ρ from a
+// normally incident pencil beam on a semi-infinite medium — the dipole
+// (source + image source) solution with an extrapolated boundary.
+func (m Medium) ReflectanceAt(rho float64) float64 {
+	z0 := m.Z0()
+	zb := m.Zb()
+	mu := m.MuEff()
+
+	r1 := math.Hypot(rho, z0)
+	r2 := math.Hypot(rho, z0+2*zb)
+
+	term := func(z, r float64) float64 {
+		return z * (mu + 1/r) * math.Exp(-mu*r) / (r * r)
+	}
+	return (term(z0, r1) + term(z0+2*zb, r2)) / (4 * math.Pi)
+}
+
+// TotalReflectance integrates R(ρ) over the surface numerically, returning
+// the total diffuse reflectance predicted by diffusion theory.
+func (m Medium) TotalReflectance() float64 {
+	// Adaptive-enough trapezoid on an exponential tail: integrate out to
+	// 20 penetration depths with fine steps near the source.
+	max := 20 * m.PenetrationDepth()
+	const steps = 4000
+	h := max / steps
+	sum := 0.0
+	for i := 0; i < steps; i++ {
+		rho := (float64(i) + 0.5) * h
+		sum += m.ReflectanceAt(rho) * 2 * math.Pi * rho * h
+	}
+	return sum
+}
+
+// MeanPathlength returns the diffusion-theory mean pathlength of photons
+// re-emitted at radial distance ρ: L(ρ) = ∂lnR/∂µa evaluated numerically —
+// the quantity whose ratio to ρ is the differential pathlength factor (DPF)
+// used throughout NIRS.
+func (m Medium) MeanPathlength(rho float64) float64 {
+	const rel = 1e-4
+	dmua := m.MuA * rel
+	if dmua == 0 {
+		dmua = 1e-8
+	}
+	up, down := m, m
+	up.MuA += dmua
+	down.MuA -= dmua
+	lnUp := math.Log(up.ReflectanceAt(rho))
+	lnDown := math.Log(down.ReflectanceAt(rho))
+	return -(lnUp - lnDown) / (2 * dmua)
+}
+
+// DPF returns the differential pathlength factor at optode separation ρ.
+func (m Medium) DPF(rho float64) float64 {
+	if rho <= 0 {
+		return 0
+	}
+	return m.MeanPathlength(rho) / rho
+}
+
+// Fluence returns the diffusion-theory fluence (per incident photon) at
+// depth z on the source axis, dipole solution.
+func (m Medium) Fluence(z float64) float64 {
+	z0 := m.Z0()
+	zb := m.Zb()
+	mu := m.MuEff()
+	d := m.D()
+	r1 := math.Abs(z - z0)
+	r2 := z + z0 + 2*zb
+	if r1 < 1e-9 {
+		r1 = 1e-9
+	}
+	return (math.Exp(-mu*r1)/r1 - math.Exp(-mu*r2)/r2) / (4 * math.Pi * d)
+}

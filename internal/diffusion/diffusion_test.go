@@ -1,0 +1,203 @@
+package diffusion
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/mc"
+	"repro/internal/optics"
+	"repro/internal/tissue"
+)
+
+// diffusive returns a strongly scattering, weakly absorbing test medium in
+// the regime where the diffusion approximation is valid.
+func diffusive(n float64) optics.Properties {
+	return optics.FromTransport(1.0, 0.9, 0.01, n) // µs′=1, µa=0.01 mm⁻¹
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(optics.Properties{MuA: 0.1, MuS: 0, N: 1.4}, 1); err == nil {
+		t.Fatal("non-scattering medium accepted")
+	}
+	if _, err := New(optics.FromTransport(0.5, 0.9, 5, 1.4), 1); err == nil {
+		t.Fatal("absorption-dominated medium accepted")
+	}
+	if _, err := New(diffusive(1.4), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDerivedCoefficients(t *testing.T) {
+	m, err := New(diffusive(1.4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.MuTPrime(), 1.01; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("µt′ = %g, want %g", got, want)
+	}
+	if got, want := m.MuEff(), math.Sqrt(3*0.01*1.01); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("µeff = %g, want %g", got, want)
+	}
+	if got, want := m.Z0(), 1/1.01; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("z0 = %g, want %g", got, want)
+	}
+	if m.D() <= 0 || m.PenetrationDepth() <= 0 {
+		t.Fatal("non-positive derived lengths")
+	}
+}
+
+func TestBoundaryParameterMatchedIndex(t *testing.T) {
+	m, _ := New(diffusive(1.0), 1)
+	if a := m.InternalReflectionParameter(); math.Abs(a-1) > 0.01 {
+		t.Fatalf("matched-index A = %g, want ≈1", a)
+	}
+	mm, _ := New(diffusive(1.4), 1)
+	if a := mm.InternalReflectionParameter(); a < 2 || a > 4 {
+		t.Fatalf("n=1.4 boundary parameter A = %g, expected ≈2.9", a)
+	}
+}
+
+func TestReflectanceDecaysExponentially(t *testing.T) {
+	m, _ := New(diffusive(1.0), 1)
+	// Far from the source R(ρ) ~ exp(-µeff ρ)/ρ²; the log-slope between 20
+	// and 30 mm should approach -µeff.
+	r20 := m.ReflectanceAt(20)
+	r30 := m.ReflectanceAt(30)
+	slope := -(math.Log(r30*900) - math.Log(r20*400)) / 10
+	if math.Abs(slope-m.MuEff())/m.MuEff() > 0.1 {
+		t.Fatalf("asymptotic slope %g, want µeff %g", slope, m.MuEff())
+	}
+}
+
+func TestTotalReflectanceBounds(t *testing.T) {
+	m, _ := New(diffusive(1.0), 1)
+	rd := m.TotalReflectance()
+	if rd <= 0 || rd >= 1 {
+		t.Fatalf("total reflectance %g outside (0,1)", rd)
+	}
+	// Lower absorption → higher reflectance.
+	lowAbs, _ := New(optics.FromTransport(1.0, 0.9, 0.001, 1.0), 1)
+	if lowAbs.TotalReflectance() <= rd {
+		t.Fatal("reducing absorption should raise total reflectance")
+	}
+}
+
+func TestDPFReasonableRange(t *testing.T) {
+	m, _ := New(diffusive(1.4), 1)
+	dpf := m.DPF(20)
+	// NIRS DPFs for head-like optics sit in the 3–10 range.
+	if dpf < 2 || dpf > 15 {
+		t.Fatalf("DPF(20 mm) = %g outside physiological range", dpf)
+	}
+	// DPF grows slowly with separation in this regime.
+	if m.DPF(40) <= dpf*0.8 {
+		t.Fatalf("DPF collapsed with distance: %g vs %g", m.DPF(40), dpf)
+	}
+}
+
+func TestFluencePositiveAndDecaying(t *testing.T) {
+	m, _ := New(diffusive(1.0), 1)
+	prev := math.Inf(1)
+	for _, z := range []float64{2, 4, 8, 16, 32} {
+		f := m.Fluence(z)
+		if f <= 0 {
+			t.Fatalf("fluence at z=%g is %g", z, f)
+		}
+		if f >= prev {
+			t.Fatalf("fluence not decaying at z=%g", z)
+		}
+		prev = f
+	}
+}
+
+// The headline validation: Monte Carlo R(ρ) agrees with the diffusion
+// dipole model in its regime of validity (ρ beyond a few transport mean
+// free paths, scattering-dominated medium).
+func TestMonteCarloMatchesDiffusionRadialProfile(t *testing.T) {
+	props := diffusive(1.0) // matched boundary keeps the model simplest
+	med, err := New(props, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Thick slab ≈ semi-infinite: 40 penetration depths.
+	model := tissue.HomogeneousSlab("semi-infinite", props, 400)
+	cfg := &mc.Config{
+		Model:  model,
+		Radial: &mc.HistSpec{Min: 0, Max: 20, Bins: 40},
+	}
+	tally, err := mc.Run(cfg, 300000, 2024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, r := tally.RadialReflectance()
+
+	// Compare over ρ ∈ [3, 12] mm (3–12 transport mfps).
+	var worst float64
+	var checked int
+	for i := range rho {
+		if rho[i] < 3 || rho[i] > 12 {
+			continue
+		}
+		want := med.ReflectanceAt(rho[i])
+		if want <= 0 || r[i] <= 0 {
+			t.Fatalf("non-positive reflectance at ρ=%g: mc=%g diff=%g", rho[i], r[i], want)
+		}
+		rel := math.Abs(r[i]-want) / want
+		if rel > worst {
+			worst = rel
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d comparison bins", checked)
+	}
+	// Diffusion theory is a ~10–20 % approximation here; MC noise adds a
+	// few percent at this photon budget.
+	if worst > 0.30 {
+		t.Fatalf("MC vs diffusion worst relative error %.0f%% (>30%%)", 100*worst)
+	}
+}
+
+// Total diffuse reflectance: MC vs diffusion theory, matched boundary.
+func TestMonteCarloMatchesDiffusionTotalReflectance(t *testing.T) {
+	props := diffusive(1.0)
+	med, _ := New(props, 1)
+	model := tissue.HomogeneousSlab("semi-infinite", props, 400)
+	tally, err := mc.Run(&mc.Config{Model: model}, 100000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcRd := tally.DiffuseReflectance()
+	diffRd := med.TotalReflectance()
+	if rel := math.Abs(mcRd-diffRd) / mcRd; rel > 0.15 {
+		t.Fatalf("total Rd: MC %g vs diffusion %g (rel %.0f%%)", mcRd, diffRd, 100*rel)
+	}
+}
+
+// DPF cross-check: the MC pathlength of photons detected at ρ matches the
+// diffusion-theory mean pathlength within the model error.
+func TestMonteCarloMatchesDiffusionDPF(t *testing.T) {
+	props := diffusive(1.0)
+	med, _ := New(props, 1)
+	model := tissue.HomogeneousSlab("semi-infinite", props, 400)
+	cfg := &mc.Config{
+		Model:    model,
+		Detector: detector.Annulus{RMin: 7.5, RMax: 8.5},
+	}
+	tally, err := mc.Run(cfg, 200000, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.DetectedCount < 200 {
+		t.Fatalf("only %d detections", tally.DetectedCount)
+	}
+	const rho = 8.0
+	mcPath := tally.MeanPathlength()
+	diffPath := med.MeanPathlength(rho)
+	if rel := math.Abs(mcPath-diffPath) / diffPath; rel > 0.30 {
+		t.Fatalf("mean pathlength at ρ=%g: MC %g vs diffusion %g (rel %.0f%%)",
+			rho, mcPath, diffPath, 100*rel)
+	}
+}

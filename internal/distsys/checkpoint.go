@@ -1,0 +1,143 @@
+package distsys
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"repro/internal/mc"
+)
+
+// Checkpoint is a serialisable snapshot of a running job: which chunks have
+// been reduced and the partial tally so far. A DataManager restarted from a
+// checkpoint re-issues only the missing chunks; because every chunk is tied
+// to its RNG stream, the resumed job produces exactly the result the
+// uninterrupted job would have.
+type Checkpoint struct {
+	Spec         mc.Spec
+	TotalPhotons int64
+	ChunkPhotons int64
+	Seed         uint64
+	NChunks      int
+	Completed    []int // sorted chunk ids already reduced
+	Tally        *mc.Tally
+}
+
+// Checkpoint captures the job's current reduction state. It is safe to call
+// while workers are active; chunks in flight are simply not part of the
+// snapshot and will be recomputed on resume.
+func (dm *DataManager) Checkpoint() *Checkpoint {
+	dm.mu.Lock()
+	defer dm.mu.Unlock()
+
+	cp := &Checkpoint{
+		Spec:         *dm.opts.Spec,
+		TotalPhotons: dm.opts.TotalPhotons,
+		ChunkPhotons: dm.opts.ChunkPhotons,
+		Seed:         dm.opts.Seed,
+		NChunks:      dm.nChunks,
+		Tally:        cloneTally(dm.tally),
+	}
+	for id := 0; id < dm.nChunks; id++ {
+		if dm.completed[id] {
+			cp.Completed = append(cp.Completed, id)
+		}
+	}
+	return cp
+}
+
+// cloneTally deep-copies a tally via a gob round trip (tallies are plain
+// data, so this is exact).
+func cloneTally(t *mc.Tally) *mc.Tally {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(t); err != nil {
+		panic(fmt.Sprintf("distsys: clone tally encode: %v", err))
+	}
+	var out mc.Tally
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		panic(fmt.Sprintf("distsys: clone tally decode: %v", err))
+	}
+	return &out
+}
+
+// Save writes the checkpoint to path atomically (write + rename).
+func (cp *Checkpoint) Save(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(cp); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("distsys: checkpoint encode: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadCheckpoint reads a checkpoint from path.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var cp Checkpoint
+	if err := gob.NewDecoder(f).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("distsys: checkpoint decode: %w", err)
+	}
+	if cp.Tally == nil || cp.NChunks <= 0 {
+		return nil, fmt.Errorf("distsys: checkpoint is incomplete")
+	}
+	return &cp, nil
+}
+
+// Resume builds a DataManager that continues the checkpointed job: already
+// reduced chunks stay reduced, everything else is queued for assignment.
+func Resume(cp *Checkpoint, opts JobOptions) (*DataManager, error) {
+	spec := cp.Spec
+	opts.Spec = &spec
+	opts.TotalPhotons = cp.TotalPhotons
+	opts.ChunkPhotons = cp.ChunkPhotons
+	opts.Seed = cp.Seed
+	dm, err := NewDataManager(opts)
+	if err != nil {
+		return nil, err
+	}
+	if dm.nChunks != cp.NChunks {
+		return nil, fmt.Errorf("distsys: checkpoint has %d chunks, job derives %d",
+			cp.NChunks, dm.nChunks)
+	}
+
+	dm.mu.Lock()
+	defer dm.mu.Unlock()
+	done := make(map[int]bool, len(cp.Completed))
+	for _, id := range cp.Completed {
+		if id < 0 || id >= dm.nChunks {
+			return nil, fmt.Errorf("distsys: checkpoint completed chunk %d out of range", id)
+		}
+		done[id] = true
+		dm.completed[id] = true
+	}
+	dm.tally = cp.Tally
+
+	// Rebuild the pending queue without the completed chunks.
+	pending := dm.pending[:0]
+	for _, id := range dm.pending {
+		if !done[id] {
+			pending = append(pending, id)
+		}
+	}
+	dm.pending = pending
+
+	if len(dm.completed) == dm.nChunks {
+		dm.closed = true
+		close(dm.finished)
+	}
+	return dm, nil
+}

@@ -1,0 +1,160 @@
+package distsys
+
+import (
+	"math"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// partialJob runs exactly `chunks` chunks of a job by letting a worker fail
+// after that many, then returns the manager mid-job.
+func partialJob(t *testing.T, chunksDone int) *DataManager {
+	t.Helper()
+	dm, err := NewDataManager(JobOptions{
+		Spec: quickSpec(), TotalPhotons: 1000, ChunkPhotons: 100, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, client := net.Pipe()
+	go dm.HandleConn(server)
+	Work(client, WorkerOptions{Name: "partial", FailAfterChunks: chunksDone})
+	return dm
+}
+
+func TestCheckpointCapturesProgress(t *testing.T) {
+	dm := partialJob(t, 4)
+	cp := dm.Checkpoint()
+	if len(cp.Completed) != 4 {
+		t.Fatalf("checkpoint has %d completed chunks, want 4", len(cp.Completed))
+	}
+	if cp.Tally.Launched != 400 {
+		t.Fatalf("checkpoint tally launched %d, want 400", cp.Tally.Launched)
+	}
+	if cp.NChunks != 10 || cp.Seed != 77 {
+		t.Fatalf("checkpoint metadata wrong: %+v", cp)
+	}
+}
+
+func TestCheckpointIsolatedFromLiveTally(t *testing.T) {
+	dm := partialJob(t, 2)
+	cp := dm.Checkpoint()
+	before := cp.Tally.AbsorbedWeight
+
+	// Finish the job; the checkpoint must not change.
+	server, client := net.Pipe()
+	go dm.HandleConn(server)
+	go Work(client, WorkerOptions{Name: "finisher"})
+	if _, err := dm.Wait(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Tally.AbsorbedWeight != before {
+		t.Fatal("checkpoint shares state with the live tally")
+	}
+}
+
+func TestResumeCompletesToSameResult(t *testing.T) {
+	// Ground truth: uninterrupted job.
+	full, err := NewDataManager(JobOptions{
+		Spec: quickSpec(), TotalPhotons: 1000, ChunkPhotons: 100, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, c1 := net.Pipe()
+	go full.HandleConn(s1)
+	go Work(c1, WorkerOptions{Name: "solo"})
+	want, err := full.Wait(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted job → checkpoint → save/load → resume → finish.
+	dm := partialJob(t, 4)
+	path := filepath.Join(t.TempDir(), "job.ckpt")
+	if err := dm.Checkpoint().Save(path); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Resume(cp, JobOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, total := resumed.Progress()
+	if done != 4 || total != 10 {
+		t.Fatalf("resumed progress %d/%d, want 4/10", done, total)
+	}
+	s2, c2 := net.Pipe()
+	go resumed.HandleConn(s2)
+	go Work(c2, WorkerOptions{Name: "resumer"})
+	got, err := resumed.Wait(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Tally.Launched != want.Tally.Launched {
+		t.Fatalf("launched %d vs uninterrupted %d", got.Tally.Launched, want.Tally.Launched)
+	}
+	if got.Tally.DetectedCount != want.Tally.DetectedCount {
+		t.Fatalf("detected %d vs uninterrupted %d",
+			got.Tally.DetectedCount, want.Tally.DetectedCount)
+	}
+	if math.Abs(got.Tally.AbsorbedWeight-want.Tally.AbsorbedWeight) > 1e-9 {
+		t.Fatalf("absorbed %g vs uninterrupted %g",
+			got.Tally.AbsorbedWeight, want.Tally.AbsorbedWeight)
+	}
+}
+
+func TestResumeOfCompleteJobIsDone(t *testing.T) {
+	dm, err := NewDataManager(JobOptions{
+		Spec: quickSpec(), TotalPhotons: 300, ChunkPhotons: 100, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, c := net.Pipe()
+	go dm.HandleConn(s)
+	go Work(c, WorkerOptions{Name: "w"})
+	if _, err := dm.Wait(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Resume(dm.Checkpoint(), JobOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-resumed.Done():
+	case <-time.After(time.Second):
+		t.Fatal("resume of a finished job should be immediately done")
+	}
+}
+
+func TestLoadCheckpointRejectsBad(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadCheckpoint(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing checkpoint accepted")
+	}
+	// Corrupt/incomplete checkpoint.
+	bad := &Checkpoint{NChunks: 0}
+	path := filepath.Join(dir, "bad.ckpt")
+	if err := bad.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Fatal("incomplete checkpoint accepted")
+	}
+}
+
+func TestResumeRejectsOutOfRangeChunk(t *testing.T) {
+	dm := partialJob(t, 1)
+	cp := dm.Checkpoint()
+	cp.Completed = append(cp.Completed, 999)
+	if _, err := Resume(cp, JobOptions{}); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+}

@@ -1,0 +1,385 @@
+package distsys
+
+import (
+	"errors"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/detector"
+	"repro/internal/mc"
+	"repro/internal/protocol"
+	"repro/internal/source"
+	"repro/internal/tissue"
+)
+
+// quickSpec returns a cheap simulation spec for cluster tests.
+func quickSpec() *mc.Spec {
+	model := tissue.HomogeneousSlab("slab",
+		tissue.ScalpProps, 5)
+	return mc.NewSpec(model,
+		source.Spec{Kind: source.KindPencil},
+		detector.Spec{Kind: detector.KindAnnulus, RMin: 1, RMax: 4})
+}
+
+func TestJobValidation(t *testing.T) {
+	if _, err := NewDataManager(JobOptions{}); err == nil {
+		t.Fatal("job without spec accepted")
+	}
+	if _, err := NewDataManager(JobOptions{Spec: quickSpec(), TotalPhotons: 0}); err == nil {
+		t.Fatal("zero-photon job accepted")
+	}
+}
+
+func TestChunkPartition(t *testing.T) {
+	dm, err := NewDataManager(JobOptions{
+		Spec: quickSpec(), TotalPhotons: 1050, ChunkPhotons: 100, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.NumChunks() != 11 {
+		t.Fatalf("chunks = %d, want 11", dm.NumChunks())
+	}
+	// Total photons across chunks must be conserved.
+	var total int64
+	for _, p := range dm.photons {
+		total += p
+	}
+	if total != 1050 {
+		t.Fatalf("chunk photons sum to %d, want 1050", total)
+	}
+}
+
+// runJob executes a distributed job over in-memory pipes with the given
+// worker configurations and returns the result.
+func runJob(t *testing.T, opts JobOptions, workers []WorkerOptions) *Result {
+	t.Helper()
+	dm, err := NewDataManager(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		server, client := net.Pipe()
+		go dm.HandleConn(server)
+		wg.Add(1)
+		go func(w WorkerOptions) {
+			defer wg.Done()
+			_, err := Work(client, w)
+			if err != nil && !errors.Is(err, ErrInjectedFailure) {
+				// Connection teardown races are fine after job completion.
+				select {
+				case <-dm.Done():
+				default:
+					t.Errorf("worker %s: %v", w.Name, err)
+				}
+			}
+		}(w)
+	}
+	res, err := dm.Wait(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	return res
+}
+
+func TestSingleWorkerMatchesLocalRun(t *testing.T) {
+	spec := quickSpec()
+	const total, chunk, seed = 3000, 500, 11
+	res := runJob(t, JobOptions{
+		Spec: spec, TotalPhotons: total, ChunkPhotons: chunk, Seed: seed,
+	}, []WorkerOptions{{Name: "solo"}})
+
+	if res.Tally.Launched != total {
+		t.Fatalf("launched %d, want %d", res.Tally.Launched, total)
+	}
+
+	// Ground truth: the same streams computed locally.
+	cfg, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mc.NewTally(cfg)
+	streams := res.Chunks
+	for s := 0; s < streams; s++ {
+		chunkTally, err := mc.RunStream(cfg, chunk, seed, s, streams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := want.Merge(chunkTally); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(res.Tally.AbsorbedWeight-want.AbsorbedWeight) > 1e-9 {
+		t.Fatalf("distributed absorbed %g != local %g",
+			res.Tally.AbsorbedWeight, want.AbsorbedWeight)
+	}
+	if res.Tally.DetectedCount != want.DetectedCount {
+		t.Fatalf("distributed detected %d != local %d",
+			res.Tally.DetectedCount, want.DetectedCount)
+	}
+}
+
+func TestManyWorkersSameResult(t *testing.T) {
+	spec := quickSpec()
+	opts := JobOptions{Spec: spec, TotalPhotons: 4000, ChunkPhotons: 250, Seed: 21}
+
+	one := runJob(t, opts, []WorkerOptions{{Name: "a"}})
+	four := runJob(t, opts, []WorkerOptions{
+		{Name: "a"}, {Name: "b"}, {Name: "c"}, {Name: "d"},
+	})
+
+	if one.Tally.Launched != four.Tally.Launched {
+		t.Fatalf("launched differ: %d vs %d", one.Tally.Launched, four.Tally.Launched)
+	}
+	if one.Tally.DetectedCount != four.Tally.DetectedCount {
+		t.Fatalf("worker count changed detections: %d vs %d",
+			one.Tally.DetectedCount, four.Tally.DetectedCount)
+	}
+	if math.Abs(one.Tally.AbsorbedWeight-four.Tally.AbsorbedWeight) > 1e-9 {
+		t.Fatalf("worker count changed absorption: %g vs %g",
+			one.Tally.AbsorbedWeight, four.Tally.AbsorbedWeight)
+	}
+	// Work was actually shared.
+	busy := 0
+	for _, w := range four.Workers {
+		if w.Chunks > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("only %d of 4 workers did any work", busy)
+	}
+}
+
+func TestHeterogeneousWorkers(t *testing.T) {
+	spec := quickSpec()
+	res := runJob(t, JobOptions{
+		Spec: spec, TotalPhotons: 4000, ChunkPhotons: 200, Seed: 31,
+	}, []WorkerOptions{
+		{Name: "fast"},
+		{Name: "slow", Slowdown: 3},
+	})
+	var fast, slow int
+	for _, w := range res.Workers {
+		switch w.Name {
+		case "fast":
+			fast = w.Chunks
+		case "slow":
+			slow = w.Chunks
+		}
+	}
+	if fast+slow != res.Chunks {
+		t.Fatalf("chunk accounting broken: %d + %d != %d", fast, slow, res.Chunks)
+	}
+	// Self-scheduling must give the faster machine more work.
+	if fast <= slow {
+		t.Fatalf("fast worker got %d chunks, slow got %d", fast, slow)
+	}
+}
+
+func TestWorkerFailureRecovery(t *testing.T) {
+	spec := quickSpec()
+	const total, chunk = 3000, 150
+	// One worker dies after 3 chunks; a reliable worker must finish the
+	// job, including the chunks lost in flight.
+	res := runJob(t, JobOptions{
+		Spec: spec, TotalPhotons: total, ChunkPhotons: chunk, Seed: 41,
+		ChunkTimeout: 5 * time.Second,
+	}, []WorkerOptions{
+		{Name: "flaky", FailAfterChunks: 3},
+		{Name: "steady"},
+	})
+	if res.Tally.Launched != total {
+		t.Fatalf("launched %d, want %d (lost chunks not recovered?)",
+			res.Tally.Launched, total)
+	}
+}
+
+func TestFailedWorkerChunksRequeued(t *testing.T) {
+	// A worker that dies *between* assignment and result must have its
+	// chunk requeued when the connection drops.
+	spec := quickSpec()
+	dm, err := NewDataManager(JobOptions{
+		Spec: spec, TotalPhotons: 1000, ChunkPhotons: 100, Seed: 43,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the transport mid-job from the worker side.
+	server, client := net.Pipe()
+	go dm.HandleConn(server)
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		client.Close() // abrupt death
+	}()
+	Work(client, WorkerOptions{Name: "doomed"}) // error expected, ignore
+
+	// A healthy worker completes everything.
+	server2, client2 := net.Pipe()
+	go dm.HandleConn(server2)
+	go Work(client2, WorkerOptions{Name: "healthy"})
+
+	res, err := dm.Wait(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tally.Launched != 1000 {
+		t.Fatalf("launched %d, want 1000", res.Tally.Launched)
+	}
+}
+
+func TestDuplicateResultIgnored(t *testing.T) {
+	// Drive the protocol by hand to deliver the same chunk result twice;
+	// the reduction must stay exactly-once.
+	spec := quickSpec()
+	dm, err := NewDataManager(JobOptions{
+		Spec: spec, TotalPhotons: 200, ChunkPhotons: 100, Seed: 51,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, client := net.Pipe()
+	go dm.HandleConn(server)
+	pc := protocol.NewConn(client)
+	defer pc.Close()
+
+	send := func(m *protocol.Message) {
+		t.Helper()
+		if err := pc.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recv := func() *protocol.Message {
+		t.Helper()
+		m, err := pc.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	send(&protocol.Message{Type: protocol.MsgHello,
+		Hello: &protocol.Hello{Version: protocol.Version, Name: "manual"}})
+	welcome := recv()
+	job := welcome.Welcome.Job
+	cfg, err := job.Spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	send(&protocol.Message{Type: protocol.MsgTaskRequest})
+	assign := recv().Assign
+	tally, err := mc.RunStream(cfg, assign.Photons, job.Seed, assign.Stream, job.Streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	result := &protocol.Message{Type: protocol.MsgTaskResult, Result: &protocol.TaskResult{
+		JobID: assign.JobID, ChunkID: assign.ChunkID, Tally: tally,
+	}}
+	send(result)
+	if ack := recv().Ack; ack.Duplicate {
+		t.Fatal("first delivery flagged duplicate")
+	}
+	send(result) // replay the same chunk
+	if ack := recv().Ack; !ack.Duplicate {
+		t.Fatal("replayed result not flagged duplicate")
+	}
+
+	// Finish the job and check the duplicate did not double count.
+	send(&protocol.Message{Type: protocol.MsgTaskRequest})
+	assign2 := recv().Assign
+	tally2, err := mc.RunStream(cfg, assign2.Photons, job.Seed, assign2.Stream, job.Streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	send(&protocol.Message{Type: protocol.MsgTaskResult, Result: &protocol.TaskResult{
+		JobID: assign2.JobID, ChunkID: assign2.ChunkID, Tally: tally2,
+	}})
+	recv() // ack
+
+	res, err := dm.Wait(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tally.Launched != 200 {
+		t.Fatalf("duplicate inflated tally: launched %d, want 200", res.Tally.Launched)
+	}
+	if res.Duplicates != 1 {
+		t.Fatalf("duplicates recorded %d, want 1", res.Duplicates)
+	}
+}
+
+func TestTCPEndToEnd(t *testing.T) {
+	spec := quickSpec()
+	dm, err := NewDataManager(JobOptions{
+		Spec: spec, TotalPhotons: 2000, ChunkPhotons: 250, Seed: 61,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go dm.Serve(l)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := WorkTCP(l.Addr().String(), WorkerOptions{
+				Name:   string(rune('a' + i)),
+				Mflops: 100,
+			})
+			if err != nil {
+				select {
+				case <-dm.Done():
+				default:
+					t.Errorf("tcp worker %d: %v", i, err)
+				}
+			}
+		}(i)
+	}
+	res, err := dm.Wait(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if res.Tally.Launched != 2000 {
+		t.Fatalf("launched %d", res.Tally.Launched)
+	}
+	if res.Tally.EnergyBalance() > 1e-6 {
+		t.Fatalf("energy balance %g", res.Tally.EnergyBalance())
+	}
+}
+
+func TestProgressReporting(t *testing.T) {
+	dm, err := NewDataManager(JobOptions{
+		Spec: quickSpec(), TotalPhotons: 500, ChunkPhotons: 100, Seed: 71,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, total := dm.Progress()
+	if done != 0 || total != 5 {
+		t.Fatalf("initial progress %d/%d", done, total)
+	}
+}
+
+func TestWaitTimeout(t *testing.T) {
+	dm, err := NewDataManager(JobOptions{
+		Spec: quickSpec(), TotalPhotons: 500, ChunkPhotons: 100, Seed: 81,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dm.Wait(30 * time.Millisecond); err == nil {
+		t.Fatal("wait with no workers should time out")
+	}
+}

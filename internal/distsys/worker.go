@@ -1,0 +1,136 @@
+package distsys
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/mc"
+	"repro/internal/protocol"
+)
+
+// WorkerOptions configure one client. The zero value plus a transport is a
+// dedicated, reliable worker.
+type WorkerOptions struct {
+	// Name identifies the worker to the server; generated if empty.
+	Name string
+	// Mflops is the self-reported processing rate (informational).
+	Mflops float64
+	// Slowdown stretches compute time by sleeping Slowdown×(compute time)
+	// after each chunk, emulating a slower or non-dedicated machine.
+	Slowdown float64
+	// FailAfterChunks, if positive, makes the worker drop its connection
+	// after computing that many chunks — fault-injection for tests.
+	FailAfterChunks int
+	// Logf, if set, receives progress logging.
+	Logf func(format string, args ...any)
+}
+
+// WorkerStats summarises a worker session.
+type WorkerStats struct {
+	Chunks  int
+	Photons int64
+	Compute time.Duration
+}
+
+// ErrInjectedFailure is returned by a worker that halted due to
+// FailAfterChunks.
+var ErrInjectedFailure = errors.New("distsys: worker failed by injection")
+
+// Work connects a worker over the given transport and processes chunks
+// until the server reports the job done. It returns session statistics.
+func Work(rw io.ReadWriteCloser, opts WorkerOptions) (*WorkerStats, error) {
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	pc := protocol.NewConn(rw)
+	defer pc.Close()
+
+	if err := pc.Send(&protocol.Message{Type: protocol.MsgHello, Hello: &protocol.Hello{
+		Version: protocol.Version,
+		Name:    opts.Name,
+		Mflops:  opts.Mflops,
+	}}); err != nil {
+		return nil, err
+	}
+	welcome, err := pc.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if welcome.Type == protocol.MsgError {
+		return nil, fmt.Errorf("distsys: server rejected hello: %s", welcome.Error.Msg)
+	}
+	if welcome.Type != protocol.MsgWelcome || welcome.Welcome == nil {
+		return nil, fmt.Errorf("distsys: expected welcome, got %v", welcome.Type)
+	}
+	job := welcome.Welcome.Job
+	cfg, err := job.Spec.Build()
+	if err != nil {
+		return nil, fmt.Errorf("distsys: bad job spec: %w", err)
+	}
+
+	stats := &WorkerStats{}
+	for {
+		if err := pc.Send(&protocol.Message{Type: protocol.MsgTaskRequest}); err != nil {
+			return stats, err
+		}
+		msg, err := pc.Recv()
+		if err != nil {
+			return stats, err
+		}
+		switch msg.Type {
+		case protocol.MsgTaskAssign:
+			a := msg.Assign
+			start := time.Now()
+			tally, err := mc.RunStream(cfg, a.Photons, job.Seed, a.Stream, job.Streams)
+			if err != nil {
+				return stats, err
+			}
+			elapsed := time.Since(start)
+			if opts.Slowdown > 0 {
+				time.Sleep(time.Duration(opts.Slowdown * float64(elapsed)))
+			}
+			if err := pc.Send(&protocol.Message{Type: protocol.MsgTaskResult,
+				Result: &protocol.TaskResult{
+					JobID: a.JobID, ChunkID: a.ChunkID, Elapsed: elapsed, Tally: tally,
+				}}); err != nil {
+				return stats, err
+			}
+			ack, err := pc.Recv()
+			if err != nil {
+				return stats, err
+			}
+			if ack.Type != protocol.MsgResultAck {
+				return stats, fmt.Errorf("distsys: expected ack, got %v", ack.Type)
+			}
+			stats.Chunks++
+			stats.Photons += a.Photons
+			stats.Compute += elapsed
+			opts.Logf("distsys: %s finished chunk %d (%d photons, %v)",
+				opts.Name, a.ChunkID, a.Photons, elapsed)
+			if opts.FailAfterChunks > 0 && stats.Chunks >= opts.FailAfterChunks {
+				return stats, ErrInjectedFailure
+			}
+		case protocol.MsgNoWork:
+			if msg.NoWork.Done {
+				return stats, nil
+			}
+			time.Sleep(msg.NoWork.RetryIn)
+		case protocol.MsgError:
+			return stats, fmt.Errorf("distsys: server error: %s", msg.Error.Msg)
+		default:
+			return stats, fmt.Errorf("distsys: unexpected message %v", msg.Type)
+		}
+	}
+}
+
+// WorkTCP dials the DataManager at addr and runs a worker session.
+func WorkTCP(addr string, opts WorkerOptions) (*WorkerStats, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return Work(conn, opts)
+}

@@ -1,0 +1,204 @@
+package grid
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestNewCubeGeometry(t *testing.T) {
+	g := NewCube(50, 30)
+	if g.Nx != 50 || g.Ny != 50 || g.Nz != 50 {
+		t.Fatalf("dims %dx%dx%d", g.Nx, g.Ny, g.Nz)
+	}
+	if g.Dx != 0.6 {
+		t.Fatalf("Dx = %g", g.Dx)
+	}
+	if g.X0 != -15 || g.Y0 != -15 {
+		t.Fatalf("corner (%g,%g)", g.X0, g.Y0)
+	}
+	if len(g.Data) != 50*50*50 {
+		t.Fatalf("data len %d", len(g.Data))
+	}
+}
+
+func TestAddAndAt(t *testing.T) {
+	g := New(4, 4, 4, 1, 1, 1)
+	// Center of voxel (2,1,3): world x = X0+2.5, y = Y0+1.5, z = 3.5.
+	g.Add(g.X0+2.5, g.Y0+1.5, 3.5, 2.0)
+	if got := g.At(2, 1, 3); got != 2 {
+		t.Fatalf("At = %g", got)
+	}
+	if g.Total() != 2 {
+		t.Fatalf("Total = %g", g.Total())
+	}
+}
+
+func TestAddOutsideDropped(t *testing.T) {
+	g := New(4, 4, 4, 1, 1, 1)
+	g.Add(100, 0, 0, 1)
+	g.Add(0, -100, 0, 1)
+	g.Add(0, 0, -0.01, 1) // above surface
+	g.Add(0, 0, 4.01, 1)  // below grid
+	if g.Total() != 0 {
+		t.Fatalf("out-of-grid adds leaked: total %g", g.Total())
+	}
+}
+
+func TestVoxelBoundaryOwnership(t *testing.T) {
+	g := New(2, 2, 2, 1, 1, 1)
+	// A point exactly on an interior voxel boundary belongs to the upper
+	// voxel (floor semantics).
+	i, j, k, ok := g.Voxel(g.X0+1, g.Y0, 0)
+	if !ok || i != 1 || j != 0 || k != 0 {
+		t.Fatalf("boundary point voxel (%d,%d,%d) ok=%v", i, j, k, ok)
+	}
+}
+
+// Property: merging two grids equals adding their contents in either order,
+// and merge is associative.
+func TestMergeLaws(t *testing.T) {
+	mk := func(seed uint64) *Grid3 {
+		g := NewCube(8, 8)
+		r := rng.New(seed)
+		for n := 0; n < 200; n++ {
+			g.Add(16*r.Float64()-8, 16*r.Float64()-8, 8*r.Float64(), r.Float64())
+		}
+		return g
+	}
+	f := func(s1, s2, s3 uint64) bool {
+		a, b, c := mk(s1), mk(s2), mk(s3)
+
+		ab := a.Clone()
+		ab.Merge(b)
+		ba := b.Clone()
+		ba.Merge(a)
+		for i := range ab.Data {
+			if math.Abs(ab.Data[i]-ba.Data[i]) > 1e-12 {
+				return false
+			}
+		}
+
+		abc1 := ab.Clone()
+		abc1.Merge(c)
+		bc := b.Clone()
+		bc.Merge(c)
+		abc2 := a.Clone()
+		abc2.Merge(bc)
+		for i := range abc1.Data {
+			if math.Abs(abc1.Data[i]-abc2.Data[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeIncompatible(t *testing.T) {
+	a := NewCube(8, 8)
+	b := NewCube(9, 8)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging incompatible grids succeeded")
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	g := NewCube(4, 4)
+	g.Data[0] = 10
+	g.Data[1] = 5
+	g.Data[2] = 1
+	kept := g.Threshold(0.4) // cut at 4
+	if kept != 2 {
+		t.Fatalf("kept %d voxels, want 2", kept)
+	}
+	if g.Data[0] != 10 || g.Data[1] != 5 || g.Data[2] != 0 {
+		t.Fatalf("threshold result %v", g.Data[:3])
+	}
+}
+
+func TestScaleAndMax(t *testing.T) {
+	g := NewCube(2, 2)
+	g.Data[3] = 4
+	g.Scale(0.5)
+	if g.Max() != 2 {
+		t.Fatalf("max after scale = %g", g.Max())
+	}
+}
+
+func TestDepthProfile(t *testing.T) {
+	g := New(2, 2, 3, 1, 1, 1)
+	g.Add(g.X0+0.5, g.Y0+0.5, 0.5, 1) // depth bin 0
+	g.Add(g.X0+1.5, g.Y0+0.5, 2.5, 3) // depth bin 2
+	p := g.DepthProfile()
+	if p[0] != 1 || p[1] != 0 || p[2] != 3 {
+		t.Fatalf("depth profile %v", p)
+	}
+}
+
+func TestSliceAndProjection(t *testing.T) {
+	g := New(3, 3, 2, 1, 1, 1)
+	g.Add(g.X0+0.5, g.Y0+1.5, 0.5, 2) // voxel (0,1,0)
+	g.Add(g.X0+0.5, g.Y0+2.5, 0.5, 3) // voxel (0,2,0)
+	slice := g.SliceY(1)
+	if slice[0][0] != 2 {
+		t.Fatalf("slice value %g", slice[0][0])
+	}
+	proj := g.ProjectY()
+	if proj[0][0] != 5 {
+		t.Fatalf("projection value %g, want 5", proj[0][0])
+	}
+	if len(proj) != 2 || len(proj[0]) != 3 {
+		t.Fatalf("projection shape %dx%d", len(proj), len(proj[0]))
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	g := New(2, 1, 2, 1, 1, 1)
+	g.Add(g.X0+0.5, g.Y0+0.5, 0.5, 1)
+	var buf bytes.Buffer
+	if err := g.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv rows %d, want 2", len(lines))
+	}
+	if lines[0] != "1,0" {
+		t.Fatalf("csv row %q", lines[0])
+	}
+}
+
+func TestPeakDepthPerColumn(t *testing.T) {
+	rows := [][]float64{
+		{5, 0, 1}, // depth 0
+		{1, 0, 9}, // depth 1
+		{0, 0, 2}, // depth 2
+	}
+	peaks := PeakDepthPerColumn(rows)
+	if len(peaks) != 3 {
+		t.Fatalf("peaks length %d", len(peaks))
+	}
+	if peaks[0] != 0 || peaks[1] != -1 || peaks[2] != 1 {
+		t.Fatalf("peaks %v, want [0 -1 1]", peaks)
+	}
+	if PeakDepthPerColumn(nil) != nil {
+		t.Fatal("nil input should give nil")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := NewCube(2, 2)
+	g.Data[0] = 1
+	c := g.Clone()
+	c.Data[0] = 99
+	if g.Data[0] != 1 {
+		t.Fatal("clone shares backing array")
+	}
+}

@@ -1,0 +1,213 @@
+// Package inverse solves the inverse problem the paper's forward model
+// exists for ("a forward model of the propagation of light through the
+// head is useful in solving the inverse problem in optical imaging
+// studies"): recovering the absorption and transport scattering
+// coefficients of a semi-infinite medium from a measured spatially
+// resolved reflectance profile R(ρ), by least-squares fitting the
+// diffusion dipole model with a Nelder–Mead simplex search in
+// log-parameter space.
+package inverse
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/diffusion"
+	"repro/internal/optics"
+)
+
+// Measurement is a spatially resolved reflectance profile: R[i] is the
+// diffuse reflectance (mm⁻² per incident photon) at radius Rho[i] (mm).
+// Zero or negative samples are ignored by the fit.
+type Measurement struct {
+	Rho []float64
+	R   []float64
+}
+
+// validated returns the usable (ρ, R) pairs.
+func (m Measurement) validated() (rho, r []float64, err error) {
+	if len(m.Rho) != len(m.R) {
+		return nil, nil, fmt.Errorf("inverse: %d radii but %d reflectances", len(m.Rho), len(m.R))
+	}
+	for i := range m.Rho {
+		if m.Rho[i] > 0 && m.R[i] > 0 && !math.IsInf(m.R[i], 0) && !math.IsNaN(m.R[i]) {
+			rho = append(rho, m.Rho[i])
+			r = append(r, m.R[i])
+		}
+	}
+	if len(rho) < 4 {
+		return nil, nil, fmt.Errorf("inverse: only %d usable samples, need ≥4", len(rho))
+	}
+	return rho, r, nil
+}
+
+// Result is a recovered parameter pair with fit diagnostics.
+type Result struct {
+	// MuA and MuSPrime are the fitted coefficients, mm⁻¹.
+	MuA      float64
+	MuSPrime float64
+	// Residual is the final mean squared log-reflectance error.
+	Residual float64
+	// Evaluations counts forward-model evaluations.
+	Evaluations int
+}
+
+// Properties returns the fitted coefficients as optics.Properties with the
+// given anisotropy and index (µs = µs′/(1−g)).
+func (r Result) Properties(g, n float64) optics.Properties {
+	return optics.FromTransport(r.MuSPrime, g, r.MuA, n)
+}
+
+// Options tune the fit.
+type Options struct {
+	// InitMuA / InitMuSPrime seed the search; zero picks generic tissue
+	// values (0.01 / 1.0 mm⁻¹).
+	InitMuA      float64
+	InitMuSPrime float64
+	// MaxEvaluations bounds the search (default 2000).
+	MaxEvaluations int
+	// Tol is the simplex-size convergence tolerance (default 1e-7).
+	Tol float64
+}
+
+func (o *Options) normalize() {
+	if o.InitMuA <= 0 {
+		o.InitMuA = 0.01
+	}
+	if o.InitMuSPrime <= 0 {
+		o.InitMuSPrime = 1.0
+	}
+	if o.MaxEvaluations <= 0 {
+		o.MaxEvaluations = 2000
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-7
+	}
+}
+
+// FitSemiInfinite recovers (µa, µs′) of a semi-infinite medium with tissue
+// index n against outside index nOut from the measured profile.
+func FitSemiInfinite(m Measurement, n, nOut float64, opt Options) (Result, error) {
+	rho, robs, err := m.validated()
+	if err != nil {
+		return Result{}, err
+	}
+	opt.normalize()
+
+	logObs := make([]float64, len(robs))
+	for i, v := range robs {
+		logObs[i] = math.Log(v)
+	}
+
+	evals := 0
+	objective := func(p [2]float64) float64 {
+		evals++
+		mua := math.Exp(p[0])
+		musp := math.Exp(p[1])
+		med := diffusion.Medium{MuA: mua, MuSPrime: musp, N: n, NOut: nOut}
+		sum := 0.0
+		for i, r := range rho {
+			model := med.ReflectanceAt(r)
+			if model <= 0 || math.IsNaN(model) {
+				return math.Inf(1)
+			}
+			d := math.Log(model) - logObs[i]
+			sum += d * d
+		}
+		return sum / float64(len(rho))
+	}
+
+	start := [2]float64{math.Log(opt.InitMuA), math.Log(opt.InitMuSPrime)}
+	best, fbest := nelderMead2(objective, start, 0.7, opt.Tol, opt.MaxEvaluations, &evals)
+
+	res := Result{
+		MuA:         math.Exp(best[0]),
+		MuSPrime:    math.Exp(best[1]),
+		Residual:    fbest,
+		Evaluations: evals,
+	}
+	if math.IsInf(fbest, 1) || math.IsNaN(fbest) {
+		return res, fmt.Errorf("inverse: fit diverged")
+	}
+	return res, nil
+}
+
+// nelderMead2 is a 2-D Nelder–Mead simplex minimiser (standard
+// reflection/expansion/contraction/shrink coefficients).
+func nelderMead2(f func([2]float64) float64, start [2]float64, scale, tol float64,
+	maxEvals int, evals *int) ([2]float64, float64) {
+
+	type vertex struct {
+		x [2]float64
+		f float64
+	}
+	simplex := [3]vertex{
+		{x: start},
+		{x: [2]float64{start[0] + scale, start[1]}},
+		{x: [2]float64{start[0], start[1] + scale}},
+	}
+	for i := range simplex {
+		simplex[i].f = f(simplex[i].x)
+	}
+	sort3 := func() {
+		for i := 0; i < 2; i++ {
+			for j := i + 1; j < 3; j++ {
+				if simplex[j].f < simplex[i].f {
+					simplex[i], simplex[j] = simplex[j], simplex[i]
+				}
+			}
+		}
+	}
+	add := func(a, b [2]float64, s float64) [2]float64 {
+		return [2]float64{a[0] + s*b[0], a[1] + s*b[1]}
+	}
+	sub := func(a, b [2]float64) [2]float64 {
+		return [2]float64{a[0] - b[0], a[1] - b[1]}
+	}
+
+	for *evals < maxEvals {
+		sort3()
+		// Convergence: simplex collapsed in both objective and size.
+		size := math.Hypot(simplex[2].x[0]-simplex[0].x[0], simplex[2].x[1]-simplex[0].x[1])
+		if size < tol && simplex[2].f-simplex[0].f < tol {
+			break
+		}
+		centroid := [2]float64{
+			(simplex[0].x[0] + simplex[1].x[0]) / 2,
+			(simplex[0].x[1] + simplex[1].x[1]) / 2,
+		}
+		dir := sub(centroid, simplex[2].x)
+
+		reflect := add(centroid, dir, 1)
+		fr := f(reflect)
+		switch {
+		case fr < simplex[0].f:
+			expand := add(centroid, dir, 2)
+			fe := f(expand)
+			if fe < fr {
+				simplex[2] = vertex{expand, fe}
+			} else {
+				simplex[2] = vertex{reflect, fr}
+			}
+		case fr < simplex[1].f:
+			simplex[2] = vertex{reflect, fr}
+		default:
+			contract := add(centroid, dir, -0.5)
+			fc := f(contract)
+			if fc < simplex[2].f {
+				simplex[2] = vertex{contract, fc}
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i < 3; i++ {
+					simplex[i].x = [2]float64{
+						(simplex[i].x[0] + simplex[0].x[0]) / 2,
+						(simplex[i].x[1] + simplex[0].x[1]) / 2,
+					}
+					simplex[i].f = f(simplex[i].x)
+				}
+			}
+		}
+	}
+	sort3()
+	return simplex[0].x, simplex[0].f
+}

@@ -1,0 +1,131 @@
+package inverse
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/diffusion"
+	"repro/internal/mc"
+	"repro/internal/optics"
+	"repro/internal/tissue"
+)
+
+// synthetic builds a noiseless diffusion-model profile for known truth.
+func synthetic(mua, musp, n float64) Measurement {
+	med := diffusion.Medium{MuA: mua, MuSPrime: musp, N: n, NOut: 1}
+	var m Measurement
+	for rho := 2.0; rho <= 15; rho += 0.5 {
+		m.Rho = append(m.Rho, rho)
+		m.R = append(m.R, med.ReflectanceAt(rho))
+	}
+	return m
+}
+
+func TestExactRecoveryFromSyntheticData(t *testing.T) {
+	const mua, musp = 0.02, 1.3
+	res, err := FitSemiInfinite(synthetic(mua, musp, 1.4), 1.4, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.MuA-mua) / mua; rel > 0.01 {
+		t.Fatalf("µa recovered %g, want %g (rel %g)", res.MuA, mua, rel)
+	}
+	if rel := math.Abs(res.MuSPrime-musp) / musp; rel > 0.01 {
+		t.Fatalf("µs′ recovered %g, want %g (rel %g)", res.MuSPrime, musp, rel)
+	}
+	if res.Residual > 1e-8 {
+		t.Fatalf("residual %g on noiseless data", res.Residual)
+	}
+}
+
+func TestRecoveryFromFarStart(t *testing.T) {
+	const mua, musp = 0.05, 2.0
+	res, err := FitSemiInfinite(synthetic(mua, musp, 1.0), 1.0, 1, Options{
+		InitMuA: 0.0005, InitMuSPrime: 20, MaxEvaluations: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.MuA-mua) / mua; rel > 0.05 {
+		t.Fatalf("µa recovered %g from far start, want %g", res.MuA, mua)
+	}
+	if rel := math.Abs(res.MuSPrime-musp) / musp; rel > 0.05 {
+		t.Fatalf("µs′ recovered %g from far start, want %g", res.MuSPrime, musp)
+	}
+}
+
+// The real deal: recover optical properties from a Monte Carlo "experiment"
+// — the forward model in its inverse-problem role.
+func TestRecoveryFromMonteCarloData(t *testing.T) {
+	truth := optics.FromTransport(1.0, 0.9, 0.01, 1.0) // matched boundary
+	model := tissue.HomogeneousSlab("phantom", truth, 400)
+	cfg := &mc.Config{
+		Model:  model,
+		Radial: &mc.HistSpec{Min: 0, Max: 20, Bins: 40},
+	}
+	tally, err := mc.Run(cfg, 200000, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, r := tally.RadialReflectance()
+
+	// Fit over the diffusive range only.
+	var m Measurement
+	for i := range rho {
+		if rho[i] >= 3 && rho[i] <= 14 {
+			m.Rho = append(m.Rho, rho[i])
+			m.R = append(m.R, r[i])
+		}
+	}
+	res, err := FitSemiInfinite(m, 1.0, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diffusion-model bias plus MC noise: 25 % tolerance on µa, 20 % on µs′.
+	if rel := math.Abs(res.MuA-truth.MuA) / truth.MuA; rel > 0.25 {
+		t.Fatalf("µa from MC data %g, truth %g (rel %.0f%%)", res.MuA, truth.MuA, 100*rel)
+	}
+	if rel := math.Abs(res.MuSPrime-truth.MuSPrime()) / truth.MuSPrime(); rel > 0.20 {
+		t.Fatalf("µs′ from MC data %g, truth %g (rel %.0f%%)",
+			res.MuSPrime, truth.MuSPrime(), 100*rel)
+	}
+}
+
+func TestMeasurementValidation(t *testing.T) {
+	if _, err := FitSemiInfinite(Measurement{Rho: []float64{1, 2}, R: []float64{1}},
+		1.4, 1, Options{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := FitSemiInfinite(Measurement{
+		Rho: []float64{1, 2, 3},
+		R:   []float64{0, -1, math.NaN()},
+	}, 1.4, 1, Options{}); err == nil {
+		t.Fatal("degenerate measurement accepted")
+	}
+}
+
+func TestPropertiesConversion(t *testing.T) {
+	res := Result{MuA: 0.02, MuSPrime: 1.8}
+	p := res.Properties(0.9, 1.4)
+	if math.Abs(p.MuS-18) > 1e-9 {
+		t.Fatalf("µs = %g, want 18", p.MuS)
+	}
+	if p.MuA != 0.02 || p.N != 1.4 {
+		t.Fatal("conversion lost fields")
+	}
+}
+
+func TestFitIsDeterministic(t *testing.T) {
+	m := synthetic(0.03, 1.1, 1.4)
+	a, err := FitSemiInfinite(m, 1.4, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FitSemiInfinite(m, 1.4, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MuA != b.MuA || a.MuSPrime != b.MuSPrime {
+		t.Fatal("fit not deterministic")
+	}
+}

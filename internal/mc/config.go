@@ -1,0 +1,148 @@
+// Package mc implements the Monte Carlo photon-transport kernel of the
+// paper (Fig 1 pseudocode): photon packets hop through a layered tissue
+// model, drop weight to absorption, spin into new directions via the
+// Henyey–Greenstein phase function, refract or internally reflect at layer
+// boundaries, and are captured by a surface detector. It also provides the
+// local parallel runner that fans photons across goroutines with
+// reproducible per-worker RNG streams.
+package mc
+
+import (
+	"fmt"
+
+	"repro/internal/detector"
+	"repro/internal/source"
+	"repro/internal/tissue"
+)
+
+// BoundaryMode selects how refraction/internal reflection is handled at
+// layer boundaries — the paper supports "classical physics or probabilistic
+// methods".
+type BoundaryMode int
+
+const (
+	// BoundaryProbabilistic samples the Fresnel reflectance: the whole
+	// packet reflects with probability R, otherwise refracts (MCML default).
+	BoundaryProbabilistic BoundaryMode = iota
+	// BoundaryDeterministic splits the packet classically: weight·(1−R)
+	// refracts and weight·R continues as a reflected sub-packet.
+	BoundaryDeterministic
+)
+
+// String implements fmt.Stringer.
+func (m BoundaryMode) String() string {
+	switch m {
+	case BoundaryProbabilistic:
+		return "probabilistic"
+	case BoundaryDeterministic:
+		return "deterministic"
+	default:
+		return fmt.Sprintf("BoundaryMode(%d)", int(m))
+	}
+}
+
+// GridSpec describes a cubic scoring grid of N³ voxels spanning Edge mm —
+// the paper's "user defined granularity of results" (e.g. N = 50).
+type GridSpec struct {
+	N    int
+	Edge float64 // physical edge length in mm
+}
+
+// HistSpec describes a uniform histogram over [Min, Max) with Bins bins.
+type HistSpec struct {
+	Min, Max float64
+	Bins     int
+}
+
+// Default kernel parameters (the standard MCML choices).
+const (
+	DefaultRouletteThreshold = 1e-4
+	DefaultRouletteBoost     = 10
+	DefaultMaxEvents         = 1_000_000
+	// maxSplitDepth bounds the sub-packet stack in deterministic boundary
+	// mode; deeper splits fall back to probabilistic sampling.
+	maxSplitDepth = 64
+)
+
+// Config fully describes one simulation. The zero value is not usable; set
+// at least Model and Source, then call Normalize.
+type Config struct {
+	Model  *tissue.Model
+	Source source.Source
+
+	// Detector captures photons exiting the top surface; nil means the
+	// entire surface. Gate optionally restricts capture by pathlength.
+	Detector detector.Detector
+	Gate     detector.Gate
+
+	Boundary BoundaryMode
+
+	// RouletteThreshold is the packet weight below which Russian roulette
+	// is played; survivors are boosted by RouletteBoost.
+	RouletteThreshold float64
+	RouletteBoost     float64
+
+	// MaxEvents bounds interaction events per photon as a safety net.
+	MaxEvents int
+
+	// AbsGrid, if non-nil, scores absorbed weight per voxel.
+	AbsGrid *GridSpec
+	// PathGrid, if non-nil, scores the interaction sites of *detected*
+	// photons per voxel — the spatial sensitivity profile whose thresholded
+	// rendering is the Fig 3 banana.
+	PathGrid *GridSpec
+	// PathHist, if non-nil, histograms detected-photon pathlengths (mm).
+	PathHist *HistSpec
+	// Radial, if non-nil, histograms the exit radius of every photon
+	// escaping the top surface — the diffuse reflectance profile R(ρ)
+	// used to compare against diffusion theory.
+	Radial *HistSpec
+}
+
+// Normalize fills defaults and validates the configuration.
+func (c *Config) Normalize() error {
+	if c.Model == nil {
+		return fmt.Errorf("mc: config has no tissue model")
+	}
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if c.Source == nil {
+		c.Source = source.Pencil{}
+	}
+	if c.Detector == nil {
+		c.Detector = detector.All{}
+	}
+	if err := c.Gate.Validate(); err != nil {
+		return err
+	}
+	if c.RouletteThreshold == 0 {
+		c.RouletteThreshold = DefaultRouletteThreshold
+	}
+	if c.RouletteThreshold < 0 || c.RouletteThreshold >= 1 {
+		return fmt.Errorf("mc: roulette threshold %g outside (0,1)", c.RouletteThreshold)
+	}
+	if c.RouletteBoost == 0 {
+		c.RouletteBoost = DefaultRouletteBoost
+	}
+	if c.RouletteBoost <= 1 {
+		return fmt.Errorf("mc: roulette boost %g must exceed 1", c.RouletteBoost)
+	}
+	if c.MaxEvents == 0 {
+		c.MaxEvents = DefaultMaxEvents
+	}
+	if c.MaxEvents < 1 {
+		return fmt.Errorf("mc: max events %d must be positive", c.MaxEvents)
+	}
+	for _, gs := range []*GridSpec{c.AbsGrid, c.PathGrid} {
+		if gs != nil && (gs.N <= 0 || gs.Edge <= 0) {
+			return fmt.Errorf("mc: bad grid spec %+v", *gs)
+		}
+	}
+	for _, h := range []*HistSpec{c.PathHist, c.Radial} {
+		if h != nil && (h.Bins <= 0 || h.Max <= h.Min) {
+			return fmt.Errorf("mc: bad histogram spec %+v", *h)
+		}
+	}
+	return nil
+}

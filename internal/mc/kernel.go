@@ -1,0 +1,326 @@
+package mc
+
+import (
+	"math"
+
+	"repro/internal/optics"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+// subPacket is one weighted photon packet. In probabilistic boundary mode a
+// launched photon is exactly one sub-packet; in deterministic (classical
+// splitting) mode a boundary may fork the packet into a refracted
+// continuation and a reflected child.
+type subPacket struct {
+	pos     vec.V
+	dir     vec.V
+	weight  float64
+	layer   int
+	path    float64 // geometric pathlength, mm
+	optPath float64 // optical pathlength Σ n·ds, mm
+	maxZ    float64 // deepest excursion, mm
+	scat    int64   // scattering events
+	split   int     // split depth (deterministic mode)
+	deep    int     // deepest layer this packet (or an ancestor) entered
+	visits  []vec.V // interaction sites, recorded only when PathGrid is scored
+}
+
+// kernel carries the per-worker simulation state: configuration, RNG stream
+// and the tally being accumulated. One kernel must only be used from a
+// single goroutine.
+type kernel struct {
+	cfg   *Config
+	rng   *rng.Rand
+	tally *Tally
+
+	recordPaths bool
+	stack       []subPacket
+	visitPool   [][]vec.V
+}
+
+// newKernel returns a kernel writing into a fresh tally. cfg must already be
+// normalised.
+func newKernel(cfg *Config, r *rng.Rand) *kernel {
+	return &kernel{
+		cfg:         cfg,
+		rng:         r,
+		tally:       NewTally(cfg),
+		recordPaths: cfg.PathGrid != nil,
+	}
+}
+
+// getVisits returns an empty visit buffer, reusing returned ones.
+func (k *kernel) getVisits() []vec.V {
+	if n := len(k.visitPool); n > 0 {
+		v := k.visitPool[n-1]
+		k.visitPool = k.visitPool[:n-1]
+		return v[:0]
+	}
+	return make([]vec.V, 0, 256)
+}
+
+func (k *kernel) putVisits(v []vec.V) {
+	if v != nil {
+		k.visitPool = append(k.visitPool, v)
+	}
+}
+
+// RunPhotons simulates n photons, accumulating into the kernel's tally.
+func (k *kernel) RunPhotons(n int64) {
+	for i := int64(0); i < n; i++ {
+		k.onePhoton()
+	}
+}
+
+// onePhoton launches a single photon packet and follows it (and any
+// classical-splitting children) to extinction, implementing the paper's
+// Fig 1 pseudocode.
+func (k *kernel) onePhoton() {
+	t := k.tally
+	t.Launched++
+
+	pos, dir := k.cfg.Source.Launch(k.rng)
+
+	// Specular reflection at the entry surface (handled once,
+	// deterministically, as in MCML).
+	rsp := optics.Specular(k.cfg.Model.NAbove, k.cfg.Model.Layers[0].Props.N)
+	t.SpecularWeight += rsp
+
+	primary := subPacket{
+		pos:    pos,
+		dir:    dir,
+		weight: 1 - rsp,
+	}
+	if k.recordPaths {
+		primary.visits = k.getVisits()
+	}
+
+	k.stack = append(k.stack[:0], primary)
+	deepestLayer := 0
+
+	for len(k.stack) > 0 {
+		p := k.stack[len(k.stack)-1]
+		k.stack = k.stack[:len(k.stack)-1]
+		if d := k.trace(&p); d > deepestLayer {
+			deepestLayer = d
+		}
+	}
+	t.LayerReached[deepestLayer]++
+}
+
+// trace follows one sub-packet to extinction and returns the deepest layer
+// index it visited. Reflected children spawned in deterministic mode are
+// pushed onto k.stack.
+func (k *kernel) trace(p *subPacket) (deepest int) {
+	t := k.tally
+	m := k.cfg.Model
+	deepest = p.layer
+
+	defer func() { k.putVisits(p.visits); p.visits = nil }()
+
+	for events := 0; events < k.cfg.MaxEvents; events++ {
+		props := m.Layers[p.layer].Props
+		mut := props.MuT()
+
+		// Sample the free-path step; a non-interacting layer (CSF-like
+		// void) propagates straight to its boundary.
+		s := math.Inf(1)
+		if mut > 0 {
+			s = k.rng.Step() / mut
+		}
+
+		// Distance to the layer boundary along the current direction.
+		db := math.Inf(1)
+		switch {
+		case p.dir.Z > 0:
+			db = (m.Boundary(p.layer+1) - p.pos.Z) / p.dir.Z
+		case p.dir.Z < 0:
+			db = (p.pos.Z - m.Boundary(p.layer)) / -p.dir.Z
+		}
+
+		if s >= db {
+			// Hop to the boundary and resolve reflection/refraction.
+			// Resampling the remaining step in the next layer is unbiased
+			// by the memorylessness of the exponential free path.
+			if math.IsInf(db, 1) {
+				// Horizontal flight in a non-interacting layer: the photon
+				// leaves the region of interest sideways; score it as lost
+				// to absorption to keep the energy books closed.
+				t.AbsorbedWeight += p.weight
+				t.LayerAbsorbed[p.layer] += p.weight
+				return deepest
+			}
+			k.advance(p, db, props.N)
+			alive, entered := k.boundary(p)
+			if !alive {
+				return deepest
+			}
+			if entered > deepest {
+				deepest = entered
+			}
+			continue
+		}
+
+		// Hop.
+		k.advance(p, s, props.N)
+
+		// Drop: deposit the absorbed fraction of the packet weight.
+		dw := p.weight * props.MuA / mut
+		p.weight -= dw
+		t.AbsorbedWeight += dw
+		t.LayerAbsorbed[p.layer] += dw
+		if t.AbsGrid != nil {
+			t.AbsGrid.Add(p.pos.X, p.pos.Y, p.pos.Z, dw)
+		}
+		if k.recordPaths {
+			p.visits = append(p.visits, p.pos)
+		}
+
+		// Spin: sample the Henyey–Greenstein deflection.
+		p.dir = vec.Scatter(p.dir, k.rng.HenyeyGreenstein(props.G), k.rng.Azimuth())
+		p.scat++
+
+		// Survival roulette for low-weight packets.
+		if p.weight < k.cfg.RouletteThreshold {
+			if k.rng.Float64()*k.cfg.RouletteBoost < 1 {
+				t.RouletteGain += p.weight * (k.cfg.RouletteBoost - 1)
+				p.weight *= k.cfg.RouletteBoost
+			} else {
+				t.RouletteLoss += p.weight
+				return deepest
+			}
+		}
+	}
+
+	// Event budget exhausted (pathological configuration): retire the
+	// packet into the absorption ledger so energy stays conserved.
+	t.AbsorbedWeight += p.weight
+	t.LayerAbsorbed[p.layer] += p.weight
+	return deepest
+}
+
+// advance moves the packet a distance s through a medium of index n.
+func (k *kernel) advance(p *subPacket, s, n float64) {
+	p.pos = p.pos.Add(p.dir.Scale(s))
+	p.path += s
+	p.optPath += s * n
+	if p.pos.Z > p.maxZ {
+		p.maxZ = p.pos.Z
+	}
+}
+
+// boundary resolves a packet sitting exactly on a layer boundary, moving in
+// dir. It returns whether the packet is still alive inside the model and, if
+// it crossed into a deeper layer, that layer index (otherwise p.layer).
+func (k *kernel) boundary(p *subPacket) (alive bool, layerNow int) {
+	m := k.cfg.Model
+	goingDown := p.dir.Z > 0
+
+	n1 := m.Layers[p.layer].Props.N
+	var n2 float64
+	if goingDown {
+		n2 = m.IndexBelow(p.layer)
+	} else {
+		n2 = m.IndexAbove(p.layer)
+	}
+
+	cosI := math.Abs(p.dir.Z)
+	refl, cosT := optics.Fresnel(n1, n2, cosI)
+
+	reflect := func() (bool, int) {
+		p.dir = vec.ReflectZ(p.dir)
+		return true, p.layer
+	}
+
+	switch {
+	case refl >= 1:
+		// Total internal reflection ("photon angle > critical angle" in the
+		// paper's pseudocode): always reflect, both modes.
+		return reflect()
+	case refl > 0 && k.cfg.Boundary == BoundaryDeterministic && p.split < maxSplitDepth:
+		// Classical physics: split the packet. The reflected portion
+		// continues as a child; the refracted portion proceeds below.
+		rw := p.weight * refl
+		if rw >= k.cfg.RouletteThreshold {
+			child := *p
+			child.weight = rw
+			child.dir = vec.ReflectZ(p.dir)
+			child.split = p.split + 1
+			if k.recordPaths {
+				child.visits = append(k.getVisits(), p.visits...)
+			}
+			k.stack = append(k.stack, child)
+			p.weight -= rw
+		} else {
+			// Too faint to split: roulette the reflected portion into the
+			// continuing packet to stay unbiased without spawning work.
+			if k.rng.Float64() < refl {
+				return reflect()
+			}
+		}
+	case refl > 0: // probabilistic mode
+		if k.rng.Float64() < refl {
+			return reflect()
+		}
+	}
+
+	// Refract across the boundary.
+	p.dir = vec.RefractZ(p.dir, n1/n2, cosT)
+
+	if goingDown {
+		if p.layer == m.NumLayers()-1 {
+			// Escaped through the bottom of a finite stack.
+			k.tally.TransmitWeight += p.weight
+			return false, p.layer
+		}
+		p.layer++
+		if p.layer > p.deep {
+			p.deep = p.layer
+			k.tally.LayerEnteredWeight[p.layer] += p.weight
+		}
+		return true, p.layer
+	}
+
+	if p.layer == 0 {
+		k.escapeTop(p)
+		return false, 0
+	}
+	p.layer--
+	return true, p.layer
+}
+
+// escapeTop scores a packet exiting through the z = 0 surface: diffuse
+// reflectance always, plus detection if it lands on the detector footprint
+// and passes the pathlength gate.
+func (k *kernel) escapeTop(p *subPacket) {
+	t := k.tally
+	t.DiffuseWeight += p.weight
+	if t.Radial != nil {
+		t.Radial.Add(math.Hypot(p.pos.X, p.pos.Y), p.weight)
+	}
+
+	if !k.cfg.Detector.Captures(p.pos.X, p.pos.Y) {
+		return
+	}
+	if !k.cfg.Gate.Accepts(p.path) {
+		t.GateRejected += p.weight
+		return
+	}
+
+	w := p.weight
+	t.DetectedCount++
+	t.DetectedWeight += w
+	t.PathStats.Add(p.path, w)
+	t.OptPathStats.Add(p.optPath, w)
+	t.DepthStats.Add(p.maxZ, w)
+	t.ScatterStats.Add(float64(p.scat), w)
+	if t.PathHist != nil {
+		t.PathHist.Add(p.path, w)
+	}
+	if t.PathGrid != nil {
+		for _, v := range p.visits {
+			t.PathGrid.Add(v.X, v.Y, v.Z, w)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package mc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/optics"
+	"repro/internal/rng"
+	"repro/internal/tissue"
+)
+
+func TestRadialHistogramMassMatchesDiffuse(t *testing.T) {
+	cfg := &Config{
+		Model: tissue.HomogeneousSlab("s",
+			optics.Properties{MuA: 0.05, MuS: 2, G: 0.8, N: 1.0}, 30),
+		Radial: &HistSpec{Min: 0, Max: 1000, Bins: 100},
+	}
+	tally, err := Run(cfg, 20000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every escaping photon lands in the histogram (range is generous).
+	if rel := math.Abs(tally.Radial.Total()-tally.DiffuseWeight) / tally.DiffuseWeight; rel > 1e-9 {
+		t.Fatalf("radial mass %g vs diffuse weight %g", tally.Radial.Total(), tally.DiffuseWeight)
+	}
+}
+
+func TestRadialReflectanceIntegratesToRd(t *testing.T) {
+	cfg := &Config{
+		Model: tissue.HomogeneousSlab("s",
+			optics.Properties{MuA: 0.05, MuS: 2, G: 0.8, N: 1.0}, 30),
+		Radial: &HistSpec{Min: 0, Max: 200, Bins: 200},
+	}
+	tally, err := Run(cfg, 30000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, r := tally.RadialReflectance()
+	width := 200.0 / 200
+	integral := 0.0
+	for i := range rho {
+		integral += r[i] * 2 * math.Pi * rho[i] * width
+	}
+	rd := tally.DiffuseReflectance()
+	if rel := math.Abs(integral-rd) / rd; rel > 0.02 {
+		t.Fatalf("∫R(ρ)dA = %g vs Rd %g (rel %g)", integral, rd, rel)
+	}
+}
+
+func TestRadialReflectanceMonotoneDecay(t *testing.T) {
+	cfg := &Config{
+		Model: tissue.HomogeneousSlab("s",
+			optics.Properties{MuA: 0.05, MuS: 2, G: 0.8, N: 1.0}, 100),
+		Radial: &HistSpec{Min: 0, Max: 20, Bins: 10},
+	}
+	tally, err := Run(cfg, 100000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r := tally.RadialReflectance()
+	// Beyond the first couple of bins, R(ρ) decays with distance.
+	for i := 3; i < len(r); i++ {
+		if r[i] > r[i-1]*1.2 { // 20% slack for MC noise in the tail
+			t.Fatalf("R(ρ) not decaying at bin %d: %g → %g", i, r[i-1], r[i])
+		}
+	}
+}
+
+func TestRadialNilWithoutSpec(t *testing.T) {
+	tally, err := Run(&Config{Model: tissue.AdultHead()}, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho, r := tally.RadialReflectance(); rho != nil || r != nil {
+		t.Fatal("radial profile without scoring should be nil")
+	}
+}
+
+// Property: for random single-layer models, the kernel conserves photons
+// and keeps every fraction inside [0,1].
+func TestConservationOverRandomModels(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		p := optics.Properties{
+			MuA: 0.001 + 0.5*r.Float64(),
+			MuS: 0.1 + 5*r.Float64(),
+			G:   1.8*r.Float64() - 0.9,
+			N:   1 + 0.5*r.Float64(),
+		}
+		thickness := 1 + 30*r.Float64()
+		cfg := &Config{Model: tissue.HomogeneousSlab("rand", p, thickness)}
+		tally, err := Run(cfg, 2000, seed)
+		if err != nil {
+			return false
+		}
+		if math.Abs(tally.EnergyBalance()) > 1e-6 {
+			return false
+		}
+		for _, frac := range []float64{
+			tally.DiffuseReflectance(), tally.Transmittance(),
+			tally.Absorbance(), tally.SpecularReflectance(),
+		} {
+			if frac < 0 || frac > 1 || math.IsNaN(frac) {
+				return false
+			}
+		}
+		sum := tally.DiffuseReflectance() + tally.Transmittance() +
+			tally.Absorbance() + tally.SpecularReflectance()
+		return math.Abs(sum-1) < 0.05 // roulette noise at 2000 photons
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: gating can only reduce detection, never increase it, for any
+// random window.
+func TestGateNeverIncreasesDetection(t *testing.T) {
+	model := tissue.HomogeneousSlab("s",
+		optics.Properties{MuA: 0.1, MuS: 2, G: 0.5, N: 1.0}, 15)
+	open, err := Run(&Config{Model: model}, 5000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		lo := 50 * r.Float64()
+		hi := lo + 100*r.Float64()
+		cfg := &Config{Model: model}
+		cfg.Gate.MinPath, cfg.Gate.MaxPath = lo, hi
+		gated, err := Run(cfg, 5000, 9) // same seed as the open run
+		if err != nil {
+			return false
+		}
+		return gated.DetectedWeight <= open.DetectedWeight+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package mc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// Run simulates n photons on a single RNG stream and returns the tally.
+// cfg is normalised in place.
+func Run(cfg *Config, n int64, seed uint64) (*Tally, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	k := newKernel(cfg, rng.New(seed))
+	k.RunPhotons(n)
+	return k.tally, nil
+}
+
+// RunStream simulates n photons on stream `stream` of `streams` independent
+// RNG streams derived from seed. Chunks computed this way merge into exactly
+// the same tally regardless of which worker computes which stream — the
+// reproducibility contract of the distributed system.
+func RunStream(cfg *Config, n int64, seed uint64, stream, streams int) (*Tally, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	if stream < 0 || stream >= streams {
+		return nil, fmt.Errorf("mc: stream %d outside [0,%d)", stream, streams)
+	}
+	r := rng.New(seed)
+	for i := 0; i < stream; i++ {
+		r.Jump()
+	}
+	k := newKernel(cfg, r)
+	k.RunPhotons(n)
+	return k.tally, nil
+}
+
+// RunParallel fans n photons across `workers` goroutines (default
+// GOMAXPROCS), each with its own jump-separated RNG stream, and merges the
+// partial tallies. The result is identical to running the same streams
+// sequentially.
+func RunParallel(cfg *Config, n int64, seed uint64, workers int) (*Tally, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if int64(workers) > n && n > 0 {
+		workers = int(n)
+	}
+	if workers <= 1 {
+		return Run(cfg, n, seed)
+	}
+
+	streams := rng.NewStreams(seed, workers)
+	tallies := make([]*Tally, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		share := n / int64(workers)
+		if int64(w) < n%int64(workers) {
+			share++
+		}
+		wg.Add(1)
+		go func(w int, share int64) {
+			defer wg.Done()
+			k := newKernel(cfg, streams[w])
+			k.RunPhotons(share)
+			tallies[w] = k.tally
+		}(w, share)
+	}
+	wg.Wait()
+
+	total := NewTally(cfg)
+	for _, t := range tallies {
+		if err := total.Merge(t); err != nil {
+			return nil, err
+		}
+	}
+	return total, nil
+}

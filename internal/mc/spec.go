@@ -1,0 +1,74 @@
+package mc
+
+import (
+	"fmt"
+
+	"repro/internal/detector"
+	"repro/internal/source"
+	"repro/internal/tissue"
+)
+
+// Spec is a fully serialisable simulation description: what the DataManager
+// sends to worker clients. It contains only plain data (no interfaces), so
+// it travels over encoding/gob unchanged.
+type Spec struct {
+	Model    tissue.Model
+	Source   source.Spec
+	Detector detector.Spec
+	Boundary BoundaryMode
+
+	RouletteThreshold float64
+	RouletteBoost     float64
+	MaxEvents         int
+
+	AbsGrid  *GridSpec
+	PathGrid *GridSpec
+	PathHist *HistSpec
+	Radial   *HistSpec
+}
+
+// NewSpec captures a Config's serialisable parameters. The Source and
+// Detector must have been built from source.Spec / detector.Spec-expressible
+// types; arbitrary user implementations cannot travel over the wire.
+func NewSpec(model *tissue.Model, src source.Spec, det detector.Spec) *Spec {
+	return &Spec{Model: *model, Source: src, Detector: det}
+}
+
+// Build materialises the Spec into a runnable Config.
+func (s *Spec) Build() (*Config, error) {
+	src, err := s.Source.New()
+	if err != nil {
+		return nil, err
+	}
+	det, err := s.Detector.New()
+	if err != nil {
+		return nil, err
+	}
+	model := s.Model // copy; layers slice is shared but never mutated
+	cfg := &Config{
+		Model:             &model,
+		Source:            src,
+		Detector:          det,
+		Gate:              s.Detector.Gate,
+		Boundary:          s.Boundary,
+		RouletteThreshold: s.RouletteThreshold,
+		RouletteBoost:     s.RouletteBoost,
+		MaxEvents:         s.MaxEvents,
+		AbsGrid:           s.AbsGrid,
+		PathGrid:          s.PathGrid,
+		PathHist:          s.PathHist,
+		Radial:            s.Radial,
+	}
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// Validate checks the Spec without building it.
+func (s *Spec) Validate() error {
+	if _, err := s.Build(); err != nil {
+		return fmt.Errorf("mc: invalid spec: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+package mc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/stats"
+)
+
+// Tally accumulates every observable of a simulation. It is plain data
+// (gob-serialisable) and merges associatively, so partial tallies computed
+// by goroutines or remote workers reduce to exactly the same result in any
+// order.
+type Tally struct {
+	// Launched is the number of photon packets launched.
+	Launched int64
+
+	// Weight bookkeeping; all weights are in units of launched packets.
+	SpecularWeight float64 // reflected at the entry surface
+	DiffuseWeight  float64 // escaped the top surface after entering (includes detected)
+	TransmitWeight float64 // escaped the bottom of a finite stack
+	AbsorbedWeight float64 // deposited in the tissue
+
+	// RouletteGain/Loss record the weight created by roulette survival
+	// boosts and destroyed by roulette kills. Exact per-run energy balance:
+	// Launched + Gain − Loss = Specular + Diffuse + Transmit + Absorbed.
+	RouletteGain float64
+	RouletteLoss float64
+
+	// Detection.
+	DetectedCount  int64   // capture events (in deterministic mode a packet may split)
+	DetectedWeight float64 // total detected weight
+	GateRejected   float64 // weight that hit the detector but failed the pathlength gate
+
+	// Detected-photon statistics: geometric pathlength (mm), optical
+	// pathlength (Σ n·ds, mm), maximum depth (mm) and scattering events.
+	PathStats    stats.Running
+	OptPathStats stats.Running
+	DepthStats   stats.Running
+	ScatterStats stats.Running
+
+	// Per-layer observables, indexed by layer.
+	LayerAbsorbed []float64 // absorbed weight per layer
+	// LayerReached[i] counts launched photons whose deepest excursion
+	// reached layer i (each photon counted once, at its deepest layer).
+	// Counts are trajectory-based and only physically meaningful in
+	// probabilistic boundary mode; use LayerEnteredWeight for a
+	// mode-independent measure.
+	LayerReached []int64
+	// LayerEnteredWeight[i] accumulates the packet weight carried into
+	// layer i the first time each packet reaches it — the survival-weighted
+	// penetration probability, consistent across boundary modes.
+	LayerEnteredWeight []float64
+
+	// Optional scoring structures (nil unless requested in the Config).
+	AbsGrid  *grid.Grid3      // absorbed weight per voxel
+	PathGrid *grid.Grid3      // detected-photon interaction sites per voxel
+	PathHist *stats.Histogram // detected pathlength histogram
+	Radial   *stats.Histogram // exit-radius histogram of all escaping photons
+}
+
+// NewTally returns a tally sized for the given configuration.
+func NewTally(cfg *Config) *Tally {
+	t := &Tally{
+		LayerAbsorbed:      make([]float64, cfg.Model.NumLayers()),
+		LayerReached:       make([]int64, cfg.Model.NumLayers()),
+		LayerEnteredWeight: make([]float64, cfg.Model.NumLayers()),
+	}
+	if gs := cfg.AbsGrid; gs != nil {
+		t.AbsGrid = grid.NewCube(gs.N, gs.Edge)
+	}
+	if gs := cfg.PathGrid; gs != nil {
+		t.PathGrid = grid.NewCube(gs.N, gs.Edge)
+	}
+	if h := cfg.PathHist; h != nil {
+		t.PathHist = stats.NewHistogram(h.Min, h.Max, h.Bins)
+	}
+	if h := cfg.Radial; h != nil {
+		t.Radial = stats.NewHistogram(h.Min, h.Max, h.Bins)
+	}
+	return t
+}
+
+// Merge folds o into t. Both tallies must come from the same Config.
+func (t *Tally) Merge(o *Tally) error {
+	if len(o.LayerAbsorbed) != len(t.LayerAbsorbed) {
+		return fmt.Errorf("mc: merging tallies with %d vs %d layers",
+			len(t.LayerAbsorbed), len(o.LayerAbsorbed))
+	}
+	t.Launched += o.Launched
+	t.SpecularWeight += o.SpecularWeight
+	t.DiffuseWeight += o.DiffuseWeight
+	t.TransmitWeight += o.TransmitWeight
+	t.AbsorbedWeight += o.AbsorbedWeight
+	t.RouletteGain += o.RouletteGain
+	t.RouletteLoss += o.RouletteLoss
+	t.DetectedCount += o.DetectedCount
+	t.DetectedWeight += o.DetectedWeight
+	t.GateRejected += o.GateRejected
+	t.PathStats.Merge(o.PathStats)
+	t.OptPathStats.Merge(o.OptPathStats)
+	t.DepthStats.Merge(o.DepthStats)
+	t.ScatterStats.Merge(o.ScatterStats)
+	for i := range o.LayerAbsorbed {
+		t.LayerAbsorbed[i] += o.LayerAbsorbed[i]
+	}
+	for i := range o.LayerReached {
+		t.LayerReached[i] += o.LayerReached[i]
+	}
+	for i := range o.LayerEnteredWeight {
+		t.LayerEnteredWeight[i] += o.LayerEnteredWeight[i]
+	}
+	if o.AbsGrid != nil {
+		if t.AbsGrid == nil {
+			t.AbsGrid = o.AbsGrid.Clone()
+		} else if err := t.AbsGrid.Merge(o.AbsGrid); err != nil {
+			return err
+		}
+	}
+	if o.PathGrid != nil {
+		if t.PathGrid == nil {
+			t.PathGrid = o.PathGrid.Clone()
+		} else if err := t.PathGrid.Merge(o.PathGrid); err != nil {
+			return err
+		}
+	}
+	if o.PathHist != nil {
+		if t.PathHist == nil {
+			h := *o.PathHist
+			h.Counts = append([]float64(nil), o.PathHist.Counts...)
+			t.PathHist = &h
+		} else if err := t.PathHist.Merge(o.PathHist); err != nil {
+			return err
+		}
+	}
+	if o.Radial != nil {
+		if t.Radial == nil {
+			h := *o.Radial
+			h.Counts = append([]float64(nil), o.Radial.Counts...)
+			t.Radial = &h
+		} else if err := t.Radial.Merge(o.Radial); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RadialReflectance converts the exit-radius histogram into R(ρ) in mm⁻²
+// per launched photon (weight per annulus area), returning the bin-centre
+// radii and values. It returns nils when radial scoring was not enabled.
+func (t *Tally) RadialReflectance() (rho, r []float64) {
+	if t.Radial == nil {
+		return nil, nil
+	}
+	n := len(t.Radial.Counts)
+	rho = make([]float64, n)
+	r = make([]float64, n)
+	width := (t.Radial.Max - t.Radial.Min) / float64(n)
+	for i, w := range t.Radial.Counts {
+		c := t.Radial.BinCenter(i)
+		rho[i] = c
+		// Exact annulus area π(out²−in²) reduces to 2π·center·width.
+		area := 2 * math.Pi * c * width
+		if area > 0 {
+			r[i] = w / (t.N() * area)
+		}
+	}
+	return rho, r
+}
+
+// N returns the launched photon count as a float for normalisation.
+func (t *Tally) N() float64 { return float64(t.Launched) }
+
+// DiffuseReflectance returns the diffuse reflectance fraction Rd.
+func (t *Tally) DiffuseReflectance() float64 { return t.DiffuseWeight / t.N() }
+
+// Transmittance returns the transmitted fraction Tt.
+func (t *Tally) Transmittance() float64 { return t.TransmitWeight / t.N() }
+
+// Absorbance returns the absorbed fraction A.
+func (t *Tally) Absorbance() float64 { return t.AbsorbedWeight / t.N() }
+
+// SpecularReflectance returns the specular (entry) reflectance fraction.
+func (t *Tally) SpecularReflectance() float64 { return t.SpecularWeight / t.N() }
+
+// EnergyBalance returns (Specular+Diffuse+Transmit+Absorbed) −
+// (Launched + RouletteGain − RouletteLoss), which is zero up to floating
+// point rounding for a correct kernel.
+func (t *Tally) EnergyBalance() float64 {
+	out := t.SpecularWeight + t.DiffuseWeight + t.TransmitWeight + t.AbsorbedWeight
+	in := t.N() + t.RouletteGain - t.RouletteLoss
+	return out - in
+}
+
+// DetectedFraction returns the detected weight per launched photon.
+func (t *Tally) DetectedFraction() float64 { return t.DetectedWeight / t.N() }
+
+// MeanPathlength returns the mean geometric pathlength (mm) of detected
+// photons — the differential pathlength of NIRS.
+func (t *Tally) MeanPathlength() float64 { return t.PathStats.Mean() }
+
+// DPF returns the differential pathlength factor: mean detected pathlength
+// divided by the source–detector separation.
+func (t *Tally) DPF(separationMM float64) float64 {
+	if separationMM == 0 {
+		return 0
+	}
+	return t.MeanPathlength() / separationMM
+}
+
+// ReachedFraction returns the fraction of launched photons whose deepest
+// excursion reached at least the given layer index.
+func (t *Tally) ReachedFraction(layer int) float64 {
+	var n int64
+	for i := layer; i < len(t.LayerReached); i++ {
+		n += t.LayerReached[i]
+	}
+	return float64(n) / t.N()
+}
+
+// PenetrationFraction returns the survival-weighted probability that a
+// launched photon's packet reaches the given layer — the Fig 4 observable
+// ("some photons penetrate all the way into the white matter").
+func (t *Tally) PenetrationFraction(layer int) float64 {
+	if layer < 0 || layer >= len(t.LayerEnteredWeight) {
+		return 0
+	}
+	if layer == 0 {
+		return (t.N() - t.SpecularWeight) / t.N()
+	}
+	return t.LayerEnteredWeight[layer] / t.N()
+}

@@ -1,0 +1,143 @@
+// Package optics holds the optical property types and boundary physics used
+// by the transport kernel: absorption/scattering coefficients, anisotropy,
+// Snell refraction, critical angles and unpolarised Fresnel reflectance.
+//
+// Units: lengths in mm, coefficients in mm⁻¹, matching Table 1 of the paper.
+package optics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Properties are the optical properties of a homogeneous medium in the NIR
+// range.
+type Properties struct {
+	// MuA is the absorption coefficient µa in mm⁻¹.
+	MuA float64
+	// MuS is the scattering coefficient µs in mm⁻¹.
+	MuS float64
+	// G is the scattering anisotropy factor g, the mean cosine of the
+	// scattering angle: g = −1 total back-scatter, 0 isotropic, 1 forward.
+	G float64
+	// N is the refractive index.
+	N float64
+}
+
+// FromTransport builds Properties from a transport (reduced) scattering
+// coefficient µs′ = µs(1−g), the form the paper's Table 1 reports.
+func FromTransport(muSPrime, g, muA, n float64) Properties {
+	muS := muSPrime
+	if g != 1 {
+		muS = muSPrime / (1 - g)
+	}
+	return Properties{MuA: muA, MuS: muS, G: g, N: n}
+}
+
+// MuT returns the total interaction coefficient µt = µa + µs.
+func (p Properties) MuT() float64 { return p.MuA + p.MuS }
+
+// MuSPrime returns the transport scattering coefficient µs′ = µs(1−g).
+func (p Properties) MuSPrime() float64 { return p.MuS * (1 - p.G) }
+
+// Albedo returns the single-scattering albedo µs/µt. A vacuum-like medium
+// with µt = 0 has albedo 0.
+func (p Properties) Albedo() float64 {
+	mut := p.MuT()
+	if mut == 0 {
+		return 0
+	}
+	return p.MuS / mut
+}
+
+// MeanFreePath returns 1/µt in mm, or +Inf in a non-interacting medium.
+func (p Properties) MeanFreePath() float64 {
+	mut := p.MuT()
+	if mut == 0 {
+		return math.Inf(1)
+	}
+	return 1 / mut
+}
+
+// Validate reports whether the properties are physically meaningful.
+func (p Properties) Validate() error {
+	switch {
+	case p.MuA < 0:
+		return fmt.Errorf("optics: negative absorption coefficient %g", p.MuA)
+	case p.MuS < 0:
+		return fmt.Errorf("optics: negative scattering coefficient %g", p.MuS)
+	case p.G < -1 || p.G > 1:
+		return fmt.Errorf("optics: anisotropy %g outside [-1,1]", p.G)
+	case p.N < 1:
+		return fmt.Errorf("optics: refractive index %g below 1", p.N)
+	}
+	return nil
+}
+
+// ErrTotalInternalReflection is returned by Refract when the incidence angle
+// exceeds the critical angle.
+var ErrTotalInternalReflection = errors.New("optics: total internal reflection")
+
+// Specular returns the normal-incidence reflectance ((n1−n2)/(n1+n2))²,
+// the fraction of an entering beam reflected at the tissue surface.
+func Specular(n1, n2 float64) float64 {
+	r := (n1 - n2) / (n1 + n2)
+	return r * r
+}
+
+// CriticalCos returns the cosine of the critical angle for light going from
+// index n1 into n2. For n1 <= n2 there is no critical angle and 0 is
+// returned (every incidence cosine exceeds it).
+func CriticalCos(n1, n2 float64) float64 {
+	if n1 <= n2 {
+		return 0
+	}
+	s := n2 / n1
+	return math.Sqrt(1 - s*s)
+}
+
+// Fresnel returns the unpolarised Fresnel reflectance R and the transmitted
+// polar cosine cosT for light crossing from index n1 to n2 with incident
+// polar cosine cosI = |cosθi| ∈ [0, 1]. Beyond the critical angle it returns
+// R = 1 and cosT = 0.
+func Fresnel(n1, n2, cosI float64) (reflectance, cosT float64) {
+	if cosI < 0 {
+		cosI = -cosI
+	}
+	if cosI > 1 {
+		cosI = 1
+	}
+	if n1 == n2 {
+		return 0, cosI
+	}
+	sinI := math.Sqrt(1 - cosI*cosI)
+	sinT := n1 / n2 * sinI
+	if sinT >= 1 {
+		return 1, 0
+	}
+	cosT = math.Sqrt(1 - sinT*sinT)
+
+	if cosI > 0.99999 {
+		// Normal incidence: the general formula is 0/0.
+		return Specular(n1, n2), cosT
+	}
+
+	// Average of s- and p-polarised reflectances (Born & Wolf; identical to
+	// the MCML formulation via angle sums).
+	rs := (n1*cosI - n2*cosT) / (n1*cosI + n2*cosT)
+	rp := (n1*cosT - n2*cosI) / (n1*cosT + n2*cosI)
+	return (rs*rs + rp*rp) / 2, cosT
+}
+
+// Refract returns the transmitted polar cosine for light crossing from n1 to
+// n2 with incident cosine cosI, or ErrTotalInternalReflection past the
+// critical angle. It is a convenience wrapper over Fresnel for callers that
+// use the deterministic ("classical physics") boundary mode.
+func Refract(n1, n2, cosI float64) (cosT float64, err error) {
+	r, cosT := Fresnel(n1, n2, cosI)
+	if r >= 1 {
+		return 0, ErrTotalInternalReflection
+	}
+	return cosT, nil
+}

@@ -1,0 +1,199 @@
+package optics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFromTransport(t *testing.T) {
+	// Table 1 white matter: µs′ = 9.1, g = 0.9 → µs = 91.
+	p := FromTransport(9.1, 0.9, 0.014, 1.4)
+	if !almostEq(p.MuS, 91, 1e-9) {
+		t.Fatalf("µs = %g, want 91", p.MuS)
+	}
+	if !almostEq(p.MuSPrime(), 9.1, 1e-9) {
+		t.Fatalf("µs′ round-trip = %g, want 9.1", p.MuSPrime())
+	}
+	// g = 1 edge case must not divide by zero.
+	p1 := FromTransport(5, 1, 0.1, 1.4)
+	if math.IsInf(p1.MuS, 0) || math.IsNaN(p1.MuS) {
+		t.Fatalf("g=1 produced µs = %g", p1.MuS)
+	}
+}
+
+func TestDerivedQuantities(t *testing.T) {
+	p := Properties{MuA: 1, MuS: 3, G: 0.5, N: 1.4}
+	if p.MuT() != 4 {
+		t.Fatalf("µt = %g", p.MuT())
+	}
+	if p.Albedo() != 0.75 {
+		t.Fatalf("albedo = %g", p.Albedo())
+	}
+	if p.MeanFreePath() != 0.25 {
+		t.Fatalf("mfp = %g", p.MeanFreePath())
+	}
+	vac := Properties{N: 1}
+	if vac.Albedo() != 0 {
+		t.Fatalf("vacuum albedo = %g", vac.Albedo())
+	}
+	if !math.IsInf(vac.MeanFreePath(), 1) {
+		t.Fatalf("vacuum mfp = %g", vac.MeanFreePath())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Properties{MuA: 0.01, MuS: 1, G: 0.9, N: 1.4}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid properties rejected: %v", err)
+	}
+	bad := []Properties{
+		{MuA: -1, MuS: 1, G: 0, N: 1.4},
+		{MuA: 1, MuS: -1, G: 0, N: 1.4},
+		{MuA: 1, MuS: 1, G: 1.5, N: 1.4},
+		{MuA: 1, MuS: 1, G: 0, N: 0.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("bad properties %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestSpecularNormalIncidence(t *testing.T) {
+	// Air to tissue n=1.4: ((1-1.4)/(1+1.4))² = (0.4/2.4)² ≈ 0.02778.
+	got := Specular(1, 1.4)
+	want := math.Pow(0.4/2.4, 2)
+	if !almostEq(got, want, 1e-12) {
+		t.Fatalf("Specular(1,1.4) = %g, want %g", got, want)
+	}
+	// Symmetric in its arguments.
+	if Specular(1.4, 1) != got {
+		t.Fatal("Specular not symmetric")
+	}
+	if Specular(1.4, 1.4) != 0 {
+		t.Fatal("matched indices should have zero specular reflection")
+	}
+}
+
+func TestFresnelNormalIncidenceMatchesSpecular(t *testing.T) {
+	r, cosT := Fresnel(1, 1.4, 1)
+	if !almostEq(r, Specular(1, 1.4), 1e-9) {
+		t.Fatalf("Fresnel normal incidence R = %g, want %g", r, Specular(1, 1.4))
+	}
+	if !almostEq(cosT, 1, 1e-12) {
+		t.Fatalf("normal incidence cosT = %g", cosT)
+	}
+}
+
+func TestFresnelMatchedIndices(t *testing.T) {
+	r, cosT := Fresnel(1.4, 1.4, 0.3)
+	if r != 0 || cosT != 0.3 {
+		t.Fatalf("matched indices: R=%g cosT=%g", r, cosT)
+	}
+}
+
+func TestFresnelTotalInternalReflection(t *testing.T) {
+	// From n=1.4 into n=1.0, critical angle ≈ 45.6°; cosI below critical
+	// cosine must reflect totally.
+	critCos := CriticalCos(1.4, 1.0)
+	r, cosT := Fresnel(1.4, 1.0, critCos*0.5)
+	if r != 1 || cosT != 0 {
+		t.Fatalf("beyond critical angle: R=%g cosT=%g, want 1,0", r, cosT)
+	}
+}
+
+func TestCriticalCos(t *testing.T) {
+	// sin(θc) = n2/n1 → cos(θc) = sqrt(1-(n2/n1)²).
+	want := math.Sqrt(1 - (1.0/1.4)*(1.0/1.4))
+	if got := CriticalCos(1.4, 1.0); !almostEq(got, want, 1e-12) {
+		t.Fatalf("CriticalCos = %g, want %g", got, want)
+	}
+	if CriticalCos(1.0, 1.4) != 0 {
+		t.Fatal("no critical angle entering a denser medium")
+	}
+}
+
+func TestFresnelGrazingIncidence(t *testing.T) {
+	// At grazing incidence reflectance tends to 1 from either side.
+	r, _ := Fresnel(1, 1.4, 1e-9)
+	if r < 0.99 {
+		t.Fatalf("grazing incidence R = %g, want ≈1", r)
+	}
+}
+
+func TestFresnelBrewsterBehaviour(t *testing.T) {
+	// At Brewster's angle the p-polarised reflectance vanishes, so the
+	// unpolarised value is half the s-polarised one; sanity-check it is
+	// below the normal-incidence + grazing average and positive.
+	thetaB := math.Atan(1.4)
+	r, _ := Fresnel(1, 1.4, math.Cos(thetaB))
+	rs := math.Pow((math.Cos(thetaB)-1.4*math.Cos(math.Asin(math.Sin(thetaB)/1.4)))/
+		(math.Cos(thetaB)+1.4*math.Cos(math.Asin(math.Sin(thetaB)/1.4))), 2)
+	if !almostEq(r, rs/2, 1e-9) {
+		t.Fatalf("Brewster reflectance %g, want rs/2 = %g", r, rs/2)
+	}
+}
+
+// Property: R ∈ [0,1] and cosT ∈ [0,1] for all physical inputs, and Snell's
+// law holds when transmission occurs.
+func TestFresnelProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		rr := rng.New(seed)
+		n1 := 1 + 1.5*rr.Float64()
+		n2 := 1 + 1.5*rr.Float64()
+		cosI := rr.Float64()
+		r, cosT := Fresnel(n1, n2, cosI)
+		if r < 0 || r > 1 || cosT < 0 || cosT > 1 {
+			return false
+		}
+		if r < 1 {
+			sinI := math.Sqrt(1 - cosI*cosI)
+			sinT := math.Sqrt(1 - cosT*cosT)
+			if !almostEq(n1*sinI, n2*sinT, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reciprocity — the Fresnel power reflectance is identical from
+// either side of the interface at Snell-conjugate angles.
+func TestFresnelReciprocity(t *testing.T) {
+	f := func(seed uint64) bool {
+		rr := rng.New(seed)
+		n1 := 1 + rr.Float64()
+		n2 := 1 + rr.Float64()
+		cosI := rr.Float64Open()
+		r12, cosT := Fresnel(n1, n2, cosI)
+		if r12 >= 1 {
+			return true
+		}
+		r21, cosBack := Fresnel(n2, n1, cosT)
+		return almostEq(r12, r21, 1e-9) && almostEq(cosBack, cosI, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefract(t *testing.T) {
+	cosT, err := Refract(1, 1.4, 0.9)
+	if err != nil {
+		t.Fatalf("Refract: %v", err)
+	}
+	if cosT <= 0 || cosT > 1 {
+		t.Fatalf("cosT = %g", cosT)
+	}
+	if _, err := Refract(1.4, 1.0, 0.1); err != ErrTotalInternalReflection {
+		t.Fatalf("expected total internal reflection, got %v", err)
+	}
+}

@@ -1,0 +1,174 @@
+// Package protocol defines the wire protocol between the DataManager server
+// and worker clients: gob-encoded message envelopes over a stream transport.
+// It mirrors the two-class architecture of the paper's Java platform — the
+// DataManager assigns simulations, the Algorithm (worker) returns results.
+package protocol
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/mc"
+)
+
+// Version is the protocol version; mismatches are rejected at Hello time.
+const Version = 1
+
+// MsgType discriminates the envelope.
+type MsgType int
+
+const (
+	// MsgHello is sent by a worker immediately after connecting.
+	MsgHello MsgType = iota + 1
+	// MsgWelcome is the server's reply to Hello; it carries the job.
+	MsgWelcome
+	// MsgTaskRequest asks the server for the next chunk.
+	MsgTaskRequest
+	// MsgTaskAssign hands a chunk to the worker.
+	MsgTaskAssign
+	// MsgTaskResult returns a computed chunk tally.
+	MsgTaskResult
+	// MsgResultAck confirms a result was accepted (or deduplicated).
+	MsgResultAck
+	// MsgNoWork tells a worker there is nothing to do right now.
+	MsgNoWork
+	// MsgError reports a fatal protocol or job error.
+	MsgError
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgWelcome:
+		return "welcome"
+	case MsgTaskRequest:
+		return "task-request"
+	case MsgTaskAssign:
+		return "task-assign"
+	case MsgTaskResult:
+		return "task-result"
+	case MsgResultAck:
+		return "result-ack"
+	case MsgNoWork:
+		return "no-work"
+	case MsgError:
+		return "error"
+	default:
+		return fmt.Sprintf("MsgType(%d)", int(t))
+	}
+}
+
+// Hello introduces a worker.
+type Hello struct {
+	Version int
+	Name    string
+	// Mflops is the worker's self-reported processing rate (Table 2); the
+	// server records it for diagnostics and scheduling heuristics.
+	Mflops float64
+}
+
+// Welcome carries the job description to a freshly connected worker.
+type Welcome struct {
+	Version    int
+	ServerName string
+	Job        Job
+}
+
+// Job describes the complete simulation the cluster is computing.
+type Job struct {
+	ID      uint64
+	Spec    mc.Spec
+	Seed    uint64
+	Streams int // total number of RNG streams (= number of chunks)
+}
+
+// TaskAssign hands one chunk to a worker. Stream selects the chunk's
+// dedicated RNG stream so results are reproducible and order-independent.
+type TaskAssign struct {
+	JobID   uint64
+	ChunkID int
+	Stream  int
+	Photons int64
+}
+
+// TaskResult returns a chunk's partial tally.
+type TaskResult struct {
+	JobID   uint64
+	ChunkID int
+	Elapsed time.Duration
+	Tally   *mc.Tally
+}
+
+// ResultAck confirms receipt of a result. Duplicate reports (e.g. after a
+// timeout-triggered reassignment races the original worker) are acked with
+// Duplicate=true and discarded by the reducer.
+type ResultAck struct {
+	ChunkID   int
+	Duplicate bool
+}
+
+// NoWork tells the worker to idle or exit.
+type NoWork struct {
+	// Done means the job is complete and the worker should disconnect.
+	Done bool
+	// RetryIn suggests when to ask again if the job is still running.
+	RetryIn time.Duration
+}
+
+// Error is a fatal server-side report.
+type Error struct {
+	Msg string
+}
+
+// Message is the envelope travelling on the wire; exactly the field
+// matching Type is populated.
+type Message struct {
+	Type    MsgType
+	Hello   *Hello
+	Welcome *Welcome
+	Assign  *TaskAssign
+	Result  *TaskResult
+	Ack     *ResultAck
+	NoWork  *NoWork
+	Error   *Error
+}
+
+// Conn wraps a stream with gob encode/decode of Messages. It is not safe
+// for concurrent writers.
+type Conn struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+	c   io.Closer
+}
+
+// NewConn wraps rw (a net.Conn or an in-memory pipe) in the protocol codec.
+func NewConn(rw io.ReadWriteCloser) *Conn {
+	return &Conn{enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw), c: rw}
+}
+
+// Send encodes one message.
+func (c *Conn) Send(m *Message) error {
+	if err := c.enc.Encode(m); err != nil {
+		return fmt.Errorf("protocol: send %v: %w", m.Type, err)
+	}
+	return nil
+}
+
+// Recv decodes the next message.
+func (c *Conn) Recv() (*Message, error) {
+	var m Message
+	if err := c.dec.Decode(&m); err != nil {
+		return nil, err
+	}
+	if m.Type == 0 {
+		return nil, fmt.Errorf("protocol: message without type")
+	}
+	return &m, nil
+}
+
+// Close closes the underlying transport.
+func (c *Conn) Close() error { return c.c.Close() }

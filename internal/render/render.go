@@ -1,0 +1,126 @@
+// Package render turns 2-D scalar fields (grid slices and projections) into
+// ASCII heat maps for the terminal — the text-mode equivalent of the
+// paper's Fig 3/Fig 4 path images.
+package render
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// ramp orders glyphs from empty to dense.
+const ramp = " .:-=+*#%@"
+
+// ASCII renders rows (a depth×width matrix, row 0 at the top) as an ASCII
+// heat map with log-scaled intensity, which matches how photon densities
+// spanning decades are usually displayed.
+func ASCII(rows [][]float64) string {
+	max := 0.0
+	for _, row := range rows {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	var b strings.Builder
+	if max <= 0 {
+		for range rows {
+			b.WriteString(strings.Repeat(" ", len(rows[0])))
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	logMax := math.Log1p(max)
+	for _, row := range rows {
+		for _, v := range row {
+			idx := 0
+			if v > 0 {
+				frac := math.Log1p(v) / logMax
+				idx = int(frac * float64(len(ramp)-1))
+				if idx < 1 {
+					idx = 1 // any mass at all is visible
+				}
+				if idx >= len(ramp) {
+					idx = len(ramp) - 1
+				}
+			}
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Frame writes the map with a ruled border and axis captions.
+func Frame(w io.Writer, title string, rows [][]float64, xLabel, yLabel string) {
+	if len(rows) == 0 {
+		fmt.Fprintf(w, "%s: (empty)\n", title)
+		return
+	}
+	width := len(rows[0])
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "+%s+  %s →\n", strings.Repeat("-", width), xLabel)
+	for _, line := range strings.Split(strings.TrimRight(ASCII(rows), "\n"), "\n") {
+		fmt.Fprintf(w, "|%s|\n", line)
+	}
+	fmt.Fprintf(w, "+%s+  ↓ %s\n", strings.Repeat("-", width), yLabel)
+}
+
+// CropDepth trims trailing all-zero rows (deep empty voxels), keeping a
+// two-row margin, so shallow features fill the frame.
+func CropDepth(rows [][]float64) [][]float64 {
+	deepest := -1
+	for k, row := range rows {
+		for _, v := range row {
+			if v > 0 {
+				deepest = k
+				break
+			}
+		}
+	}
+	if deepest < 0 {
+		return rows
+	}
+	end := deepest + 3
+	if end > len(rows) {
+		end = len(rows)
+	}
+	return rows[:end]
+}
+
+// Downsample averages rows into an approximately maxW×maxH matrix so large
+// grids fit a terminal.
+func Downsample(rows [][]float64, maxW, maxH int) [][]float64 {
+	h, w := len(rows), 0
+	if h > 0 {
+		w = len(rows[0])
+	}
+	if h == 0 || w == 0 || (h <= maxH && w <= maxW) {
+		return rows
+	}
+	fy := (h + maxH - 1) / maxH
+	fx := (w + maxW - 1) / maxW
+	outH := (h + fy - 1) / fy
+	outW := (w + fx - 1) / fx
+	out := make([][]float64, outH)
+	for oy := 0; oy < outH; oy++ {
+		row := make([]float64, outW)
+		for ox := 0; ox < outW; ox++ {
+			sum, n := 0.0, 0
+			for y := oy * fy; y < (oy+1)*fy && y < h; y++ {
+				for x := ox * fx; x < (ox+1)*fx && x < w; x++ {
+					sum += rows[y][x]
+					n++
+				}
+			}
+			if n > 0 {
+				row[ox] = sum / float64(n)
+			}
+		}
+		out[oy] = row
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestASCIIEmpty(t *testing.T) {
+	out := ASCII([][]float64{{0, 0}, {0, 0}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 || lines[0] != "  " {
+		t.Fatalf("empty render %q", out)
+	}
+}
+
+func TestASCIIDensityOrdering(t *testing.T) {
+	out := ASCII([][]float64{{0, 1, 100, 10000}})
+	row := strings.Split(out, "\n")[0]
+	if row[0] != ' ' {
+		t.Fatalf("zero voxel rendered as %q", row[0])
+	}
+	// Glyph density must be non-decreasing with value.
+	idx := func(b byte) int { return strings.IndexByte(ramp, b) }
+	if !(idx(row[1]) <= idx(row[2]) && idx(row[2]) <= idx(row[3])) {
+		t.Fatalf("glyph ordering broken: %q", row)
+	}
+	if idx(row[1]) < 1 {
+		t.Fatal("non-zero voxel must be visible")
+	}
+	if row[3] != ramp[len(ramp)-1] {
+		t.Fatalf("max voxel should use densest glyph, got %q", row[3])
+	}
+}
+
+func TestFrame(t *testing.T) {
+	var buf bytes.Buffer
+	Frame(&buf, "title", [][]float64{{1, 2}, {3, 4}}, "x", "z")
+	s := buf.String()
+	if !strings.Contains(s, "title") || !strings.Contains(s, "+--+") {
+		t.Fatalf("frame output %q", s)
+	}
+	var empty bytes.Buffer
+	Frame(&empty, "none", nil, "x", "z")
+	if !strings.Contains(empty.String(), "(empty)") {
+		t.Fatal("empty frame not flagged")
+	}
+}
+
+func TestCropDepth(t *testing.T) {
+	rows := [][]float64{{1}, {2}, {0}, {0}, {0}, {0}}
+	got := CropDepth(rows)
+	if len(got) != 4 { // deepest nonzero (1) + 3-row margin, capped at len
+		t.Fatalf("cropped to %d rows", len(got))
+	}
+	// All-zero input stays untouched.
+	zero := [][]float64{{0}, {0}}
+	if len(CropDepth(zero)) != 2 {
+		t.Fatal("all-zero crop misbehaved")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	// 4×4 averaged into 2×2.
+	rows := [][]float64{
+		{1, 1, 2, 2},
+		{1, 1, 2, 2},
+		{3, 3, 4, 4},
+		{3, 3, 4, 4},
+	}
+	got := Downsample(rows, 2, 2)
+	if len(got) != 2 || len(got[0]) != 2 {
+		t.Fatalf("shape %dx%d", len(got), len(got[0]))
+	}
+	want := [][]float64{{1, 2}, {3, 4}}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("cell (%d,%d) = %g, want %g", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+	// Already small: unchanged.
+	same := Downsample(rows, 10, 10)
+	if &same[0][0] != &rows[0][0] {
+		t.Fatal("small input should pass through")
+	}
+}
+
+func TestDownsampleRagged(t *testing.T) {
+	// Non-divisible sizes must not panic and must conserve shape bounds.
+	rows := make([][]float64, 7)
+	for i := range rows {
+		rows[i] = make([]float64, 5)
+		rows[i][i%5] = float64(i)
+	}
+	got := Downsample(rows, 3, 3)
+	if len(got) > 4 || len(got[0]) > 3 {
+		t.Fatalf("downsample exceeded bounds: %dx%d", len(got), len(got[0]))
+	}
+}

@@ -1,0 +1,179 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/mc"
+	"repro/internal/source"
+	"repro/internal/tissue"
+)
+
+func testSpec() *mc.Spec {
+	return mc.NewSpec(tissue.AdultHead(),
+		source.Spec{Kind: source.KindPencil},
+		detector.Spec{Kind: detector.KindAnnulus, RMin: 5, RMax: 15})
+}
+
+func runChunk(t *testing.T, spec *mc.Spec, stream, streams int) *mc.Tally {
+	t.Helper()
+	cfg, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tally, err := mc.RunStream(cfg, 1000, 7, stream, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tally
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	spec := testSpec()
+	tally := runChunk(t, spec, 0, 2)
+	f, err := New(spec, 7, 2, "w0", tally)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tally.Launched != tally.Launched ||
+		got.Tally.AbsorbedWeight != tally.AbsorbedWeight {
+		t.Fatal("tally changed in round trip")
+	}
+	if got.Worker != "w0" || got.Seed != 7 || got.Streams != 2 {
+		t.Fatal("metadata lost")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// A structurally valid gob of the wrong shape must also fail.
+	var buf bytes.Buffer
+	f := File{Magic: "something-else", Tally: &mc.Tally{}}
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+}
+
+func TestDigestDistinguishesSpecs(t *testing.T) {
+	a, err := Digest(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := testSpec()
+	other.Detector.RMax = 20
+	b, err := Digest(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("different specs share a digest")
+	}
+	again, _ := Digest(testSpec())
+	if a != again {
+		t.Fatal("digest not deterministic")
+	}
+}
+
+func TestMergeMatchesSingleRun(t *testing.T) {
+	spec := testSpec()
+	t0 := runChunk(t, spec, 0, 2)
+	t1 := runChunk(t, spec, 1, 2)
+
+	f0, err := New(spec, 7, 2, "w0", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := New(spec, 7, 2, "w1", t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f0.Merge(f1); err != nil {
+		t.Fatal(err)
+	}
+	if f0.Tally.Launched != 2000 {
+		t.Fatalf("merged launched %d", f0.Tally.Launched)
+	}
+	if f0.Worker != "w0+w1" {
+		t.Fatalf("provenance %q", f0.Worker)
+	}
+
+	// Ground truth: the same two streams merged directly.
+	cfg, _ := spec.Build()
+	want := mc.NewTally(cfg)
+	want.Merge(runChunk(t, spec, 0, 2))
+	want.Merge(runChunk(t, spec, 1, 2))
+	if math.Abs(f0.Tally.AbsorbedWeight-want.AbsorbedWeight) > 1e-9 {
+		t.Fatal("file merge diverged from direct merge")
+	}
+}
+
+func TestMergeRejectsForeignResults(t *testing.T) {
+	spec := testSpec()
+	f0, _ := New(spec, 7, 2, "w0", runChunk(t, spec, 0, 2))
+
+	other := testSpec()
+	other.Detector.RMax = 99
+	cfgOther, err := other.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tallyOther, err := mc.RunStream(cfgOther, 1000, 7, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fOther, _ := New(other, 7, 2, "wX", tallyOther)
+	if err := f0.Merge(fOther); err == nil {
+		t.Fatal("merged results of different experiments")
+	}
+
+	// Same spec, different seed: also refused.
+	fSeed, _ := New(spec, 8, 2, "wY", runChunk(t, spec, 1, 2))
+	if err := f0.Merge(fSeed); err == nil {
+		t.Fatal("merged results with different seeds")
+	}
+}
+
+func TestSaveLoadMergeFiles(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec()
+	paths := make([]string, 3)
+	for i := range paths {
+		f, err := New(spec, 7, 3, "w", runChunk(t, spec, i, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths[i] = filepath.Join(dir, "part"+string(rune('0'+i))+".tally")
+		if err := f.Save(paths[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total, err := MergeFiles(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Tally.Launched != 3000 {
+		t.Fatalf("merged launched %d, want 3000", total.Tally.Launched)
+	}
+	if _, err := MergeFiles(); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+	if _, err := MergeFiles(filepath.Join(dir, "missing.tally")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

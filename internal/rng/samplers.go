@@ -1,0 +1,66 @@
+package rng
+
+import "math"
+
+// Step returns a dimensionless exponential free-path sample -ln(ξ).
+// Dividing by the interaction coefficient µt yields a geometric step length.
+func (r *Rand) Step() float64 {
+	return -math.Log(r.Float64Open())
+}
+
+// Exp returns an exponentially distributed value with the given rate.
+func (r *Rand) Exp(rate float64) float64 {
+	return r.Step() / rate
+}
+
+// Gaussian returns a standard normal sample via the Box–Muller transform.
+func (r *Rand) Gaussian() float64 {
+	if r.gaussReady {
+		r.gaussReady = false
+		return r.gaussSpare
+	}
+	u1 := r.Float64Open()
+	u2 := r.Float64()
+	mag := math.Sqrt(-2 * math.Log(u1))
+	r.gaussSpare = mag * math.Sin(2*math.Pi*u2)
+	r.gaussReady = true
+	return mag * math.Cos(2*math.Pi*u2)
+}
+
+// HenyeyGreenstein samples the cosine of the polar scattering angle from the
+// Henyey–Greenstein phase function with anisotropy factor g in (-1, 1).
+// g = 0 yields isotropic scattering; g → 1 forward, g → -1 backward.
+func (r *Rand) HenyeyGreenstein(g float64) float64 {
+	if g == 0 {
+		return 2*r.Float64() - 1
+	}
+	frac := (1 - g*g) / (1 - g + 2*g*r.Float64())
+	cos := (1 + g*g - frac*frac) / (2 * g)
+	// Numerical guard: keep strictly inside [-1, 1].
+	if cos < -1 {
+		cos = -1
+	} else if cos > 1 {
+		cos = 1
+	}
+	return cos
+}
+
+// Azimuth returns a uniform azimuthal angle in [0, 2π).
+func (r *Rand) Azimuth() float64 {
+	return 2 * math.Pi * r.Float64()
+}
+
+// UniformDisk returns a point uniformly distributed on a disk of the given
+// radius centred at the origin.
+func (r *Rand) UniformDisk(radius float64) (x, y float64) {
+	rho := radius * math.Sqrt(r.Float64())
+	phi := r.Azimuth()
+	return rho * math.Cos(phi), rho * math.Sin(phi)
+}
+
+// GaussianDisk returns a point from a circularly symmetric Gaussian beam
+// profile where sigma is the 1/e² intensity radius divided by 2 (i.e. the
+// standard deviation of each Cartesian coordinate).
+func (r *Rand) GaussianDisk(sigma float64) (x, y float64) {
+	return sigma * r.Gaussian(), sigma * r.Gaussian()
+}

@@ -1,0 +1,246 @@
+// Package sched provides the work-partitioning policies used by the
+// distributed system and the cluster simulator: dynamic self-scheduling
+// (the paper's platform model), guided self-scheduling, and static
+// allocations including the genetic-algorithm scheduler of the authors'
+// companion framework (Page & Naughton 2005, reference [4]).
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Policy yields the size of the next dynamically pulled work chunk, given
+// the photons still unassigned and the number of workers.
+type Policy interface {
+	NextChunk(remaining int64, workers int) int64
+	Name() string
+}
+
+// FixedChunk always returns the same chunk size — the paper platform's
+// dynamic self-scheduling with a fixed work-unit size.
+type FixedChunk struct {
+	Photons int64
+}
+
+// NextChunk implements Policy.
+func (f FixedChunk) NextChunk(remaining int64, _ int) int64 {
+	return minI64(f.Photons, remaining)
+}
+
+// Name implements Policy.
+func (f FixedChunk) Name() string { return fmt.Sprintf("fixed-%d", f.Photons) }
+
+// Guided implements guided self-scheduling: chunks of remaining/(2k),
+// shrinking toward Min, which trades assignment overhead against tail
+// imbalance.
+type Guided struct {
+	Min int64
+}
+
+// NextChunk implements Policy.
+func (g Guided) NextChunk(remaining int64, workers int) int64 {
+	if workers < 1 {
+		workers = 1
+	}
+	c := remaining / int64(2*workers)
+	if c < g.Min {
+		c = g.Min
+	}
+	return minI64(c, remaining)
+}
+
+// Name implements Policy.
+func (g Guided) Name() string { return fmt.Sprintf("guided-min%d", g.Min) }
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// --- Static allocation ------------------------------------------------
+
+// EqualSplit allocates total photons evenly over k workers — the naive
+// static baseline that collapses on heterogeneous fleets.
+func EqualSplit(total int64, k int) []int64 {
+	alloc := make([]int64, k)
+	for i := range alloc {
+		alloc[i] = total / int64(k)
+		if int64(i) < total%int64(k) {
+			alloc[i]++
+		}
+	}
+	return alloc
+}
+
+// ProportionalSplit allocates photons proportionally to worker speeds —
+// the analytically optimal static allocation when speeds are known exactly.
+func ProportionalSplit(total int64, speeds []float64) []int64 {
+	sum := 0.0
+	for _, s := range speeds {
+		sum += s
+	}
+	alloc := make([]int64, len(speeds))
+	assigned := int64(0)
+	for i, s := range speeds {
+		alloc[i] = int64(float64(total) * s / sum)
+		assigned += alloc[i]
+	}
+	// Distribute rounding leftovers to the fastest workers.
+	for rem := total - assigned; rem > 0; rem-- {
+		best := 0
+		for i := range speeds {
+			if speeds[i] > speeds[best] {
+				best = i
+			}
+		}
+		alloc[best]++
+	}
+	return alloc
+}
+
+// Makespan returns the static-schedule completion time max_i alloc_i/speed_i
+// in units of photons per unit speed.
+func Makespan(alloc []int64, speeds []float64) float64 {
+	worst := 0.0
+	for i, a := range alloc {
+		t := float64(a) / speeds[i]
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// GAOptions tune the genetic-algorithm static scheduler.
+type GAOptions struct {
+	Population  int
+	Generations int
+	MutateRate  float64
+	Elite       int
+	Seed        uint64
+}
+
+// DefaultGAOptions mirror the modest parameters of reference [4].
+func DefaultGAOptions() GAOptions {
+	return GAOptions{Population: 60, Generations: 200, MutateRate: 0.2, Elite: 4, Seed: 1}
+}
+
+// GASplit searches for a static allocation of total photons over workers
+// with the given speeds that minimises makespan, using a real-coded genetic
+// algorithm (tournament selection, uniform crossover, Gaussian mutation).
+// It returns the allocation and its makespan.
+func GASplit(total int64, speeds []float64, opt GAOptions) ([]int64, float64) {
+	k := len(speeds)
+	if k == 0 {
+		return nil, 0
+	}
+	if opt.Population < 4 {
+		opt.Population = 4
+	}
+	if opt.Elite < 1 {
+		opt.Elite = 1
+	}
+	r := rng.New(opt.Seed)
+
+	// A chromosome is a vector of positive shares, normalised to total.
+	type indiv struct {
+		shares  []float64
+		fitness float64 // makespan; lower is better
+	}
+	decode := func(shares []float64) []int64 {
+		sum := 0.0
+		for _, s := range shares {
+			sum += s
+		}
+		alloc := make([]int64, k)
+		assigned := int64(0)
+		for i, s := range shares {
+			alloc[i] = int64(float64(total) * s / sum)
+			assigned += alloc[i]
+		}
+		for rem := total - assigned; rem > 0; rem-- {
+			alloc[int(rem)%k]++
+		}
+		return alloc
+	}
+	eval := func(shares []float64) float64 { return Makespan(decode(shares), speeds) }
+
+	pop := make([]indiv, opt.Population)
+	for i := range pop {
+		shares := make([]float64, k)
+		for j := range shares {
+			if i == 0 {
+				shares[j] = speeds[j] // seed with the proportional heuristic
+			} else {
+				shares[j] = r.Float64Open()
+			}
+		}
+		pop[i] = indiv{shares: shares, fitness: eval(shares)}
+	}
+
+	tournament := func() indiv {
+		a, b := pop[r.Intn(len(pop))], pop[r.Intn(len(pop))]
+		if a.fitness <= b.fitness {
+			return a
+		}
+		return b
+	}
+
+	for gen := 0; gen < opt.Generations; gen++ {
+		// Sort-free elitism: find the best few by selection sort (small pop).
+		next := make([]indiv, 0, opt.Population)
+		bestIdx := make([]int, 0, opt.Elite)
+		for e := 0; e < opt.Elite; e++ {
+			best := -1
+			for i := range pop {
+				taken := false
+				for _, b := range bestIdx {
+					if b == i {
+						taken = true
+						break
+					}
+				}
+				if taken {
+					continue
+				}
+				if best == -1 || pop[i].fitness < pop[best].fitness {
+					best = i
+				}
+			}
+			bestIdx = append(bestIdx, best)
+			next = append(next, pop[best])
+		}
+		for len(next) < opt.Population {
+			p1, p2 := tournament(), tournament()
+			child := make([]float64, k)
+			for j := range child {
+				if r.Float64() < 0.5 {
+					child[j] = p1.shares[j]
+				} else {
+					child[j] = p2.shares[j]
+				}
+				if r.Float64() < opt.MutateRate {
+					child[j] *= math.Exp(0.3 * r.Gaussian())
+				}
+				if child[j] <= 0 || math.IsNaN(child[j]) {
+					child[j] = r.Float64Open()
+				}
+			}
+			next = append(next, indiv{shares: child, fitness: eval(child)})
+		}
+		pop = next
+	}
+
+	best := pop[0]
+	for _, in := range pop[1:] {
+		if in.fitness < best.fitness {
+			best = in
+		}
+	}
+	return decode(best.shares), best.fitness
+}

@@ -1,0 +1,191 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestFixedChunk(t *testing.T) {
+	p := FixedChunk{Photons: 100}
+	if got := p.NextChunk(1000, 4); got != 100 {
+		t.Fatalf("NextChunk = %d", got)
+	}
+	if got := p.NextChunk(40, 4); got != 40 {
+		t.Fatalf("NextChunk near drain = %d", got)
+	}
+	if p.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestGuidedShrinks(t *testing.T) {
+	p := Guided{Min: 10}
+	first := p.NextChunk(10000, 5)
+	if first != 1000 {
+		t.Fatalf("guided first chunk = %d, want 1000", first)
+	}
+	later := p.NextChunk(100, 5)
+	if later != 10 {
+		t.Fatalf("guided floor = %d, want 10", later)
+	}
+	if got := p.NextChunk(4, 5); got != 4 {
+		t.Fatalf("guided drain = %d, want 4", got)
+	}
+}
+
+// Property: every policy conserves work — repeatedly pulling chunks consumes
+// exactly the total, never over-assigns, and terminates.
+func TestPoliciesConserveWork(t *testing.T) {
+	policies := []Policy{
+		FixedChunk{Photons: 37},
+		Guided{Min: 5},
+	}
+	f := func(totalRaw uint32, kRaw uint8) bool {
+		total := int64(totalRaw%100000) + 1
+		k := int(kRaw%32) + 1
+		for _, p := range policies {
+			remaining := total
+			pulls := 0
+			for remaining > 0 {
+				c := p.NextChunk(remaining, k)
+				if c <= 0 || c > remaining {
+					return false
+				}
+				remaining -= c
+				pulls++
+				if pulls > 1<<22 {
+					return false // livelock
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualSplitConserves(t *testing.T) {
+	alloc := EqualSplit(1003, 4)
+	var sum int64
+	for _, a := range alloc {
+		sum += a
+	}
+	if sum != 1003 {
+		t.Fatalf("equal split sums to %d", sum)
+	}
+	// Shares differ by at most 1.
+	min, max := alloc[0], alloc[0]
+	for _, a := range alloc {
+		if a < min {
+			min = a
+		}
+		if a > max {
+			max = a
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("uneven equal split: %v", alloc)
+	}
+}
+
+func TestProportionalSplit(t *testing.T) {
+	speeds := []float64{1, 3}
+	alloc := ProportionalSplit(1000, speeds)
+	if alloc[0]+alloc[1] != 1000 {
+		t.Fatalf("proportional split sums to %d", alloc[0]+alloc[1])
+	}
+	if math.Abs(float64(alloc[1])-750) > 2 {
+		t.Fatalf("fast worker got %d, want ≈750", alloc[1])
+	}
+	// Proportional is makespan-balanced: per-worker times equal.
+	t0 := float64(alloc[0]) / speeds[0]
+	t1 := float64(alloc[1]) / speeds[1]
+	if math.Abs(t0-t1)/t0 > 0.02 {
+		t.Fatalf("proportional not balanced: %g vs %g", t0, t1)
+	}
+}
+
+func TestMakespan(t *testing.T) {
+	got := Makespan([]int64{100, 300}, []float64{1, 3})
+	if got != 100 {
+		t.Fatalf("makespan = %g", got)
+	}
+	if Makespan([]int64{500, 100}, []float64{1, 1}) != 500 {
+		t.Fatal("makespan should be the slowest worker")
+	}
+}
+
+func TestGASplitConservesAndBeatsEqual(t *testing.T) {
+	// Strongly heterogeneous fleet: equal split is terrible, GA must land
+	// near the proportional optimum.
+	speeds := []float64{30, 200, 15, 150, 25, 37, 72, 91}
+	const total = int64(1_000_000)
+
+	alloc, ms := GASplit(total, speeds, DefaultGAOptions())
+	var sum int64
+	for _, a := range alloc {
+		if a < 0 {
+			t.Fatalf("negative allocation %d", a)
+		}
+		sum += a
+	}
+	if sum != total {
+		t.Fatalf("GA allocation sums to %d, want %d", sum, total)
+	}
+
+	equal := Makespan(EqualSplit(total, len(speeds)), speeds)
+	optimal := Makespan(ProportionalSplit(total, speeds), speeds)
+	if ms >= equal {
+		t.Fatalf("GA makespan %g no better than equal split %g", ms, equal)
+	}
+	if ms > optimal*1.10 {
+		t.Fatalf("GA makespan %g more than 10%% above optimum %g", ms, optimal)
+	}
+}
+
+func TestGASplitDeterministic(t *testing.T) {
+	speeds := []float64{10, 20, 30}
+	a1, m1 := GASplit(10000, speeds, DefaultGAOptions())
+	a2, m2 := GASplit(10000, speeds, DefaultGAOptions())
+	if m1 != m2 {
+		t.Fatalf("GA not deterministic: %g vs %g", m1, m2)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("GA allocations differ across identical runs")
+		}
+	}
+}
+
+func TestGASplitEmptyFleet(t *testing.T) {
+	alloc, ms := GASplit(100, nil, DefaultGAOptions())
+	if alloc != nil || ms != 0 {
+		t.Fatal("empty fleet should yield empty result")
+	}
+}
+
+// Property: GA never loses to its proportional seed by more than mutation
+// noise, across random fleets.
+func TestGANearProportional(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		k := 2 + r.Intn(6)
+		speeds := make([]float64, k)
+		for i := range speeds {
+			speeds[i] = 10 + 200*r.Float64()
+		}
+		opt := DefaultGAOptions()
+		opt.Generations = 80
+		opt.Seed = seed
+		_, ms := GASplit(500000, speeds, opt)
+		best := Makespan(ProportionalSplit(500000, speeds), speeds)
+		return ms <= best*1.15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+// Package source implements the photon launchers the paper supports:
+// delta (laser pencil beam), Gaussian and uniform source illumination
+// footprints, all normally incident on the z = 0 tissue surface.
+package source
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+// Source produces initial photon positions and directions. Launch must be
+// safe to call from multiple goroutines as long as each goroutine supplies
+// its own *rng.Rand.
+type Source interface {
+	// Launch returns the entry position on the surface (z = 0) and the
+	// initial unit direction (pointing into the tissue, +z).
+	Launch(r *rng.Rand) (pos, dir vec.V)
+	// Describe returns a short human-readable description.
+	Describe() string
+}
+
+// Kind names a source type for wire serialisation.
+type Kind string
+
+const (
+	KindPencil   Kind = "pencil"
+	KindGaussian Kind = "gaussian"
+	KindUniform  Kind = "uniform"
+)
+
+var down = vec.V{X: 0, Y: 0, Z: 1}
+
+// Pencil is an infinitesimally narrow laser beam entering at the origin —
+// the paper's "delta" source.
+type Pencil struct{}
+
+// Launch implements Source.
+func (Pencil) Launch(*rng.Rand) (vec.V, vec.V) {
+	return vec.V{}, down
+}
+
+// Describe implements Source.
+func (Pencil) Describe() string { return "pencil (delta) beam at origin" }
+
+// GaussianBeam is a circular Gaussian illumination footprint centred on the
+// origin. Sigma is the standard deviation of each transverse coordinate in
+// mm (beam 1/e² intensity radius = 2σ).
+type GaussianBeam struct {
+	Sigma float64
+}
+
+// Launch implements Source.
+func (g GaussianBeam) Launch(r *rng.Rand) (vec.V, vec.V) {
+	x, y := r.GaussianDisk(g.Sigma)
+	return vec.V{X: x, Y: y}, down
+}
+
+// Describe implements Source.
+func (g GaussianBeam) Describe() string {
+	return fmt.Sprintf("gaussian beam σ=%g mm", g.Sigma)
+}
+
+// UniformDisk is a flat-top circular illumination footprint of the given
+// radius in mm, centred on the origin.
+type UniformDisk struct {
+	Radius float64
+}
+
+// Launch implements Source.
+func (u UniformDisk) Launch(r *rng.Rand) (vec.V, vec.V) {
+	x, y := r.UniformDisk(u.Radius)
+	return vec.V{X: x, Y: y}, down
+}
+
+// Describe implements Source.
+func (u UniformDisk) Describe() string {
+	return fmt.Sprintf("uniform disk radius %g mm", u.Radius)
+}
+
+// Spec is a serialisable source description used by the wire protocol.
+type Spec struct {
+	Kind  Kind
+	Param float64 // σ for gaussian, radius for uniform; ignored for pencil
+}
+
+// New materialises a Spec into a Source.
+func (s Spec) New() (Source, error) {
+	switch s.Kind {
+	case KindPencil, "":
+		return Pencil{}, nil
+	case KindGaussian:
+		if s.Param <= 0 {
+			return nil, fmt.Errorf("source: gaussian beam needs positive sigma, got %g", s.Param)
+		}
+		return GaussianBeam{Sigma: s.Param}, nil
+	case KindUniform:
+		if s.Param <= 0 {
+			return nil, fmt.Errorf("source: uniform disk needs positive radius, got %g", s.Param)
+		}
+		return UniformDisk{Radius: s.Param}, nil
+	default:
+		return nil, fmt.Errorf("source: unknown kind %q", s.Kind)
+	}
+}

@@ -1,0 +1,85 @@
+package source
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestPencilAlwaysOriginDownward(t *testing.T) {
+	r := rng.New(1)
+	var s Source = Pencil{}
+	for i := 0; i < 100; i++ {
+		pos, dir := s.Launch(r)
+		if pos.X != 0 || pos.Y != 0 || pos.Z != 0 {
+			t.Fatalf("pencil pos = %+v", pos)
+		}
+		if dir.X != 0 || dir.Y != 0 || dir.Z != 1 {
+			t.Fatalf("pencil dir = %+v", dir)
+		}
+	}
+}
+
+func TestGaussianBeamFootprint(t *testing.T) {
+	r := rng.New(2)
+	s := GaussianBeam{Sigma: 2}
+	const n = 100000
+	sumX, sumX2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		pos, dir := s.Launch(r)
+		if pos.Z != 0 || dir.Z != 1 {
+			t.Fatal("gaussian beam must start on the surface going down")
+		}
+		sumX += pos.X
+		sumX2 += pos.X * pos.X
+	}
+	mean := sumX / n
+	sd := math.Sqrt(sumX2/n - mean*mean)
+	if math.Abs(mean) > 0.03 || math.Abs(sd-2)/2 > 0.03 {
+		t.Fatalf("gaussian footprint mean=%g sd=%g, want 0, 2", mean, sd)
+	}
+}
+
+func TestUniformDiskFootprint(t *testing.T) {
+	r := rng.New(3)
+	s := UniformDisk{Radius: 3}
+	for i := 0; i < 100000; i++ {
+		pos, _ := s.Launch(r)
+		if pos.X*pos.X+pos.Y*pos.Y > 9*(1+1e-12) {
+			t.Fatalf("uniform disk point outside radius: %+v", pos)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	cases := []Spec{
+		{Kind: KindPencil},
+		{Kind: ""},
+		{Kind: KindGaussian, Param: 1.5},
+		{Kind: KindUniform, Param: 2.5},
+	}
+	for _, c := range cases {
+		s, err := c.New()
+		if err != nil {
+			t.Fatalf("Spec %+v: %v", c, err)
+		}
+		if s.Describe() == "" {
+			t.Fatalf("Spec %+v produced empty description", c)
+		}
+	}
+}
+
+func TestSpecRejectsBadParams(t *testing.T) {
+	bad := []Spec{
+		{Kind: KindGaussian, Param: 0},
+		{Kind: KindGaussian, Param: -1},
+		{Kind: KindUniform, Param: 0},
+		{Kind: "laser-cannon"},
+	}
+	for _, c := range bad {
+		if _, err := c.New(); err == nil {
+			t.Fatalf("Spec %+v accepted, want error", c)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package tissue
+
+import (
+	"math"
+
+	"repro/internal/optics"
+)
+
+// Standard NIR-range constants used throughout the paper's references
+// (Fukui/Okada adult-head models): tissue refractive index 1.4 and a strongly
+// forward-peaked phase function g = 0.9. The paper reports transport
+// scattering coefficients µs′; µs is derived as µs′/(1−g).
+const (
+	TissueIndex  = 1.4
+	AmbientIndex = 1.0
+	DefaultG     = 0.9
+)
+
+// Adult-head layer optical properties from Table 1 of the paper
+// (µs′ and µa in mm⁻¹, NIR range).
+var (
+	ScalpProps       = optics.FromTransport(1.9, DefaultG, 0.018, TissueIndex)
+	SkullProps       = optics.FromTransport(1.6, DefaultG, 0.016, TissueIndex)
+	CSFProps         = optics.FromTransport(0.25, DefaultG, 0.004, TissueIndex)
+	GreyMatterProps  = optics.FromTransport(2.2, DefaultG, 0.036, TissueIndex)
+	WhiteMatterProps = optics.FromTransport(9.1, DefaultG, 0.014, TissueIndex)
+)
+
+// AdultHead returns the five-layer adult head model of Table 1. The paper's
+// thickness column mixes units; following its references [1, 3]
+// (Okada & Delpy, Fukui et al.) we use scalp 3 mm, skull 7 mm, CSF 2 mm,
+// grey matter 4 mm and a semi-infinite white-matter layer.
+func AdultHead() *Model {
+	return &Model{
+		Name:   "adult-head",
+		NAbove: AmbientIndex,
+		NBelow: TissueIndex,
+		Layers: []Layer{
+			{Name: "scalp", Props: ScalpProps, Thickness: 3},
+			{Name: "skull", Props: SkullProps, Thickness: 7},
+			{Name: "csf", Props: CSFProps, Thickness: 2},
+			{Name: "grey matter", Props: GreyMatterProps, Thickness: 4},
+			{Name: "white matter", Props: WhiteMatterProps, Thickness: math.Inf(1)},
+		},
+	}
+}
+
+// AdultHeadCustom returns the Table 1 model with caller-chosen scalp and
+// skull thicknesses (the table gives ranges 3–10 mm and 5–10 mm).
+func AdultHeadCustom(scalpMM, skullMM float64) *Model {
+	m := AdultHead()
+	m.Layers[0].Thickness = scalpMM
+	m.Layers[1].Thickness = skullMM
+	return m
+}
+
+// HomogeneousWhiteMatter returns the single-layer white-matter phantom used
+// for the Fig 3 banana experiment: a semi-infinite slab of the Table 1
+// white-matter properties under air.
+func HomogeneousWhiteMatter() *Model {
+	return &Model{
+		Name:   "homogeneous-white-matter",
+		NAbove: AmbientIndex,
+		NBelow: TissueIndex,
+		Layers: []Layer{
+			{Name: "white matter", Props: WhiteMatterProps, Thickness: math.Inf(1)},
+		},
+	}
+}
+
+// HomogeneousSlab returns a single-layer slab with the given properties and
+// thickness — the workhorse for physics validation tests (Beer–Lambert,
+// energy conservation, diffusion-theory comparisons).
+func HomogeneousSlab(name string, p optics.Properties, thicknessMM float64) *Model {
+	return &Model{
+		Name:   name,
+		NAbove: AmbientIndex,
+		NBelow: AmbientIndex,
+		Layers: []Layer{{Name: name, Props: p, Thickness: thicknessMM}},
+	}
+}
+
+// Neonate returns a neonatal head model following Fukui et al. [1]: thinner
+// superficial layers than the adult model. This is the "superficial tissue
+// thickness differs between adult and neonates" study the paper cites.
+func Neonate() *Model {
+	return &Model{
+		Name:   "neonate-head",
+		NAbove: AmbientIndex,
+		NBelow: TissueIndex,
+		Layers: []Layer{
+			{Name: "scalp", Props: ScalpProps, Thickness: 1.5},
+			{Name: "skull", Props: SkullProps, Thickness: 2},
+			{Name: "csf", Props: CSFProps, Thickness: 1.5},
+			{Name: "grey matter", Props: GreyMatterProps, Thickness: 3},
+			{Name: "white matter", Props: WhiteMatterProps, Thickness: math.Inf(1)},
+		},
+	}
+}

@@ -1,0 +1,127 @@
+// Package tof converts between photon pathlengths and times of flight.
+// The paper's pathlength gating models a pulsed source/detector pair that
+// only operates between pulses; experimentally the gate is temporal, so
+// this package maps time windows (ns) onto the kernel's pathlength gates
+// (mm) and turns detected-pathlength histograms into temporal point spread
+// functions (TPSFs).
+package tof
+
+import (
+	"fmt"
+
+	"repro/internal/detector"
+	"repro/internal/stats"
+)
+
+// C0 is the vacuum speed of light in mm/ns.
+const C0 = 299.792458
+
+// TimeFromOpticalPath converts an optical pathlength Σn·ds (mm) to a time
+// of flight in ns; the refractive index is already inside the optical path.
+func TimeFromOpticalPath(optPathMM float64) float64 { return optPathMM / C0 }
+
+// TimeFromGeometricPath converts a geometric pathlength (mm) in a medium of
+// uniform refractive index n to a time of flight in ns.
+func TimeFromGeometricPath(pathMM, n float64) float64 { return pathMM * n / C0 }
+
+// PathFromTime converts a time of flight (ns) to the geometric pathlength
+// (mm) travelled in a medium of uniform index n.
+func PathFromTime(tNs, n float64) float64 { return tNs * C0 / n }
+
+// GateFromTimeWindow converts a temporal gate [tMin, tMax] ns into the
+// kernel's geometric pathlength gate for a medium of uniform refractive
+// index n. tMax = 0 leaves the upper bound open. It returns an error for a
+// non-physical window.
+func GateFromTimeWindow(tMinNs, tMaxNs, n float64) (detector.Gate, error) {
+	if n < 1 {
+		return detector.Gate{}, fmt.Errorf("tof: refractive index %g below 1", n)
+	}
+	if tMinNs < 0 || tMaxNs < 0 {
+		return detector.Gate{}, fmt.Errorf("tof: negative time bound [%g,%g]", tMinNs, tMaxNs)
+	}
+	if tMaxNs != 0 && tMinNs > tMaxNs {
+		return detector.Gate{}, fmt.Errorf("tof: window min %g ns exceeds max %g ns", tMinNs, tMaxNs)
+	}
+	g := detector.Gate{MinPath: PathFromTime(tMinNs, n)}
+	if tMaxNs > 0 {
+		g.MaxPath = PathFromTime(tMaxNs, n)
+	}
+	return g, nil
+}
+
+// TPSF is a temporal point spread function: the arrival-time distribution
+// of detected photons.
+type TPSF struct {
+	// TimesNs are bin-centre arrival times.
+	TimesNs []float64
+	// Weights are the detected weights per bin.
+	Weights []float64
+}
+
+// FromPathHistogram converts a detected geometric-pathlength histogram
+// (mm) into a TPSF for a medium of uniform refractive index n.
+func FromPathHistogram(h *stats.Histogram, n float64) *TPSF {
+	if h == nil {
+		return nil
+	}
+	t := &TPSF{
+		TimesNs: make([]float64, len(h.Counts)),
+		Weights: make([]float64, len(h.Counts)),
+	}
+	for i, w := range h.Counts {
+		t.TimesNs[i] = TimeFromGeometricPath(h.BinCenter(i), n)
+		t.Weights[i] = w
+	}
+	return t
+}
+
+// Total returns the integrated detected weight.
+func (t *TPSF) Total() float64 {
+	sum := 0.0
+	for _, w := range t.Weights {
+		sum += w
+	}
+	return sum
+}
+
+// MeanTime returns the intensity-weighted mean arrival time in ns — the
+// first TPSF moment, proportional to the mean pathlength NIRS uses for
+// quantification.
+func (t *TPSF) MeanTime() float64 {
+	sumW, sumWT := 0.0, 0.0
+	for i, w := range t.Weights {
+		sumW += w
+		sumWT += w * t.TimesNs[i]
+	}
+	if sumW == 0 {
+		return 0
+	}
+	return sumWT / sumW
+}
+
+// PeakTime returns the arrival time of the TPSF maximum.
+func (t *TPSF) PeakTime() float64 {
+	best, bestT := -1.0, 0.0
+	for i, w := range t.Weights {
+		if w > best {
+			best, bestT = w, t.TimesNs[i]
+		}
+	}
+	return bestT
+}
+
+// WindowFraction returns the fraction of the detected weight arriving
+// inside [tMin, tMax] ns.
+func (t *TPSF) WindowFraction(tMinNs, tMaxNs float64) float64 {
+	total, in := 0.0, 0.0
+	for i, w := range t.Weights {
+		total += w
+		if t.TimesNs[i] >= tMinNs && t.TimesNs[i] <= tMaxNs {
+			in += w
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return in / total
+}

@@ -1,0 +1,136 @@
+package tof
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mc"
+	"repro/internal/optics"
+	"repro/internal/stats"
+	"repro/internal/tissue"
+)
+
+func TestConversionsRoundTrip(t *testing.T) {
+	const n = 1.4
+	for _, path := range []float64{1, 10, 123.4} {
+		tt := TimeFromGeometricPath(path, n)
+		back := PathFromTime(tt, n)
+		if math.Abs(back-path) > 1e-9 {
+			t.Fatalf("round trip %g → %g → %g", path, tt, back)
+		}
+	}
+	// 299.792458 mm in vacuum-index medium = 1 ns.
+	if got := TimeFromGeometricPath(C0, 1); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("c·1ns = %g ns", got)
+	}
+	// Optical path already includes n.
+	if TimeFromOpticalPath(C0) != 1 {
+		t.Fatal("optical path conversion wrong")
+	}
+}
+
+func TestHigherIndexSlowsLight(t *testing.T) {
+	if TimeFromGeometricPath(100, 1.4) <= TimeFromGeometricPath(100, 1.0) {
+		t.Fatal("light should be slower in denser media")
+	}
+}
+
+func TestGateFromTimeWindow(t *testing.T) {
+	g, err := GateFromTimeWindow(0.5, 1.0, 1.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMin := 0.5 * C0 / 1.4
+	wantMax := 1.0 * C0 / 1.4
+	if math.Abs(g.MinPath-wantMin) > 1e-9 || math.Abs(g.MaxPath-wantMax) > 1e-9 {
+		t.Fatalf("gate [%g,%g], want [%g,%g]", g.MinPath, g.MaxPath, wantMin, wantMax)
+	}
+	// Open upper bound.
+	g2, err := GateFromTimeWindow(0.5, 0, 1.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.MaxPath != 0 {
+		t.Fatal("open time window should leave MaxPath open")
+	}
+}
+
+func TestGateFromTimeWindowRejectsBad(t *testing.T) {
+	cases := [][3]float64{
+		{1, 0.5, 1.4}, // inverted
+		{-1, 2, 1.4},  // negative
+		{0.1, 1, 0.5}, // bad index
+	}
+	for _, c := range cases {
+		if _, err := GateFromTimeWindow(c[0], c[1], c[2]); err == nil {
+			t.Fatalf("window %v accepted", c)
+		}
+	}
+}
+
+func TestTPSFFromHistogram(t *testing.T) {
+	h := stats.NewHistogram(0, 100, 10) // pathlength mm
+	h.Add(5, 2)                         // bin 0, centre 5 mm
+	h.Add(95, 1)                        // bin 9, centre 95 mm
+	tp := FromPathHistogram(h, 1.4)
+	if tp == nil || len(tp.TimesNs) != 10 {
+		t.Fatal("TPSF shape wrong")
+	}
+	if math.Abs(tp.TimesNs[0]-TimeFromGeometricPath(5, 1.4)) > 1e-12 {
+		t.Fatalf("bin time %g", tp.TimesNs[0])
+	}
+	if tp.Total() != 3 {
+		t.Fatalf("total %g", tp.Total())
+	}
+	if tp.PeakTime() != tp.TimesNs[0] {
+		t.Fatal("peak should be the heavier early bin")
+	}
+	wantMean := (2*tp.TimesNs[0] + 1*tp.TimesNs[9]) / 3
+	if math.Abs(tp.MeanTime()-wantMean) > 1e-12 {
+		t.Fatalf("mean time %g, want %g", tp.MeanTime(), wantMean)
+	}
+	if f := tp.WindowFraction(0, tp.TimesNs[0]); math.Abs(f-2.0/3) > 1e-12 {
+		t.Fatalf("window fraction %g", f)
+	}
+}
+
+func TestNilHistogram(t *testing.T) {
+	if FromPathHistogram(nil, 1.4) != nil {
+		t.Fatal("nil histogram should give nil TPSF")
+	}
+}
+
+// End-to-end: simulate with a pathlength histogram, convert to a TPSF, and
+// check the temporal gate matches the pathlength gate it was derived from.
+func TestTimeGateMatchesPathGateEndToEnd(t *testing.T) {
+	props := optics.FromTransport(1.0, 0.9, 0.01, 1.4)
+	model := tissue.HomogeneousSlab("slab", props, 100)
+
+	// Temporal gate 0–0.5 ns in n=1.4 → pathlength gate 0–107 mm.
+	gate, err := GateFromTimeWindow(0, 0.5, 1.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &mc.Config{
+		Model:    model,
+		Gate:     gate,
+		PathHist: &mc.HistSpec{Min: 0, Max: 400, Bins: 100},
+	}
+	tally, err := mc.Run(cfg, 30000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.DetectedCount == 0 {
+		t.Fatal("no detections")
+	}
+	// Every detected photon's arrival time must be inside the window.
+	tp := FromPathHistogram(tally.PathHist, 1.4)
+	if frac := tp.WindowFraction(0, 0.5); frac < 0.999 {
+		t.Fatalf("%.1f%% of gated photons outside the time window", 100*(1-frac))
+	}
+	// Mean detected time consistent with mean pathlength.
+	meanT := TimeFromGeometricPath(tally.PathStats.Mean(), 1.4)
+	if math.Abs(meanT-tp.MeanTime()) > 0.05 {
+		t.Fatalf("mean time %g ns vs TPSF mean %g ns", meanT, tp.MeanTime())
+	}
+}

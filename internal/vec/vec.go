@@ -1,0 +1,90 @@
+// Package vec implements the small amount of 3-D vector algebra needed by
+// the photon transport kernel: direction bookkeeping, scattering rotations
+// and boundary geometry.
+package vec
+
+import "math"
+
+// V is a 3-D vector. Z points into the tissue; the surface is the z = 0
+// plane, matching the usual MCML slab convention.
+type V struct {
+	X, Y, Z float64
+}
+
+// Add returns a + b.
+func (a V) Add(b V) V { return V{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Sub returns a - b.
+func (a V) Sub(b V) V { return V{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Scale returns a scaled by s.
+func (a V) Scale(s float64) V { return V{a.X * s, a.Y * s, a.Z * s} }
+
+// Dot returns the scalar product a·b.
+func (a V) Dot(b V) float64 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// Cross returns the vector product a×b.
+func (a V) Cross(b V) V {
+	return V{
+		a.Y*b.Z - a.Z*b.Y,
+		a.Z*b.X - a.X*b.Z,
+		a.X*b.Y - a.Y*b.X,
+	}
+}
+
+// Norm returns |a|.
+func (a V) Norm() float64 { return math.Sqrt(a.Dot(a)) }
+
+// Normalize returns a/|a|. It returns the zero vector unchanged.
+func (a V) Normalize() V {
+	n := a.Norm()
+	if n == 0 {
+		return a
+	}
+	return a.Scale(1 / n)
+}
+
+// Scatter rotates the unit direction d by polar angle θ (given as cosθ) and
+// azimuthal angle φ, returning the new unit direction. This is the standard
+// MCML direction update (Prahl et al. 1989, Wang & Jacques MCML manual).
+func Scatter(d V, cosTheta, phi float64) V {
+	sinTheta := math.Sqrt(1 - cosTheta*cosTheta)
+	cosPhi := math.Cos(phi)
+	sinPhi := math.Sin(phi)
+
+	// Near-vertical propagation needs the degenerate branch to avoid the
+	// 1/sqrt(1-uz²) singularity.
+	if math.Abs(d.Z) > 0.99999 {
+		sign := 1.0
+		if d.Z < 0 {
+			sign = -1.0
+		}
+		return V{
+			sinTheta * cosPhi,
+			sinTheta * sinPhi,
+			sign * cosTheta,
+		}
+	}
+
+	denom := math.Sqrt(1 - d.Z*d.Z)
+	return V{
+		sinTheta*(d.X*d.Z*cosPhi-d.Y*sinPhi)/denom + d.X*cosTheta,
+		sinTheta*(d.Y*d.Z*cosPhi+d.X*sinPhi)/denom + d.Y*cosTheta,
+		-sinTheta*cosPhi*denom + d.Z*cosTheta,
+	}
+}
+
+// ReflectZ mirrors a direction in a z = const plane (specular reflection at a
+// horizontal layer boundary).
+func ReflectZ(d V) V { return V{d.X, d.Y, -d.Z} }
+
+// RefractZ bends a unit direction across a horizontal boundary given the
+// ratio n1/n2 and the transmitted polar cosine |cosT|. The sign of the
+// transmitted z component follows the incident direction.
+func RefractZ(d V, n1OverN2, cosT float64) V {
+	sign := 1.0
+	if d.Z < 0 {
+		sign = -1.0
+	}
+	return V{d.X * n1OverN2, d.Y * n1OverN2, sign * math.Abs(cosT)}
+}

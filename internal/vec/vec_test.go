@@ -1,0 +1,181 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestBasicAlgebra(t *testing.T) {
+	a := V{1, 2, 3}
+	b := V{4, -5, 6}
+	if got := a.Add(b); got != (V{5, -3, 9}) {
+		t.Fatalf("Add = %+v", got)
+	}
+	if got := a.Sub(b); got != (V{-3, 7, -3}) {
+		t.Fatalf("Sub = %+v", got)
+	}
+	if got := a.Scale(2); got != (V{2, 4, 6}) {
+		t.Fatalf("Scale = %+v", got)
+	}
+	if got := a.Dot(b); got != 4-10+18 {
+		t.Fatalf("Dot = %g", got)
+	}
+}
+
+func TestCross(t *testing.T) {
+	x := V{1, 0, 0}
+	y := V{0, 1, 0}
+	if got := x.Cross(y); got != (V{0, 0, 1}) {
+		t.Fatalf("x×y = %+v, want z", got)
+	}
+	if got := y.Cross(x); got != (V{0, 0, -1}) {
+		t.Fatalf("y×x = %+v, want -z", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := V{3, 4, 0}.Normalize()
+	if !almostEq(v.Norm(), 1, 1e-12) {
+		t.Fatalf("normalized norm = %g", v.Norm())
+	}
+	zero := V{}.Normalize()
+	if zero != (V{}) {
+		t.Fatalf("Normalize(0) = %+v", zero)
+	}
+}
+
+// Property: Scatter always returns a unit vector, for any incoming unit
+// direction and any valid (cosθ, φ).
+func TestScatterPreservesNorm(t *testing.T) {
+	r := rng.New(5)
+	f := func(seed uint64) bool {
+		rr := rng.New(seed)
+		// Random unit direction, including near-vertical ones.
+		d := V{rr.Gaussian(), rr.Gaussian(), rr.Gaussian()}.Normalize()
+		if d == (V{}) {
+			return true
+		}
+		if r.Float64() < 0.2 {
+			d = V{0, 0, 1} // exercise the degenerate branch
+			if r.Float64() < 0.5 {
+				d.Z = -1
+			}
+		}
+		cos := 2*rr.Float64() - 1
+		phi := rr.Azimuth()
+		out := Scatter(d, cos, phi)
+		return almostEq(out.Norm(), 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the angle between the incoming and scattered direction equals
+// the sampled polar angle.
+func TestScatterAngleMatchesCosine(t *testing.T) {
+	rr := rng.New(9)
+	for i := 0; i < 5000; i++ {
+		d := V{rr.Gaussian(), rr.Gaussian(), rr.Gaussian()}.Normalize()
+		if d.Norm() == 0 {
+			continue
+		}
+		cos := 2*rr.Float64() - 1
+		out := Scatter(d, cos, rr.Azimuth())
+		if !almostEq(out.Dot(d), cos, 1e-9) {
+			t.Fatalf("scatter angle mismatch: d·out = %g, want %g", out.Dot(d), cos)
+		}
+	}
+}
+
+func TestScatterDegenerateVertical(t *testing.T) {
+	// Straight down, scatter by θ with φ=0: expect (sinθ, 0, cosθ).
+	out := Scatter(V{0, 0, 1}, 0.5, 0)
+	want := V{math.Sqrt(1 - 0.25), 0, 0.5}
+	if !almostEq(out.X, want.X, 1e-12) || !almostEq(out.Z, want.Z, 1e-12) {
+		t.Fatalf("Scatter(ẑ) = %+v, want %+v", out, want)
+	}
+	// Straight up keeps the sign of z.
+	up := Scatter(V{0, 0, -1}, 0.5, 0)
+	if up.Z >= 0 {
+		t.Fatalf("Scatter(-ẑ) z = %g, want negative", up.Z)
+	}
+}
+
+func TestReflectZ(t *testing.T) {
+	d := V{0.3, -0.4, 0.866}
+	r := ReflectZ(d)
+	if r.X != d.X || r.Y != d.Y || r.Z != -d.Z {
+		t.Fatalf("ReflectZ(%+v) = %+v", d, r)
+	}
+	if !almostEq(r.Norm(), d.Norm(), 1e-15) {
+		t.Fatal("reflection changed the norm")
+	}
+}
+
+func TestRefractZStraightThrough(t *testing.T) {
+	// Matched indices: direction unchanged.
+	d := V{0, 0, 1}
+	out := RefractZ(d, 1, 1)
+	if !almostEq(out.Z, 1, 1e-15) || out.X != 0 || out.Y != 0 {
+		t.Fatalf("RefractZ identity = %+v", out)
+	}
+}
+
+func TestRefractZSnell(t *testing.T) {
+	// 45° incidence from n=1 into n=1.5: sinT = sin45/1.5.
+	sinI := math.Sin(math.Pi / 4)
+	cosI := math.Cos(math.Pi / 4)
+	d := V{sinI, 0, cosI}
+	n1n2 := 1.0 / 1.5
+	sinT := sinI * n1n2
+	cosT := math.Sqrt(1 - sinT*sinT)
+	out := RefractZ(d, n1n2, cosT)
+	if !almostEq(out.Norm(), 1, 1e-12) {
+		t.Fatalf("refracted direction norm = %g", out.Norm())
+	}
+	if !almostEq(out.X, sinT, 1e-12) {
+		t.Fatalf("refracted sin = %g, want %g", out.X, sinT)
+	}
+	if out.Z <= 0 {
+		t.Fatal("refraction flipped propagation direction")
+	}
+	// Upward-travelling photon keeps negative z.
+	up := RefractZ(V{sinI, 0, -cosI}, n1n2, cosT)
+	if up.Z >= 0 {
+		t.Fatal("upward refraction should keep negative z")
+	}
+}
+
+// Property: refraction preserves the transverse direction (Snell's law is
+// planar) and produces unit vectors.
+func TestRefractZProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		rr := rng.New(seed)
+		n1 := 1 + rr.Float64()
+		n2 := 1 + rr.Float64()
+		cosI := rr.Float64Open()
+		sinI := math.Sqrt(1 - cosI*cosI)
+		phi := rr.Azimuth()
+		d := V{sinI * math.Cos(phi), sinI * math.Sin(phi), cosI}
+		sinT := n1 / n2 * sinI
+		if sinT >= 1 {
+			return true // total internal reflection: RefractZ not called
+		}
+		cosT := math.Sqrt(1 - sinT*sinT)
+		out := RefractZ(d, n1/n2, cosT)
+		if !almostEq(out.Norm(), 1, 1e-9) {
+			return false
+		}
+		// Transverse components stay proportional: out.X/out.Y == d.X/d.Y.
+		return almostEq(out.X*d.Y, out.Y*d.X, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

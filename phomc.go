@@ -1,0 +1,132 @@
+package phomc
+
+import (
+	"repro/internal/detector"
+	"repro/internal/mc"
+	"repro/internal/optics"
+	"repro/internal/source"
+	"repro/internal/tissue"
+)
+
+// Core simulation types, re-exported from the kernel.
+type (
+	// Config fully describes one simulation run.
+	Config = mc.Config
+	// Tally holds every observable of a run; it merges associatively.
+	Tally = mc.Tally
+	// Spec is the serialisable form of a Config used by the wire protocol.
+	Spec = mc.Spec
+	// GridSpec requests a cubic scoring grid of N³ voxels over Edge mm.
+	GridSpec = mc.GridSpec
+	// HistSpec requests a pathlength histogram.
+	HistSpec = mc.HistSpec
+	// BoundaryMode selects probabilistic or deterministic (classical
+	// splitting) boundary physics.
+	BoundaryMode = mc.BoundaryMode
+
+	// Model is a layered tissue description.
+	Model = tissue.Model
+	// Layer is one homogeneous slab of a Model.
+	Layer = tissue.Layer
+	// Properties are a medium's optical properties (µa, µs, g, n).
+	Properties = optics.Properties
+
+	// Source launches photons onto the tissue surface.
+	Source = source.Source
+	// SourceSpec is the serialisable form of a Source.
+	SourceSpec = source.Spec
+	// Detector captures photons exiting the surface.
+	Detector = detector.Detector
+	// DetectorSpec is the serialisable form of a Detector plus its Gate.
+	DetectorSpec = detector.Spec
+	// Gate restricts detection to a pathlength window (gated differential
+	// pathlengths).
+	Gate = detector.Gate
+)
+
+// Boundary handling modes.
+const (
+	BoundaryProbabilistic = mc.BoundaryProbabilistic
+	BoundaryDeterministic = mc.BoundaryDeterministic
+)
+
+// Run simulates n photons on a single RNG stream seeded with seed.
+func Run(cfg *Config, n int64, seed uint64) (*Tally, error) {
+	return mc.Run(cfg, n, seed)
+}
+
+// RunParallel fans n photons across workers goroutines (0 = GOMAXPROCS)
+// with jump-separated RNG streams; the merged tally is independent of the
+// worker count.
+func RunParallel(cfg *Config, n int64, seed uint64, workers int) (*Tally, error) {
+	return mc.RunParallel(cfg, n, seed, workers)
+}
+
+// RunStream computes chunk `stream` of `streams` independent chunks; merging
+// all chunks reproduces exactly the same tally in any order.
+func RunStream(cfg *Config, n int64, seed uint64, stream, streams int) (*Tally, error) {
+	return mc.RunStream(cfg, n, seed, stream, streams)
+}
+
+// NewTally returns an empty tally shaped for cfg, ready to Merge into.
+func NewTally(cfg *Config) *Tally { return mc.NewTally(cfg) }
+
+// Tissue models.
+
+// AdultHead returns the five-layer adult head model of the paper's Table 1
+// (scalp, skull, CSF, grey matter, semi-infinite white matter).
+func AdultHead() *Model { return tissue.AdultHead() }
+
+// AdultHeadCustom returns the Table 1 model with chosen scalp and skull
+// thicknesses (the table gives 3–10 mm and 5–10 mm ranges).
+func AdultHeadCustom(scalpMM, skullMM float64) *Model {
+	return tissue.AdultHeadCustom(scalpMM, skullMM)
+}
+
+// Neonate returns a neonatal head model with thinner superficial layers.
+func Neonate() *Model { return tissue.Neonate() }
+
+// HomogeneousWhiteMatter returns the semi-infinite white-matter phantom of
+// the paper's Fig 3.
+func HomogeneousWhiteMatter() *Model { return tissue.HomogeneousWhiteMatter() }
+
+// HomogeneousSlab returns a single-layer slab with the given properties.
+func HomogeneousSlab(name string, p Properties, thicknessMM float64) *Model {
+	return tissue.HomogeneousSlab(name, p, thicknessMM)
+}
+
+// TransportProperties builds Properties from a transport scattering
+// coefficient µs′ = µs(1−g), the form tissue tables usually report.
+func TransportProperties(muSPrime, g, muA, n float64) Properties {
+	return optics.FromTransport(muSPrime, g, muA, n)
+}
+
+// Sources.
+
+// PencilSource returns the delta (laser) source at the origin.
+func PencilSource() Source { return source.Pencil{} }
+
+// GaussianSource returns a Gaussian illumination footprint with the given
+// per-axis standard deviation in mm.
+func GaussianSource(sigmaMM float64) Source { return source.GaussianBeam{Sigma: sigmaMM} }
+
+// UniformSource returns a flat circular illumination footprint with the
+// given radius in mm.
+func UniformSource(radiusMM float64) Source { return source.UniformDisk{Radius: radiusMM} }
+
+// Detectors.
+
+// DiskDetector returns a circular optode of the given radius centred at
+// (separationMM, 0) on the surface.
+func DiskDetector(separationMM, radiusMM float64) Detector {
+	return detector.Disk{CenterX: separationMM, Radius: radiusMM}
+}
+
+// AnnulusDetector captures photons exiting at radial distance
+// ρ ∈ [rMinMM, rMaxMM] from the source axis (all azimuths).
+func AnnulusDetector(rMinMM, rMaxMM float64) Detector {
+	return detector.Annulus{RMin: rMinMM, RMax: rMaxMM}
+}
+
+// SurfaceDetector captures every photon leaving the top surface.
+func SurfaceDetector() Detector { return detector.All{} }

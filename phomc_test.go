@@ -1,0 +1,198 @@
+package phomc_test
+
+import (
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	phomc "repro"
+	"repro/internal/grid"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	cfg := &phomc.Config{
+		Model:    phomc.AdultHead(),
+		Source:   phomc.PencilSource(),
+		Detector: phomc.DiskDetector(10, 3),
+	}
+	tally, err := phomc.RunParallel(cfg, 5000, 42, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.Launched != 5000 {
+		t.Fatalf("launched %d", tally.Launched)
+	}
+	if tally.DiffuseReflectance() <= 0 || tally.DiffuseReflectance() >= 1 {
+		t.Fatalf("Rd = %g out of range", tally.DiffuseReflectance())
+	}
+	if bal := tally.EnergyBalance(); math.Abs(bal) > 1e-6 {
+		t.Fatalf("energy balance %g", bal)
+	}
+}
+
+func TestModelConstructors(t *testing.T) {
+	for _, m := range []*phomc.Model{
+		phomc.AdultHead(),
+		phomc.AdultHeadCustom(5, 8),
+		phomc.Neonate(),
+		phomc.HomogeneousWhiteMatter(),
+		phomc.HomogeneousSlab("x", phomc.TransportProperties(1, 0.9, 0.01, 1.4), 10),
+	} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("model %q invalid: %v", m.Name, err)
+		}
+	}
+}
+
+func TestSourcesRun(t *testing.T) {
+	for _, src := range []phomc.Source{
+		phomc.PencilSource(),
+		phomc.GaussianSource(1.5),
+		phomc.UniformSource(2),
+	} {
+		cfg := &phomc.Config{Model: phomc.AdultHead(), Source: src}
+		if _, err := phomc.Run(cfg, 200, 1); err != nil {
+			t.Errorf("source %s failed: %v", src.Describe(), err)
+		}
+	}
+}
+
+func TestGatedDifferentialPathlengths(t *testing.T) {
+	mk := func(gate phomc.Gate) *phomc.Config {
+		return &phomc.Config{
+			Model:    phomc.AdultHead(),
+			Detector: phomc.AnnulusDetector(5, 15),
+			Gate:     gate,
+		}
+	}
+	open, err := phomc.Run(mk(phomc.Gate{}), 20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated, err := phomc.Run(mk(phomc.Gate{MinPath: 0, MaxPath: 60}), 20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gated.DetectedWeight >= open.DetectedWeight {
+		t.Fatal("gate did not reject any photons")
+	}
+	if gated.MeanPathlength() >= open.MeanPathlength() {
+		t.Fatal("early gate should shorten the mean pathlength")
+	}
+}
+
+func TestFig3PresetSmall(t *testing.T) {
+	// Scaled-down Fig 3: close detector, coarse grid, few photons.
+	cfg := phomc.Fig3Config(3, 1, 20, 12)
+	tally, err := phomc.Run(cfg, 15000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.DetectedCount == 0 {
+		t.Fatal("banana run detected nothing")
+	}
+	if tally.PathGrid.Total() == 0 {
+		t.Fatal("path grid empty")
+	}
+	// The sensitivity map must dip below the surface between source and
+	// detector (it is a banana, not a surface streak): some mass deeper
+	// than 1 mm.
+	profile := tally.PathGrid.DepthProfile()
+	deep := 0.0
+	for k := 2; k < len(profile); k++ { // below ~1.2 mm for 12 mm/20 voxels
+		deep += profile[k]
+	}
+	if deep == 0 {
+		t.Fatal("no detected-photon density below the surface layer")
+	}
+
+	// Quantitative banana arc: somewhere between source (x=0) and detector
+	// (x=3 mm) the most-probed depth dips below the surface voxel row.
+	peaks := grid.PeakDepthPerColumn(tally.PathGrid.ProjectY())
+	srcCol, _, _, _ := tally.PathGrid.Voxel(0, 0, 0)
+	detCol, _, _, _ := tally.PathGrid.Voxel(3, 0, 0)
+	dipped := false
+	for x := srcCol; x <= detCol; x++ {
+		if peaks[x] >= 1 {
+			dipped = true
+			break
+		}
+	}
+	if !dipped {
+		t.Fatalf("no sub-surface sensitivity peak between the optodes: %v",
+			peaks[srcCol:detCol+1])
+	}
+}
+
+func TestFig4PresetSmall(t *testing.T) {
+	cfg := phomc.Fig4Config(16, 32)
+	tally, err := phomc.Run(cfg, 8000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.AbsGrid.Total() == 0 {
+		t.Fatal("absorption grid empty")
+	}
+	// Fig 4 claims: most photons never reach the CSF; some reach white
+	// matter.
+	if f := tally.PenetrationFraction(2); f > 0.5 {
+		t.Fatalf("CSF penetration %g, expected minority", f)
+	}
+	if f := tally.PenetrationFraction(4); f <= 0 {
+		t.Fatal("white matter penetration should be positive")
+	}
+}
+
+func TestDataManagerPublicAPI(t *testing.T) {
+	spec := phomc.NewSpec(
+		phomc.HomogeneousSlab("slab", phomc.TransportProperties(1.9, 0.9, 0.018, 1.4), 5),
+		phomc.SourceSpec{Kind: "pencil"},
+		phomc.DetectorSpec{Kind: "annulus", RMin: 1, RMax: 4},
+	)
+	dm, err := phomc.NewDataManager(phomc.JobOptions{
+		Spec: spec, TotalPhotons: 2000, ChunkPhotons: 250, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go dm.Serve(l)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			phomc.WorkTCP(l.Addr().String(), phomc.WorkerOptions{
+				Name: []string{"alpha", "beta"}[i],
+			})
+		}(i)
+	}
+	res, err := dm.Wait(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if res.Tally.Launched != 2000 {
+		t.Fatalf("launched %d", res.Tally.Launched)
+	}
+	if len(res.Workers) != 2 {
+		t.Fatalf("workers recorded: %d", len(res.Workers))
+	}
+}
+
+func TestBoundaryModesPublic(t *testing.T) {
+	for _, mode := range []phomc.BoundaryMode{
+		phomc.BoundaryProbabilistic, phomc.BoundaryDeterministic,
+	} {
+		cfg := &phomc.Config{Model: phomc.AdultHead(), Boundary: mode}
+		if _, err := phomc.Run(cfg, 300, 1); err != nil {
+			t.Errorf("mode %v: %v", mode, err)
+		}
+	}
+}
