@@ -25,6 +25,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/tissue"
+	"repro/internal/voxel"
 )
 
 // --- Figure/table regenerators -----------------------------------------
@@ -300,6 +301,42 @@ func BenchmarkGatedDetection(b *testing.B) {
 		Detector: phomc.AnnulusDetector(5, 15),
 		Gate:     phomc.Gate{MinPath: 20, MaxPath: 200},
 	}
+	if _, err := phomc.Run(cfg, int64(b.N), 1); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// --- Voxel geometry -------------------------------------------------------
+
+// BenchmarkVoxelTraversal runs the voxelized adult head — the heterogeneous
+// hot path (DDA step-to-boundary per scattering event) — for comparison
+// against BenchmarkTable1AdultHead on the layered fast path.
+func BenchmarkVoxelTraversal(b *testing.B) {
+	g, err := voxel.FromModel(phomc.AdultHead(), 120, 120, 80, 1, 1, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := &phomc.Config{Geometry: g}
+	tally, err := phomc.Run(cfg, int64(b.N), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(tally.DiffuseReflectance(), "Rd")
+}
+
+// BenchmarkVoxelSphereInclusion adds an absorbing sphere so label changes
+// (and Fresnel-free interior crossings) appear on the path.
+func BenchmarkVoxelSphereInclusion(b *testing.B) {
+	g, err := voxel.FromModel(phomc.AdultHead(), 120, 120, 80, 1, 1, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inc, err := g.AddMedium("tumour", phomc.TransportProperties(2.0, 0.9, 0.3, 1.4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.PaintSphere(inc, 0, 0, 14, 5)
+	cfg := &phomc.Config{Geometry: g}
 	if _, err := phomc.Run(cfg, int64(b.N), 1); err != nil {
 		b.Fatal(err)
 	}

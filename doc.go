@@ -2,12 +2,20 @@
 // in tissue, reproducing Page, Coyle et al., "Distributed Monte Carlo
 // Simulation of Light Transportation in Tissue" (IPPS 2006).
 //
-// Photon packets are traced through layered tissue models (hop–drop–spin
+// Photon packets are traced through a pluggable Geometry (hop–drop–spin
 // with Henyey–Greenstein scattering, Fresnel refraction and internal
-// reflection at layer boundaries, Russian roulette), scored on user-defined
-// 3-D grids and surface detectors with optional pathlength gating, and the
-// work can be fanned out over goroutines or a DataManager/worker cluster
-// with exactly-once, order-independent reduction.
+// reflection at medium boundaries, Russian roulette), scored on
+// user-defined 3-D grids and surface detectors with optional pathlength
+// gating, and the work can be fanned out over goroutines or a
+// DataManager/worker cluster with exactly-once, order-independent
+// reduction.
+//
+// Two geometries ship with the package: the paper's layered slab models
+// (the fast path, installed automatically when Config.Model is set) and
+// heterogeneous voxel grids (VoxelGrid) supporting arbitrary inclusions —
+// tumours, boxes, tilted layers — via DDA traversal. Both are plain data,
+// so either kind of job travels over the wire protocol and runs on the
+// cluster.
 //
 // # Quick start
 //
@@ -19,6 +27,18 @@
 //	tally, err := phomc.RunParallel(cfg, 1_000_000, 42, 0)
 //	if err != nil { ... }
 //	fmt.Println("DPF:", tally.DPF(20))
+//
+// # Heterogeneous media
+//
+// Voxelize a layered model (or start from a homogeneous NewVoxelGrid),
+// paint inclusions into it, and trace through Config.Geometry:
+//
+//	g, _ := phomc.VoxelizeModel(phomc.AdultHead(), 120, 120, 80, 1, 1, 0.5)
+//	tumour, _ := g.AddMedium("tumour", phomc.TransportProperties(2, 0.9, 0.3, 1.4))
+//	g.PaintSphere(tumour, 0, 0, 14, 5)
+//	tally, err := phomc.RunParallel(&phomc.Config{Geometry: g}, 1_000_000, 42, 0)
+//
+// See examples/inclusion for the full perturbation workflow.
 //
 // The library is organised as a thin facade over focused internal packages;
 // see DESIGN.md for the full system inventory and EXPERIMENTS.md for the

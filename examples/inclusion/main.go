@@ -1,0 +1,69 @@
+// Inclusion: embed an absorbing sphere (a tumour-like perturbation) in the
+// voxelized adult head and compare diffuse reflectance, detected weight and
+// per-medium absorption against the unperturbed model — the heterogeneous
+// scenario the layered slab geometry cannot express.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	phomc "repro"
+)
+
+func main() {
+	photons := flag.Int64("photons", 100_000, "photon packets to launch per run")
+	depth := flag.Float64("depth", 14, "inclusion centre depth in mm (14 = grey matter)")
+	radius := flag.Float64("radius", 5, "inclusion radius in mm")
+	muA := flag.Float64("mua", 0.3, "inclusion absorption coefficient in 1/mm")
+	flag.Parse()
+
+	// Voxelize the Table 1 adult head: 120×120 mm wide, 40 mm deep, with
+	// 0.5 mm depth rows so every layer boundary (3/10/12/16 mm) aligns
+	// with a voxel plane.
+	clean, err := phomc.VoxelizeModel(phomc.AdultHead(), 120, 120, 80, 1, 1, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	perturbed := clean.Clone()
+	label, err := perturbed.AddMedium("inclusion",
+		phomc.TransportProperties(2.0, 0.9, *muA, 1.4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	painted := perturbed.PaintSphere(label, 0, 0, *depth, *radius)
+	fmt.Printf("absorbing sphere: r=%.1f mm at depth %.1f mm, µa=%.2f/mm (%d voxels, %.2f%% of grid)\n\n",
+		*radius, *depth, *muA, painted, 100*perturbed.VolumeFraction(label))
+
+	det := phomc.AnnulusDetector(5, 15)
+	run := func(name string, g *phomc.VoxelGrid) *phomc.Tally {
+		cfg := &phomc.Config{Geometry: g, Detector: det}
+		tally, err := phomc.RunParallel(cfg, *photons, 29, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s Rd %.4f  detected %.5f  absorbed %.4f  lateral-loss %.4f\n",
+			name, tally.DiffuseReflectance(), tally.DetectedFraction(),
+			tally.Absorbance(), tally.LateralFraction())
+		return tally
+	}
+
+	fmt.Printf("tracing %d photons per scenario...\n", *photons)
+	base := run("unperturbed", clean)
+	with := run("inclusion", perturbed)
+
+	fmt.Printf("\n%-14s %14s %14s\n", "medium", "absorbed", "absorbed+inc")
+	for i := 0; i < clean.NumRegions(); i++ {
+		fmt.Printf("%-14s %13.4f%% %13.4f%%\n", clean.RegionName(i),
+			100*base.LayerAbsorbed[i]/base.N(), 100*with.LayerAbsorbed[i]/with.N())
+	}
+	fmt.Printf("%-14s %13.4f%% %13.4f%%\n", "inclusion", 0.0,
+		100*with.LayerAbsorbed[label]/with.N())
+
+	dRd := with.DiffuseReflectance() - base.DiffuseReflectance()
+	dDet := with.DetectedFraction() - base.DetectedFraction()
+	fmt.Printf("\nthe absorber removes %.4f of reflectance and shifts detected weight by %+.5f\n", -dRd, dDet)
+	fmt.Println("— the contrast a NIRS probe sweep would localise the inclusion with.")
+}

@@ -115,6 +115,9 @@ func TestFluencePositiveAndDecaying(t *testing.T) {
 // dipole model in its regime of validity (ρ beyond a few transport mean
 // free paths, scattering-dominated medium).
 func TestMonteCarloMatchesDiffusionRadialProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3×10⁵-photon diffusion comparison; skipped in -short")
+	}
 	props := diffusive(1.0) // matched boundary keeps the model simplest
 	med, err := New(props, 1)
 	if err != nil {
@@ -162,6 +165,9 @@ func TestMonteCarloMatchesDiffusionRadialProfile(t *testing.T) {
 
 // Total diffuse reflectance: MC vs diffusion theory, matched boundary.
 func TestMonteCarloMatchesDiffusionTotalReflectance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10⁵-photon diffusion comparison; skipped in -short")
+	}
 	props := diffusive(1.0)
 	med, _ := New(props, 1)
 	model := tissue.HomogeneousSlab("semi-infinite", props, 400)
@@ -179,6 +185,9 @@ func TestMonteCarloMatchesDiffusionTotalReflectance(t *testing.T) {
 // DPF cross-check: the MC pathlength of photons detected at ρ matches the
 // diffusion-theory mean pathlength within the model error.
 func TestMonteCarloMatchesDiffusionDPF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10⁵-photon diffusion comparison; skipped in -short")
+	}
 	props := diffusive(1.0)
 	med, _ := New(props, 1)
 	model := tissue.HomogeneousSlab("semi-infinite", props, 400)

@@ -10,9 +10,11 @@ import (
 
 	"repro/internal/detector"
 	"repro/internal/mc"
+	"repro/internal/optics"
 	"repro/internal/protocol"
 	"repro/internal/source"
 	"repro/internal/tissue"
+	"repro/internal/voxel"
 )
 
 // quickSpec returns a cheap simulation spec for cluster tests.
@@ -381,5 +383,75 @@ func TestWaitTimeout(t *testing.T) {
 	}
 	if _, err := dm.Wait(30 * time.Millisecond); err == nil {
 		t.Fatal("wait with no workers should time out")
+	}
+}
+
+// voxelSpec returns a heterogeneous voxel-geometry job: a thin slab with an
+// absorbing spherical inclusion.
+func voxelSpec(t *testing.T) *mc.Spec {
+	t.Helper()
+	g, err := voxel.FromModel(tissue.HomogeneousSlab("slab", tissue.ScalpProps, 5),
+		40, 40, 10, 1, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := g.AddMedium("absorber", optics.Properties{MuA: 1, MuS: 10, G: 0.9, N: 1.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.PaintSphere(inc, 0, 0, 2.5, 1.5)
+	return mc.NewVoxelSpec(g,
+		source.Spec{Kind: source.KindPencil},
+		detector.Spec{Kind: detector.KindAnnulus, RMin: 1, RMax: 4})
+}
+
+// TestVoxelJobEndToEnd runs a voxel-geometry job through the full
+// manager/worker path and checks the distributed reduction matches the
+// same streams computed locally — the acceptance criterion for voxel jobs
+// on the cluster.
+func TestVoxelJobEndToEnd(t *testing.T) {
+	spec := voxelSpec(t)
+	const total, chunk, seed = 2000, 250, 13
+	res := runJob(t, JobOptions{
+		Spec: spec, TotalPhotons: total, ChunkPhotons: chunk, Seed: seed,
+	}, []WorkerOptions{{Name: "vox-a"}, {Name: "vox-b"}, {Name: "vox-c"}})
+
+	if res.Tally.Launched != total {
+		t.Fatalf("launched %d, want %d", res.Tally.Launched, total)
+	}
+	// The per-region tallies must be sized by the voxel media table
+	// (slab + absorber), not a layered model.
+	if len(res.Tally.LayerAbsorbed) != 2 {
+		t.Fatalf("tally regions = %d, want 2", len(res.Tally.LayerAbsorbed))
+	}
+	if res.Tally.LayerAbsorbed[1] == 0 {
+		t.Fatal("no absorption recorded in the inclusion medium")
+	}
+
+	cfg, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mc.NewTally(cfg)
+	for s := 0; s < res.Chunks; s++ {
+		chunkTally, err := mc.RunStream(cfg, chunk, seed, s, res.Chunks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := want.Merge(chunkTally); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(res.Tally.AbsorbedWeight-want.AbsorbedWeight) > 1e-9 {
+		t.Fatalf("distributed absorbed %g != local %g",
+			res.Tally.AbsorbedWeight, want.AbsorbedWeight)
+	}
+	if math.Abs(res.Tally.LateralWeight-want.LateralWeight) > 1e-9 {
+		t.Fatalf("distributed lateral %g != local %g",
+			res.Tally.LateralWeight, want.LateralWeight)
+	}
+	if res.Tally.DetectedCount != want.DetectedCount {
+		t.Fatalf("distributed detected %d != local %d",
+			res.Tally.DetectedCount, want.DetectedCount)
 	}
 }

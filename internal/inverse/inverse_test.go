@@ -57,6 +57,9 @@ func TestRecoveryFromFarStart(t *testing.T) {
 // The real deal: recover optical properties from a Monte Carlo "experiment"
 // — the forward model in its inverse-problem role.
 func TestRecoveryFromMonteCarloData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fits 2×10⁵-photon synthetic MC data; skipped in -short")
+	}
 	truth := optics.FromTransport(1.0, 0.9, 0.01, 1.0) // matched boundary
 	model := tissue.HomogeneousSlab("phantom", truth, 400)
 	cfg := &mc.Config{

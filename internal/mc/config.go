@@ -11,9 +11,15 @@ import (
 	"fmt"
 
 	"repro/internal/detector"
+	"repro/internal/geom"
 	"repro/internal/source"
 	"repro/internal/tissue"
 )
+
+// Geometry is the medium abstraction the kernel traces through; see
+// repro/internal/geom. The layered slab model and the heterogeneous voxel
+// grid (repro/internal/voxel) both implement it.
+type Geometry = geom.Geometry
 
 // BoundaryMode selects how refraction/internal reflection is handled at
 // layer boundaries — the paper supports "classical physics or probabilistic
@@ -65,10 +71,15 @@ const (
 )
 
 // Config fully describes one simulation. The zero value is not usable; set
-// at least Model and Source, then call Normalize.
+// at least Model (or Geometry) and Source, then call Normalize.
 type Config struct {
-	Model  *tissue.Model
-	Source source.Source
+	// Model is the layered slab description; Normalize wraps it in the
+	// layered Geometry fast path when Geometry is nil.
+	Model *tissue.Model
+	// Geometry, when set, overrides Model as the traced medium — any
+	// geom.Geometry implementation, e.g. a heterogeneous *voxel.Grid.
+	Geometry Geometry
+	Source   source.Source
 
 	// Detector captures photons exiting the top surface; nil means the
 	// entire surface. Gate optionally restricts capture by pathlength.
@@ -101,10 +112,13 @@ type Config struct {
 
 // Normalize fills defaults and validates the configuration.
 func (c *Config) Normalize() error {
-	if c.Model == nil {
-		return fmt.Errorf("mc: config has no tissue model")
+	if c.Geometry == nil {
+		if c.Model == nil {
+			return fmt.Errorf("mc: config has no tissue model or geometry")
+		}
+		c.Geometry = geom.Layered{M: c.Model}
 	}
-	if err := c.Model.Validate(); err != nil {
+	if err := c.Geometry.Validate(); err != nil {
 		return err
 	}
 	if c.Source == nil {

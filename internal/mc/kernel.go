@@ -3,6 +3,7 @@ package mc
 import (
 	"math"
 
+	"repro/internal/geom"
 	"repro/internal/optics"
 	"repro/internal/rng"
 	"repro/internal/vec"
@@ -16,21 +17,46 @@ type subPacket struct {
 	pos     vec.V
 	dir     vec.V
 	weight  float64
-	layer   int
+	region  int     // geometry region (layer index or voxel label)
 	path    float64 // geometric pathlength, mm
 	optPath float64 // optical pathlength Σ n·ds, mm
 	maxZ    float64 // deepest excursion, mm
 	scat    int64   // scattering events
 	split   int     // split depth (deterministic mode)
-	deep    int     // deepest layer this packet (or an ancestor) entered
+	deep    int     // highest region index this packet (or an ancestor) entered
+	// entered is the set of regions this packet (or an ancestor) has been
+	// in, for first-entry weight tallies; it covers region indices below
+	// maxTrackedRegions (= voxel.MaxMedia), with a monotone fallback above.
+	entered [maxTrackedRegions / 64]uint64
 	visits  []vec.V // interaction sites, recorded only when PathGrid is scored
 }
 
-// kernel carries the per-worker simulation state: configuration, RNG stream
-// and the tally being accumulated. One kernel must only be used from a
-// single goroutine.
+// maxTrackedRegions bounds the per-packet visited-region bitmask; it
+// matches the voxel media limit, so only layered models with >256 layers
+// fall back to the monotone depth approximation.
+const maxTrackedRegions = 256
+
+// markEntered records region r in the visited set and reports whether this
+// is its first entry. Regions beyond the mask fall back to "deeper than
+// anything so far", which is exact for depth-ordered layered stacks.
+func (p *subPacket) markEntered(r int) bool {
+	if r < maxTrackedRegions {
+		w, b := r>>6, uint64(1)<<(r&63)
+		if p.entered[w]&b != 0 {
+			return false
+		}
+		p.entered[w] |= b
+		return true
+	}
+	return r > p.deep
+}
+
+// kernel carries the per-worker simulation state: configuration, geometry,
+// RNG stream and the tally being accumulated. One kernel must only be used
+// from a single goroutine.
 type kernel struct {
 	cfg   *Config
+	geo   geom.Geometry
 	rng   *rng.Rand
 	tally *Tally
 
@@ -44,6 +70,7 @@ type kernel struct {
 func newKernel(cfg *Config, r *rng.Rand) *kernel {
 	return &kernel{
 		cfg:         cfg,
+		geo:         cfg.Geometry,
 		rng:         r,
 		tally:       NewTally(cfg),
 		recordPaths: cfg.PathGrid != nil,
@@ -81,78 +108,86 @@ func (k *kernel) onePhoton() {
 	t.Launched++
 
 	pos, dir := k.cfg.Source.Launch(k.rng)
+	entry := k.geo.RegionAt(pos)
+	if entry < 0 {
+		// Launched outside the medium's footprint (e.g. a wide source
+		// beside a voxel grid): the photon never enters the tissue; score
+		// the full weight as lateral loss so the energy books stay closed
+		// and an undersized grid is visible in LateralFraction.
+		t.LateralWeight++
+		return
+	}
 
 	// Specular reflection at the entry surface (handled once,
-	// deterministically, as in MCML).
-	rsp := optics.Specular(k.cfg.Model.NAbove, k.cfg.Model.Layers[0].Props.N)
+	// deterministically, as in MCML). In a heterogeneous medium the entry
+	// region — and hence the specular fraction — may vary across the
+	// surface footprint.
+	rsp := optics.Specular(k.geo.AmbientIndex(), k.geo.Props(entry).N)
 	t.SpecularWeight += rsp
 
 	primary := subPacket{
 		pos:    pos,
 		dir:    dir,
 		weight: 1 - rsp,
+		region: entry,
+		deep:   entry,
 	}
+	primary.markEntered(entry) // the entry region is not a penetration
 	if k.recordPaths {
 		primary.visits = k.getVisits()
 	}
 
 	k.stack = append(k.stack[:0], primary)
-	deepestLayer := 0
+	deepestRegion := entry
 
 	for len(k.stack) > 0 {
 		p := k.stack[len(k.stack)-1]
 		k.stack = k.stack[:len(k.stack)-1]
-		if d := k.trace(&p); d > deepestLayer {
-			deepestLayer = d
+		if d := k.trace(&p); d > deepestRegion {
+			deepestRegion = d
 		}
 	}
-	t.LayerReached[deepestLayer]++
+	t.LayerReached[deepestRegion]++
 }
 
-// trace follows one sub-packet to extinction and returns the deepest layer
+// trace follows one sub-packet to extinction and returns the deepest region
 // index it visited. Reflected children spawned in deterministic mode are
 // pushed onto k.stack.
 func (k *kernel) trace(p *subPacket) (deepest int) {
 	t := k.tally
-	m := k.cfg.Model
-	deepest = p.layer
+	deepest = p.region
 
 	defer func() { k.putVisits(p.visits); p.visits = nil }()
 
 	for events := 0; events < k.cfg.MaxEvents; events++ {
-		props := m.Layers[p.layer].Props
+		props := k.geo.Props(p.region)
 		mut := props.MuT()
 
-		// Sample the free-path step; a non-interacting layer (CSF-like
+		// Sample the free-path step; a non-interacting region (CSF-like
 		// void) propagates straight to its boundary.
 		s := math.Inf(1)
 		if mut > 0 {
 			s = k.rng.Step() / mut
 		}
 
-		// Distance to the layer boundary along the current direction.
-		db := math.Inf(1)
-		switch {
-		case p.dir.Z > 0:
-			db = (m.Boundary(p.layer+1) - p.pos.Z) / p.dir.Z
-		case p.dir.Z < 0:
-			db = (p.pos.Z - m.Boundary(p.layer)) / -p.dir.Z
-		}
+		// Distance to the next medium change along the current direction,
+		// searched only as far as the sampled step needs.
+		db, hit := k.geo.ToBoundary(p.pos, p.dir, p.region, s)
 
 		if s >= db {
 			// Hop to the boundary and resolve reflection/refraction.
-			// Resampling the remaining step in the next layer is unbiased
+			// Resampling the remaining step in the next region is unbiased
 			// by the memorylessness of the exponential free path.
 			if math.IsInf(db, 1) {
-				// Horizontal flight in a non-interacting layer: the photon
-				// leaves the region of interest sideways; score it as lost
-				// to absorption to keep the energy books closed.
+				// Unbounded flight in a non-interacting region: the photon
+				// leaves the region of interest; score it as lost to
+				// absorption to keep the energy books closed.
 				t.AbsorbedWeight += p.weight
-				t.LayerAbsorbed[p.layer] += p.weight
+				t.LayerAbsorbed[p.region] += p.weight
 				return deepest
 			}
 			k.advance(p, db, props.N)
-			alive, entered := k.boundary(p)
+			alive, entered := k.cross(p, &hit, props.N)
 			if !alive {
 				return deepest
 			}
@@ -169,7 +204,7 @@ func (k *kernel) trace(p *subPacket) (deepest int) {
 		dw := p.weight * props.MuA / mut
 		p.weight -= dw
 		t.AbsorbedWeight += dw
-		t.LayerAbsorbed[p.layer] += dw
+		t.LayerAbsorbed[p.region] += dw
 		if t.AbsGrid != nil {
 			t.AbsGrid.Add(p.pos.X, p.pos.Y, p.pos.Z, dw)
 		}
@@ -196,7 +231,7 @@ func (k *kernel) trace(p *subPacket) (deepest int) {
 	// Event budget exhausted (pathological configuration): retire the
 	// packet into the absorption ledger so energy stays conserved.
 	t.AbsorbedWeight += p.weight
-	t.LayerAbsorbed[p.layer] += p.weight
+	t.LayerAbsorbed[p.region] += p.weight
 	return deepest
 }
 
@@ -210,27 +245,18 @@ func (k *kernel) advance(p *subPacket, s, n float64) {
 	}
 }
 
-// boundary resolves a packet sitting exactly on a layer boundary, moving in
-// dir. It returns whether the packet is still alive inside the model and, if
-// it crossed into a deeper layer, that layer index (otherwise p.layer).
-func (k *kernel) boundary(p *subPacket) (alive bool, layerNow int) {
-	m := k.cfg.Model
-	goingDown := p.dir.Z > 0
-
-	n1 := m.Layers[p.layer].Props.N
-	var n2 float64
-	if goingDown {
-		n2 = m.IndexBelow(p.layer)
-	} else {
-		n2 = m.IndexAbove(p.layer)
-	}
-
-	cosI := math.Abs(p.dir.Z)
+// cross resolves a packet sitting exactly on the boundary described by hit,
+// moving in p.dir through a medium of index n1. It returns whether the
+// packet is still alive inside the geometry and, if it crossed into a new
+// region, that region index (otherwise p.region).
+func (k *kernel) cross(p *subPacket, hit *geom.Hit, n1 float64) (alive bool, regionNow int) {
+	n2 := hit.N2
+	cosI := -p.dir.Dot(hit.Normal)
 	refl, cosT := optics.Fresnel(n1, n2, cosI)
 
 	reflect := func() (bool, int) {
-		p.dir = vec.ReflectZ(p.dir)
-		return true, p.layer
+		p.dir = geom.Reflect(p.dir, hit.Normal)
+		return true, p.region
 	}
 
 	switch {
@@ -245,7 +271,7 @@ func (k *kernel) boundary(p *subPacket) (alive bool, layerNow int) {
 		if rw >= k.cfg.RouletteThreshold {
 			child := *p
 			child.weight = rw
-			child.dir = vec.ReflectZ(p.dir)
+			child.dir = geom.Reflect(p.dir, hit.Normal)
 			child.split = p.split + 1
 			if k.recordPaths {
 				child.visits = append(k.getVisits(), p.visits...)
@@ -266,28 +292,30 @@ func (k *kernel) boundary(p *subPacket) (alive bool, layerNow int) {
 	}
 
 	// Refract across the boundary.
-	p.dir = vec.RefractZ(p.dir, n1/n2, cosT)
+	p.dir = geom.Refract(p.dir, hit.Normal, n1/n2, cosT)
 
-	if goingDown {
-		if p.layer == m.NumLayers()-1 {
-			// Escaped through the bottom of a finite stack.
-			k.tally.TransmitWeight += p.weight
-			return false, p.layer
-		}
-		p.layer++
-		if p.layer > p.deep {
-			p.deep = p.layer
-			k.tally.LayerEnteredWeight[p.layer] += p.weight
-		}
-		return true, p.layer
-	}
-
-	if p.layer == 0 {
+	switch hit.Exit {
+	case geom.ExitTop:
 		k.escapeTop(p)
-		return false, 0
+		return false, p.region
+	case geom.ExitBottom:
+		// Escaped through the bottom of a finite medium.
+		k.tally.TransmitWeight += p.weight
+		return false, p.region
+	case geom.ExitLateral:
+		// Out the sides of a laterally bounded medium (voxel grids).
+		k.tally.LateralWeight += p.weight
+		return false, p.region
 	}
-	p.layer--
-	return true, p.layer
+
+	p.region = hit.Next
+	if p.markEntered(p.region) {
+		k.tally.LayerEnteredWeight[p.region] += p.weight
+	}
+	if p.region > p.deep {
+		p.deep = p.region
+	}
+	return true, p.region
 }
 
 // escapeTop scores a packet exiting through the z = 0 surface: diffuse

@@ -50,6 +50,9 @@ func TestSpecularEntryReflectance(t *testing.T) {
 }
 
 func TestEnergyBalanceExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-config 2×10⁴-photon sweep; skipped in -short")
+	}
 	cases := []struct {
 		name string
 		cfg  *Config
@@ -262,6 +265,9 @@ func TestDetectorSubsetOfDiffuse(t *testing.T) {
 // Boundary modes are different estimators of the same physics: their
 // reflectance and penetration observables must agree statistically.
 func TestBoundaryModesAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical mode comparison needs 1.5×10⁴ photons per mode; skipped in -short")
+	}
 	const n = 15000
 	run := func(mode BoundaryMode, seed uint64) *Tally {
 		tally, err := Run(&Config{Model: tissue.AdultHead(), Boundary: mode}, n, seed)
@@ -338,6 +344,9 @@ func TestOpticalPathScalesWithIndex(t *testing.T) {
 }
 
 func TestPenetrationOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs 2×10⁴ photons through the full head; skipped in -short")
+	}
 	tally, err := Run(&Config{Model: tissue.AdultHead()}, 20000, 17)
 	if err != nil {
 		t.Fatal(err)
@@ -361,6 +370,9 @@ func TestPenetrationOrdering(t *testing.T) {
 }
 
 func TestDPFExceedsOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs 3×10⁴ photons for a stable DPF; skipped in -short")
+	}
 	cfg := &Config{
 		Model:    tissue.AdultHead(),
 		Detector: detector.Annulus{RMin: 8, RMax: 12},

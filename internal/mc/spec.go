@@ -6,13 +6,17 @@ import (
 	"repro/internal/detector"
 	"repro/internal/source"
 	"repro/internal/tissue"
+	"repro/internal/voxel"
 )
 
 // Spec is a fully serialisable simulation description: what the DataManager
 // sends to worker clients. It contains only plain data (no interfaces), so
-// it travels over encoding/gob unchanged.
+// it travels over encoding/gob unchanged. Exactly one of Model (layered
+// slabs) or Voxel (heterogeneous voxel grid) describes the medium; when
+// both are set the voxel grid wins.
 type Spec struct {
 	Model    tissue.Model
+	Voxel    *voxel.Grid
 	Source   source.Spec
 	Detector detector.Spec
 	Boundary BoundaryMode
@@ -27,11 +31,18 @@ type Spec struct {
 	Radial   *HistSpec
 }
 
-// NewSpec captures a Config's serialisable parameters. The Source and
-// Detector must have been built from source.Spec / detector.Spec-expressible
-// types; arbitrary user implementations cannot travel over the wire.
+// NewSpec captures a Config's serialisable parameters for a layered model.
+// The Source and Detector must have been built from source.Spec /
+// detector.Spec-expressible types; arbitrary user implementations cannot
+// travel over the wire.
 func NewSpec(model *tissue.Model, src source.Spec, det detector.Spec) *Spec {
 	return &Spec{Model: *model, Source: src, Detector: det}
+}
+
+// NewVoxelSpec captures a serialisable description of a voxel-geometry
+// simulation, the heterogeneous counterpart of NewSpec.
+func NewVoxelSpec(g *voxel.Grid, src source.Spec, det detector.Spec) *Spec {
+	return &Spec{Voxel: g, Source: src, Detector: det}
 }
 
 // Build materialises the Spec into a runnable Config.
@@ -44,9 +55,7 @@ func (s *Spec) Build() (*Config, error) {
 	if err != nil {
 		return nil, err
 	}
-	model := s.Model // copy; layers slice is shared but never mutated
 	cfg := &Config{
-		Model:             &model,
 		Source:            src,
 		Detector:          det,
 		Gate:              s.Detector.Gate,
@@ -58,6 +67,15 @@ func (s *Spec) Build() (*Config, error) {
 		PathGrid:          s.PathGrid,
 		PathHist:          s.PathHist,
 		Radial:            s.Radial,
+	}
+	switch {
+	case s.Voxel != nil:
+		cfg.Geometry = s.Voxel
+	case len(s.Model.Layers) > 0:
+		model := s.Model // copy; layers slice is shared but never mutated
+		cfg.Model = &model
+	default:
+		return nil, fmt.Errorf("mc: spec has neither a layered model nor a voxel grid")
 	}
 	if err := cfg.Normalize(); err != nil {
 		return nil, err

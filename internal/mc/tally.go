@@ -19,8 +19,12 @@ type Tally struct {
 	// Weight bookkeeping; all weights are in units of launched packets.
 	SpecularWeight float64 // reflected at the entry surface
 	DiffuseWeight  float64 // escaped the top surface after entering (includes detected)
-	TransmitWeight float64 // escaped the bottom of a finite stack
+	TransmitWeight float64 // escaped the bottom of a finite medium
 	AbsorbedWeight float64 // deposited in the tissue
+	// LateralWeight is the weight escaping through the sides of a laterally
+	// bounded geometry (voxel grids); layered slabs are laterally infinite
+	// and never produce it.
+	LateralWeight float64
 
 	// RouletteGain/Loss record the weight created by roulette survival
 	// boosts and destroyed by roulette kills. Exact per-run energy balance:
@@ -40,17 +44,24 @@ type Tally struct {
 	DepthStats   stats.Running
 	ScatterStats stats.Running
 
-	// Per-layer observables, indexed by layer.
-	LayerAbsorbed []float64 // absorbed weight per layer
-	// LayerReached[i] counts launched photons whose deepest excursion
-	// reached layer i (each photon counted once, at its deepest layer).
-	// Counts are trajectory-based and only physically meaningful in
-	// probabilistic boundary mode; use LayerEnteredWeight for a
-	// mode-independent measure.
+	// Per-region observables, indexed by geometry region (layer index for
+	// layered models, medium label for voxel grids). The field names keep
+	// the layered-era "Layer" prefix for wire compatibility.
+	LayerAbsorbed []float64 // absorbed weight per region
+	// LayerReached[i] counts launched photons whose highest-indexed
+	// excursion reached region i (each photon counted once). For layered
+	// models and FromModel voxelizations region indices are depth-ordered,
+	// so this is the deepest layer reached; for grids with appended
+	// inclusion labels it is "highest label", and depth questions should
+	// use DepthStats/maxZ instead. Counts are trajectory-based and only
+	// physically meaningful in probabilistic boundary mode; use
+	// LayerEnteredWeight for a mode-independent measure.
 	LayerReached []int64
 	// LayerEnteredWeight[i] accumulates the packet weight carried into
-	// layer i the first time each packet reaches it — the survival-weighted
-	// penetration probability, consistent across boundary modes.
+	// region i the first time each packet enters it (the launch region is
+	// not counted) — for depth-ordered regions this is the
+	// survival-weighted penetration probability, consistent across
+	// boundary modes.
 	LayerEnteredWeight []float64
 
 	// Optional scoring structures (nil unless requested in the Config).
@@ -62,10 +73,17 @@ type Tally struct {
 
 // NewTally returns a tally sized for the given configuration.
 func NewTally(cfg *Config) *Tally {
+	regions := 0
+	switch {
+	case cfg.Geometry != nil:
+		regions = cfg.Geometry.NumRegions()
+	case cfg.Model != nil:
+		regions = cfg.Model.NumLayers()
+	}
 	t := &Tally{
-		LayerAbsorbed:      make([]float64, cfg.Model.NumLayers()),
-		LayerReached:       make([]int64, cfg.Model.NumLayers()),
-		LayerEnteredWeight: make([]float64, cfg.Model.NumLayers()),
+		LayerAbsorbed:      make([]float64, regions),
+		LayerReached:       make([]int64, regions),
+		LayerEnteredWeight: make([]float64, regions),
 	}
 	if gs := cfg.AbsGrid; gs != nil {
 		t.AbsGrid = grid.NewCube(gs.N, gs.Edge)
@@ -93,6 +111,7 @@ func (t *Tally) Merge(o *Tally) error {
 	t.DiffuseWeight += o.DiffuseWeight
 	t.TransmitWeight += o.TransmitWeight
 	t.AbsorbedWeight += o.AbsorbedWeight
+	t.LateralWeight += o.LateralWeight
 	t.RouletteGain += o.RouletteGain
 	t.RouletteLoss += o.RouletteLoss
 	t.DetectedCount += o.DetectedCount
@@ -184,14 +203,19 @@ func (t *Tally) Absorbance() float64 { return t.AbsorbedWeight / t.N() }
 // SpecularReflectance returns the specular (entry) reflectance fraction.
 func (t *Tally) SpecularReflectance() float64 { return t.SpecularWeight / t.N() }
 
-// EnergyBalance returns (Specular+Diffuse+Transmit+Absorbed) −
+// EnergyBalance returns (Specular+Diffuse+Transmit+Lateral+Absorbed) −
 // (Launched + RouletteGain − RouletteLoss), which is zero up to floating
 // point rounding for a correct kernel.
 func (t *Tally) EnergyBalance() float64 {
-	out := t.SpecularWeight + t.DiffuseWeight + t.TransmitWeight + t.AbsorbedWeight
+	out := t.SpecularWeight + t.DiffuseWeight + t.TransmitWeight + t.LateralWeight + t.AbsorbedWeight
 	in := t.N() + t.RouletteGain - t.RouletteLoss
 	return out - in
 }
+
+// LateralFraction returns the fraction escaping through the sides of a
+// laterally bounded geometry — a voxel-grid sizing diagnostic (enlarge the
+// grid when it is non-negligible).
+func (t *Tally) LateralFraction() float64 { return t.LateralWeight / t.N() }
 
 // DetectedFraction returns the detected weight per launched photon.
 func (t *Tally) DetectedFraction() float64 { return t.DetectedWeight / t.N() }
@@ -210,7 +234,9 @@ func (t *Tally) DPF(separationMM float64) float64 {
 }
 
 // ReachedFraction returns the fraction of launched photons whose deepest
-// excursion reached at least the given layer index.
+// excursion reached at least the given layer index. Like LayerReached, it
+// reads depth into region indices and is meaningful for depth-ordered
+// regions (layered models, FromModel voxelizations without inclusions).
 func (t *Tally) ReachedFraction(layer int) float64 {
 	var n int64
 	for i := layer; i < len(t.LayerReached); i++ {

@@ -9,8 +9,10 @@ import (
 
 	"repro/internal/detector"
 	"repro/internal/mc"
+	"repro/internal/optics"
 	"repro/internal/source"
 	"repro/internal/tissue"
+	"repro/internal/voxel"
 )
 
 // pipePair returns two protocol connections joined by an in-memory pipe.
@@ -186,5 +188,63 @@ func TestManyMessagesSequential(t *testing.T) {
 		if m.Assign.ChunkID != i {
 			t.Fatalf("message %d arrived out of order as %d", i, m.Assign.ChunkID)
 		}
+	}
+}
+
+// TestVoxelJobSpecRoundTrip checks a heterogeneous voxel-geometry Spec —
+// label grid, media table and ambient indices — survives the wire intact
+// and stays buildable on the receiving side.
+func TestVoxelJobSpecRoundTrip(t *testing.T) {
+	c1, c2 := pipePair()
+	defer c1.Close()
+	defer c2.Close()
+
+	g, err := voxel.FromModel(tissue.AdultHead(), 24, 24, 40, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := g.AddMedium("tumour", optics.Properties{MuA: 0.3, MuS: 10, G: 0.9, N: 1.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.PaintSphere(inc, 0, 0, 14, 5)
+	spec := mc.NewVoxelSpec(g,
+		source.Spec{Kind: source.KindPencil},
+		detector.Spec{Kind: detector.KindAnnulus, RMin: 2, RMax: 10})
+
+	go func() {
+		c1.Send(&Message{Type: MsgWelcome, Welcome: &Welcome{
+			Version: Version, ServerName: "dm",
+			Job: Job{ID: 7, Spec: *spec, Seed: 3, Streams: 10},
+		}})
+	}()
+	m, err := c2.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Welcome.Job.Spec
+	if got.Voxel == nil {
+		t.Fatal("voxel grid lost")
+	}
+	if err := got.Voxel.Validate(); err != nil {
+		t.Fatalf("received grid invalid: %v", err)
+	}
+	if got.Voxel.NumRegions() != g.NumRegions() {
+		t.Fatalf("media lost: %d vs %d", got.Voxel.NumRegions(), g.NumRegions())
+	}
+	for i := range g.Labels {
+		if got.Voxel.Labels[i] != g.Labels[i] {
+			t.Fatalf("label %d changed", i)
+		}
+	}
+	if got.Voxel.NAbove != g.NAbove || got.Voxel.NBelow != g.NBelow {
+		t.Fatal("ambient indices lost")
+	}
+	cfg, err := got.Build()
+	if err != nil {
+		t.Fatalf("received voxel spec unbuildable: %v", err)
+	}
+	if cfg.Geometry == nil || cfg.Geometry.NumRegions() != g.NumRegions() {
+		t.Fatal("built config has wrong geometry")
 	}
 }

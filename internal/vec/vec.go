@@ -73,18 +73,3 @@ func Scatter(d V, cosTheta, phi float64) V {
 		-sinTheta*cosPhi*denom + d.Z*cosTheta,
 	}
 }
-
-// ReflectZ mirrors a direction in a z = const plane (specular reflection at a
-// horizontal layer boundary).
-func ReflectZ(d V) V { return V{d.X, d.Y, -d.Z} }
-
-// RefractZ bends a unit direction across a horizontal boundary given the
-// ratio n1/n2 and the transmitted polar cosine |cosT|. The sign of the
-// transmitted z component follows the incident direction.
-func RefractZ(d V, n1OverN2, cosT float64) V {
-	sign := 1.0
-	if d.Z < 0 {
-		sign = -1.0
-	}
-	return V{d.X * n1OverN2, d.Y * n1OverN2, sign * math.Abs(cosT)}
-}

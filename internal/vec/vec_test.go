@@ -106,76 +106,3 @@ func TestScatterDegenerateVertical(t *testing.T) {
 		t.Fatalf("Scatter(-ẑ) z = %g, want negative", up.Z)
 	}
 }
-
-func TestReflectZ(t *testing.T) {
-	d := V{0.3, -0.4, 0.866}
-	r := ReflectZ(d)
-	if r.X != d.X || r.Y != d.Y || r.Z != -d.Z {
-		t.Fatalf("ReflectZ(%+v) = %+v", d, r)
-	}
-	if !almostEq(r.Norm(), d.Norm(), 1e-15) {
-		t.Fatal("reflection changed the norm")
-	}
-}
-
-func TestRefractZStraightThrough(t *testing.T) {
-	// Matched indices: direction unchanged.
-	d := V{0, 0, 1}
-	out := RefractZ(d, 1, 1)
-	if !almostEq(out.Z, 1, 1e-15) || out.X != 0 || out.Y != 0 {
-		t.Fatalf("RefractZ identity = %+v", out)
-	}
-}
-
-func TestRefractZSnell(t *testing.T) {
-	// 45° incidence from n=1 into n=1.5: sinT = sin45/1.5.
-	sinI := math.Sin(math.Pi / 4)
-	cosI := math.Cos(math.Pi / 4)
-	d := V{sinI, 0, cosI}
-	n1n2 := 1.0 / 1.5
-	sinT := sinI * n1n2
-	cosT := math.Sqrt(1 - sinT*sinT)
-	out := RefractZ(d, n1n2, cosT)
-	if !almostEq(out.Norm(), 1, 1e-12) {
-		t.Fatalf("refracted direction norm = %g", out.Norm())
-	}
-	if !almostEq(out.X, sinT, 1e-12) {
-		t.Fatalf("refracted sin = %g, want %g", out.X, sinT)
-	}
-	if out.Z <= 0 {
-		t.Fatal("refraction flipped propagation direction")
-	}
-	// Upward-travelling photon keeps negative z.
-	up := RefractZ(V{sinI, 0, -cosI}, n1n2, cosT)
-	if up.Z >= 0 {
-		t.Fatal("upward refraction should keep negative z")
-	}
-}
-
-// Property: refraction preserves the transverse direction (Snell's law is
-// planar) and produces unit vectors.
-func TestRefractZProperties(t *testing.T) {
-	f := func(seed uint64) bool {
-		rr := rng.New(seed)
-		n1 := 1 + rr.Float64()
-		n2 := 1 + rr.Float64()
-		cosI := rr.Float64Open()
-		sinI := math.Sqrt(1 - cosI*cosI)
-		phi := rr.Azimuth()
-		d := V{sinI * math.Cos(phi), sinI * math.Sin(phi), cosI}
-		sinT := n1 / n2 * sinI
-		if sinT >= 1 {
-			return true // total internal reflection: RefractZ not called
-		}
-		cosT := math.Sqrt(1 - sinT*sinT)
-		out := RefractZ(d, n1/n2, cosT)
-		if !almostEq(out.Norm(), 1, 1e-9) {
-			return false
-		}
-		// Transverse components stay proportional: out.X/out.Y == d.X/d.Y.
-		return almostEq(out.X*d.Y, out.Y*d.X, 1e-9)
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
-		t.Fatal(err)
-	}
-}

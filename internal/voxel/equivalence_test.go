@@ -1,0 +1,264 @@
+package voxel_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/mc"
+	"repro/internal/optics"
+	"repro/internal/source"
+	"repro/internal/tissue"
+	"repro/internal/voxel"
+)
+
+// checkClose asserts |a−b| ≤ 3σ for two independently estimated fractions
+// of n launched photons, using the binomial variance bound (packet weights
+// are ≤ 1, so the bound is conservative).
+func checkClose(t *testing.T, name string, a, b float64, n int64) {
+	t.Helper()
+	nf := float64(n)
+	sigma := math.Sqrt(a*(1-a)/nf + b*(1-b)/nf)
+	if diff := math.Abs(a - b); diff > 3*sigma {
+		t.Errorf("%s: layered %.5g vs voxel %.5g differ by %.3g > 3σ = %.3g",
+			name, a, b, diff, 3*sigma)
+	}
+}
+
+// compareGeometries runs the same photon budget through a layered model and
+// its voxelization and checks the acceptance observables: diffuse
+// reflectance, detected weight and per-layer absorption.
+func compareGeometries(t *testing.T, m *tissue.Model, g *voxel.Grid, det detector.Detector, n int64) {
+	t.Helper()
+	layered, err := mc.RunParallel(&mc.Config{Model: m, Detector: det}, n, 17, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vox, err := mc.RunParallel(&mc.Config{Geometry: g, Detector: det}, n, 23, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if bal := vox.EnergyBalance(); math.Abs(bal) > 1e-6*float64(n) {
+		t.Fatalf("voxel energy balance broken: %g", bal)
+	}
+	if lat := vox.LateralFraction(); lat > 0.01 {
+		t.Fatalf("lateral escape %.3g too large for an equivalence run — widen the grid", lat)
+	}
+
+	checkClose(t, "diffuse reflectance", layered.DiffuseReflectance(), vox.DiffuseReflectance(), n)
+	checkClose(t, "detected fraction", layered.DetectedFraction(), vox.DetectedFraction(), n)
+	for i := range layered.LayerAbsorbed {
+		checkClose(t, "absorbed fraction "+m.Layers[i].Name,
+			layered.LayerAbsorbed[i]/layered.N(), vox.LayerAbsorbed[i]/vox.N(), n)
+	}
+}
+
+// TestVoxelizedSlabMatchesLayered is the core acceptance check on a finite
+// homogeneous slab, where the voxelization is geometrically exact inside
+// the grid.
+func TestVoxelizedSlabMatchesLayered(t *testing.T) {
+	m := tissue.HomogeneousSlab("slab", tissue.ScalpProps, 5)
+	// 100×100 mm wide, 0.5 mm depth rows: the 5 mm slab spans exactly ten
+	// rows and lateral escape is negligible.
+	g, err := voxel.FromModel(m, 100, 100, 10, 1, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(100_000)
+	if testing.Short() {
+		n = 20_000
+	}
+	compareGeometries(t, m, g, detector.Annulus{RMin: 1, RMax: 4}, n)
+}
+
+// TestVoxelizedAdultHeadMatchesLayered voxelizes the five-layer Table 1
+// head (layer boundaries at 3/10/12/16 mm all align with 0.5 mm depth
+// rows) and checks the same observables through all five media.
+func TestVoxelizedAdultHeadMatchesLayered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-layer equivalence needs 10⁵ photons; skipped in -short")
+	}
+	m := tissue.AdultHead()
+	// 60 mm deep: the truncated white matter (µeff ≈ 0.6 mm⁻¹) attenuates
+	// anything reaching the bottom face by e⁻²⁶; 160 mm wide bounds
+	// CSF-assisted lateral spread.
+	g, err := voxel.FromModel(m, 160, 160, 120, 1, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGeometries(t, m, g, detector.Annulus{RMin: 5, RMax: 15}, 100_000)
+}
+
+// TestVoxelStreamMergeAssociative checks the distributed-reduction
+// contract for voxel tallies: RunStream chunks merged in any order equal
+// the parallel run.
+func TestVoxelStreamMergeAssociative(t *testing.T) {
+	g, err := voxel.FromModel(tissue.HomogeneousSlab("slab", tissue.ScalpProps, 5), 60, 60, 10, 1, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *mc.Config {
+		return &mc.Config{Geometry: g, Detector: detector.Annulus{RMin: 1, RMax: 4}}
+	}
+	const (
+		seed     = 9
+		streams  = 4
+		perChunk = 1000
+	)
+	par, err := mc.RunParallel(mk(), streams*perChunk, seed, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mk()
+	if err := cfg.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	total := mc.NewTally(cfg)
+	for s := streams - 1; s >= 0; s-- {
+		chunk, err := mc.RunStream(mk(), perChunk, seed, s, streams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := total.Merge(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total.Launched != par.Launched || total.DetectedCount != par.DetectedCount {
+		t.Fatalf("counts differ: launched %d vs %d, detected %d vs %d",
+			total.Launched, par.Launched, total.DetectedCount, par.DetectedCount)
+	}
+	for _, c := range []struct {
+		name string
+		a, b float64
+	}{
+		{"absorbed", total.AbsorbedWeight, par.AbsorbedWeight},
+		{"detected", total.DetectedWeight, par.DetectedWeight},
+		{"diffuse", total.DiffuseWeight, par.DiffuseWeight},
+		{"lateral", total.LateralWeight, par.LateralWeight},
+	} {
+		if math.Abs(c.a-c.b) > 1e-9 {
+			t.Errorf("%s weight differs: %g vs %g", c.name, c.a, c.b)
+		}
+	}
+	for i := range total.LayerAbsorbed {
+		if math.Abs(total.LayerAbsorbed[i]-par.LayerAbsorbed[i]) > 1e-9 {
+			t.Errorf("region %d absorbed differs: %g vs %g",
+				i, total.LayerAbsorbed[i], par.LayerAbsorbed[i])
+		}
+	}
+}
+
+// TestSphereInclusionPerturbsTransport is the physics smoke test for
+// heterogeneity: a strongly absorbing sphere under the detector must soak
+// up weight and reduce both reflectance and detection versus the
+// unperturbed grid.
+func TestSphereInclusionPerturbsTransport(t *testing.T) {
+	base := tissue.HomogeneousSlab("phantom", tissue.ScalpProps, 20)
+	det := detector.Annulus{RMin: 3, RMax: 10}
+	n := int64(40_000)
+	if testing.Short() {
+		n = 10_000
+	}
+
+	clean, err := voxel.FromModel(base, 80, 80, 40, 1, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed := clean.Clone()
+	inc, err := perturbed.AddMedium("absorber", optics.Properties{MuA: 2, MuS: 19, G: 0.9, N: 1.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if painted := perturbed.PaintSphere(inc, 0, 0, 4, 3); painted == 0 {
+		t.Fatal("sphere painted nothing")
+	}
+
+	ref, err := mc.RunParallel(&mc.Config{Geometry: clean, Detector: det}, n, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, err := mc.RunParallel(&mc.Config{Geometry: perturbed, Detector: det}, n, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if per.DiffuseReflectance() >= ref.DiffuseReflectance() {
+		t.Errorf("absorbing sphere did not reduce reflectance: %g vs %g",
+			per.DiffuseReflectance(), ref.DiffuseReflectance())
+	}
+	if per.DetectedFraction() >= ref.DetectedFraction() {
+		t.Errorf("absorbing sphere did not reduce detection: %g vs %g",
+			per.DetectedFraction(), ref.DetectedFraction())
+	}
+	if inc >= len(per.LayerAbsorbed) || per.LayerAbsorbed[inc] == 0 {
+		t.Errorf("no weight absorbed in the inclusion medium")
+	}
+	if bal := per.EnergyBalance(); math.Abs(bal) > 1e-6*float64(n) {
+		t.Errorf("energy balance broken with inclusion: %g", bal)
+	}
+}
+
+// TestFirstEntryTallyWithNonOrderedLabels checks LayerEnteredWeight counts
+// the first entry into every region even when label indices are not
+// depth-ordered — a grid whose shallow media carry higher labels than the
+// deep ones (the situation painted inclusions create).
+func TestFirstEntryTallyWithNonOrderedLabels(t *testing.T) {
+	// Depth rows: [0,2) mm = label 2, [2,4) mm = label 1, [4,10) mm =
+	// label 0, so a descending photon enters regions in *decreasing* label
+	// order.
+	g := voxel.New("inverted", 40, 40, 10, 1, 1, 1, "deep",
+		optics.Properties{MuA: 0.02, MuS: 5, G: 0.8, N: 1.4})
+	mid, err := g.AddMedium("mid", optics.Properties{MuA: 0.02, MuS: 5, G: 0.8, N: 1.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := g.AddMedium("top", optics.Properties{MuA: 0.02, MuS: 5, G: 0.8, N: 1.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.PaintBox(mid, g.X0, g.Y0, 2, -g.X0, -g.Y0, 4)
+	g.PaintBox(top, g.X0, g.Y0, 0, -g.X0, -g.Y0, 2)
+
+	tally, err := mc.Run(&mc.Config{Geometry: g}, 2000, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Photons launch in "top" (label 2, not counted as an entry) and must
+	// be credited on first entry into the lower-labelled deeper media.
+	if tally.LayerEnteredWeight[top] != 0 {
+		t.Errorf("launch region counted as an entry: %g", tally.LayerEnteredWeight[top])
+	}
+	if tally.LayerEnteredWeight[mid] == 0 {
+		t.Error("no first-entry weight recorded for the mid region")
+	}
+	if tally.LayerEnteredWeight[0] == 0 {
+		t.Error("no first-entry weight recorded for the deep region")
+	}
+	// Scattering-dominated 10 mm slab: essentially every surviving packet
+	// reaches the mid layer, so its entered weight must be substantial.
+	if f := tally.LayerEnteredWeight[mid] / tally.N(); f < 0.5 {
+		t.Errorf("mid-region entry fraction %g suspiciously low", f)
+	}
+}
+
+// TestLaunchOutsideFootprintScoredAsLateral checks that a source wider
+// than the grid loses its out-of-footprint launches to LateralWeight
+// instead of silently tracing them down the edge columns.
+func TestLaunchOutsideFootprintScoredAsLateral(t *testing.T) {
+	g := voxel.New("narrow", 10, 10, 10, 1, 1, 1, "base",
+		optics.Properties{MuA: 0.02, MuS: 10, G: 0.9, N: 1.4})
+	cfg := &mc.Config{Geometry: g, Source: source.UniformDisk{Radius: 20}}
+	tally, err := mc.Run(cfg, 5000, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 5×5 mm footprint covers 25/(π·400) ≈ 2% of the disk; roughly
+	// 98% of launches must be scored as lateral loss at launch.
+	if f := tally.LateralFraction(); f < 0.9 || f > 1 {
+		t.Fatalf("lateral fraction %g, want ≈0.98", f)
+	}
+	if bal := tally.EnergyBalance(); math.Abs(bal) > 1e-9*tally.N() {
+		t.Fatalf("energy balance broken: %g", bal)
+	}
+}

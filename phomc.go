@@ -2,10 +2,12 @@ package phomc
 
 import (
 	"repro/internal/detector"
+	"repro/internal/geom"
 	"repro/internal/mc"
 	"repro/internal/optics"
 	"repro/internal/source"
 	"repro/internal/tissue"
+	"repro/internal/voxel"
 )
 
 // Core simulation types, re-exported from the kernel.
@@ -30,6 +32,16 @@ type (
 	Layer = tissue.Layer
 	// Properties are a medium's optical properties (µa, µs, g, n).
 	Properties = optics.Properties
+
+	// Geometry is the medium abstraction the kernel traces through; the
+	// layered Model (wrapped automatically by Config.Normalize) and the
+	// heterogeneous VoxelGrid both implement it.
+	Geometry = geom.Geometry
+	// VoxelGrid is a heterogeneous voxelized medium: a 3-D label grid over
+	// a table of optical media, traversed with DDA stepping. Assign one to
+	// Config.Geometry (or build a Spec with NewVoxelSpec) to simulate
+	// inclusions, tilted boundaries and other non-layered scenarios.
+	VoxelGrid = voxel.Grid
 
 	// Source launches photons onto the tissue surface.
 	Source = source.Source
@@ -99,6 +111,31 @@ func HomogeneousSlab(name string, p Properties, thicknessMM float64) *Model {
 // coefficient µs′ = µs(1−g), the form tissue tables usually report.
 func TransportProperties(muSPrime, g, muA, n float64) Properties {
 	return optics.FromTransport(muSPrime, g, muA, n)
+}
+
+// Voxel geometry.
+
+// NewVoxelGrid returns a homogeneous nx×ny×nz voxel grid of dx×dy×dz mm
+// voxels filled with the base medium, laterally centred on the source
+// axis. Carve heterogeneity into it with AddMedium and the Paint helpers
+// (PaintSphere, PaintBox, PaintSlab).
+func NewVoxelGrid(name string, nx, ny, nz int, dx, dy, dz float64, baseName string, base Properties) *VoxelGrid {
+	return voxel.New(name, nx, ny, nz, dx, dy, dz, baseName, base)
+}
+
+// VoxelizeModel voxelizes a layered model onto an nx×ny×nz grid of
+// dx×dy×dz mm voxels — the starting point for embedding inclusions in the
+// standard head models. When layer boundaries align with voxel planes the
+// voxelization is geometrically exact inside the grid.
+func VoxelizeModel(m *Model, nx, ny, nz int, dx, dy, dz float64) (*VoxelGrid, error) {
+	return voxel.FromModel(m, nx, ny, nz, dx, dy, dz)
+}
+
+// NewVoxelSpec captures a serialisable voxel-geometry simulation for the
+// wire protocol and distributed runs, the heterogeneous counterpart of
+// NewSpec.
+func NewVoxelSpec(g *VoxelGrid, src SourceSpec, det DetectorSpec) *Spec {
+	return mc.NewVoxelSpec(g, src, det)
 }
 
 // Sources.
