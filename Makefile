@@ -1,0 +1,29 @@
+# Developer entry points. CI runs the same steps (see .github/workflows).
+
+GO ?= go
+
+.PHONY: build test race short bench fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# bench writes the machine-readable perf snapshot for this PR series:
+# photons/sec for the layered and voxel kernels, jobs/sec for the
+# multi-job service registry.
+bench:
+	$(GO) run ./cmd/mcbench -out BENCH_pr2.json
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...

@@ -294,6 +294,54 @@ func BenchmarkDistributedLoopback(b *testing.B) {
 	}
 }
 
+// BenchmarkRegistryMultiJob runs eight small concurrent jobs through the
+// multi-job service registry over a four-worker in-memory fleet per
+// iteration — the cross-job scheduling, wire codec and reduction overhead
+// of the service layer (jobs/sec; physics cost is kept tiny).
+func BenchmarkRegistryMultiJob(b *testing.B) {
+	model := phomc.HomogeneousSlab("slab", tissue.ScalpProps, 5)
+	for i := 0; i < b.N; i++ {
+		reg := phomc.NewJobRegistry(phomc.RegistryOptions{
+			Policy:       phomc.FairSharePolicy(),
+			DrainOnEmpty: true,
+			CacheSize:    -1,
+		})
+		const jobs = 8
+		handles := make([]*phomc.ServiceJob, 0, jobs)
+		for jb := 0; jb < jobs; jb++ {
+			spec := phomc.NewSpec(model,
+				phomc.SourceSpec{Kind: "pencil"},
+				phomc.DetectorSpec{Kind: "annulus", RMin: 1, RMax: 4})
+			out, err := reg.Submit(phomc.ServiceJobSpec{
+				Spec:         spec,
+				TotalPhotons: 1000,
+				ChunkPhotons: 250,
+				Seed:         uint64(i*jobs + jb + 1),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			handles = append(handles, out.Job)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			server, client := net.Pipe()
+			go reg.HandleConn(server)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				distsys.Work(client, distsys.WorkerOptions{})
+			}()
+		}
+		for _, j := range handles {
+			if _, err := j.Wait(time.Minute); err != nil {
+				b.Fatal(err)
+			}
+		}
+		wg.Wait()
+	}
+}
+
 // BenchmarkGatedDetection measures the cost of pathlength gating.
 func BenchmarkGatedDetection(b *testing.B) {
 	cfg := &phomc.Config{

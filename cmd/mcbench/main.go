@@ -1,0 +1,155 @@
+// Command mcbench measures the repository's headline throughput numbers
+// and writes them to a machine-readable JSON file, seeding the performance
+// trajectory across PRs (`make bench` → BENCH_pr2.json):
+//
+//   - photons/sec of the layered kernel (Table 1 adult head),
+//   - photons/sec of the voxel kernel (the same head voxelized),
+//   - jobs/sec of the service registry draining many small jobs over an
+//     in-memory worker fleet (scheduling + reduction overhead).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/detector"
+	"repro/internal/distsys"
+	"repro/internal/mc"
+	"repro/internal/service"
+	"repro/internal/source"
+	"repro/internal/tissue"
+	"repro/internal/voxel"
+)
+
+// Report is the JSON schema of the benchmark output.
+type Report struct {
+	GoVersion            string  `json:"goVersion"`
+	NumCPU               int     `json:"numCPU"`
+	Photons              int64   `json:"photonsPerKernelRun"`
+	LayeredPhotonsPerSec float64 `json:"layeredPhotonsPerSec"`
+	VoxelPhotonsPerSec   float64 `json:"voxelPhotonsPerSec"`
+	RegistryJobs         int     `json:"registryJobs"`
+	RegistryJobsPerSec   float64 `json:"registryJobsPerSec"`
+	Timestamp            string  `json:"timestamp"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_pr2.json", "output JSON path")
+	photons := flag.Int64("photons", 200_000, "photons per kernel benchmark run")
+	jobs := flag.Int("jobs", 32, "jobs for the registry benchmark")
+	workers := flag.Int("workers", 4, "fleet size for the registry benchmark")
+	flag.Parse()
+
+	rep := Report{
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Photons:   *photons,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	head := tissue.AdultHead()
+	layered := &mc.Config{
+		Model:    head,
+		Detector: detector.Annulus{RMin: 10, RMax: 30},
+	}
+	rep.LayeredPhotonsPerSec = kernelRate(layered, *photons)
+	fmt.Printf("layered kernel: %.0f photons/sec\n", rep.LayeredPhotonsPerSec)
+
+	grid, err := voxel.FromModel(head, 120, 120, 80, 1, 1, 0.5)
+	if err != nil {
+		fatal(err)
+	}
+	voxCfg := &mc.Config{
+		Geometry: grid,
+		Detector: detector.Annulus{RMin: 10, RMax: 30},
+	}
+	rep.VoxelPhotonsPerSec = kernelRate(voxCfg, *photons)
+	fmt.Printf("voxel kernel:   %.0f photons/sec\n", rep.VoxelPhotonsPerSec)
+
+	rep.RegistryJobs = *jobs
+	rep.RegistryJobsPerSec = registryRate(*jobs, *workers)
+	fmt.Printf("registry:       %.1f jobs/sec (%d jobs over %d workers)\n",
+		rep.RegistryJobsPerSec, *jobs, *workers)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// kernelRate runs the config once (plus a small warm-up) and returns
+// photons per second across all cores.
+func kernelRate(cfg *mc.Config, photons int64) float64 {
+	if _, err := mc.RunParallel(cfg, photons/10+1, 1, 0); err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	if _, err := mc.RunParallel(cfg, photons, 1, 0); err != nil {
+		fatal(err)
+	}
+	return float64(photons) / time.Since(start).Seconds()
+}
+
+// registryRate submits many small distinct jobs to one registry, drains
+// them over an in-memory pipe fleet, and returns completed jobs/sec —
+// dominated by scheduling, wire codec and reduction overhead, not physics.
+func registryRate(jobs, workers int) float64 {
+	reg := service.New(service.Options{DrainOnEmpty: true, CacheSize: -1})
+	model := tissue.HomogeneousSlab("slab", tissue.ScalpProps, 5)
+	handles := make([]*service.Job, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		spec := mc.NewSpec(model,
+			source.Spec{Kind: source.KindPencil},
+			detector.Spec{Kind: detector.KindAnnulus, RMin: 1, RMax: 4})
+		out, err := reg.Submit(service.JobSpec{
+			Spec:         spec,
+			TotalPhotons: 1000,
+			ChunkPhotons: 250,
+			Seed:         uint64(i + 1), // distinct seeds → distinct jobs
+		})
+		if err != nil {
+			fatal(err)
+		}
+		handles = append(handles, out.Job)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		server, client := net.Pipe()
+		go reg.HandleConn(server)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			distsys.Work(client, distsys.WorkerOptions{Name: fmt.Sprintf("bench-%d", w)})
+		}(w)
+	}
+	for _, j := range handles {
+		if _, err := j.Wait(5 * time.Minute); err != nil {
+			fatal(err)
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	wg.Wait()
+	return float64(jobs) / elapsed
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcbench:", err)
+	os.Exit(1)
+}

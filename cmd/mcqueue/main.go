@@ -1,0 +1,167 @@
+// Command mcqueue runs the multi-job simulation service: a long-lived job
+// registry serving many concurrent simulations over one shared worker
+// fleet, with an HTTP JSON control plane and a content-addressed result
+// cache. It is the many-job generalisation of mcserver — workers are
+// identical (mcworker connects to either).
+//
+// Example (three terminals):
+//
+//	mcqueue -addr :9876 -http :8080 -policy fair
+//	mcworker -addr localhost:9876 -name pc1
+//	curl -s localhost:8080/jobs -d '{"spec":{"Model":{"Layers":[...]}},"photons":1000000,"chunkPhotons":50000,"seed":1}'
+//
+// Then poll GET /jobs/{id}, fetch GET /jobs/{id}/result, cancel with
+// DELETE /jobs/{id}, and watch fleet health on GET /stats. Submitting the
+// same spec/photons/seed again returns the cached tally instantly.
+//
+// On SIGINT/SIGTERM every unfinished job is checkpointed into
+// -checkpoint-dir before exit, and those checkpoints are resumed
+// automatically on the next start, so an operator Ctrl-C never loses work.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"repro/internal/distsys"
+	"repro/internal/service"
+)
+
+func main() {
+	fs := flag.NewFlagSet("mcqueue", flag.ExitOnError)
+	addr := fs.String("addr", ":9876", "worker fleet listen address")
+	httpAddr := fs.String("http", ":8080", "HTTP API listen address")
+	policyName := fs.String("policy", "fair", "cross-job scheduling policy: fifo, priority, fair")
+	cacheSize := fs.Int("cache", 256, "result cache entries (0 default, negative disables)")
+	retain := fs.Int("retain", 1024, "finished jobs kept queryable (negative: forever)")
+	ckptDir := fs.String("checkpoint-dir", "mcqueue-ckpt",
+		"directory for shutdown checkpoints (resumed on next start)")
+	verbose := fs.Bool("v", false, "log submissions, assignments and worker churn")
+	fs.Parse(os.Args[1:])
+
+	policy, ok := service.PolicyByName(*policyName)
+	if !ok {
+		fatal(fmt.Errorf("unknown policy %q", *policyName))
+	}
+	opts := service.Options{
+		Policy:     policy,
+		CacheSize:  *cacheSize,
+		RetainDone: *retain,
+	}
+	if *verbose {
+		opts.Logf = log.Printf
+	}
+	reg := service.New(opts)
+
+	resumed := resumeCheckpoints(reg, *ckptDir)
+	if resumed > 0 {
+		fmt.Printf("resumed %d checkpointed job(s) from %s\n", resumed, *ckptDir)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	hl, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("mcqueue: workers on %s, HTTP API on %s (%s policy)\n",
+		l.Addr(), hl.Addr(), policy.Name())
+
+	// A final checkpoint on SIGINT/SIGTERM: no operator Ctrl-C loses a job.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		saved, failed := saveCheckpoints(reg, *ckptDir)
+		fmt.Printf("\nmcqueue: %v — checkpointed %d active job(s) to %s\n", s, saved, *ckptDir)
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "mcqueue: %d job(s) could NOT be checkpointed\n", failed)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}()
+
+	go func() {
+		if err := reg.Serve(l); err != nil {
+			log.Printf("mcqueue: fleet listener: %v", err)
+		}
+	}()
+	if err := http.Serve(hl, service.NewAPI(reg).Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+// saveCheckpoints snapshots every queued/running job into dir and returns
+// how many were written and how many failed.
+func saveCheckpoints(reg *service.Registry, dir string) (saved, failed int) {
+	for _, st := range reg.List() {
+		if st.State != service.StateQueued.String() && st.State != service.StateRunning.String() {
+			continue
+		}
+		j := reg.Get(st.ID)
+		if j == nil {
+			continue
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Printf("mcqueue: checkpoint dir: %v", err)
+			failed++
+			continue
+		}
+		path := filepath.Join(dir, st.IDHex+".ckpt")
+		if err := distsys.FromSnapshot(j.Snapshot()).Save(path); err != nil {
+			log.Printf("mcqueue: checkpoint %s: %v", st.IDHex, err)
+			failed++
+			continue
+		}
+		saved++
+	}
+	return saved, failed
+}
+
+// resumeCheckpoints reloads every *.ckpt in dir into the registry. A
+// checkpoint file is kept on disk until its job finishes — mcqueue has no
+// periodic checkpointing, so deleting it at resume time would lose all
+// recorded progress to a crash that never reaches the signal handler.
+func resumeCheckpoints(reg *service.Registry, dir string) int {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if err != nil || len(paths) == 0 {
+		return 0
+	}
+	n := 0
+	for _, path := range paths {
+		cp, err := distsys.LoadCheckpoint(path)
+		if err != nil {
+			log.Printf("mcqueue: skipping %s: %v", path, err)
+			continue
+		}
+		// The checkpoint carries the job's own ChunkTimeout (zero means the
+		// submitter disabled reassignment on purpose; dead workers still
+		// requeue on disconnect).
+		snap := cp.Snapshot()
+		job, err := reg.SubmitSnapshot(snap)
+		if err != nil {
+			log.Printf("mcqueue: resume %s: %v", path, err)
+			continue
+		}
+		go func(path string) {
+			<-job.Done()
+			os.Remove(path)
+		}(path)
+		n++
+	}
+	return n
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcqueue:", err)
+	os.Exit(1)
+}

@@ -15,6 +15,8 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/cli"
@@ -82,6 +84,26 @@ func main() {
 	}
 	fmt.Printf("datamanager listening on %s — %d photons in %d chunks\n",
 		l.Addr(), *photons, dm.NumChunks())
+
+	// A final checkpoint on SIGINT/SIGTERM: an operator Ctrl-C never loses
+	// a long job, even when periodic checkpointing was not requested.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		path := *ckptPath
+		if path == "" {
+			path = "mcserver.ckpt"
+		}
+		if err := dm.Checkpoint().Save(path); err != nil {
+			log.Printf("mcserver: final checkpoint: %v", err)
+			os.Exit(1)
+		}
+		done, total := dm.Progress()
+		fmt.Printf("\nmcserver: %v — %d/%d chunks checkpointed to %s "+
+			"(resume with -resume -checkpoint %s)\n", s, done, total, path, path)
+		os.Exit(0)
+	}()
 
 	go func() {
 		tick := time.NewTicker(5 * time.Second)

@@ -1,7 +1,8 @@
 // Command mcworker is the client half of the distributed platform (the
-// paper's "Algorithm" class): it connects to a DataManager, pulls
-// simulation chunks, computes them and returns the tallies, until the job
-// completes.
+// paper's "Algorithm" class): it connects to a server — the single-job
+// mcserver or the multi-job mcqueue, the protocol is identical — pulls
+// simulation chunks of whatever jobs the fleet is running, computes them
+// and returns the tallies, until the server reports the service done.
 //
 // Example:
 //
@@ -44,6 +45,10 @@ func main() {
 	}
 	fmt.Printf("done: %d chunks, %d photons, %.1fs compute, %.1fs wall\n",
 		stats.Chunks, stats.Photons, stats.Compute.Seconds(), time.Since(start).Seconds())
+	if stats.Rejected > 0 {
+		fmt.Printf("note: %d result(s) rejected by the server (stale or reassigned chunks)\n",
+			stats.Rejected)
+	}
 }
 
 func hostnameDefault() string {

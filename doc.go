@@ -40,6 +40,27 @@
 //
 // See examples/inclusion for the full perturbation workflow.
 //
+// # Multi-job simulation service
+//
+// Beyond one-shot runs, the service layer (cmd/mcqueue) keeps a long-lived
+// JobRegistry of many concurrent simulations sharing one worker fleet:
+// idle workers pull chunks of whichever job a pluggable policy picks
+// (FIFO, priority, or weighted fair-share), results route back by JobID,
+// completed tallies land in a content-addressed cache so resubmitting an
+// identical job returns instantly, and everything is driven over an HTTP
+// JSON API:
+//
+//	reg := phomc.NewJobRegistry(phomc.RegistryOptions{Policy: phomc.FairSharePolicy()})
+//	go reg.Serve(fleetListener)                           // mcworker clients attach here
+//	go http.Serve(apiListener, phomc.NewServiceHandler(reg))
+//	// curl -X POST :8080/jobs -d '{"spec":{...},"photons":1e6,"chunkPhotons":5e4,"seed":1}'
+//	// curl :8080/jobs/{id}        → progress   curl :8080/jobs/{id}/result → tally
+//	// curl :8080/stats            → fleet/queue/cache health
+//
+// mcserver remains the single-job CLI (a one-job registry that drains its
+// fleet on completion); both binaries checkpoint on Ctrl-C so a long job
+// is never lost.
+//
 // The library is organised as a thin facade over focused internal packages;
 // see DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 // paper-figure reproductions.

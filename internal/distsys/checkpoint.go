@@ -1,12 +1,13 @@
 package distsys
 
 import (
-	"bytes"
 	"encoding/gob"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/mc"
+	"repro/internal/service"
 )
 
 // Checkpoint is a serialisable snapshot of a running job: which chunks have
@@ -22,43 +23,58 @@ type Checkpoint struct {
 	NChunks      int
 	Completed    []int // sorted chunk ids already reduced
 	Tally        *mc.Tally
+	// Scheduling metadata, so a resumed job keeps its place in a
+	// multi-job registry (zero values in pre-service checkpoints; a zero
+	// Weight normalizes back to 1 on resume).
+	ChunkTimeout time.Duration
+	Priority     int
+	Weight       float64
+	Label        string
 }
 
 // Checkpoint captures the job's current reduction state. It is safe to call
 // while workers are active; chunks in flight are simply not part of the
 // snapshot and will be recomputed on resume.
 func (dm *DataManager) Checkpoint() *Checkpoint {
-	dm.mu.Lock()
-	defer dm.mu.Unlock()
-
-	cp := &Checkpoint{
-		Spec:         *dm.opts.Spec,
-		TotalPhotons: dm.opts.TotalPhotons,
-		ChunkPhotons: dm.opts.ChunkPhotons,
-		Seed:         dm.opts.Seed,
-		NChunks:      dm.nChunks,
-		Tally:        cloneTally(dm.tally),
-	}
-	for id := 0; id < dm.nChunks; id++ {
-		if dm.completed[id] {
-			cp.Completed = append(cp.Completed, id)
-		}
-	}
-	return cp
+	return FromSnapshot(dm.job.Snapshot())
 }
 
-// cloneTally deep-copies a tally via a gob round trip (tallies are plain
-// data, so this is exact).
-func cloneTally(t *mc.Tally) *mc.Tally {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(t); err != nil {
-		panic(fmt.Sprintf("distsys: clone tally encode: %v", err))
+// FromSnapshot converts a service-layer job snapshot into the on-disk
+// checkpoint form (cmd/mcqueue uses it for multi-job checkpointing).
+func FromSnapshot(snap *service.Snapshot) *Checkpoint {
+	return &Checkpoint{
+		Spec:         *snap.Spec.Spec,
+		TotalPhotons: snap.Spec.TotalPhotons,
+		ChunkPhotons: snap.Spec.ChunkPhotons,
+		Seed:         snap.Spec.Seed,
+		NChunks:      snap.NChunks,
+		Completed:    snap.Completed,
+		Tally:        snap.Tally,
+		ChunkTimeout: snap.Spec.ChunkTimeout,
+		Priority:     snap.Spec.Priority,
+		Weight:       snap.Spec.Weight,
+		Label:        snap.Spec.Label,
 	}
-	var out mc.Tally
-	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
-		panic(fmt.Sprintf("distsys: clone tally decode: %v", err))
+}
+
+// Snapshot converts the checkpoint back into the service-layer form.
+func (cp *Checkpoint) Snapshot() *service.Snapshot {
+	spec := cp.Spec
+	return &service.Snapshot{
+		Spec: service.JobSpec{
+			Spec:         &spec,
+			TotalPhotons: cp.TotalPhotons,
+			ChunkPhotons: cp.ChunkPhotons,
+			Seed:         cp.Seed,
+			ChunkTimeout: cp.ChunkTimeout,
+			Priority:     cp.Priority,
+			Weight:       cp.Weight,
+			Label:        cp.Label,
+		},
+		NChunks:   cp.NChunks,
+		Completed: cp.Completed,
+		Tally:     cp.Tally,
 	}
-	return &out
 }
 
 // Save writes the checkpoint to path atomically (write + rename).
@@ -99,45 +115,22 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 
 // Resume builds a DataManager that continues the checkpointed job: already
 // reduced chunks stay reduced, everything else is queued for assignment.
+// The checkpoint's own spec and totals override any set in opts.
 func Resume(cp *Checkpoint, opts JobOptions) (*DataManager, error) {
-	spec := cp.Spec
-	opts.Spec = &spec
-	opts.TotalPhotons = cp.TotalPhotons
-	opts.ChunkPhotons = cp.ChunkPhotons
-	opts.Seed = cp.Seed
-	dm, err := NewDataManager(opts)
+	reg := service.New(service.Options{
+		DrainOnEmpty: true,
+		CacheSize:    -1,
+		Logf:         opts.Logf,
+	})
+	// The caller's ChunkTimeout always wins, including an explicit zero to
+	// disable reassignment — the single-job CLI passes its flag on every
+	// resume. (mcqueue resumes via SubmitSnapshot directly and preserves
+	// the checkpointed value instead.)
+	snap := cp.Snapshot()
+	snap.Spec.ChunkTimeout = opts.ChunkTimeout
+	job, err := reg.SubmitSnapshot(snap)
 	if err != nil {
 		return nil, err
 	}
-	if dm.nChunks != cp.NChunks {
-		return nil, fmt.Errorf("distsys: checkpoint has %d chunks, job derives %d",
-			cp.NChunks, dm.nChunks)
-	}
-
-	dm.mu.Lock()
-	defer dm.mu.Unlock()
-	done := make(map[int]bool, len(cp.Completed))
-	for _, id := range cp.Completed {
-		if id < 0 || id >= dm.nChunks {
-			return nil, fmt.Errorf("distsys: checkpoint completed chunk %d out of range", id)
-		}
-		done[id] = true
-		dm.completed[id] = true
-	}
-	dm.tally = cp.Tally
-
-	// Rebuild the pending queue without the completed chunks.
-	pending := dm.pending[:0]
-	for _, id := range dm.pending {
-		if !done[id] {
-			pending = append(pending, id)
-		}
-	}
-	dm.pending = pending
-
-	if len(dm.completed) == dm.nChunks {
-		dm.closed = true
-		close(dm.finished)
-	}
-	return dm, nil
+	return &DataManager{reg: reg, job: job}, nil
 }

@@ -3,20 +3,24 @@
 // PCs and reduces the returned partial tallies, and the worker ("Algorithm")
 // client that computes them. Workers are assumed non-dedicated and
 // unreliable: chunks that do not return within a deadline are reassigned,
-// and duplicate results are deduplicated so the reduction is exactly-once.
+// duplicate results are deduplicated so the reduction is exactly-once, and
+// results that do not match a current assignment (a stale worker from a
+// previous run, a forged JobID) are rejected outright.
+//
+// Since the service layer landed, DataManager is a thin single-job facade
+// over service.Registry — the multi-tenant job registry and shared-fleet
+// dispatcher in internal/service. One DataManager is one registry holding
+// one job and draining its fleet when the job completes; cmd/mcqueue runs
+// the same machinery as a long-lived, many-job service.
 package distsys
 
 import (
-	"errors"
-	"fmt"
 	"io"
 	"net"
-	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/mc"
-	"repro/internal/protocol"
+	"repro/internal/service"
 )
 
 // JobOptions configure a distributed simulation job.
@@ -36,363 +40,62 @@ type JobOptions struct {
 	Logf func(format string, args ...any)
 }
 
-type chunkState struct {
-	id       int
-	photons  int64
-	assigned time.Time
-	worker   string
-	tries    int
-}
-
 // WorkerInfo summarises one connected client.
-type WorkerInfo struct {
-	Name      string
-	Mflops    float64
-	Chunks    int
-	Connected time.Time
-}
+type WorkerInfo = service.WorkerInfo
 
 // Result is the outcome of a completed job.
-type Result struct {
-	Tally *mc.Tally
-	// Elapsed is the wall-clock job duration, first assignment to last
-	// reduction.
-	Elapsed time.Duration
-	// Chunks, Reassigned and Duplicates describe scheduling behaviour.
-	Chunks     int
-	Reassigned int
-	Duplicates int
-	// Workers lists per-client contribution, sorted by name.
-	Workers []WorkerInfo
-}
+type Result = service.Result
 
-// DataManager is the server. Create with NewDataManager, serve connections
-// with Serve or HandleConn, then Wait for the reduced result.
+// DataManager is the single-job server. Create with NewDataManager, serve
+// connections with Serve or HandleConn, then Wait for the reduced result.
 type DataManager struct {
-	opts    JobOptions
-	jobID   uint64
-	nChunks int
-
-	mu          sync.Mutex
-	pending     []int // chunk ids awaiting assignment (LIFO on reassign)
-	outstanding map[int]*chunkState
-	photons     map[int]int64 // photons per chunk
-	completed   map[int]bool
-	tally       *mc.Tally
-	workers     map[string]*WorkerInfo
-	reassigned  int
-	duplicates  int
-	started     time.Time
-	finishedAt  time.Time
-	finished    chan struct{}
-	closed      bool
+	reg *service.Registry
+	job *service.Job
 }
 
 // NewDataManager validates the job and prepares the chunk queue.
 func NewDataManager(opts JobOptions) (*DataManager, error) {
-	if opts.Spec == nil {
-		return nil, errors.New("distsys: job has no simulation spec")
-	}
-	if err := opts.Spec.Validate(); err != nil {
-		return nil, err
-	}
-	if opts.TotalPhotons <= 0 {
-		return nil, fmt.Errorf("distsys: non-positive photon count %d", opts.TotalPhotons)
-	}
-	if opts.ChunkPhotons <= 0 {
-		opts.ChunkPhotons = opts.TotalPhotons
-	}
-	if opts.Logf == nil {
-		opts.Logf = func(string, ...any) {}
-	}
-
-	n := int((opts.TotalPhotons + opts.ChunkPhotons - 1) / opts.ChunkPhotons)
-	dm := &DataManager{
-		opts:        opts,
-		jobID:       opts.Seed ^ 0x9e3779b97f4a7c15, // stable, seed-derived
-		nChunks:     n,
-		outstanding: make(map[int]*chunkState),
-		photons:     make(map[int]int64, n),
-		completed:   make(map[int]bool, n),
-		workers:     make(map[string]*WorkerInfo),
-		finished:    make(chan struct{}),
-	}
-	cfg, err := opts.Spec.Build()
+	reg := service.New(service.Options{
+		DrainOnEmpty: true,
+		CacheSize:    -1, // a one-shot job has nothing to deduplicate against
+		Logf:         opts.Logf,
+	})
+	out, err := reg.Submit(service.JobSpec{
+		Spec:         opts.Spec,
+		TotalPhotons: opts.TotalPhotons,
+		ChunkPhotons: opts.ChunkPhotons,
+		Seed:         opts.Seed,
+		ChunkTimeout: opts.ChunkTimeout,
+	})
 	if err != nil {
 		return nil, err
 	}
-	dm.tally = mc.NewTally(cfg)
-
-	remaining := opts.TotalPhotons
-	for i := 0; i < n; i++ {
-		p := opts.ChunkPhotons
-		if p > remaining {
-			p = remaining
-		}
-		remaining -= p
-		dm.photons[i] = p
-		dm.pending = append(dm.pending, i)
-	}
-	return dm, nil
+	return &DataManager{reg: reg, job: out.Job}, nil
 }
 
 // NumChunks returns the total number of work units.
-func (dm *DataManager) NumChunks() int { return dm.nChunks }
+func (dm *DataManager) NumChunks() int { return dm.job.NumChunks() }
 
 // Serve accepts worker connections on l until the job completes or l is
 // closed. Each connection is handled on its own goroutine.
-func (dm *DataManager) Serve(l net.Listener) error {
-	go func() {
-		<-dm.finished
-		l.Close()
-	}()
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			select {
-			case <-dm.finished:
-				return nil
-			default:
-				return err
-			}
-		}
-		go func() {
-			if err := dm.HandleConn(conn); err != nil && !errors.Is(err, io.EOF) {
-				dm.opts.Logf("distsys: connection ended: %v", err)
-			}
-		}()
-	}
-}
+func (dm *DataManager) Serve(l net.Listener) error { return dm.reg.Serve(l) }
 
 // HandleConn speaks the protocol with one worker over any stream transport
 // (TCP connection or in-memory pipe).
-func (dm *DataManager) HandleConn(rw io.ReadWriteCloser) error {
-	pc := protocol.NewConn(rw)
-	defer pc.Close()
-
-	first, err := pc.Recv()
-	if err != nil {
-		return err
-	}
-	if first.Type != protocol.MsgHello || first.Hello == nil {
-		pc.Send(&protocol.Message{Type: protocol.MsgError,
-			Error: &protocol.Error{Msg: "expected hello"}})
-		return fmt.Errorf("distsys: expected hello, got %v", first.Type)
-	}
-	if first.Hello.Version != protocol.Version {
-		pc.Send(&protocol.Message{Type: protocol.MsgError,
-			Error: &protocol.Error{Msg: fmt.Sprintf("version mismatch: server %d, client %d",
-				protocol.Version, first.Hello.Version)}})
-		return fmt.Errorf("distsys: version mismatch from %q", first.Hello.Name)
-	}
-	name := dm.registerWorker(first.Hello)
-
-	err = pc.Send(&protocol.Message{Type: protocol.MsgWelcome, Welcome: &protocol.Welcome{
-		Version:    protocol.Version,
-		ServerName: "datamanager",
-		Job: protocol.Job{
-			ID:      dm.jobID,
-			Spec:    *dm.opts.Spec,
-			Seed:    dm.opts.Seed,
-			Streams: dm.nChunks,
-		},
-	}})
-	if err != nil {
-		return err
-	}
-
-	for {
-		msg, err := pc.Recv()
-		if err != nil {
-			dm.releaseWorker(name)
-			return err
-		}
-		switch msg.Type {
-		case protocol.MsgTaskRequest:
-			reply := dm.nextAssignment(name)
-			if err := pc.Send(reply); err != nil {
-				dm.releaseWorker(name)
-				return err
-			}
-			if reply.Type == protocol.MsgNoWork && reply.NoWork.Done {
-				return nil
-			}
-		case protocol.MsgTaskResult:
-			if msg.Result == nil || msg.Result.Tally == nil {
-				return fmt.Errorf("distsys: empty result from %q", name)
-			}
-			dup, err := dm.reduce(name, msg.Result)
-			if err != nil {
-				pc.Send(&protocol.Message{Type: protocol.MsgError,
-					Error: &protocol.Error{Msg: err.Error()}})
-				return err
-			}
-			if err := pc.Send(&protocol.Message{Type: protocol.MsgResultAck,
-				Ack: &protocol.ResultAck{ChunkID: msg.Result.ChunkID, Duplicate: dup}}); err != nil {
-				return err
-			}
-		default:
-			return fmt.Errorf("distsys: unexpected message %v from %q", msg.Type, name)
-		}
-	}
-}
-
-func (dm *DataManager) registerWorker(h *protocol.Hello) string {
-	dm.mu.Lock()
-	defer dm.mu.Unlock()
-	name := h.Name
-	if name == "" {
-		name = fmt.Sprintf("worker-%d", len(dm.workers)+1)
-	}
-	if _, ok := dm.workers[name]; !ok {
-		dm.workers[name] = &WorkerInfo{Name: name, Mflops: h.Mflops, Connected: time.Now()}
-	}
-	dm.opts.Logf("distsys: worker %q connected (%.0f Mflop/s)", name, h.Mflops)
-	return name
-}
-
-// releaseWorker requeues chunks outstanding on a worker that disconnected.
-func (dm *DataManager) releaseWorker(name string) {
-	dm.mu.Lock()
-	defer dm.mu.Unlock()
-	for id, st := range dm.outstanding {
-		if st.worker == name {
-			delete(dm.outstanding, id)
-			dm.pending = append(dm.pending, id)
-			dm.reassigned++
-			dm.opts.Logf("distsys: worker %q lost; chunk %d requeued", name, id)
-		}
-	}
-}
-
-// nextAssignment pops a chunk for the worker, reclaiming any timed-out
-// chunks first. With nothing pending and nothing outstanding the job is
-// done.
-func (dm *DataManager) nextAssignment(worker string) *protocol.Message {
-	dm.mu.Lock()
-	defer dm.mu.Unlock()
-
-	dm.reclaimExpiredLocked()
-
-	if len(dm.pending) == 0 {
-		if len(dm.outstanding) == 0 && len(dm.completed) == dm.nChunks {
-			return &protocol.Message{Type: protocol.MsgNoWork, NoWork: &protocol.NoWork{Done: true}}
-		}
-		// Stragglers still out: ask the worker to poll again shortly.
-		retry := dm.opts.ChunkTimeout / 4
-		if retry <= 0 {
-			retry = 50 * time.Millisecond
-		}
-		return &protocol.Message{Type: protocol.MsgNoWork, NoWork: &protocol.NoWork{RetryIn: retry}}
-	}
-
-	id := dm.pending[len(dm.pending)-1]
-	dm.pending = dm.pending[:len(dm.pending)-1]
-	st := dm.outstanding[id]
-	tries := 1
-	if st != nil {
-		tries = st.tries + 1
-	}
-	dm.outstanding[id] = &chunkState{
-		id: id, photons: dm.photons[id], assigned: time.Now(), worker: worker, tries: tries,
-	}
-	if dm.started.IsZero() {
-		dm.started = time.Now()
-	}
-	return &protocol.Message{Type: protocol.MsgTaskAssign, Assign: &protocol.TaskAssign{
-		JobID:   dm.jobID,
-		ChunkID: id,
-		Stream:  id,
-		Photons: dm.photons[id],
-	}}
-}
-
-func (dm *DataManager) reclaimExpiredLocked() {
-	if dm.opts.ChunkTimeout <= 0 {
-		return
-	}
-	now := time.Now()
-	for id, st := range dm.outstanding {
-		if now.Sub(st.assigned) > dm.opts.ChunkTimeout {
-			delete(dm.outstanding, id)
-			dm.pending = append(dm.pending, id)
-			dm.reassigned++
-			dm.opts.Logf("distsys: chunk %d timed out on %q; requeued", id, st.worker)
-		}
-	}
-}
-
-// reduce folds a chunk result into the job tally exactly once.
-func (dm *DataManager) reduce(worker string, res *protocol.TaskResult) (duplicate bool, err error) {
-	dm.mu.Lock()
-	defer dm.mu.Unlock()
-
-	if res.JobID != dm.jobID {
-		return false, fmt.Errorf("distsys: result for unknown job %d", res.JobID)
-	}
-	if res.ChunkID < 0 || res.ChunkID >= dm.nChunks {
-		return false, fmt.Errorf("distsys: result for unknown chunk %d", res.ChunkID)
-	}
-	if dm.completed[res.ChunkID] {
-		dm.duplicates++
-		return true, nil
-	}
-	if err := dm.tally.Merge(res.Tally); err != nil {
-		return false, err
-	}
-	dm.completed[res.ChunkID] = true
-	delete(dm.outstanding, res.ChunkID)
-	if w := dm.workers[worker]; w != nil {
-		w.Chunks++
-	}
-	if len(dm.completed) == dm.nChunks && !dm.closed {
-		dm.closed = true
-		dm.finishedAt = time.Now()
-		close(dm.finished)
-	}
-	return false, nil
-}
+func (dm *DataManager) HandleConn(rw io.ReadWriteCloser) error { return dm.reg.HandleConn(rw) }
 
 // Done returns a channel closed when every chunk has been reduced.
-func (dm *DataManager) Done() <-chan struct{} { return dm.finished }
+func (dm *DataManager) Done() <-chan struct{} { return dm.job.Done() }
 
 // Wait blocks until the job completes or the timeout elapses (zero waits
 // forever), then returns the reduced result.
 func (dm *DataManager) Wait(timeout time.Duration) (*Result, error) {
-	if timeout > 0 {
-		select {
-		case <-dm.finished:
-		case <-time.After(timeout):
-			return nil, fmt.Errorf("distsys: job incomplete after %v (%d/%d chunks)",
-				timeout, dm.progress(), dm.nChunks)
-		}
-	} else {
-		<-dm.finished
-	}
-
-	dm.mu.Lock()
-	defer dm.mu.Unlock()
-	res := &Result{
-		Tally:      dm.tally,
-		Elapsed:    dm.finishedAt.Sub(dm.started),
-		Chunks:     dm.nChunks,
-		Reassigned: dm.reassigned,
-		Duplicates: dm.duplicates,
-	}
-	for _, w := range dm.workers {
-		res.Workers = append(res.Workers, *w)
-	}
-	sort.Slice(res.Workers, func(i, j int) bool { return res.Workers[i].Name < res.Workers[j].Name })
-	return res, nil
-}
-
-func (dm *DataManager) progress() int {
-	dm.mu.Lock()
-	defer dm.mu.Unlock()
-	return len(dm.completed)
+	return dm.job.Wait(timeout)
 }
 
 // Progress returns the number of reduced chunks (for status displays).
-func (dm *DataManager) Progress() (completed, total int) {
-	return dm.progress(), dm.nChunks
-}
+func (dm *DataManager) Progress() (completed, total int) { return dm.job.Progress() }
+
+// Stats exposes the underlying registry's fleet counters (rejected
+// results, chunks assigned, connected workers).
+func (dm *DataManager) Stats() service.Stats { return dm.reg.Stats() }

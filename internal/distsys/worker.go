@@ -33,14 +33,34 @@ type WorkerStats struct {
 	Chunks  int
 	Photons int64
 	Compute time.Duration
+	// Rejected counts results the server refused to reduce (stale or
+	// mismatched assignments); the session continues after a rejection.
+	Rejected int
 }
 
 // ErrInjectedFailure is returned by a worker that halted due to
 // FailAfterChunks.
 var ErrInjectedFailure = errors.New("distsys: worker failed by injection")
 
-// Work connects a worker over the given transport and processes chunks
-// until the server reports the job done. It returns session statistics.
+// jobRuntime caches one job's built config so a session can interleave
+// chunks of many jobs without rebuilding (workers are job-agnostic; the
+// server routes results by JobID).
+type jobRuntime struct {
+	cfg     *mc.Config
+	seed    uint64
+	streams int
+}
+
+// maxCachedJobs bounds the per-session descriptor cache (a built Config
+// can hold a multi-megabyte voxel grid, and a long-lived service hands a
+// worker an unbounded stream of jobs). Eviction is FIFO; because each
+// TaskRequest advertises exactly the jobs still cached, the server
+// re-sends a descriptor the worker has dropped.
+const maxCachedJobs = 32
+
+// Work connects a worker over the given transport and processes chunks —
+// of as many concurrent jobs as the server cares to assign — until the
+// server reports the service done. It returns session statistics.
 func Work(rw io.ReadWriteCloser, opts WorkerOptions) (*WorkerStats, error) {
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
@@ -65,15 +85,13 @@ func Work(rw io.ReadWriteCloser, opts WorkerOptions) (*WorkerStats, error) {
 	if welcome.Type != protocol.MsgWelcome || welcome.Welcome == nil {
 		return nil, fmt.Errorf("distsys: expected welcome, got %v", welcome.Type)
 	}
-	job := welcome.Welcome.Job
-	cfg, err := job.Spec.Build()
-	if err != nil {
-		return nil, fmt.Errorf("distsys: bad job spec: %w", err)
-	}
 
+	jobs := make(map[uint64]*jobRuntime)
+	var known []uint64
 	stats := &WorkerStats{}
 	for {
-		if err := pc.Send(&protocol.Message{Type: protocol.MsgTaskRequest}); err != nil {
+		if err := pc.Send(&protocol.Message{Type: protocol.MsgTaskRequest,
+			Request: &protocol.TaskRequest{KnownJobs: known}}); err != nil {
 			return stats, err
 		}
 		msg, err := pc.Recv()
@@ -83,8 +101,25 @@ func Work(rw io.ReadWriteCloser, opts WorkerOptions) (*WorkerStats, error) {
 		switch msg.Type {
 		case protocol.MsgTaskAssign:
 			a := msg.Assign
+			rt := jobs[a.JobID]
+			if rt == nil {
+				if a.Job == nil {
+					return stats, fmt.Errorf("distsys: assigned unknown job %016x without descriptor", a.JobID)
+				}
+				cfg, err := a.Job.Spec.Build()
+				if err != nil {
+					return stats, fmt.Errorf("distsys: bad job spec: %w", err)
+				}
+				rt = &jobRuntime{cfg: cfg, seed: a.Job.Seed, streams: a.Job.Streams}
+				jobs[a.JobID] = rt
+				known = append(known, a.JobID)
+				if len(known) > maxCachedJobs {
+					delete(jobs, known[0])
+					known = known[1:]
+				}
+			}
 			start := time.Now()
-			tally, err := mc.RunStream(cfg, a.Photons, job.Seed, a.Stream, job.Streams)
+			tally, err := mc.RunStream(rt.cfg, a.Photons, rt.seed, a.Stream, rt.streams)
 			if err != nil {
 				return stats, err
 			}
@@ -102,14 +137,20 @@ func Work(rw io.ReadWriteCloser, opts WorkerOptions) (*WorkerStats, error) {
 			if err != nil {
 				return stats, err
 			}
-			if ack.Type != protocol.MsgResultAck {
+			if ack.Type != protocol.MsgResultAck || ack.Ack == nil {
 				return stats, fmt.Errorf("distsys: expected ack, got %v", ack.Type)
+			}
+			if ack.Ack.Rejected {
+				stats.Rejected++
+				opts.Logf("distsys: %s result for job %016x chunk %d rejected: %s",
+					opts.Name, a.JobID, a.ChunkID, ack.Ack.Reason)
+				continue
 			}
 			stats.Chunks++
 			stats.Photons += a.Photons
 			stats.Compute += elapsed
-			opts.Logf("distsys: %s finished chunk %d (%d photons, %v)",
-				opts.Name, a.ChunkID, a.Photons, elapsed)
+			opts.Logf("distsys: %s finished job %016x chunk %d (%d photons, %v)",
+				opts.Name, a.JobID, a.ChunkID, a.Photons, elapsed)
 			if opts.FailAfterChunks > 0 && stats.Chunks >= opts.FailAfterChunks {
 				return stats, ErrInjectedFailure
 			}
@@ -126,7 +167,7 @@ func Work(rw io.ReadWriteCloser, opts WorkerOptions) (*WorkerStats, error) {
 	}
 }
 
-// WorkTCP dials the DataManager at addr and runs a worker session.
+// WorkTCP dials the service at addr and runs a worker session.
 func WorkTCP(addr string, opts WorkerOptions) (*WorkerStats, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {

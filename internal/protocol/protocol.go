@@ -14,7 +14,12 @@ import (
 )
 
 // Version is the protocol version; mismatches are rejected at Hello time.
-const Version = 1
+// Version 2 made workers job-agnostic: the job descriptor moved from the
+// Welcome to the TaskAssign (a fleet serves many jobs concurrently, and a
+// worker learns a job the first time it is handed one of its chunks), task
+// requests advertise the jobs a worker already knows, and results that do
+// not match a current assignment are rejected rather than reduced.
+const Version = 2
 
 // MsgType discriminates the envelope.
 type MsgType int
@@ -71,14 +76,14 @@ type Hello struct {
 	Mflops float64
 }
 
-// Welcome carries the job description to a freshly connected worker.
+// Welcome greets a freshly connected worker. Jobs are delivered lazily via
+// TaskAssign, so one worker session can serve many jobs.
 type Welcome struct {
 	Version    int
 	ServerName string
-	Job        Job
 }
 
-// Job describes the complete simulation the cluster is computing.
+// Job describes one complete simulation the fleet is computing.
 type Job struct {
 	ID      uint64
 	Spec    mc.Spec
@@ -86,13 +91,26 @@ type Job struct {
 	Streams int // total number of RNG streams (= number of chunks)
 }
 
+// TaskRequest asks the server for the next chunk of any job. KnownJobs is
+// the authoritative list of job descriptors the worker currently holds:
+// the server omits re-sending bulky specs for listed jobs and re-carries
+// the descriptor for any job the worker has evicted from its bounded
+// cache. A nil request (legacy callers) leaves the server's per-session
+// record of shipped descriptors in place.
+type TaskRequest struct {
+	KnownJobs []uint64
+}
+
 // TaskAssign hands one chunk to a worker. Stream selects the chunk's
 // dedicated RNG stream so results are reproducible and order-independent.
+// Job carries the full descriptor the first time a session is handed a
+// chunk of a job it has not advertised as known.
 type TaskAssign struct {
 	JobID   uint64
 	ChunkID int
 	Stream  int
 	Photons int64
+	Job     *Job
 }
 
 // TaskResult returns a chunk's partial tally.
@@ -105,10 +123,15 @@ type TaskResult struct {
 
 // ResultAck confirms receipt of a result. Duplicate reports (e.g. after a
 // timeout-triggered reassignment races the original worker) are acked with
-// Duplicate=true and discarded by the reducer.
+// Duplicate=true and discarded by the reducer. Rejected reports that the
+// result did not match any current assignment — a stale worker from a
+// previous run, a cancelled job, or a forged JobID — and was not reduced;
+// the session stays open so the worker can request fresh work.
 type ResultAck struct {
 	ChunkID   int
 	Duplicate bool
+	Rejected  bool
+	Reason    string
 }
 
 // NoWork tells the worker to idle or exit.
@@ -130,6 +153,7 @@ type Message struct {
 	Type    MsgType
 	Hello   *Hello
 	Welcome *Welcome
+	Request *TaskRequest
 	Assign  *TaskAssign
 	Result  *TaskResult
 	Ack     *ResultAck

@@ -53,16 +53,19 @@ func TestJobSpecRoundTrip(t *testing.T) {
 	spec.PathGrid = &mc.GridSpec{N: 50, Edge: 60}
 
 	go func() {
-		c1.Send(&Message{Type: MsgWelcome, Welcome: &Welcome{
-			Version: Version, ServerName: "dm",
-			Job: Job{ID: 42, Spec: *spec, Seed: 7, Streams: 100},
+		c1.Send(&Message{Type: MsgTaskAssign, Assign: &TaskAssign{
+			JobID: 42, ChunkID: 3, Stream: 3, Photons: 500,
+			Job: &Job{ID: 42, Spec: *spec, Seed: 7, Streams: 100},
 		}})
 	}()
 	m, err := c2.Recv()
 	if err != nil {
 		t.Fatal(err)
 	}
-	job := m.Welcome.Job
+	if m.Assign.Job == nil {
+		t.Fatal("piggybacked job descriptor lost")
+	}
+	job := *m.Assign.Job
 	if job.ID != 42 || job.Seed != 7 || job.Streams != 100 {
 		t.Fatalf("job metadata lost: %+v", job)
 	}
@@ -213,16 +216,16 @@ func TestVoxelJobSpecRoundTrip(t *testing.T) {
 		detector.Spec{Kind: detector.KindAnnulus, RMin: 2, RMax: 10})
 
 	go func() {
-		c1.Send(&Message{Type: MsgWelcome, Welcome: &Welcome{
-			Version: Version, ServerName: "dm",
-			Job: Job{ID: 7, Spec: *spec, Seed: 3, Streams: 10},
+		c1.Send(&Message{Type: MsgTaskAssign, Assign: &TaskAssign{
+			JobID: 7, ChunkID: 0, Stream: 0, Photons: 100,
+			Job: &Job{ID: 7, Spec: *spec, Seed: 3, Streams: 10},
 		}})
 	}()
 	m, err := c2.Recv()
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := m.Welcome.Job.Spec
+	got := m.Assign.Job.Spec
 	if got.Voxel == nil {
 		t.Fatal("voxel grid lost")
 	}

@@ -1,0 +1,82 @@
+package sched
+
+// FairShare implements weighted start-time fair queueing over abstract
+// flows. Each flow carries a virtual-time tag: the virtual instant at which
+// its next quantum of work should begin if every flow received service
+// exactly proportional to its weight. Picking the flow with the smallest
+// tag and charging it tag += work/weight yields long-run service shares
+// proportional to the weights, regardless of quantum sizes.
+//
+// Flows that join late start at the current global virtual time, so a new
+// flow competes fairly from its arrival instead of monopolising the server
+// while it "catches up" on service it never queued for. The multi-job
+// simulation service uses this with flows = job IDs and work = photons
+// assigned; the cluster simulator can reuse it for any divisible workload.
+//
+// FairShare is not goroutine-safe; callers serialise access (the service
+// registry holds its own lock across Pick/Charge).
+type FairShare struct {
+	vtime float64
+	flows map[uint64]*fsFlow
+}
+
+type fsFlow struct {
+	weight float64
+	tag    float64 // virtual start time of the flow's next quantum
+}
+
+// NewFairShare returns an empty scheduler at virtual time zero.
+func NewFairShare() *FairShare {
+	return &FairShare{flows: make(map[uint64]*fsFlow)}
+}
+
+// Observe registers flow with the given weight (minimum 1e-9; weight <= 0
+// is treated as 1). A new flow's tag starts at the current virtual time; an
+// existing flow keeps its tag but adopts the new weight.
+func (fs *FairShare) Observe(flow uint64, weight float64) {
+	if weight <= 0 {
+		weight = 1
+	}
+	if f, ok := fs.flows[flow]; ok {
+		f.weight = weight
+		return
+	}
+	fs.flows[flow] = &fsFlow{weight: weight, tag: fs.vtime}
+}
+
+// Forget drops a finished flow's accounting state.
+func (fs *FairShare) Forget(flow uint64) { delete(fs.flows, flow) }
+
+// Pick returns the index into candidates of the flow that should be served
+// next (smallest tag; earlier candidate wins ties) or -1 if candidates is
+// empty. Unregistered candidates are Observed with weight 1 first.
+func (fs *FairShare) Pick(candidates []uint64) int {
+	best := -1
+	for i, id := range candidates {
+		if _, ok := fs.flows[id]; !ok {
+			fs.Observe(id, 1)
+		}
+		if best == -1 || fs.flows[id].tag < fs.flows[candidates[best]].tag {
+			best = i
+		}
+	}
+	return best
+}
+
+// Charge accounts work units of service to flow and advances the global
+// virtual time to the served flow's start tag (the start-time fair queueing
+// rule), so late joiners enter at the service frontier.
+func (fs *FairShare) Charge(flow uint64, work float64) {
+	f, ok := fs.flows[flow]
+	if !ok {
+		fs.Observe(flow, 1)
+		f = fs.flows[flow]
+	}
+	if f.tag > fs.vtime {
+		fs.vtime = f.tag
+	}
+	f.tag += work / f.weight
+}
+
+// VirtualTime exposes the global virtual clock (for tests and diagnostics).
+func (fs *FairShare) VirtualTime() float64 { return fs.vtime }

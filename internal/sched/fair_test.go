@@ -1,0 +1,98 @@
+package sched
+
+import "testing"
+
+// serve runs n quanta of the given size through the scheduler over the
+// candidate flows and returns the per-flow service totals.
+func serve(fs *FairShare, flows []uint64, n int, quantum float64) map[uint64]float64 {
+	got := make(map[uint64]float64)
+	for i := 0; i < n; i++ {
+		k := fs.Pick(flows)
+		got[flows[k]] += quantum
+		fs.Charge(flows[k], quantum)
+	}
+	return got
+}
+
+func TestFairShareEqualWeights(t *testing.T) {
+	fs := NewFairShare()
+	fs.Observe(1, 1)
+	fs.Observe(2, 1)
+	got := serve(fs, []uint64{1, 2}, 100, 10)
+	if got[1] != got[2] {
+		t.Fatalf("equal weights served unequally: %v", got)
+	}
+}
+
+func TestFairShareWeightedRatio(t *testing.T) {
+	fs := NewFairShare()
+	fs.Observe(1, 3)
+	fs.Observe(2, 1)
+	got := serve(fs, []uint64{1, 2}, 400, 5)
+	ratio := got[1] / got[2]
+	if ratio < 2.8 || ratio > 3.2 {
+		t.Fatalf("3:1 weights served at ratio %.2f: %v", ratio, got)
+	}
+}
+
+func TestFairShareLateJoinerDoesNotStarveOthers(t *testing.T) {
+	fs := NewFairShare()
+	fs.Observe(1, 1)
+	// Flow 1 runs alone for a while.
+	serve(fs, []uint64{1}, 50, 10)
+	// Flow 2 joins; from here on service must be ~50/50, not "flow 2 gets
+	// everything until it catches up on 500 units of history".
+	fs.Observe(2, 1)
+	got := serve(fs, []uint64{1, 2}, 100, 10)
+	if got[1] < 400 {
+		t.Fatalf("existing flow starved after late join: %v", got)
+	}
+	if got[2] < 400 {
+		t.Fatalf("late joiner starved: %v", got)
+	}
+}
+
+func TestFairShareUnevenQuanta(t *testing.T) {
+	// Fairness must hold in work units, not quantum counts: flow 1's quanta
+	// are 4x larger, so it should be picked ~4x less often.
+	fs := NewFairShare()
+	fs.Observe(1, 1)
+	fs.Observe(2, 1)
+	picks := map[uint64]int{}
+	work := map[uint64]float64{}
+	for i := 0; i < 500; i++ {
+		k := fs.Pick([]uint64{1, 2})
+		id := []uint64{1, 2}[k]
+		q := 10.0
+		if id == 1 {
+			q = 40.0
+		}
+		picks[id]++
+		work[id] += q
+		fs.Charge(id, q)
+	}
+	if r := work[1] / work[2]; r < 0.9 || r > 1.1 {
+		t.Fatalf("work split %.2f:1 with uneven quanta: %v", r, work)
+	}
+	if picks[1] >= picks[2] {
+		t.Fatalf("large-quantum flow picked as often: %v", picks)
+	}
+}
+
+func TestFairShareForget(t *testing.T) {
+	fs := NewFairShare()
+	fs.Observe(1, 1)
+	fs.Charge(1, 100)
+	fs.Forget(1)
+	// Re-registered flow starts fresh at the virtual frontier.
+	fs.Observe(1, 1)
+	if k := fs.Pick([]uint64{1}); k != 0 {
+		t.Fatalf("pick after forget = %d", k)
+	}
+}
+
+func TestFairSharePickEmpty(t *testing.T) {
+	if k := NewFairShare().Pick(nil); k != -1 {
+		t.Fatalf("pick on empty candidates = %d, want -1", k)
+	}
+}

@@ -1,0 +1,109 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"repro/internal/mc"
+)
+
+// Key content-addresses a job result: the SHA-256 of the canonical gob
+// encoding of (Spec, TotalPhotons, ChunkPhotons, Seed). Those four fields
+// are exactly what the reproducibility contract says a result depends on —
+// the spec fixes the physics, the photon totals fix the chunking (and with
+// it the RNG stream count), and the seed fixes the streams — so two
+// submissions with equal keys produce bit-identical tallies and the second
+// can be served from cache.
+type Key [sha256.Size]byte
+
+// String renders the key as hex for logs and the HTTP API.
+func (k Key) String() string { return fmt.Sprintf("%x", k[:]) }
+
+// KeyOf computes the content address of a job. Spec is plain data with no
+// maps, so its gob encoding is deterministic.
+func KeyOf(spec *mc.Spec, totalPhotons, chunkPhotons int64, seed uint64) (Key, error) {
+	h := sha256.New()
+	enc := gob.NewEncoder(h)
+	canonical := struct {
+		Spec         mc.Spec
+		TotalPhotons int64
+		ChunkPhotons int64
+		Seed         uint64
+	}{*spec, totalPhotons, chunkPhotons, seed}
+	if err := enc.Encode(&canonical); err != nil {
+		return Key{}, fmt.Errorf("service: cache key: %w", err)
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k, nil
+}
+
+// cache is a bounded FIFO-evicting map from job key to completed tally.
+// It carries its own lock so the gob-round-trip tally clones in get/put
+// never stall the registry mutex (and with it the whole fleet).
+type cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[Key]*mc.Tally
+	order   []Key
+	hits    int64
+	misses  int64
+}
+
+func newCache(max int) *cache {
+	if max < 0 {
+		return nil
+	}
+	if max == 0 {
+		max = 256
+	}
+	return &cache{max: max, entries: make(map[Key]*mc.Tally)}
+}
+
+// get returns a deep copy of the cached tally (callers may mutate results).
+func (c *cache) get(k Key) *mc.Tally {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	return cloneTally(t)
+}
+
+// put stores a deep copy of a pre-cloned tally: the live tally is also
+// handed to Wait callers, who are free to Merge into it; the cache entry
+// must not alias it. Callers clone before put so the expensive gob round
+// trip can happen outside any lock they hold.
+func (c *cache) put(k Key, clone *mc.Tally) {
+	if c == nil || clone == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[k]; !ok {
+		c.order = append(c.order, k)
+		if len(c.order) > c.max {
+			delete(c.entries, c.order[0])
+			c.order = c.order[1:]
+		}
+	}
+	c.entries[k] = clone
+}
+
+// stats snapshots the entry count and hit/miss counters.
+func (c *cache) stats() (entries int, hits, misses int64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries), c.hits, c.misses
+}

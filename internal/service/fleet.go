@@ -1,0 +1,360 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+// session is one live worker connection. The registry lock guards the
+// fields below; each session is driven by a single HandleConn goroutine.
+type session struct {
+	id        uint64
+	name      string
+	mflops    float64
+	connected time.Time
+	cur       *assignment     // the chunk this session is computing, if any
+	knownJobs map[uint64]bool // descriptors already shipped on this conn
+}
+
+// assignment pins a handed-out chunk to the session it went to.
+type assignment struct {
+	job     *Job
+	chunkID int
+}
+
+// Serve accepts worker connections on l until l is closed — or, for a
+// DrainOnEmpty registry, until every submitted job has finished. Each
+// connection is handled on its own goroutine.
+func (r *Registry) Serve(l net.Listener) error {
+	go func() {
+		<-r.drained
+		l.Close()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-r.drained:
+				return nil
+			default:
+				return err
+			}
+		}
+		go func() {
+			if err := r.HandleConn(conn); err != nil && !errors.Is(err, io.EOF) {
+				r.logf("service: connection ended: %v", err)
+			}
+		}()
+	}
+}
+
+// HandleConn speaks the protocol with one worker over any stream transport
+// (TCP connection or in-memory pipe).
+func (r *Registry) HandleConn(rw io.ReadWriteCloser) error {
+	pc := protocol.NewConn(rw)
+	defer pc.Close()
+
+	first, err := pc.Recv()
+	if err != nil {
+		return err
+	}
+	if first.Type != protocol.MsgHello || first.Hello == nil {
+		pc.Send(&protocol.Message{Type: protocol.MsgError,
+			Error: &protocol.Error{Msg: "expected hello"}})
+		return fmt.Errorf("service: expected hello, got %v", first.Type)
+	}
+	if first.Hello.Version != protocol.Version {
+		pc.Send(&protocol.Message{Type: protocol.MsgError,
+			Error: &protocol.Error{Msg: fmt.Sprintf("version mismatch: server %d, client %d",
+				protocol.Version, first.Hello.Version)}})
+		return fmt.Errorf("service: version mismatch from %q", first.Hello.Name)
+	}
+	sess := r.registerSession(first.Hello)
+	defer r.releaseSession(sess)
+
+	err = pc.Send(&protocol.Message{Type: protocol.MsgWelcome, Welcome: &protocol.Welcome{
+		Version:    protocol.Version,
+		ServerName: "mcqueue",
+	}})
+	if err != nil {
+		return err
+	}
+
+	for {
+		msg, err := pc.Recv()
+		if err != nil {
+			return err
+		}
+		switch msg.Type {
+		case protocol.MsgTaskRequest:
+			reply := r.nextAssignment(sess, msg.Request)
+			if err := pc.Send(reply); err != nil {
+				return err
+			}
+			if reply.Type == protocol.MsgNoWork && reply.NoWork.Done {
+				return nil
+			}
+		case protocol.MsgTaskResult:
+			if msg.Result == nil || msg.Result.Tally == nil {
+				return fmt.Errorf("service: empty result from %q", sess.name)
+			}
+			ack := r.handleResult(sess, msg.Result)
+			if err := pc.Send(&protocol.Message{Type: protocol.MsgResultAck, Ack: ack}); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("service: unexpected message %v from %q", msg.Type, sess.name)
+		}
+	}
+}
+
+func (r *Registry) registerSession(h *protocol.Hello) *session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextSess++
+	name := h.Name
+	if name == "" {
+		name = fmt.Sprintf("worker-%d", r.nextSess)
+	}
+	sess := &session{
+		id:        r.nextSess,
+		name:      name,
+		mflops:    h.Mflops,
+		connected: time.Now(),
+		knownJobs: make(map[uint64]bool),
+	}
+	r.sessions[sess.id] = sess
+	r.logf("service: worker %q connected (%.0f Mflop/s)", name, h.Mflops)
+	return sess
+}
+
+// releaseSession requeues the chunk outstanding on a dropped connection.
+func (r *Registry) releaseSession(sess *session) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.sessions, sess.id)
+	r.releaseCurLocked(sess)
+}
+
+// releaseCurLocked abandons the session's current assignment, requeueing
+// its chunk if it is still outstanding on this session. Every path that
+// gives up on an assignment (disconnect, a fresh request without a result,
+// an unmergeable result) must come through here — a chunk left in
+// outstanding with no owner would otherwise wedge a ChunkTimeout=0 job
+// forever.
+func (r *Registry) releaseCurLocked(sess *session) {
+	if sess.cur == nil {
+		return
+	}
+	j, id := sess.cur.job, sess.cur.chunkID
+	sess.cur = nil
+	if !j.activeLocked() {
+		return
+	}
+	if st := j.outstanding[id]; st != nil && st.session == sess.id {
+		delete(j.outstanding, id)
+		j.pending = append(j.pending, id)
+		j.reassigned++
+		r.logf("service: worker %q abandoned job %016x chunk %d; requeued", sess.name, j.id, id)
+	}
+}
+
+// nextAssignment picks the next chunk for an idle worker: reclaim overdue
+// chunks everywhere, gather the schedulable jobs, and let the cross-job
+// policy choose.
+func (r *Registry) nextAssignment(sess *session, req *protocol.TaskRequest) *protocol.Message {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	if req != nil {
+		// The request's KnownJobs list is authoritative: the worker may
+		// have evicted descriptors it advertised earlier, in which case
+		// the next assignment of that job must re-carry the descriptor.
+		clear(sess.knownJobs)
+		for _, id := range req.KnownJobs {
+			sess.knownJobs[id] = true
+		}
+	}
+	r.releaseCurLocked(sess) // a new request abandons any undelivered assignment
+
+	now := time.Now()
+	var cands []Candidate
+	var jobs []*Job
+	outstanding := false
+	minTimeout := time.Duration(0)
+	for _, j := range r.active {
+		j.reclaimExpiredLocked(now)
+		if len(j.outstanding) > 0 {
+			outstanding = true
+			if j.spec.ChunkTimeout > 0 && (minTimeout == 0 || j.spec.ChunkTimeout < minTimeout) {
+				minTimeout = j.spec.ChunkTimeout
+			}
+		}
+		if !j.schedulableLocked() {
+			continue
+		}
+		cands = append(cands, Candidate{
+			ID:              j.id,
+			Seq:             j.seq,
+			Priority:        j.spec.Priority,
+			Weight:          j.spec.Weight,
+			PendingChunks:   len(j.pending),
+			AssignedPhotons: j.assigned,
+		})
+		jobs = append(jobs, j)
+	}
+
+	if len(cands) == 0 {
+		if !outstanding && r.opts.DrainOnEmpty && r.seq > 0 {
+			r.checkDrainLocked()
+			select {
+			case <-r.drained:
+				return &protocol.Message{Type: protocol.MsgNoWork,
+					NoWork: &protocol.NoWork{Done: true}}
+			default:
+			}
+		}
+		retry := minTimeout / 4
+		if retry <= 0 {
+			retry = 50 * time.Millisecond
+		}
+		return &protocol.Message{Type: protocol.MsgNoWork, NoWork: &protocol.NoWork{RetryIn: retry}}
+	}
+
+	pick := r.policy.Pick(cands)
+	if pick < 0 || pick >= len(jobs) {
+		pick = 0
+	}
+	j := jobs[pick]
+
+	id := j.pending[len(j.pending)-1]
+	j.pending = j.pending[:len(j.pending)-1]
+	tries := 1
+	if st := j.outstanding[id]; st != nil {
+		tries = st.tries + 1
+	}
+	j.outstanding[id] = &chunkState{
+		id: id, photons: j.photons[id], assigned: now,
+		session: sess.id, worker: sess.name, tries: tries,
+	}
+	if j.state == StateQueued {
+		j.state = StateRunning
+	}
+	if j.started.IsZero() {
+		j.started = now
+	}
+	if _, ok := j.workers[sess.name]; !ok {
+		j.workers[sess.name] = &WorkerInfo{
+			Name: sess.name, Mflops: sess.mflops, Connected: sess.connected,
+		}
+	}
+	j.assigned += j.photons[id]
+	r.chunksAssigned++
+	r.policy.Charge(j.id, j.photons[id], j.spec.Weight)
+	sess.cur = &assignment{job: j, chunkID: id}
+
+	assign := &protocol.TaskAssign{
+		JobID:   j.id,
+		ChunkID: id,
+		Stream:  id,
+		Photons: j.photons[id],
+	}
+	if !sess.knownJobs[j.id] {
+		assign.Job = &protocol.Job{
+			ID:      j.id,
+			Spec:    *j.spec.Spec,
+			Seed:    j.spec.Seed,
+			Streams: j.nChunks,
+		}
+		sess.knownJobs[j.id] = true
+	}
+	return &protocol.Message{Type: protocol.MsgTaskAssign, Assign: assign}
+}
+
+// handleResult routes a returned tally to its job. A result is reduced
+// exactly once, and only when it matches the session's current assignment:
+// anything else — unknown or cancelled JobID (a stale worker from a
+// previous run, a forged ID), an out-of-range chunk, a chunk this session
+// was never handed — is rejected without touching the tally. Results for
+// already-completed chunks (the reassignment race) are benign duplicates.
+func (r *Registry) handleResult(sess *session, res *protocol.TaskResult) *protocol.ResultAck {
+	r.mu.Lock()
+	ack, finished := r.handleResultLocked(sess, res)
+	r.mu.Unlock()
+	if finished != nil {
+		r.sealJob(finished) // cache clone + waiter release, off the hot lock
+	}
+	return ack
+}
+
+func (r *Registry) handleResultLocked(sess *session, res *protocol.TaskResult) (*protocol.ResultAck, *Job) {
+	reject := func(reason string) *protocol.ResultAck {
+		r.rejected++
+		r.logf("service: rejected result from %q: %s", sess.name, reason)
+		return &protocol.ResultAck{ChunkID: res.ChunkID, Rejected: true, Reason: reason}
+	}
+
+	j := r.jobs[res.JobID]
+	if j == nil {
+		return reject(fmt.Sprintf("unknown job %016x", res.JobID)), nil
+	}
+	if j.state == StateCanceled {
+		j.rejected++
+		if sess.cur != nil && sess.cur.job == j {
+			sess.cur = nil // nothing to requeue; Cancel dropped the chunks
+		}
+		return reject(fmt.Sprintf("job %016x canceled", res.JobID)), nil
+	}
+	if res.ChunkID < 0 || res.ChunkID >= j.nChunks {
+		j.rejected++
+		return reject(fmt.Sprintf("job %016x has no chunk %d", res.JobID, res.ChunkID)), nil
+	}
+	if j.completed[res.ChunkID] {
+		j.duplicates++
+		// Any outstanding entry for a completed chunk is stale (a
+		// reassignment the merge beat to the finish line); drop it so the
+		// reclaim loop cannot requeue an already-reduced chunk.
+		delete(j.outstanding, res.ChunkID)
+		if sess.cur != nil && sess.cur.job == j && sess.cur.chunkID == res.ChunkID {
+			sess.cur = nil
+		}
+		return &protocol.ResultAck{ChunkID: res.ChunkID, Duplicate: true}, nil
+	}
+	if sess.cur == nil || sess.cur.job != j || sess.cur.chunkID != res.ChunkID {
+		j.rejected++
+		return reject(fmt.Sprintf("job %016x chunk %d does not match the session's current assignment",
+			res.JobID, res.ChunkID)), nil
+	}
+	if err := j.tally.Merge(res.Tally); err != nil {
+		j.rejected++
+		r.releaseCurLocked(sess) // requeue the chunk for an honest recompute
+		return reject(fmt.Sprintf("unmergeable tally: %v", err)), nil
+	}
+	sess.cur = nil
+	j.completed[res.ChunkID] = true
+	j.nCompleted++
+	delete(j.outstanding, res.ChunkID)
+	// If a timeout reclaimed this chunk before the late result landed, it
+	// is back in pending; purge it or the fleet recomputes a reduced chunk.
+	for i, p := range j.pending {
+		if p == res.ChunkID {
+			j.pending = append(j.pending[:i], j.pending[i+1:]...)
+			break
+		}
+	}
+	if w := j.workers[sess.name]; w != nil {
+		w.Chunks++
+	}
+	r.photonsDone += res.Tally.Launched
+	var finished *Job
+	if j.nCompleted == j.nChunks {
+		r.finishJobLocked(j)
+		finished = j
+	}
+	return &protocol.ResultAck{ChunkID: res.ChunkID}, finished
+}

@@ -1,0 +1,179 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/mc"
+)
+
+// API serves the registry over HTTP/JSON:
+//
+//	POST   /jobs            submit a job (returns id; cached/coalesced dedup)
+//	GET    /jobs            list retained jobs
+//	GET    /jobs/{id}       job status with progress
+//	GET    /jobs/{id}/result reduced tally once done (202 while running)
+//	DELETE /jobs/{id}       cancel a queued/running job
+//	GET    /stats           fleet and queue health
+type API struct {
+	reg *Registry
+}
+
+// NewAPI wraps a registry in the HTTP layer.
+func NewAPI(reg *Registry) *API { return &API{reg: reg} }
+
+// JobRequest is the POST /jobs body. Spec is the full serialisable
+// simulation description (layered model or voxel grid, source, detector).
+type JobRequest struct {
+	Spec         *mc.Spec      `json:"spec"`
+	Photons      int64         `json:"photons"`
+	ChunkPhotons int64         `json:"chunkPhotons,omitempty"`
+	Seed         uint64        `json:"seed,omitempty"`
+	ChunkTimeout time.Duration `json:"chunkTimeoutNs,omitempty"`
+	Priority     int           `json:"priority,omitempty"`
+	Weight       float64       `json:"weight,omitempty"`
+	Label        string        `json:"label,omitempty"`
+}
+
+// JobAccepted is the POST /jobs response.
+type JobAccepted struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Cached    bool   `json:"cached,omitempty"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+}
+
+// JobResultBody is the GET /jobs/{id}/result response.
+type JobResultBody struct {
+	ID       string    `json:"id"`
+	CacheHit bool      `json:"cacheHit,omitempty"`
+	Elapsed  float64   `json:"elapsedSeconds"`
+	Tally    *mc.Tally `json:"tally"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+	State string `json:"state,omitempty"`
+}
+
+// Handler returns the API's route multiplexer.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", a.submit)
+	mux.HandleFunc("GET /jobs", a.list)
+	mux.HandleFunc("GET /jobs/{id}", a.status)
+	mux.HandleFunc("GET /jobs/{id}/result", a.result)
+	mux.HandleFunc("DELETE /jobs/{id}", a.cancel)
+	mux.HandleFunc("GET /stats", a.stats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(body)
+}
+
+func (a *API) jobFromPath(w http.ResponseWriter, req *http.Request) *Job {
+	id, err := strconv.ParseUint(req.PathValue("id"), 16, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad job id: %v", err)})
+		return nil
+	}
+	j := a.reg.Get(id)
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("no job %016x", id)})
+		return nil
+	}
+	return j
+}
+
+func (a *API) submit(w http.ResponseWriter, req *http.Request) {
+	var body JobRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	out, err := a.reg.Submit(JobSpec{
+		Spec:         body.Spec,
+		TotalPhotons: body.Photons,
+		ChunkPhotons: body.ChunkPhotons,
+		Seed:         body.Seed,
+		ChunkTimeout: body.ChunkTimeout,
+		Priority:     body.Priority,
+		Weight:       body.Weight,
+		Label:        body.Label,
+	})
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, apiError{Error: err.Error()})
+		return
+	}
+	st := out.Job.Status()
+	code := http.StatusCreated
+	if out.Cached || out.Coalesced {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, JobAccepted{
+		ID:        st.IDHex,
+		State:     st.State,
+		Cached:    out.Cached,
+		Coalesced: out.Coalesced,
+	})
+}
+
+func (a *API) list(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, a.reg.List())
+}
+
+func (a *API) status(w http.ResponseWriter, req *http.Request) {
+	j := a.jobFromPath(w, req)
+	if j == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (a *API) result(w http.ResponseWriter, req *http.Request) {
+	j := a.jobFromPath(w, req)
+	if j == nil {
+		return
+	}
+	st := j.Status()
+	switch st.State {
+	case StateDone.String():
+		res, err := j.Wait(time.Second) // already done; returns immediately
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, JobResultBody{
+			ID:       st.IDHex,
+			CacheHit: res.CacheHit,
+			Elapsed:  res.Elapsed.Seconds(),
+			Tally:    res.Tally,
+		})
+	case StateCanceled.String():
+		writeJSON(w, http.StatusGone, apiError{Error: "job canceled", State: st.State})
+	default:
+		writeJSON(w, http.StatusAccepted, apiError{Error: "job not finished", State: st.State})
+	}
+}
+
+func (a *API) cancel(w http.ResponseWriter, req *http.Request) {
+	j := a.jobFromPath(w, req)
+	if j == nil {
+		return
+	}
+	if err := a.reg.Cancel(j.ID()); err != nil {
+		writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (a *API) stats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, a.reg.Stats())
+}

@@ -1,0 +1,366 @@
+package service
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/mc"
+)
+
+// JobState is the lifecycle of a job inside the registry.
+//
+//	Queued ──assign──▶ Running ──last chunk reduced──▶ Done
+//	   │                  │
+//	   └───────Cancel─────┴──▶ Canceled
+//
+// A cache-hit submission is born Done.
+type JobState int
+
+const (
+	StateQueued JobState = iota + 1
+	StateRunning
+	StateDone
+	StateCanceled
+)
+
+// String implements fmt.Stringer (also the HTTP API spelling).
+func (s JobState) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateCanceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("JobState(%d)", int(s))
+	}
+}
+
+// WorkerInfo summarises one worker's contribution to a job.
+type WorkerInfo struct {
+	Name      string
+	Mflops    float64
+	Chunks    int
+	Connected time.Time
+}
+
+// Result is the outcome of a completed job.
+type Result struct {
+	Tally *mc.Tally
+	// Elapsed is the wall-clock job duration, first assignment to last
+	// reduction (zero for cache hits).
+	Elapsed time.Duration
+	// Chunks, Reassigned, Duplicates and Rejected describe scheduling
+	// behaviour.
+	Chunks     int
+	Reassigned int
+	Duplicates int
+	Rejected   int
+	// CacheHit reports the result was served from the content-addressed
+	// cache without assigning any chunks.
+	CacheHit bool
+	// Workers lists per-client contribution, sorted by name.
+	Workers []WorkerInfo
+}
+
+// JobStatus is a point-in-time snapshot of a job (the GET /jobs/{id} body).
+type JobStatus struct {
+	ID              uint64    `json:"-"`
+	IDHex           string    `json:"id"`
+	Label           string    `json:"label,omitempty"`
+	State           string    `json:"state"`
+	CacheHit        bool      `json:"cacheHit,omitempty"`
+	TotalPhotons    int64     `json:"photons"`
+	ChunkPhotons    int64     `json:"chunkPhotons"`
+	CompletedChunks int       `json:"completedChunks"`
+	TotalChunks     int       `json:"totalChunks"`
+	Priority        int       `json:"priority,omitempty"`
+	Weight          float64   `json:"weight,omitempty"`
+	Reassigned      int       `json:"reassigned,omitempty"`
+	Duplicates      int       `json:"duplicates,omitempty"`
+	Rejected        int       `json:"rejected,omitempty"`
+	Submitted       time.Time `json:"submitted"`
+	Finished        time.Time `json:"finished,omitzero"`
+}
+
+// chunkState tracks one outstanding work unit.
+type chunkState struct {
+	id       int
+	photons  int64
+	assigned time.Time
+	session  uint64 // fleet session the chunk is out on
+	worker   string
+	tries    int
+}
+
+// Job is one simulation owned by a Registry. All mutable state is guarded
+// by the registry's lock; the exported methods take it.
+type Job struct {
+	reg *Registry
+
+	id   uint64
+	seq  uint64
+	key  Key
+	spec JobSpec
+
+	nChunks     int
+	pending     []int // chunk ids awaiting assignment (LIFO on reassign)
+	outstanding map[int]*chunkState
+	photons     []int64 // photons per chunk
+	completed   []bool
+	nCompleted  int
+	tally       *mc.Tally
+
+	state      JobState
+	cacheHit   bool
+	reassigned int
+	duplicates int
+	rejected   int
+	assigned   int64 // photons handed out (fair-share accounting)
+	workers    map[string]*WorkerInfo
+
+	submitted  time.Time
+	started    time.Time
+	finishedAt time.Time
+	finished   chan struct{}
+}
+
+// newJob builds the chunk partition for a normalized spec. It is called
+// outside the registry lock (Spec.Build can be expensive); the job's ID
+// and sequence number are assigned later by registerLocked.
+func newJob(reg *Registry, key Key, spec JobSpec) (*Job, error) {
+	cfg, err := spec.Spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	n := spec.numChunks()
+	j := &Job{
+		reg:         reg,
+		key:         key,
+		spec:        spec,
+		nChunks:     n,
+		outstanding: make(map[int]*chunkState),
+		photons:     make([]int64, n),
+		completed:   make([]bool, n),
+		tally:       mc.NewTally(cfg),
+		state:       StateQueued,
+		workers:     make(map[string]*WorkerInfo),
+		finished:    make(chan struct{}),
+		submitted:   time.Now(),
+	}
+	remaining := spec.TotalPhotons
+	for i := 0; i < n; i++ {
+		p := spec.ChunkPhotons
+		if p > remaining {
+			p = remaining
+		}
+		remaining -= p
+		j.photons[i] = p
+		j.pending = append(j.pending, i)
+	}
+	return j, nil
+}
+
+// ID returns the job's registry-unique identifier (also the wire JobID).
+func (j *Job) ID() uint64 { return j.id }
+
+// NumChunks returns the total number of work units.
+func (j *Job) NumChunks() int { return j.nChunks }
+
+// Done returns a channel closed when the job finishes (done or cancelled).
+func (j *Job) Done() <-chan struct{} { return j.finished }
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.reg.mu.Lock()
+	defer j.reg.mu.Unlock()
+	return j.statusLocked()
+}
+
+func (j *Job) statusLocked() JobStatus {
+	return JobStatus{
+		ID:              j.id,
+		IDHex:           fmt.Sprintf("%016x", j.id),
+		Label:           j.spec.Label,
+		State:           j.state.String(),
+		CacheHit:        j.cacheHit,
+		TotalPhotons:    j.spec.TotalPhotons,
+		ChunkPhotons:    j.spec.ChunkPhotons,
+		CompletedChunks: j.nCompleted,
+		TotalChunks:     j.nChunks,
+		Priority:        j.spec.Priority,
+		Weight:          j.spec.Weight,
+		Reassigned:      j.reassigned,
+		Duplicates:      j.duplicates,
+		Rejected:        j.rejected,
+		Submitted:       j.submitted,
+		Finished:        j.finishedAt,
+	}
+}
+
+// Progress returns the number of reduced chunks and the total.
+func (j *Job) Progress() (completedChunks, total int) {
+	j.reg.mu.Lock()
+	defer j.reg.mu.Unlock()
+	return j.nCompleted, j.nChunks
+}
+
+// ErrCanceled is wrapped by Wait when the job was cancelled.
+var ErrCanceled = fmt.Errorf("service: job canceled")
+
+// Wait blocks until the job completes or the timeout elapses (zero waits
+// forever), then returns the reduced result.
+func (j *Job) Wait(timeout time.Duration) (*Result, error) {
+	if timeout > 0 {
+		select {
+		case <-j.finished:
+		case <-time.After(timeout):
+			done, total := j.Progress()
+			return nil, fmt.Errorf("service: job %016x incomplete after %v (%d/%d chunks)",
+				j.id, timeout, done, total)
+		}
+	} else {
+		<-j.finished
+	}
+
+	j.reg.mu.Lock()
+	defer j.reg.mu.Unlock()
+	if j.state == StateCanceled {
+		return nil, fmt.Errorf("%w (job %016x)", ErrCanceled, j.id)
+	}
+	res := &Result{
+		Tally:      j.tally,
+		Chunks:     j.nChunks,
+		Reassigned: j.reassigned,
+		Duplicates: j.duplicates,
+		Rejected:   j.rejected,
+		CacheHit:   j.cacheHit,
+	}
+	if !j.started.IsZero() {
+		res.Elapsed = j.finishedAt.Sub(j.started)
+	}
+	for _, w := range j.workers {
+		res.Workers = append(res.Workers, *w)
+	}
+	sort.Slice(res.Workers, func(i, k int) bool { return res.Workers[i].Name < res.Workers[k].Name })
+	return res, nil
+}
+
+// bornDoneJob builds a completed job around a cached tally — no geometry
+// construction, no chunk queue; the ID and sequence are assigned by
+// registerLocked like any other job.
+func bornDoneJob(reg *Registry, key Key, spec JobSpec, tally *mc.Tally) *Job {
+	n := spec.numChunks()
+	now := time.Now()
+	j := &Job{
+		reg:         reg,
+		key:         key,
+		spec:        spec,
+		nChunks:     n,
+		outstanding: make(map[int]*chunkState),
+		completed:   make([]bool, n),
+		nCompleted:  n,
+		tally:       tally,
+		state:       StateDone,
+		cacheHit:    true,
+		workers:     make(map[string]*WorkerInfo),
+		finished:    make(chan struct{}),
+		submitted:   now,
+		finishedAt:  now,
+	}
+	for i := range j.completed {
+		j.completed[i] = true
+	}
+	close(j.finished)
+	return j
+}
+
+// absorbParamsLocked folds a coalesced duplicate submission's scheduling
+// parameters into the live job, keeping the stronger of each: an urgent
+// identical resubmission must not be silently demoted to the incumbent's
+// priority or weight.
+func (j *Job) absorbParamsLocked(spec JobSpec) {
+	if spec.Priority > j.spec.Priority {
+		j.spec.Priority = spec.Priority
+	}
+	if spec.Weight > j.spec.Weight {
+		j.spec.Weight = spec.Weight
+	}
+	if j.spec.Label == "" {
+		j.spec.Label = spec.Label
+	}
+}
+
+// schedulable reports whether the job can receive assignments (lock held).
+func (j *Job) schedulableLocked() bool {
+	return (j.state == StateQueued || j.state == StateRunning) && len(j.pending) > 0
+}
+
+// activeLocked reports whether the job still has work in flight or queued.
+func (j *Job) activeLocked() bool {
+	return j.state == StateQueued || j.state == StateRunning
+}
+
+// reclaimExpiredLocked requeues chunks whose results are overdue.
+func (j *Job) reclaimExpiredLocked(now time.Time) {
+	if j.spec.ChunkTimeout <= 0 || !j.activeLocked() {
+		return
+	}
+	for id, st := range j.outstanding {
+		if now.Sub(st.assigned) > j.spec.ChunkTimeout {
+			delete(j.outstanding, id)
+			j.pending = append(j.pending, id)
+			j.reassigned++
+			j.reg.logf("service: job %016x chunk %d timed out on %q; requeued", j.id, id, st.worker)
+		}
+	}
+}
+
+// Snapshot is a serialisable view of a job's reduction state, sufficient
+// to resume it in a fresh registry (the checkpoint payload).
+type Snapshot struct {
+	Spec      JobSpec
+	NChunks   int
+	Completed []int // sorted chunk ids already reduced
+	Tally     *mc.Tally
+}
+
+// Snapshot captures the job's current reduction state. Chunks in flight
+// are not part of the snapshot and will be recomputed on resume.
+//
+// Only the gob *encode* of the tally runs under the registry lock (it must
+// see a merge-consistent view); the decode half of the deep copy happens
+// after release, so periodic checkpointing of a large-tally job holds the
+// fleet's dispatch lock for roughly half the clone cost.
+func (j *Job) Snapshot() *Snapshot {
+	j.reg.mu.Lock()
+	snap := &Snapshot{
+		Spec:    j.spec,
+		NChunks: j.nChunks,
+	}
+	spec := *j.spec.Spec // keep the snapshot independent of the live job
+	snap.Spec.Spec = &spec
+	for id := 0; id < j.nChunks; id++ {
+		if j.completed[id] {
+			snap.Completed = append(snap.Completed, id)
+		}
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(j.tally)
+	j.reg.mu.Unlock()
+	if err != nil {
+		panic(fmt.Sprintf("service: snapshot tally encode: %v", err))
+	}
+	var tally mc.Tally
+	if err := gob.NewDecoder(&buf).Decode(&tally); err != nil {
+		panic(fmt.Sprintf("service: snapshot tally decode: %v", err))
+	}
+	snap.Tally = &tally
+	return snap
+}

@@ -1,0 +1,117 @@
+package service
+
+import (
+	"repro/internal/sched"
+)
+
+// Candidate summarises one schedulable job for a cross-job Policy decision.
+type Candidate struct {
+	ID              uint64
+	Seq             uint64 // submission order, ascending
+	Priority        int
+	Weight          float64
+	PendingChunks   int
+	AssignedPhotons int64
+}
+
+// Policy chooses which job's chunk the next idle worker receives. The
+// registry holds its lock across calls, so implementations may keep state
+// without their own synchronisation. Pick receives at least one candidate
+// and returns an index into the slice; Charge is called after the chosen
+// job is granted work photons; Forget is called when a job leaves the
+// schedulable set (done or cancelled).
+type Policy interface {
+	Name() string
+	Pick(cands []Candidate) int
+	Charge(id uint64, workPhotons int64, weight float64)
+	Forget(id uint64)
+}
+
+type noAccounting struct{}
+
+func (noAccounting) Charge(uint64, int64, float64) {}
+func (noAccounting) Forget(uint64)                 {}
+
+// fifoPolicy serves jobs strictly in submission order.
+type fifoPolicy struct{ noAccounting }
+
+// FIFO returns the first-come-first-served cross-job policy: the oldest
+// job with pending work drains completely before the next starts.
+func FIFO() Policy { return fifoPolicy{} }
+
+func (fifoPolicy) Name() string { return "fifo" }
+
+func (fifoPolicy) Pick(cands []Candidate) int {
+	best := 0
+	for i, c := range cands {
+		if c.Seq < cands[best].Seq {
+			best = i
+		}
+	}
+	return best
+}
+
+// priorityPolicy serves the highest-priority job first, FIFO within a tier.
+type priorityPolicy struct{ noAccounting }
+
+// Priority returns the strict-priority policy: higher JobSpec.Priority
+// pre-empts lower at every assignment; equal priorities drain FIFO.
+func Priority() Policy { return priorityPolicy{} }
+
+func (priorityPolicy) Name() string { return "priority" }
+
+func (priorityPolicy) Pick(cands []Candidate) int {
+	best := 0
+	for i, c := range cands {
+		if c.Priority > cands[best].Priority ||
+			(c.Priority == cands[best].Priority && c.Seq < cands[best].Seq) {
+			best = i
+		}
+	}
+	return best
+}
+
+// fairPolicy interleaves jobs in proportion to their weights using
+// start-time fair queueing (sched.FairShare) with work = assigned photons.
+type fairPolicy struct {
+	fs *sched.FairShare
+}
+
+// FairShare returns the weighted fair-share policy: concurrent jobs
+// receive fleet throughput proportional to JobSpec.Weight, and a job
+// submitted mid-run competes from the current service frontier instead of
+// starving the incumbents.
+func FairShare() Policy { return &fairPolicy{fs: sched.NewFairShare()} }
+
+func (p *fairPolicy) Name() string { return "fair-share" }
+
+func (p *fairPolicy) Pick(cands []Candidate) int {
+	ids := make([]uint64, len(cands))
+	for i, c := range cands {
+		p.fs.Observe(c.ID, c.Weight)
+		ids[i] = c.ID
+	}
+	return p.fs.Pick(ids)
+}
+
+func (p *fairPolicy) Charge(id uint64, workPhotons int64, weight float64) {
+	p.fs.Observe(id, weight)
+	p.fs.Charge(id, float64(workPhotons))
+}
+
+func (p *fairPolicy) Forget(id uint64) { p.fs.Forget(id) }
+
+// PolicyByName maps the CLI spelling to a policy; unknown names fall back
+// to FIFO with ok=false.
+func PolicyByName(name string) (Policy, bool) {
+	switch name {
+	case "fifo", "":
+		return FIFO(), true
+	case "priority":
+		return Priority(), true
+	case "fair", "fair-share", "fairshare":
+		return FairShare(), true
+	default:
+		return FIFO(), false
+	}
+}

@@ -1,0 +1,384 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Registry owns the concurrent jobs of the simulation service and the
+// shared worker fleet that drains them. Create one with New, submit jobs
+// with Submit, and serve worker connections with Serve / HandleConn.
+type Registry struct {
+	opts   Options
+	policy Policy
+
+	mu       sync.Mutex
+	jobs     map[uint64]*Job
+	order    []*Job       // submission order (List is deterministic)
+	active   []*Job       // queued/running jobs only — the dispatcher's hot loop
+	byKey    map[Key]*Job // active jobs, for coalescing identical submissions
+	cache    *cache
+	seq      uint64
+	sessions map[uint64]*session
+	nextSess uint64
+
+	chunksAssigned int64 // lifetime fleet counters
+	photonsDone    int64
+	rejected       int64
+
+	drainOnce sync.Once
+	drained   chan struct{} // closed when DrainOnEmpty and all jobs finished
+}
+
+// New returns an empty registry.
+func New(opts Options) *Registry {
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	if opts.Policy == nil {
+		opts.Policy = FIFO()
+	}
+	if opts.RetainDone == 0 {
+		opts.RetainDone = 1024
+	}
+	return &Registry{
+		opts:     opts,
+		policy:   opts.Policy,
+		jobs:     make(map[uint64]*Job),
+		byKey:    make(map[Key]*Job),
+		cache:    newCache(opts.CacheSize),
+		sessions: make(map[uint64]*session),
+		drained:  make(chan struct{}),
+	}
+}
+
+func (r *Registry) logf(format string, args ...any) { r.opts.Logf(format, args...) }
+
+// SubmitOutcome reports how a submission was satisfied.
+type SubmitOutcome struct {
+	Job *Job
+	// Cached means the job was born Done with a tally served from the
+	// result cache; no chunks will ever be assigned for it.
+	Cached bool
+	// Coalesced means an identical job was already active and the caller
+	// was attached to it instead of queueing duplicate work.
+	Coalesced bool
+}
+
+// Submit registers a job. Identical submissions (same content Key) are
+// deduplicated: against the cache if a previous run completed, against the
+// live job if one is still active (the live job absorbs the stronger of
+// the two submissions' scheduling parameters, so an urgent resubmission is
+// not silently demoted to the incumbent's priority).
+//
+// Heavy construction — Spec.Build (which may materialise a multi-megabyte
+// voxel geometry), tally allocation, cache-tally cloning — happens outside
+// the registry mutex so a large submission never stalls fleet dispatch.
+func (r *Registry) Submit(spec JobSpec) (*SubmitOutcome, error) {
+	if err := spec.normalize(); err != nil {
+		return nil, err
+	}
+	key, err := KeyOf(spec.Spec, spec.TotalPhotons, spec.ChunkPhotons, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	r.mu.Lock()
+	if live := r.byKey[key]; live != nil {
+		live.absorbParamsLocked(spec)
+		r.mu.Unlock()
+		return &SubmitOutcome{Job: live, Coalesced: true}, nil
+	}
+	r.mu.Unlock()
+
+	if tally := r.cache.get(key); tally != nil {
+		// A cached key proves these exact spec bytes built and completed
+		// before, so the job is born Done without touching the geometry.
+		j := bornDoneJob(r, key, spec, tally)
+		r.mu.Lock()
+		r.registerLocked(j)
+		r.mu.Unlock()
+		r.logf("service: job %016x served from cache (%s)", j.id, key)
+		return &SubmitOutcome{Job: j, Cached: true}, nil
+	}
+
+	j, err := newJob(r, key, spec)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if live := r.byKey[key]; live != nil { // lost a race with an identical submission
+		live.absorbParamsLocked(spec)
+		r.mu.Unlock()
+		return &SubmitOutcome{Job: live, Coalesced: true}, nil
+	}
+	r.registerLocked(j)
+	r.active = append(r.active, j)
+	r.byKey[key] = j
+	r.mu.Unlock()
+	r.logf("service: job %016x submitted (%d photons in %d chunks, %s)",
+		j.id, spec.TotalPhotons, j.nChunks, key)
+	return &SubmitOutcome{Job: j}, nil
+}
+
+// SubmitSnapshot resumes a checkpointed job: already reduced chunks stay
+// reduced and only the rest are queued. A fully complete snapshot yields a
+// job born Done.
+func (r *Registry) SubmitSnapshot(snap *Snapshot) (*Job, error) {
+	spec := snap.Spec
+	if err := spec.normalize(); err != nil {
+		return nil, err
+	}
+	if snap.Tally == nil || snap.NChunks <= 0 {
+		return nil, fmt.Errorf("service: snapshot is incomplete")
+	}
+	key, err := KeyOf(spec.Spec, spec.TotalPhotons, spec.ChunkPhotons, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build and restore outside the lock (see Submit).
+	j, err := newJob(r, key, spec)
+	if err != nil {
+		return nil, err
+	}
+	if j.nChunks != snap.NChunks {
+		return nil, fmt.Errorf("service: snapshot has %d chunks, job derives %d",
+			snap.NChunks, j.nChunks)
+	}
+	done := make(map[int]bool, len(snap.Completed))
+	for _, id := range snap.Completed {
+		if id < 0 || id >= j.nChunks {
+			return nil, fmt.Errorf("service: snapshot completed chunk %d out of range", id)
+		}
+		if !done[id] {
+			done[id] = true
+			j.completed[id] = true
+			j.nCompleted++
+		}
+	}
+	j.tally = cloneTally(snap.Tally)
+	pending := j.pending[:0]
+	for _, id := range j.pending {
+		if !done[id] {
+			pending = append(pending, id)
+		}
+	}
+	j.pending = pending
+	complete := j.nCompleted == j.nChunks
+	if complete {
+		j.state = StateDone
+		j.finishedAt = time.Now()
+		close(j.finished)
+		r.cache.put(key, cloneTally(j.tally))
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if live := r.byKey[key]; live != nil {
+		return live, nil
+	}
+	r.registerLocked(j)
+	if complete {
+		r.checkDrainLocked()
+	} else {
+		r.active = append(r.active, j)
+		r.byKey[key] = j
+	}
+	return j, nil
+}
+
+// nextSeqLocked hands out submission order numbers.
+func (r *Registry) nextSeqLocked() uint64 {
+	r.seq++
+	return r.seq
+}
+
+// freeIDLocked derives a registry-unique job ID from the content key, so
+// IDs are stable across restarts of the same submission and a stale worker
+// from an unrelated previous run cannot collide with a live job by accident.
+func (r *Registry) freeIDLocked(key Key) uint64 {
+	id := uint64(key[0])<<56 | uint64(key[1])<<48 | uint64(key[2])<<40 | uint64(key[3])<<32 |
+		uint64(key[4])<<24 | uint64(key[5])<<16 | uint64(key[6])<<8 | uint64(key[7])
+	for id == 0 || r.jobs[id] != nil {
+		id++
+	}
+	return id
+}
+
+// registerLocked assigns the job its registry-unique ID and submission
+// sequence, adds it to the maps, and evicts old finished jobs.
+func (r *Registry) registerLocked(j *Job) {
+	j.id = r.freeIDLocked(j.key)
+	j.seq = r.nextSeqLocked()
+	r.jobs[j.id] = j
+	r.order = append(r.order, j)
+	r.evictFinishedLocked()
+}
+
+// evictFinishedLocked drops the oldest finished jobs over the RetainDone
+// bound so a long-lived service's memory stays flat.
+func (r *Registry) evictFinishedLocked() {
+	if r.opts.RetainDone < 0 {
+		return
+	}
+	finished := 0
+	for _, jb := range r.order {
+		if !jb.activeLocked() {
+			finished++
+		}
+	}
+	if finished <= r.opts.RetainDone {
+		return
+	}
+	kept := r.order[:0]
+	for _, jb := range r.order {
+		if finished > r.opts.RetainDone && !jb.activeLocked() {
+			delete(r.jobs, jb.id)
+			finished--
+			continue
+		}
+		kept = append(kept, jb)
+	}
+	r.order = kept
+}
+
+// Get returns the job with the given ID, or nil.
+func (r *Registry) Get(id uint64) *Job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.jobs[id]
+}
+
+// List returns statuses of every retained job in submission order.
+func (r *Registry) List() []JobStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]JobStatus, 0, len(r.order))
+	for _, j := range r.order {
+		out = append(out, j.statusLocked())
+	}
+	return out
+}
+
+// Cancel stops a job: pending and in-flight chunks are dropped, late
+// results are rejected, and waiters get ErrCanceled. Cancelling a finished
+// job is an error.
+func (r *Registry) Cancel(id uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j := r.jobs[id]
+	if j == nil {
+		return fmt.Errorf("service: no job %016x", id)
+	}
+	if !j.activeLocked() {
+		return fmt.Errorf("service: job %016x already %s", id, j.state)
+	}
+	j.state = StateCanceled
+	j.pending = nil
+	j.outstanding = make(map[int]*chunkState)
+	j.finishedAt = time.Now()
+	close(j.finished)
+	r.removeActiveLocked(j)
+	delete(r.byKey, j.key)
+	r.policy.Forget(j.id)
+	r.logf("service: job %016x canceled", j.id)
+	r.evictFinishedLocked()
+	r.checkDrainLocked()
+	return nil
+}
+
+// finishJobLocked marks a job whose last chunk just reduced as done. The
+// caller must call sealJob after releasing the registry lock: waiters stay
+// blocked on j.finished until then, which keeps the expensive cache clone
+// off the fleet's hot lock while still guaranteeing the cache entry is
+// taken before any Wait caller can mutate the returned tally.
+func (r *Registry) finishJobLocked(j *Job) {
+	j.state = StateDone
+	j.finishedAt = time.Now()
+	r.removeActiveLocked(j)
+	delete(r.byKey, j.key)
+	r.policy.Forget(j.id)
+	r.evictFinishedLocked()
+	r.checkDrainLocked()
+}
+
+// removeActiveLocked drops a job that just left the queued/running states
+// from the dispatcher's active list.
+func (r *Registry) removeActiveLocked(j *Job) {
+	for i, a := range r.active {
+		if a == j {
+			r.active = append(r.active[:i], r.active[i+1:]...)
+			break
+		}
+	}
+}
+
+// sealJob caches a finished job's tally and releases its waiters.
+func (r *Registry) sealJob(j *Job) {
+	r.cache.put(j.key, cloneTally(j.tally))
+	close(j.finished)
+	r.logf("service: job %016x done (%d chunks, %d reassigned, %d duplicate, %d rejected)",
+		j.id, j.nChunks, j.reassigned, j.duplicates, j.rejected)
+}
+
+// checkDrainLocked closes the drain channel once a one-shot registry has
+// seen at least one submission and has no unfinished jobs left.
+func (r *Registry) checkDrainLocked() {
+	if !r.opts.DrainOnEmpty || r.seq == 0 || len(r.active) > 0 {
+		return
+	}
+	r.drainOnce.Do(func() { close(r.drained) })
+}
+
+// Drained returns a channel closed when a DrainOnEmpty registry has
+// finished every submitted job (never closed for long-lived registries).
+func (r *Registry) Drained() <-chan struct{} { return r.drained }
+
+// Stats is the fleet/queue health snapshot behind GET /stats.
+type Stats struct {
+	Workers           int    `json:"workers"`
+	JobsQueued        int    `json:"jobsQueued"`
+	JobsRunning       int    `json:"jobsRunning"`
+	JobsDone          int    `json:"jobsDone"`
+	JobsCanceled      int    `json:"jobsCanceled"`
+	PendingChunks     int    `json:"pendingChunks"`
+	OutstandingChunks int    `json:"outstandingChunks"`
+	ChunksAssigned    int64  `json:"chunksAssigned"`
+	PhotonsCompleted  int64  `json:"photonsCompleted"`
+	RejectedResults   int64  `json:"rejectedResults"`
+	CacheEntries      int    `json:"cacheEntries"`
+	CacheHits         int64  `json:"cacheHits"`
+	CacheMisses       int64  `json:"cacheMisses"`
+	Policy            string `json:"policy"`
+}
+
+// Stats snapshots fleet and queue health.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Stats{
+		Workers:          len(r.sessions),
+		ChunksAssigned:   r.chunksAssigned,
+		PhotonsCompleted: r.photonsDone,
+		RejectedResults:  r.rejected,
+		Policy:           r.policy.Name(),
+	}
+	s.CacheEntries, s.CacheHits, s.CacheMisses = r.cache.stats()
+	for _, j := range r.order {
+		switch j.state {
+		case StateQueued:
+			s.JobsQueued++
+		case StateRunning:
+			s.JobsRunning++
+		case StateDone:
+			s.JobsDone++
+		case StateCanceled:
+			s.JobsCanceled++
+		}
+		s.PendingChunks += len(j.pending)
+		s.OutstandingChunks += len(j.outstanding)
+	}
+	return s
+}

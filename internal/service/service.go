@@ -1,0 +1,108 @@
+// Package service turns the one-shot DataManager of the paper's platform
+// into a long-lived, multi-tenant simulation service. A Registry owns many
+// concurrent jobs — each wrapping the chunk queue / timeout-reassignment /
+// exactly-once reduction logic of a single distributed run — and one shared
+// worker fleet drains them all: every idle worker is handed the next chunk
+// chosen by a pluggable cross-job Policy (FIFO, priority, or weighted
+// fair-share built on sched.FairShare), and results are routed back to
+// their job by the protocol's JobID. Workers are job-agnostic; a session
+// learns a job's spec the first time it is assigned one of its chunks.
+//
+// Completed tallies land in a content-addressed result cache keyed by the
+// canonical gob encoding of (Spec, TotalPhotons, ChunkPhotons, Seed) — the
+// exact tuple that determines a reproducible result — so a duplicate
+// submission returns instantly without assigning a single chunk, and an
+// identical submission racing an active job coalesces onto it.
+//
+// The API surface is programmatic (Registry) and HTTP (NewAPI): POST /jobs,
+// GET /jobs/{id}, GET /jobs/{id}/result, DELETE /jobs/{id}, GET /stats.
+// cmd/mcqueue serves both; cmd/mcserver keeps its one-job CLI behaviour by
+// delegating to a single-job Registry.
+package service
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"repro/internal/mc"
+)
+
+// Options configure a Registry. The zero value is a long-lived multi-job
+// service with FIFO scheduling and a 256-entry result cache.
+type Options struct {
+	// Policy picks which job's chunk an idle worker receives; nil means FIFO.
+	Policy Policy
+	// CacheSize bounds the result cache in entries; 0 means a 256-entry
+	// default, negative disables caching entirely.
+	CacheSize int
+	// RetainDone bounds how many finished (done or cancelled) jobs stay
+	// queryable in the registry; 0 means 1024, negative retains forever.
+	RetainDone int
+	// DrainOnEmpty makes the fleet tell workers the service is Done once
+	// every submitted job has finished — the one-shot mcserver mode. A
+	// long-lived service leaves it false and workers idle-poll.
+	DrainOnEmpty bool
+	// Logf, if set, receives progress logging.
+	Logf func(format string, args ...any)
+}
+
+// JobSpec describes one simulation job submitted to a Registry.
+type JobSpec struct {
+	Spec         *mc.Spec
+	TotalPhotons int64
+	// ChunkPhotons is the photons per work unit (dynamic self-scheduling
+	// with fixed-size chunks); it defaults to TotalPhotons.
+	ChunkPhotons int64
+	Seed         uint64
+	// ChunkTimeout reassigns a chunk whose result has not arrived in time;
+	// zero disables reassignment.
+	ChunkTimeout time.Duration
+	// Priority orders jobs under PriorityPolicy (higher first).
+	Priority int
+	// Weight is the fair-share weight under FairSharePolicy (default 1).
+	Weight float64
+	// Label is a free-form operator tag surfaced in statuses.
+	Label string
+}
+
+// normalize fills defaults and runs the cheap structural checks. The
+// expensive spec validation (Spec.Build, which may materialise a voxel
+// geometry) is deferred to newJob so that cache hits and coalesced
+// submissions — whose exact spec bytes already built successfully once —
+// skip it entirely.
+func (s *JobSpec) normalize() error {
+	if s.Spec == nil {
+		return fmt.Errorf("service: job has no simulation spec")
+	}
+	if s.TotalPhotons <= 0 {
+		return fmt.Errorf("service: non-positive photon count %d", s.TotalPhotons)
+	}
+	if s.ChunkPhotons <= 0 {
+		s.ChunkPhotons = s.TotalPhotons
+	}
+	if s.Weight <= 0 {
+		s.Weight = 1
+	}
+	return nil
+}
+
+// numChunks returns the chunk count the spec partitions into.
+func (s *JobSpec) numChunks() int {
+	return int((s.TotalPhotons + s.ChunkPhotons - 1) / s.ChunkPhotons)
+}
+
+// cloneTally deep-copies a tally via a gob round trip (tallies are plain
+// data, so this is exact).
+func cloneTally(t *mc.Tally) *mc.Tally {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(t); err != nil {
+		panic(fmt.Sprintf("service: clone tally encode: %v", err))
+	}
+	var out mc.Tally
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		panic(fmt.Sprintf("service: clone tally decode: %v", err))
+	}
+	return &out
+}

@@ -1,0 +1,664 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/detector"
+	"repro/internal/mc"
+	"repro/internal/protocol"
+	"repro/internal/source"
+	"repro/internal/tissue"
+)
+
+// slabSpec returns a cheap layered simulation spec; thickness varies the
+// content key, so different thicknesses are different jobs.
+func slabSpec(thicknessMM float64) *mc.Spec {
+	model := tissue.HomogeneousSlab("slab", tissue.ScalpProps, thicknessMM)
+	return mc.NewSpec(model,
+		source.Spec{Kind: source.KindPencil},
+		detector.Spec{Kind: detector.KindAnnulus, RMin: 1, RMax: 4})
+}
+
+// localTally computes the ground-truth reduction of a job's streams.
+func localTally(t *testing.T, spec *mc.Spec, total, chunk int64, seed uint64) *mc.Tally {
+	t.Helper()
+	cfg, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := int((total + chunk - 1) / chunk)
+	want := mc.NewTally(cfg)
+	remaining := total
+	for s := 0; s < streams; s++ {
+		n := chunk
+		if n > remaining {
+			n = remaining
+		}
+		remaining -= n
+		tt, err := mc.RunStream(cfg, n, seed, s, streams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := want.Merge(tt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return want
+}
+
+// startWorkers attaches n in-memory pipe workers to the registry and
+// arranges for their goroutines to die when the test ends.
+func startWorkers(t *testing.T, reg *Registry, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		server, client := net.Pipe()
+		go reg.HandleConn(server)
+		name := string(rune('a' + i))
+		go func() {
+			// Long-lived registries never say Done; the worker exits when
+			// the test closes its pipe.
+			_, _ = workClient(client, name)
+		}()
+		t.Cleanup(func() { client.Close() })
+	}
+}
+
+// workClient is a minimal v2 worker loop (mirrors distsys.Work, which
+// lives above this package in the import graph).
+func workClient(rw net.Conn, name string) (int, error) {
+	pc := protocol.NewConn(rw)
+	defer pc.Close()
+	if err := pc.Send(&protocol.Message{Type: protocol.MsgHello,
+		Hello: &protocol.Hello{Version: protocol.Version, Name: name}}); err != nil {
+		return 0, err
+	}
+	if _, err := pc.Recv(); err != nil {
+		return 0, err
+	}
+	type rt struct {
+		cfg     *mc.Config
+		seed    uint64
+		streams int
+	}
+	jobs := map[uint64]*rt{}
+	chunks := 0
+	for {
+		if err := pc.Send(&protocol.Message{Type: protocol.MsgTaskRequest,
+			Request: &protocol.TaskRequest{}}); err != nil {
+			return chunks, err
+		}
+		msg, err := pc.Recv()
+		if err != nil {
+			return chunks, err
+		}
+		switch msg.Type {
+		case protocol.MsgTaskAssign:
+			a := msg.Assign
+			r := jobs[a.JobID]
+			if r == nil {
+				if a.Job == nil {
+					return chunks, errors.New("assign without descriptor")
+				}
+				cfg, err := a.Job.Spec.Build()
+				if err != nil {
+					return chunks, err
+				}
+				r = &rt{cfg: cfg, seed: a.Job.Seed, streams: a.Job.Streams}
+				jobs[a.JobID] = r
+			}
+			tally, err := mc.RunStream(r.cfg, a.Photons, r.seed, a.Stream, r.streams)
+			if err != nil {
+				return chunks, err
+			}
+			if err := pc.Send(&protocol.Message{Type: protocol.MsgTaskResult,
+				Result: &protocol.TaskResult{JobID: a.JobID, ChunkID: a.ChunkID, Tally: tally}}); err != nil {
+				return chunks, err
+			}
+			if _, err := pc.Recv(); err != nil {
+				return chunks, err
+			}
+			chunks++
+		case protocol.MsgNoWork:
+			if msg.NoWork.Done {
+				return chunks, nil
+			}
+			time.Sleep(msg.NoWork.RetryIn)
+		default:
+			return chunks, errors.New("unexpected message")
+		}
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	reg := New(Options{})
+	if _, err := reg.Submit(JobSpec{}); err == nil {
+		t.Fatal("job without spec accepted")
+	}
+	if _, err := reg.Submit(JobSpec{Spec: slabSpec(5)}); err == nil {
+		t.Fatal("zero-photon job accepted")
+	}
+}
+
+func TestChunkPartition(t *testing.T) {
+	reg := New(Options{})
+	out, err := reg.Submit(JobSpec{Spec: slabSpec(5), TotalPhotons: 1050, ChunkPhotons: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := out.Job
+	if j.NumChunks() != 11 {
+		t.Fatalf("chunks = %d, want 11", j.NumChunks())
+	}
+	// Total photons across chunks must be conserved (the tail chunk is
+	// short).
+	var total int64
+	for _, p := range j.photons {
+		total += p
+	}
+	if total != 1050 {
+		t.Fatalf("chunk photons sum to %d, want 1050", total)
+	}
+	if j.photons[10] != 50 {
+		t.Fatalf("tail chunk has %d photons, want 50", j.photons[10])
+	}
+}
+
+func TestKeyOfDistinguishesJobs(t *testing.T) {
+	base, _ := KeyOf(slabSpec(5), 1000, 100, 1)
+	cases := map[string]Key{}
+	k, _ := KeyOf(slabSpec(6), 1000, 100, 1)
+	cases["spec"] = k
+	k, _ = KeyOf(slabSpec(5), 2000, 100, 1)
+	cases["photons"] = k
+	k, _ = KeyOf(slabSpec(5), 1000, 200, 1)
+	cases["chunking"] = k
+	k, _ = KeyOf(slabSpec(5), 1000, 100, 2)
+	cases["seed"] = k
+	for dim, key := range cases {
+		if key == base {
+			t.Fatalf("changing %s did not change the cache key", dim)
+		}
+	}
+	again, _ := KeyOf(slabSpec(5), 1000, 100, 1)
+	if again != base {
+		t.Fatal("identical submission hashed differently")
+	}
+}
+
+func TestCoalesceIdenticalActiveSubmission(t *testing.T) {
+	reg := New(Options{})
+	first, err := reg.Submit(JobSpec{Spec: slabSpec(5), TotalPhotons: 1000, ChunkPhotons: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := reg.Submit(JobSpec{Spec: slabSpec(5), TotalPhotons: 1000, ChunkPhotons: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Coalesced || second.Job != first.Job {
+		t.Fatal("identical active submission not coalesced")
+	}
+	if s := reg.Stats(); s.JobsQueued != 1 {
+		t.Fatalf("coalesced submission created a second job: %+v", s)
+	}
+	// An urgent duplicate must not be demoted to the incumbent's
+	// scheduling parameters: the live job absorbs the stronger ones.
+	urgent, err := reg.Submit(JobSpec{
+		Spec: slabSpec(5), TotalPhotons: 1000, ChunkPhotons: 100, Seed: 3,
+		Priority: 9, Weight: 4, Label: "urgent",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !urgent.Coalesced {
+		t.Fatal("identical submission with different scheduling params not coalesced")
+	}
+	st := first.Job.Status()
+	if st.Priority != 9 || st.Weight != 4 || st.Label != "urgent" {
+		t.Fatalf("coalesce dropped scheduling params: %+v", st)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	reg := New(Options{})
+	out, err := reg.Submit(JobSpec{Spec: slabSpec(5), TotalPhotons: 1000, ChunkPhotons: 100, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Cancel(out.Job.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := out.Job.Wait(time.Second); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("wait on canceled job: %v", err)
+	}
+	if st := out.Job.Status(); st.State != "canceled" {
+		t.Fatalf("state %q after cancel", st.State)
+	}
+	if err := reg.Cancel(out.Job.ID()); err == nil {
+		t.Fatal("double cancel accepted")
+	}
+	// A canceled job no longer blocks an identical resubmission.
+	again, err := reg.Submit(JobSpec{Spec: slabSpec(5), TotalPhotons: 1000, ChunkPhotons: 100, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Coalesced || again.Cached {
+		t.Fatal("resubmission after cancel was deduplicated")
+	}
+}
+
+// TestConcurrentJobsSharedFleet is the concurrent-job end-to-end check:
+// two jobs with different specs submitted to one registry over a 3-worker
+// in-memory fleet finish with tallies matching their single-job runs, and
+// a duplicate submission is served from the cache without launching
+// photons.
+func TestConcurrentJobsSharedFleet(t *testing.T) {
+	reg := New(Options{Policy: FairShare()})
+	startWorkers(t, reg, 3)
+
+	specA, specB := slabSpec(5), slabSpec(8)
+	const totalA, chunkA, seedA = 3000, 250, 11
+	const totalB, chunkB, seedB = 2000, 200, 23
+
+	var outA, outB *SubmitOutcome
+	var err error
+	if outA, err = reg.Submit(JobSpec{Spec: specA, TotalPhotons: totalA, ChunkPhotons: chunkA, Seed: seedA}); err != nil {
+		t.Fatal(err)
+	}
+	if outB, err = reg.Submit(JobSpec{Spec: specB, TotalPhotons: totalB, ChunkPhotons: chunkB, Seed: seedB}); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var resA, resB *Result
+	var errA, errB error
+	wg.Add(2)
+	go func() { defer wg.Done(); resA, errA = outA.Job.Wait(60 * time.Second) }()
+	go func() { defer wg.Done(); resB, errB = outB.Job.Wait(60 * time.Second) }()
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+
+	wantA := localTally(t, specA, totalA, chunkA, seedA)
+	wantB := localTally(t, specB, totalB, chunkB, seedB)
+	if resA.Tally.Launched != totalA || resB.Tally.Launched != totalB {
+		t.Fatalf("launched %d/%d, want %d/%d",
+			resA.Tally.Launched, resB.Tally.Launched, totalA, totalB)
+	}
+	if math.Abs(resA.Tally.AbsorbedWeight-wantA.AbsorbedWeight) > 1e-9 {
+		t.Fatalf("job A absorbed %g != standalone %g", resA.Tally.AbsorbedWeight, wantA.AbsorbedWeight)
+	}
+	if math.Abs(resB.Tally.AbsorbedWeight-wantB.AbsorbedWeight) > 1e-9 {
+		t.Fatalf("job B absorbed %g != standalone %g", resB.Tally.AbsorbedWeight, wantB.AbsorbedWeight)
+	}
+	if resA.Tally.DetectedCount != wantA.DetectedCount || resB.Tally.DetectedCount != wantB.DetectedCount {
+		t.Fatal("multi-job detection counts differ from standalone runs")
+	}
+
+	// Duplicate submission: served from cache, zero new chunks assigned.
+	assignedBefore := reg.Stats().ChunksAssigned
+	dup, err := reg.Submit(JobSpec{Spec: specA, TotalPhotons: totalA, ChunkPhotons: chunkA, Seed: seedA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup.Cached {
+		t.Fatal("duplicate submission not served from cache")
+	}
+	dupRes, err := dup.Job.Wait(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dupRes.CacheHit {
+		t.Fatal("cached result not flagged")
+	}
+	if math.Abs(dupRes.Tally.AbsorbedWeight-resA.Tally.AbsorbedWeight) > 0 {
+		t.Fatal("cached tally differs from the original result")
+	}
+	if after := reg.Stats().ChunksAssigned; after != assignedBefore {
+		t.Fatalf("cache hit assigned %d chunks", after-assignedBefore)
+	}
+}
+
+// TestFairSharePolicyInterleavesJobs drives the dispatcher directly (no
+// workers) and checks weighted fair-share assignment ratios.
+func TestFairSharePolicyInterleavesJobs(t *testing.T) {
+	reg := New(Options{Policy: FairShare()})
+	heavy, err := reg.Submit(JobSpec{Spec: slabSpec(5), TotalPhotons: 9000, ChunkPhotons: 100, Seed: 1, Weight: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, err := reg.Submit(JobSpec{Spec: slabSpec(8), TotalPhotons: 9000, ChunkPhotons: 100, Seed: 2, Weight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := &session{id: 999, name: "probe", knownJobs: map[uint64]bool{}}
+	reg.mu.Lock()
+	reg.sessions[sess.id] = sess
+	reg.mu.Unlock()
+
+	counts := map[uint64]int{}
+	for i := 0; i < 40; i++ {
+		msg := reg.nextAssignment(sess, nil)
+		if msg.Type != protocol.MsgTaskAssign {
+			t.Fatalf("assignment %d: got %v", i, msg.Type)
+		}
+		counts[msg.Assign.JobID]++
+		completeAssign(reg, sess, msg.Assign)
+	}
+	h, l := counts[heavy.Job.ID()], counts[light.Job.ID()]
+	if h+l != 40 {
+		t.Fatalf("assignments went to unknown jobs: %v", counts)
+	}
+	ratio := float64(h) / float64(l)
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("3:1 weights assigned at ratio %.2f (%d vs %d)", ratio, h, l)
+	}
+}
+
+// completeAssign marks a probe session's assigned chunk as reduced without
+// running physics, so dispatcher tests can drain queues synchronously.
+func completeAssign(reg *Registry, sess *session, a *protocol.TaskAssign) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	j := reg.jobs[a.JobID]
+	if !j.completed[a.ChunkID] {
+		j.completed[a.ChunkID] = true
+		j.nCompleted++
+	}
+	delete(j.outstanding, a.ChunkID)
+	sess.cur = nil
+}
+
+// TestPriorityPolicyDrainsHighFirst checks strict priority ordering.
+func TestPriorityPolicyDrainsHighFirst(t *testing.T) {
+	reg := New(Options{Policy: Priority()})
+	lo, err := reg.Submit(JobSpec{Spec: slabSpec(5), TotalPhotons: 500, ChunkPhotons: 100, Seed: 1, Priority: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := reg.Submit(JobSpec{Spec: slabSpec(8), TotalPhotons: 500, ChunkPhotons: 100, Seed: 2, Priority: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := &session{id: 999, name: "probe", knownJobs: map[uint64]bool{}}
+	reg.mu.Lock()
+	reg.sessions[sess.id] = sess
+	reg.mu.Unlock()
+	for i := 0; i < 5; i++ {
+		msg := reg.nextAssignment(sess, nil)
+		if msg.Assign.JobID != hi.Job.ID() {
+			t.Fatalf("assignment %d went to low-priority job", i)
+		}
+		completeAssign(reg, sess, msg.Assign)
+	}
+	if msg := reg.nextAssignment(sess, nil); msg.Assign.JobID != lo.Job.ID() {
+		t.Fatal("low-priority job not served after high drained")
+	}
+}
+
+// TestFIFODrainsInOrder checks the default policy serves submission order.
+func TestFIFODrainsInOrder(t *testing.T) {
+	reg := New(Options{})
+	first, err := reg.Submit(JobSpec{Spec: slabSpec(5), TotalPhotons: 300, ChunkPhotons: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = reg.Submit(JobSpec{Spec: slabSpec(8), TotalPhotons: 300, ChunkPhotons: 100, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	sess := &session{id: 999, name: "probe", knownJobs: map[uint64]bool{}}
+	reg.mu.Lock()
+	reg.sessions[sess.id] = sess
+	reg.mu.Unlock()
+	for i := 0; i < 3; i++ {
+		msg := reg.nextAssignment(sess, nil)
+		if msg.Assign.JobID != first.Job.ID() {
+			t.Fatalf("assignment %d left the FIFO head", i)
+		}
+		completeAssign(reg, sess, msg.Assign)
+	}
+}
+
+// TestAbandonedAssignmentRequeued guards against stranded chunks: with
+// ChunkTimeout=0 a chunk abandoned by a new task-request (or by an
+// unmergeable result) must return to the pending queue, or the job could
+// never complete.
+func TestAbandonedAssignmentRequeued(t *testing.T) {
+	reg := New(Options{})
+	out, err := reg.Submit(JobSpec{Spec: slabSpec(5), TotalPhotons: 200, ChunkPhotons: 100, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := out.Job
+	sess := &session{id: 999, name: "probe", knownJobs: map[uint64]bool{}}
+	reg.mu.Lock()
+	reg.sessions[sess.id] = sess
+	reg.mu.Unlock()
+
+	first := reg.nextAssignment(sess, nil).Assign
+	// Request again without delivering a result: the first chunk must be
+	// requeued, not left ownerless in outstanding.
+	second := reg.nextAssignment(sess, nil).Assign
+	reg.mu.Lock()
+	pending, outstanding := len(j.pending), len(j.outstanding)
+	reassigned := j.reassigned
+	reg.mu.Unlock()
+	if pending+outstanding != 2 || outstanding != 1 {
+		t.Fatalf("chunk stranded: pending %d, outstanding %d after abandon", pending, outstanding)
+	}
+	if reassigned != 1 {
+		t.Fatalf("reassigned = %d, want 1", reassigned)
+	}
+	_ = first
+
+	// An unmergeable tally must also requeue the chunk (and count as a
+	// rejection), so a malformed result cannot wedge the job.
+	ack := reg.handleResult(sess, &protocol.TaskResult{
+		JobID: j.ID(), ChunkID: second.ChunkID, Tally: &mc.Tally{},
+	})
+	if !ack.Rejected {
+		t.Fatal("unmergeable tally not rejected")
+	}
+	reg.mu.Lock()
+	pending, outstanding = len(j.pending), len(j.outstanding)
+	reg.mu.Unlock()
+	if pending != 2 || outstanding != 0 {
+		t.Fatalf("chunk stranded after bad merge: pending %d, outstanding %d", pending, outstanding)
+	}
+}
+
+// TestLateResultAfterReclaimDoesNotRecompute drives the timeout-reclaim
+// race by hand: chunks time out and are requeued, then the original
+// workers' results land late. The late merges must purge the requeued
+// copies from pending/outstanding so the fleet never recomputes an
+// already-reduced chunk, and the third worker's redundant result must be
+// acked as a benign duplicate.
+func TestLateResultAfterReclaimDoesNotRecompute(t *testing.T) {
+	spec := slabSpec(5)
+	reg := New(Options{})
+	out, err := reg.Submit(JobSpec{
+		Spec: spec, TotalPhotons: 200, ChunkPhotons: 100, Seed: 14,
+		ChunkTimeout: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := out.Job
+	cfg, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunkTally := func(a *protocol.TaskAssign) *protocol.TaskResult {
+		tt, err := mc.RunStream(cfg, a.Photons, 14, a.Stream, j.NumChunks())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &protocol.TaskResult{JobID: a.JobID, ChunkID: a.ChunkID, Tally: tt}
+	}
+	newSess := func(id uint64) *session {
+		s := &session{id: id, name: fmt.Sprintf("s%d", id), knownJobs: map[uint64]bool{}}
+		reg.mu.Lock()
+		reg.sessions[s.id] = s
+		reg.mu.Unlock()
+		return s
+	}
+	s1, s2, s3 := newSess(101), newSess(102), newSess(103)
+
+	a1 := reg.nextAssignment(s1, nil).Assign
+	a2 := reg.nextAssignment(s2, nil).Assign
+	time.Sleep(60 * time.Millisecond) // both chunks overdue
+	a3 := reg.nextAssignment(s3, nil).Assign
+	if a3 == nil {
+		t.Fatal("no chunk reclaimed after timeout")
+	}
+
+	// The original workers deliver late; both must still be reduced (they
+	// computed the right streams) and must clean up the requeued copies.
+	if ack := reg.handleResult(s1, chunkTally(a1)); ack.Rejected || ack.Duplicate {
+		t.Fatalf("late result 1 not reduced: %+v", ack)
+	}
+	reg.mu.Lock()
+	for _, p := range j.pending {
+		if p == a1.ChunkID {
+			t.Fatal("merged chunk still in pending (would be recomputed)")
+		}
+	}
+	reg.mu.Unlock()
+	if ack := reg.handleResult(s2, chunkTally(a2)); ack.Rejected || ack.Duplicate {
+		t.Fatalf("late result 2 not reduced: %+v", ack)
+	}
+	if ack := reg.handleResult(s3, chunkTally(a3)); !ack.Duplicate {
+		t.Fatalf("redundant reassigned result not a duplicate: %+v", ack)
+	}
+
+	res, err := j.Wait(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tally.Launched != 200 {
+		t.Fatalf("launched %d, want 200 (chunk recomputed or lost)", res.Tally.Launched)
+	}
+	if res.Duplicates != 1 {
+		t.Fatalf("duplicates = %d, want 1", res.Duplicates)
+	}
+	reg.mu.Lock()
+	pending, outstanding := len(j.pending), len(j.outstanding)
+	reg.mu.Unlock()
+	if pending != 0 || outstanding != 0 {
+		t.Fatalf("queue not clean after completion: pending %d, outstanding %d", pending, outstanding)
+	}
+}
+
+// TestCachePutIsolatedFromCallerMutation guards the cache against callers
+// merging into the Result.Tally they were handed back.
+func TestCachePutIsolatedFromCallerMutation(t *testing.T) {
+	reg := New(Options{DrainOnEmpty: true})
+	out, err := reg.Submit(JobSpec{Spec: slabSpec(5), TotalPhotons: 200, ChunkPhotons: 100, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, client := net.Pipe()
+	go reg.HandleConn(server)
+	if _, err := workClient(client, "w"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := out.Job.Wait(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	launched := res.Tally.Launched
+	if err := res.Tally.Merge(res.Tally); err != nil { // caller mutates its copy
+		t.Fatal(err)
+	}
+	dup, err := reg.Submit(JobSpec{Spec: slabSpec(5), TotalPhotons: 200, ChunkPhotons: 100, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup.Cached {
+		t.Fatal("resubmission not cached")
+	}
+	cached, err := dup.Job.Wait(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Tally.Launched != launched {
+		t.Fatalf("cache aliased the caller's tally: launched %d, want %d",
+			cached.Tally.Launched, launched)
+	}
+}
+
+// TestResultCacheEviction checks the FIFO bound holds.
+func TestResultCacheEviction(t *testing.T) {
+	c := newCache(2)
+	t1, t2, t3 := &mc.Tally{Launched: 1}, &mc.Tally{Launched: 2}, &mc.Tally{Launched: 3}
+	k1, _ := KeyOf(slabSpec(5), 100, 100, 1)
+	k2, _ := KeyOf(slabSpec(5), 100, 100, 2)
+	k3, _ := KeyOf(slabSpec(5), 100, 100, 3)
+	c.put(k1, t1)
+	c.put(k2, t2)
+	c.put(k3, t3)
+	if c.get(k1) != nil {
+		t.Fatal("oldest entry not evicted")
+	}
+	if got := c.get(k3); got == nil || got.Launched != 3 {
+		t.Fatal("newest entry lost")
+	}
+	if got := c.get(k2); got == t2 {
+		t.Fatal("cache returned its internal tally instead of a copy")
+	}
+}
+
+// TestRetainDoneEviction checks finished jobs are bounded.
+func TestRetainDoneEviction(t *testing.T) {
+	reg := New(Options{RetainDone: 2, CacheSize: -1})
+	var ids []uint64
+	for seed := uint64(1); seed <= 4; seed++ {
+		out, err := reg.Submit(JobSpec{Spec: slabSpec(5), TotalPhotons: 100, ChunkPhotons: 100, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, out.Job.ID())
+		if err := reg.Cancel(out.Job.ID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if reg.Get(ids[0]) != nil || reg.Get(ids[1]) != nil {
+		t.Fatal("oldest finished jobs not evicted")
+	}
+	if reg.Get(ids[2]) == nil || reg.Get(ids[3]) == nil {
+		t.Fatal("recent finished jobs evicted")
+	}
+}
+
+// TestDrainOnEmpty checks one-shot registries tell workers Done.
+func TestDrainOnEmpty(t *testing.T) {
+	reg := New(Options{DrainOnEmpty: true, CacheSize: -1})
+	out, err := reg.Submit(JobSpec{Spec: slabSpec(5), TotalPhotons: 300, ChunkPhotons: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, client := net.Pipe()
+	go reg.HandleConn(server)
+	chunks, err := workClient(client, "solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunks != 3 {
+		t.Fatalf("worker computed %d chunks, want 3", chunks)
+	}
+	if _, err := out.Job.Wait(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-reg.Drained():
+	default:
+		t.Fatal("registry not drained after last job")
+	}
+}

@@ -1,0 +1,52 @@
+package phomc
+
+import (
+	"net/http"
+
+	"repro/internal/service"
+)
+
+// Multi-job simulation service, re-exported from internal/service: a
+// long-lived registry of concurrent jobs drained by one shared worker
+// fleet, with cross-job scheduling policies, a content-addressed result
+// cache and an HTTP JSON control plane (see cmd/mcqueue).
+type (
+	// JobRegistry owns concurrent simulation jobs and the shared fleet.
+	JobRegistry = service.Registry
+	// RegistryOptions configure a JobRegistry (policy, cache, retention).
+	RegistryOptions = service.Options
+	// ServiceJobSpec describes one job submitted to a registry.
+	ServiceJobSpec = service.JobSpec
+	// ServiceJob is a handle on a submitted job (Wait, Status, Done).
+	ServiceJob = service.Job
+	// JobStatus is a point-in-time job snapshot with progress counters.
+	JobStatus = service.JobStatus
+	// RegistryStats is the fleet/queue health snapshot (GET /stats).
+	RegistryStats = service.Stats
+	// SchedulingPolicy picks which job's chunk an idle worker receives.
+	SchedulingPolicy = service.Policy
+)
+
+// NewJobRegistry returns an empty multi-job registry. Submit jobs with
+// Submit, serve workers with Serve/HandleConn, and expose the HTTP API
+// with NewServiceHandler.
+func NewJobRegistry(opts RegistryOptions) *JobRegistry { return service.New(opts) }
+
+// NewServiceHandler wraps a registry in the HTTP JSON API:
+// POST /jobs, GET /jobs, GET /jobs/{id}, GET /jobs/{id}/result,
+// DELETE /jobs/{id}, GET /stats.
+func NewServiceHandler(reg *JobRegistry) http.Handler {
+	return service.NewAPI(reg).Handler()
+}
+
+// Cross-job scheduling policies.
+
+// FIFOPolicy drains jobs strictly in submission order.
+func FIFOPolicy() SchedulingPolicy { return service.FIFO() }
+
+// PriorityPolicy serves the highest JobSpec.Priority first.
+func PriorityPolicy() SchedulingPolicy { return service.Priority() }
+
+// FairSharePolicy interleaves concurrent jobs in proportion to their
+// weights (start-time fair queueing over assigned photons).
+func FairSharePolicy() SchedulingPolicy { return service.FairShare() }
