@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race short bench fmt vet
+.PHONY: build test race short bench bench-smoke cover fmt vet
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,25 @@ race:
 	$(GO) test -race -short ./...
 
 # bench writes the machine-readable perf snapshot for this PR series:
-# photons/sec for the layered and voxel kernels, jobs/sec for the
-# multi-job service registry.
+# photons/sec and allocs/photon for the layered and voxel kernels, jobs/sec
+# for the multi-job service registry. Compare against the committed
+# BENCH_pr*.json trajectory.
 bench:
-	$(GO) run ./cmd/mcbench -out BENCH_pr2.json
+	$(GO) run ./cmd/mcbench -out BENCH_pr3.json
+
+# bench-smoke is the CI bitrot guard: tiny budgets, noisy numbers, proves
+# the harness still runs.
+bench-smoke:
+	$(GO) run ./cmd/mcbench -quick -out /tmp/bench-smoke.json
+
+# cover enforces the same coverage floor as CI (keep COVER_FLOOR in sync
+# with .github/workflows/ci.yml).
+COVER_FLOOR ?= 67.5
+cover:
+	$(GO) test -short -coverprofile=cover.out ./...
+	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{gsub("%","",$$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { if (t+0 < f+0) { printf "coverage %s%% below floor %s%%\n", t, f; exit 1 } }'
 
 fmt:
 	gofmt -l .

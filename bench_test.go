@@ -89,9 +89,11 @@ func BenchmarkFig4HeadModel(b *testing.B) {
 }
 
 // BenchmarkTable1AdultHead benchmarks the plain Table 1 model without
-// scoring grids — the paper's core workload per photon.
+// scoring grids — the paper's core workload per photon, on the
+// devirtualised layered fast path. The hot loop must not allocate.
 func BenchmarkTable1AdultHead(b *testing.B) {
 	cfg := &phomc.Config{Model: phomc.AdultHead()}
+	b.ReportAllocs()
 	tally, err := phomc.Run(cfg, int64(b.N), 1)
 	if err != nil {
 		b.Fatal(err)
@@ -357,19 +359,37 @@ func BenchmarkGatedDetection(b *testing.B) {
 // --- Voxel geometry -------------------------------------------------------
 
 // BenchmarkVoxelTraversal runs the voxelized adult head — the heterogeneous
-// hot path (DDA step-to-boundary per scattering event) — for comparison
-// against BenchmarkTable1AdultHead on the layered fast path.
+// hot path (fused DDA step-to-boundary per scattering event) — for
+// comparison against BenchmarkTable1AdultHead on the layered fast path.
 func BenchmarkVoxelTraversal(b *testing.B) {
 	g, err := voxel.FromModel(phomc.AdultHead(), 120, 120, 80, 1, 1, 0.5)
 	if err != nil {
 		b.Fatal(err)
 	}
 	cfg := &phomc.Config{Geometry: g}
+	b.ReportAllocs()
 	tally, err := phomc.Run(cfg, int64(b.N), 1)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ReportMetric(tally.DiffuseReflectance(), "Rd")
+}
+
+// BenchmarkVoxelHomogeneousFusion traces a label-homogeneous grid — the
+// best case for the same-label safe-radius fusion, where nearly every
+// scattering event resolves without seeding the DDA and boundary-bound
+// flights leap whole Chebyshev balls per face test.
+func BenchmarkVoxelHomogeneousFusion(b *testing.B) {
+	g, err := voxel.FromModel(phomc.HomogeneousSlab("phantom", tissue.ScalpProps, 30),
+		100, 100, 60, 1, 1, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := &phomc.Config{Geometry: g}
+	b.ReportAllocs()
+	if _, err := phomc.Run(cfg, int64(b.N), 1); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // BenchmarkVoxelSphereInclusion adds an absorbing sphere so label changes

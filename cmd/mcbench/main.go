@@ -1,11 +1,17 @@
 // Command mcbench measures the repository's headline throughput numbers
 // and writes them to a machine-readable JSON file, seeding the performance
-// trajectory across PRs (`make bench` → BENCH_pr2.json):
+// trajectory across PRs (`make bench` → BENCH_pr3.json, alongside the
+// committed BENCH_pr2.json for comparison):
 //
 //   - photons/sec of the layered kernel (Table 1 adult head),
 //   - photons/sec of the voxel kernel (the same head voxelized),
+//   - heap allocations per photon for both kernels (the hot path is
+//     designed to allocate nothing after warm-up),
 //   - jobs/sec of the service registry draining many small jobs over an
 //     in-memory worker fleet (scheduling + reduction overhead).
+//
+// -quick shrinks every budget for CI smoke runs (seconds, not minutes);
+// its numbers are noisy and only prove the harness still works.
 package main
 
 import (
@@ -29,26 +35,42 @@ import (
 
 // Report is the JSON schema of the benchmark output.
 type Report struct {
-	GoVersion            string  `json:"goVersion"`
-	NumCPU               int     `json:"numCPU"`
-	Photons              int64   `json:"photonsPerKernelRun"`
-	LayeredPhotonsPerSec float64 `json:"layeredPhotonsPerSec"`
+	GoVersion string `json:"goVersion"`
+	NumCPU    int    `json:"numCPU"`
+	Quick     bool   `json:"quick,omitempty"`
+	Photons   int64  `json:"photonsPerKernelRun"`
+
+	LayeredPhotonsPerSec   float64 `json:"layeredPhotonsPerSec"`
+	LayeredAllocsPerPhoton float64 `json:"layeredAllocsPerPhoton"`
+	LayeredBytesPerPhoton  float64 `json:"layeredBytesPerPhoton"`
+
 	VoxelPhotonsPerSec   float64 `json:"voxelPhotonsPerSec"`
-	RegistryJobs         int     `json:"registryJobs"`
-	RegistryJobsPerSec   float64 `json:"registryJobsPerSec"`
-	Timestamp            string  `json:"timestamp"`
+	VoxelAllocsPerPhoton float64 `json:"voxelAllocsPerPhoton"`
+	VoxelBytesPerPhoton  float64 `json:"voxelBytesPerPhoton"`
+
+	RegistryJobs       int     `json:"registryJobs"`
+	RegistryJobsPerSec float64 `json:"registryJobsPerSec"`
+	Timestamp          string  `json:"timestamp"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr2.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr3.json", "output JSON path")
 	photons := flag.Int64("photons", 200_000, "photons per kernel benchmark run")
 	jobs := flag.Int("jobs", 32, "jobs for the registry benchmark")
 	workers := flag.Int("workers", 4, "fleet size for the registry benchmark")
+	quick := flag.Bool("quick", false, "CI smoke mode: tiny budgets, noisy numbers")
 	flag.Parse()
+
+	if *quick {
+		*photons = 5_000
+		*jobs = 4
+		*workers = 2
+	}
 
 	rep := Report{
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
+		Quick:     *quick,
 		Photons:   *photons,
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 	}
@@ -58,8 +80,10 @@ func main() {
 		Model:    head,
 		Detector: detector.Annulus{RMin: 10, RMax: 30},
 	}
-	rep.LayeredPhotonsPerSec = kernelRate(layered, *photons)
-	fmt.Printf("layered kernel: %.0f photons/sec\n", rep.LayeredPhotonsPerSec)
+	rep.LayeredPhotonsPerSec, rep.LayeredAllocsPerPhoton, rep.LayeredBytesPerPhoton =
+		kernelRate(layered, *photons)
+	fmt.Printf("layered kernel: %.0f photons/sec, %.4f allocs/photon\n",
+		rep.LayeredPhotonsPerSec, rep.LayeredAllocsPerPhoton)
 
 	grid, err := voxel.FromModel(head, 120, 120, 80, 1, 1, 0.5)
 	if err != nil {
@@ -69,8 +93,10 @@ func main() {
 		Geometry: grid,
 		Detector: detector.Annulus{RMin: 10, RMax: 30},
 	}
-	rep.VoxelPhotonsPerSec = kernelRate(voxCfg, *photons)
-	fmt.Printf("voxel kernel:   %.0f photons/sec\n", rep.VoxelPhotonsPerSec)
+	rep.VoxelPhotonsPerSec, rep.VoxelAllocsPerPhoton, rep.VoxelBytesPerPhoton =
+		kernelRate(voxCfg, *photons)
+	fmt.Printf("voxel kernel:   %.0f photons/sec, %.4f allocs/photon\n",
+		rep.VoxelPhotonsPerSec, rep.VoxelAllocsPerPhoton)
 
 	rep.RegistryJobs = *jobs
 	rep.RegistryJobsPerSec = registryRate(*jobs, *workers)
@@ -92,17 +118,28 @@ func main() {
 	fmt.Printf("wrote %s\n", *out)
 }
 
-// kernelRate runs the config once (plus a small warm-up) and returns
-// photons per second across all cores.
-func kernelRate(cfg *mc.Config, photons int64) float64 {
+// kernelRate runs the config once (plus a small warm-up that also builds
+// the geometry accelerators) and returns photons/sec across all cores plus
+// heap allocations and bytes per photon during the timed run. The
+// allocation figures come from runtime.MemStats deltas, so they include
+// the per-run fixed cost (kernels, tallies, merge) amortised over the
+// photon budget — the hot loop itself allocates nothing.
+func kernelRate(cfg *mc.Config, photons int64) (rate, allocsPerPhoton, bytesPerPhoton float64) {
 	if _, err := mc.RunParallel(cfg, photons/10+1, 1, 0); err != nil {
 		fatal(err)
 	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	if _, err := mc.RunParallel(cfg, photons, 1, 0); err != nil {
 		fatal(err)
 	}
-	return float64(photons) / time.Since(start).Seconds()
+	elapsed := time.Since(start).Seconds()
+	runtime.ReadMemStats(&m1)
+	return float64(photons) / elapsed,
+		float64(m1.Mallocs-m0.Mallocs) / float64(photons),
+		float64(m1.TotalAlloc-m0.TotalAlloc) / float64(photons)
 }
 
 // registryRate submits many small distinct jobs to one registry, drains

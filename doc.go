@@ -61,6 +61,18 @@
 // fleet on completion); both binaries checkpoint on Ctrl-C so a long job
 // is never lost.
 //
+// # Performance
+//
+// The per-photon hot path is allocation-free and trig-free: exponential
+// steps come from a ziggurat sampler, azimuths from polar rejection,
+// per-region optical constants from tables built once per run, and layered
+// stacks trace through a devirtualised fast path while voxel grids fuse
+// same-medium DDA runs via a precomputed safe-radius map. Committed golden
+// tallies (internal/mc/testdata) pin the physics bit-for-bit, and
+// statistical gates prove the specialised paths equivalent to the
+// reference tracer; see DESIGN.md's "Performance" section. cmd/mcbench
+// writes the machine-readable throughput snapshot (BENCH_pr3.json).
+//
 // The library is organised as a thin facade over focused internal packages;
 // see DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 // paper-figure reproductions.

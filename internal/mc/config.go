@@ -108,6 +108,14 @@ type Config struct {
 	// escaping the top surface — the diffuse reflectance profile R(ρ)
 	// used to compare against diffusion theory.
 	Radial *HistSpec
+
+	// Hot-path tables, built by Normalize and read-only afterwards: the
+	// per-region optical table every kernel indexes instead of calling
+	// Geometry.Props per event, and the devirtualised layered fast path
+	// (nil for voxel/custom geometries, which trace through the Geometry
+	// interface).
+	opt []regionOpt
+	lay *layeredGeom
 }
 
 // Normalize fills defaults and validates the configuration.
@@ -120,6 +128,11 @@ func (c *Config) Normalize() error {
 	}
 	if err := c.Geometry.Validate(); err != nil {
 		return err
+	}
+	c.opt = buildRegionTable(c.Geometry)
+	c.lay = nil
+	if l, ok := c.Geometry.(geom.Layered); ok {
+		c.lay = buildLayeredGeom(l)
 	}
 	if c.Source == nil {
 		c.Source = source.Pencil{}

@@ -1,0 +1,90 @@
+package mc_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/geom"
+	"repro/internal/mc"
+	"repro/internal/tissue"
+)
+
+// opaqueGeometry hides the concrete geom.Layered type from the kernel's
+// type switch, forcing the generic interface trace loop over the same
+// physical stack — the "old path" reference the specialised tracer is
+// gated against.
+type opaqueGeometry struct{ geom.Geometry }
+
+// close3Sigma asserts |a−b| ≤ 3σ for two independently estimated fractions
+// of n launched photons (binomial variance bound; packet weights ≤ 1).
+func close3Sigma(t *testing.T, name string, a, b float64, n int64) {
+	t.Helper()
+	nf := float64(n)
+	sigma := math.Sqrt(a*(1-a)/nf + b*(1-b)/nf)
+	if diff := math.Abs(a - b); diff > 3*sigma {
+		t.Errorf("%s: fast path %.5g vs generic %.5g differ by %.3g > 3σ = %.3g",
+			name, a, b, diff, 3*sigma)
+	}
+}
+
+// TestLayeredFastPathMatchesGeneric is the statistical-equivalence gate of
+// the kernel overhaul: the devirtualised layered tracer and the generic
+// Geometry-interface tracer must agree on every acceptance observable
+// within Monte Carlo noise, in both boundary modes. (Bit-level equality is
+// not expected — the two paths may consume RNG draws in different
+// branches — so the gate is 3σ on physical observables, with the committed
+// golden fixtures pinning each path's exact output separately.)
+func TestLayeredFastPathMatchesGeneric(t *testing.T) {
+	n := int64(120_000)
+	if testing.Short() {
+		n = 25_000
+	}
+	model := tissue.AdultHead()
+	det := detector.Annulus{RMin: 5, RMax: 15}
+
+	for _, mode := range []mc.BoundaryMode{mc.BoundaryProbabilistic, mc.BoundaryDeterministic} {
+		fast, err := mc.RunParallel(&mc.Config{
+			Model: model, Detector: det, Boundary: mode,
+		}, n, 101, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		generic, err := mc.RunParallel(&mc.Config{
+			Geometry: opaqueGeometry{geom.Layered{M: model}}, Detector: det, Boundary: mode,
+		}, n, 202, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		name := mode.String()
+		if bal := math.Abs(fast.EnergyBalance()); bal > 1e-6*float64(n) {
+			t.Fatalf("%s: fast-path energy balance broken: %g", name, bal)
+		}
+		if bal := math.Abs(generic.EnergyBalance()); bal > 1e-6*float64(n) {
+			t.Fatalf("%s: generic-path energy balance broken: %g", name, bal)
+		}
+
+		close3Sigma(t, name+" diffuse reflectance", fast.DiffuseReflectance(), generic.DiffuseReflectance(), n)
+		close3Sigma(t, name+" detected fraction", fast.DetectedFraction(), generic.DetectedFraction(), n)
+		close3Sigma(t, name+" absorbance", fast.Absorbance(), generic.Absorbance(), n)
+		for i := range fast.LayerAbsorbed {
+			close3Sigma(t, name+" absorbed "+model.Layers[i].Name,
+				fast.LayerAbsorbed[i]/fast.N(), generic.LayerAbsorbed[i]/generic.N(), n)
+		}
+		for i := 1; i < len(fast.LayerEnteredWeight); i++ {
+			close3Sigma(t, name+" penetration "+model.Layers[i].Name,
+				fast.PenetrationFraction(i), generic.PenetrationFraction(i), n)
+		}
+
+		// The mean detected pathlength (the DPF observable) must agree
+		// within combined standard errors.
+		if fast.DetectedCount > 50 && generic.DetectedCount > 50 {
+			se := 3 * math.Hypot(fast.PathStats.StdErr(), generic.PathStats.StdErr())
+			if d := math.Abs(fast.MeanPathlength() - generic.MeanPathlength()); d > se {
+				t.Errorf("%s mean pathlength: %g vs %g differ by %g > %g",
+					name, fast.MeanPathlength(), generic.MeanPathlength(), d, se)
+			}
+		}
+	}
+}

@@ -52,13 +52,20 @@ func (p *subPacket) markEntered(r int) bool {
 }
 
 // kernel carries the per-worker simulation state: configuration, geometry,
-// RNG stream and the tally being accumulated. One kernel must only be used
-// from a single goroutine.
+// RNG stream and the tally being accumulated. Each kernel owns a private
+// scratch tally merged once per chunk, so the hot loop never synchronises.
+// One kernel must only be used from a single goroutine.
 type kernel struct {
 	cfg   *Config
 	geo   geom.Geometry
 	rng   *rng.Rand
 	tally *Tally
+
+	// opt is the per-region optical table (mua+mus, albedo, 1/µt, …)
+	// precomputed once per Config; lay is the devirtualised layered fast
+	// path, nil for voxel/custom geometries.
+	opt []regionOpt
+	lay *layeredGeom
 
 	recordPaths bool
 	stack       []subPacket
@@ -73,6 +80,8 @@ func newKernel(cfg *Config, r *rng.Rand) *kernel {
 		geo:         cfg.Geometry,
 		rng:         r,
 		tally:       NewTally(cfg),
+		opt:         cfg.opt,
+		lay:         cfg.lay,
 		recordPaths: cfg.PathGrid != nil,
 	}
 }
@@ -122,7 +131,7 @@ func (k *kernel) onePhoton() {
 	// deterministically, as in MCML). In a heterogeneous medium the entry
 	// region — and hence the specular fraction — may vary across the
 	// surface footprint.
-	rsp := optics.Specular(k.geo.AmbientIndex(), k.geo.Props(entry).N)
+	rsp := optics.Specular(k.geo.AmbientIndex(), k.opt[entry].N)
 	t.SpecularWeight += rsp
 
 	primary := subPacket{
@@ -143,16 +152,23 @@ func (k *kernel) onePhoton() {
 	for len(k.stack) > 0 {
 		p := k.stack[len(k.stack)-1]
 		k.stack = k.stack[:len(k.stack)-1]
-		if d := k.trace(&p); d > deepestRegion {
+		var d int
+		if k.lay != nil {
+			d = k.traceLayered(&p)
+		} else {
+			d = k.trace(&p)
+		}
+		if d > deepestRegion {
 			deepestRegion = d
 		}
 	}
 	t.LayerReached[deepestRegion]++
 }
 
-// trace follows one sub-packet to extinction and returns the deepest region
-// index it visited. Reflected children spawned in deterministic mode are
-// pushed onto k.stack.
+// trace follows one sub-packet to extinction through an arbitrary Geometry
+// and returns the deepest region index it visited. Reflected children
+// spawned in deterministic mode are pushed onto k.stack. Layered stacks use
+// the specialised traceLayered instead.
 func (k *kernel) trace(p *subPacket) (deepest int) {
 	t := k.tally
 	deepest = p.region
@@ -160,14 +176,13 @@ func (k *kernel) trace(p *subPacket) (deepest int) {
 	defer func() { k.putVisits(p.visits); p.visits = nil }()
 
 	for events := 0; events < k.cfg.MaxEvents; events++ {
-		props := k.geo.Props(p.region)
-		mut := props.MuT()
+		op := &k.opt[p.region]
 
 		// Sample the free-path step; a non-interacting region (CSF-like
 		// void) propagates straight to its boundary.
 		s := math.Inf(1)
-		if mut > 0 {
-			s = k.rng.Step() / mut
+		if op.Interacting {
+			s = k.rng.Step() * op.InvMuT
 		}
 
 		// Distance to the next medium change along the current direction,
@@ -186,8 +201,8 @@ func (k *kernel) trace(p *subPacket) (deepest int) {
 				t.LayerAbsorbed[p.region] += p.weight
 				return deepest
 			}
-			k.advance(p, db, props.N)
-			alive, entered := k.cross(p, &hit, props.N)
+			k.advance(p, db, op.N)
+			alive, entered := k.cross(p, &hit, op.N)
 			if !alive {
 				return deepest
 			}
@@ -198,10 +213,10 @@ func (k *kernel) trace(p *subPacket) (deepest int) {
 		}
 
 		// Hop.
-		k.advance(p, s, props.N)
+		k.advance(p, s, op.N)
 
 		// Drop: deposit the absorbed fraction of the packet weight.
-		dw := p.weight * props.MuA / mut
+		dw := p.weight * op.AbsFrac
 		p.weight -= dw
 		t.AbsorbedWeight += dw
 		t.LayerAbsorbed[p.region] += dw
@@ -213,7 +228,8 @@ func (k *kernel) trace(p *subPacket) (deepest int) {
 		}
 
 		// Spin: sample the Henyey–Greenstein deflection.
-		p.dir = vec.Scatter(p.dir, k.rng.HenyeyGreenstein(props.G), k.rng.Azimuth())
+		cosPhi, sinPhi := k.rng.AzimuthUnit()
+		p.dir = vec.ScatterCS(p.dir, op.sampleHG(k.rng.Float64()), cosPhi, sinPhi)
 		p.scat++
 
 		// Survival roulette for low-weight packets.

@@ -1,0 +1,130 @@
+package mc
+
+import (
+	"repro/internal/geom"
+	"repro/internal/optics"
+)
+
+// regionOpt is the per-region optical table entry the hot loop reads instead
+// of calling Geometry.Props per event: every derived quantity the
+// hop–drop–spin loop needs, precomputed once per normalised Config.
+type regionOpt struct {
+	MuA     float64
+	G       float64
+	N       float64
+	InvMuT  float64 // 1/µt; meaningless when !Interacting
+	AbsFrac float64 // µa/µt, the dropped weight fraction per interaction
+
+	// Henyey–Greenstein constants: cosθ = (HgB − f²)·HgHalfInvG with
+	// f = HgA/(HgK + Hg2G·ξ), precomputed so the spin costs one uniform
+	// draw and one division.
+	HgA, HgB, HgK, Hg2G, HgHalfInvG float64
+
+	// Interacting is false for µt = 0 (CSF-like void) regions, which
+	// propagate straight to their boundary.
+	Interacting bool
+	// HgIso marks isotropic scattering (g = 0), sampled as 2ξ−1.
+	HgIso bool
+}
+
+// sampleHG draws the Henyey–Greenstein polar scattering cosine for this
+// region from the uniform deviate xi, using the precomputed constants. It
+// matches rng.HenyeyGreenstein exactly up to float rounding.
+func (o *regionOpt) sampleHG(xi float64) float64 {
+	if o.HgIso {
+		return 2*xi - 1
+	}
+	f := o.HgA / (o.HgK + o.Hg2G*xi)
+	cos := (o.HgB - f*f) * o.HgHalfInvG
+	// Numerical guard: keep strictly inside [-1, 1].
+	if cos < -1 {
+		cos = -1
+	} else if cos > 1 {
+		cos = 1
+	}
+	return cos
+}
+
+// buildRegionTable precomputes the optical table for every region of g.
+func buildRegionTable(g geom.Geometry) []regionOpt {
+	opt := make([]regionOpt, g.NumRegions())
+	for r := range opt {
+		p := g.Props(r)
+		o := regionOpt{MuA: p.MuA, G: p.G, N: p.N}
+		if mut := p.MuT(); mut > 0 {
+			o.InvMuT = 1 / mut
+			o.AbsFrac = p.MuA / mut
+			o.Interacting = true
+		}
+		if g := p.G; g == 0 {
+			o.HgIso = true
+		} else {
+			o.HgA = 1 - g*g
+			o.HgB = 1 + g*g
+			o.HgK = 1 - g
+			o.Hg2G = 2 * g
+			o.HgHalfInvG = 1 / (2 * g)
+		}
+		opt[r] = o
+	}
+	return opt
+}
+
+// layerFace is the precomputed Fresnel context of one oriented layer
+// interface (crossing layer r downward or upward): everything cross-layer
+// resolution needs without touching the tissue model.
+type layerFace struct {
+	next    int     // region beyond the face (== r at an exit face)
+	n1, n2  float64 // refractive indices on this / the far side
+	eta     float64 // n1/n2
+	critCos float64 // TIR when |uz| ≤ critCos (0 when n1 ≤ n2)
+	matched bool    // n1 == n2: no Fresnel event at all
+	exit    geom.ExitKind
+}
+
+// layeredGeom is the devirtualised layered fast path: the boundary planes
+// and per-interface Fresnel tables of a geom.Layered stack, precomputed so
+// the trace loop runs without interface calls. Built once per normalised
+// Config and shared read-only by every kernel.
+type layeredGeom struct {
+	top, bot []float64   // z of layer r's top and bottom plane (bot may be +Inf)
+	down, up []layerFace // faces crossed moving in +z / −z out of layer r
+}
+
+// buildLayeredGeom precomputes the fast-path tables for a layered stack.
+func buildLayeredGeom(l geom.Layered) *layeredGeom {
+	m := l.M
+	n := m.NumLayers()
+	lg := &layeredGeom{
+		top:  make([]float64, n),
+		bot:  make([]float64, n),
+		down: make([]layerFace, n),
+		up:   make([]layerFace, n),
+	}
+	for r := 0; r < n; r++ {
+		lg.top[r] = m.Boundary(r)
+		lg.bot[r] = m.Boundary(r + 1)
+		n1 := m.Layers[r].Props.N
+
+		d := layerFace{next: r + 1, n1: n1, n2: m.IndexBelow(r)}
+		if r == n-1 {
+			d.next = r
+			d.exit = geom.ExitBottom
+		}
+		d.eta = n1 / d.n2
+		d.critCos = optics.CriticalCos(n1, d.n2)
+		d.matched = n1 == d.n2
+		lg.down[r] = d
+
+		u := layerFace{next: r - 1, n1: n1, n2: m.IndexAbove(r)}
+		if r == 0 {
+			u.next = 0
+			u.exit = geom.ExitTop
+		}
+		u.eta = n1 / u.n2
+		u.critCos = optics.CriticalCos(n1, u.n2)
+		u.matched = n1 == u.n2
+		lg.up[r] = u
+	}
+	return lg
+}

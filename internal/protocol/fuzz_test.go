@@ -1,0 +1,133 @@
+package protocol
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/detector"
+	"repro/internal/mc"
+	"repro/internal/source"
+	"repro/internal/tissue"
+)
+
+// readCloser adapts a bytes.Reader to the ReadWriteCloser Conn expects;
+// writes vanish (the fuzzer only exercises the decode direction).
+type readCloser struct{ *bytes.Reader }
+
+func (readCloser) Write(p []byte) (int, error) { return len(p), nil }
+func (readCloser) Close() error                { return nil }
+
+// encodeMessages gob-encodes a sequence of messages into one wire blob.
+func encodeMessages(tb testing.TB, msgs ...*Message) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	c := &Conn{}
+	*c = *NewConn(struct {
+		io.Reader
+		io.Writer
+		io.Closer
+	}{&buf, &buf, io.NopCloser(nil)})
+	for _, m := range msgs {
+		if err := c.Send(m); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func seedMessages(tb testing.TB) []*Message {
+	tb.Helper()
+	spec := mc.NewSpec(
+		tissue.HomogeneousSlab("slab", tissue.ScalpProps, 5),
+		source.Spec{Kind: source.KindPencil},
+		detector.Spec{Kind: detector.KindAnnulus, RMin: 1, RMax: 4},
+	)
+	tally, err := mc.Run(&mc.Config{Model: tissue.HomogeneousSlab("slab", tissue.ScalpProps, 5)}, 50, 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return []*Message{
+		{Type: MsgHello, Hello: &Hello{Version: Version, Name: "w0", Mflops: 42}},
+		{Type: MsgWelcome, Welcome: &Welcome{Version: Version, ServerName: "srv"}},
+		{Type: MsgTaskRequest, Request: &TaskRequest{KnownJobs: []uint64{1, 2, 3}}},
+		{Type: MsgTaskAssign, Assign: &TaskAssign{
+			JobID: 9, ChunkID: 4, Stream: 4, Photons: 1000,
+			Job: &Job{ID: 9, Spec: *spec, Seed: 77, Streams: 8},
+		}},
+		{Type: MsgTaskResult, Result: &TaskResult{JobID: 9, ChunkID: 4, Elapsed: time.Second, Tally: tally}},
+		{Type: MsgResultAck, Ack: &ResultAck{ChunkID: 4, Duplicate: true, Reason: "dup"}},
+		{Type: MsgNoWork, NoWork: &NoWork{Done: true, RetryIn: time.Minute}},
+		{Type: MsgError, Error: &Error{Msg: "boom"}},
+	}
+}
+
+// FuzzDecodeMessage throws arbitrary bytes at the protocol v2 wire decoder:
+// valid frames, truncated gobs, bit-flipped envelopes and oversized
+// KnownJobs advertisements. The decoder must never panic, and every
+// message it does accept must satisfy the envelope invariants Recv
+// promises (a known type, a bounded KnownJobs list).
+func FuzzDecodeMessage(f *testing.F) {
+	msgs := seedMessages(f)
+
+	// Seed: each message alone, the whole conversation, a truncated stream
+	// and an oversized KnownJobs frame.
+	for _, m := range msgs {
+		f.Add(encodeMessages(f, m))
+	}
+	all := encodeMessages(f, msgs...)
+	f.Add(all)
+	f.Add(all[:len(all)/3])
+	f.Add(all[:len(all)-1])
+	big := make([]uint64, MaxKnownJobs+1)
+	f.Add(encodeMessages(f, &Message{Type: MsgTaskRequest, Request: &TaskRequest{KnownJobs: big}}))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewConn(readCloser{bytes.NewReader(data)})
+		// Bound the loop: a hostile stream must not decode forever.
+		for i := 0; i < 64; i++ {
+			m, err := c.Recv()
+			if err != nil {
+				return
+			}
+			if m.Type < MsgHello || m.Type > MsgError {
+				t.Fatalf("Recv accepted invalid type %d", int(m.Type))
+			}
+			if m.Request != nil && len(m.Request.KnownJobs) > MaxKnownJobs {
+				t.Fatalf("Recv accepted %d known jobs", len(m.Request.KnownJobs))
+			}
+		}
+	})
+}
+
+// TestRecvRejectsOversizedKnownJobs pins the new envelope validation
+// outside the fuzzer, so a plain `go test` covers it too.
+func TestRecvRejectsOversizedKnownJobs(t *testing.T) {
+	big := make([]uint64, MaxKnownJobs+1)
+	data := encodeMessages(t, &Message{Type: MsgTaskRequest, Request: &TaskRequest{KnownJobs: big}})
+	c := NewConn(readCloser{bytes.NewReader(data)})
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("oversized KnownJobs accepted")
+	}
+
+	ok := encodeMessages(t, &Message{Type: MsgTaskRequest,
+		Request: &TaskRequest{KnownJobs: make([]uint64, MaxKnownJobs)}})
+	c = NewConn(readCloser{bytes.NewReader(ok)})
+	if _, err := c.Recv(); err != nil {
+		t.Fatalf("at-limit KnownJobs rejected: %v", err)
+	}
+}
+
+// TestRecvRejectsInvalidType covers the type-range validation.
+func TestRecvRejectsInvalidType(t *testing.T) {
+	for _, typ := range []MsgType{0, MsgError + 1, -3} {
+		data := encodeMessages(t, &Message{Type: typ})
+		c := NewConn(readCloser{bytes.NewReader(data)})
+		if _, err := c.Recv(); err == nil {
+			t.Fatalf("type %d accepted", int(typ))
+		}
+	}
+}

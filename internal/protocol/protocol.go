@@ -91,6 +91,12 @@ type Job struct {
 	Streams int // total number of RNG streams (= number of chunks)
 }
 
+// MaxKnownJobs bounds the KnownJobs advertisement in a TaskRequest. Workers
+// cache at most a few dozen descriptors, so anything beyond this is a
+// malformed or hostile frame; Recv rejects it before the registry allocates
+// per-entry bookkeeping.
+const MaxKnownJobs = 4096
+
 // TaskRequest asks the server for the next chunk of any job. KnownJobs is
 // the authoritative list of job descriptors the worker currently holds:
 // the server omits re-sending bulky specs for listed jobs and re-carries
@@ -182,14 +188,21 @@ func (c *Conn) Send(m *Message) error {
 	return nil
 }
 
-// Recv decodes the next message.
+// Recv decodes the next message and validates its envelope: a missing
+// type, an out-of-range type or an oversized KnownJobs advertisement are
+// protocol errors, not panics or unbounded allocations further up the
+// stack.
 func (c *Conn) Recv() (*Message, error) {
 	var m Message
 	if err := c.dec.Decode(&m); err != nil {
 		return nil, err
 	}
-	if m.Type == 0 {
-		return nil, fmt.Errorf("protocol: message without type")
+	if m.Type < MsgHello || m.Type > MsgError {
+		return nil, fmt.Errorf("protocol: message with invalid type %d", int(m.Type))
+	}
+	if m.Request != nil && len(m.Request.KnownJobs) > MaxKnownJobs {
+		return nil, fmt.Errorf("protocol: task request advertises %d known jobs, max %d",
+			len(m.Request.KnownJobs), MaxKnownJobs)
 	}
 	return &m, nil
 }

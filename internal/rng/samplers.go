@@ -2,12 +2,6 @@ package rng
 
 import "math"
 
-// Step returns a dimensionless exponential free-path sample -ln(ξ).
-// Dividing by the interaction coefficient µt yields a geometric step length.
-func (r *Rand) Step() float64 {
-	return -math.Log(r.Float64Open())
-}
-
 // Exp returns an exponentially distributed value with the given rate.
 func (r *Rand) Exp(rate float64) float64 {
 	return r.Step() / rate

@@ -1,0 +1,122 @@
+package service
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/detector"
+	"repro/internal/mc"
+	"repro/internal/optics"
+	"repro/internal/source"
+	"repro/internal/voxel"
+)
+
+// voxelSpec builds a small heterogeneous voxel job: a 5 mm slab grid with
+// an absorbing sphere, cheap enough to drain in-process but exercising the
+// fused DDA path end to end over the wire protocol.
+func voxelSpec(t *testing.T) *mc.Spec {
+	t.Helper()
+	g := voxel.New("cache-slab", 30, 30, 10, 1, 1, 0.5, "phantom",
+		optics.Properties{MuA: 0.02, MuS: 10, G: 0.9, N: 1.4})
+	inc, err := g.AddMedium("absorber", optics.Properties{MuA: 1.5, MuS: 8, G: 0.9, N: 1.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if painted := g.PaintSphere(inc, 0, 0, 2.5, 1.5); painted == 0 {
+		t.Fatal("sphere painted nothing")
+	}
+	return mc.NewVoxelSpec(g,
+		source.Spec{Kind: source.KindPencil},
+		detector.Spec{Kind: detector.KindAnnulus, RMin: 1, RMax: 4})
+}
+
+// TestVoxelCacheHitMatchesRecompute extends the stream-merge reproducibility
+// contract to the service layer over a voxel geometry: a job computed by a
+// worker fleet must equal the local stream-by-stream reduction, a duplicate
+// submission must be served from the cache with the identical tally, and an
+// independent registry recomputing the same job from scratch must reproduce
+// it — cache hits are indistinguishable from recomputation. Run under
+// -race in CI, this also guards the accelerator build and cache cloning
+// for data races.
+func TestVoxelCacheHitMatchesRecompute(t *testing.T) {
+	spec := voxelSpec(t)
+	const total, chunk, seed = 2000, 250, 37
+
+	reg := New(Options{})
+	startWorkers(t, reg, 3)
+	out, err := reg.Submit(JobSpec{Spec: spec, TotalPhotons: total, ChunkPhotons: chunk, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := out.Job.Wait(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fleet reduction equals the local stream-by-stream ground truth
+	// (merge order may differ, so compare to floating-point tolerance).
+	want := localTally(t, voxelSpec(t), total, chunk, seed)
+	if res.Tally.Launched != want.Launched || res.Tally.DetectedCount != want.DetectedCount {
+		t.Fatalf("counts differ: launched %d vs %d, detected %d vs %d",
+			res.Tally.Launched, want.Launched, res.Tally.DetectedCount, want.DetectedCount)
+	}
+	for _, c := range []struct {
+		name string
+		a, b float64
+	}{
+		{"absorbed", res.Tally.AbsorbedWeight, want.AbsorbedWeight},
+		{"diffuse", res.Tally.DiffuseWeight, want.DiffuseWeight},
+		{"detected", res.Tally.DetectedWeight, want.DetectedWeight},
+		{"lateral", res.Tally.LateralWeight, want.LateralWeight},
+		{"transmit", res.Tally.TransmitWeight, want.TransmitWeight},
+	} {
+		if math.Abs(c.a-c.b) > 1e-9 {
+			t.Errorf("%s weight: fleet %g vs local %g", c.name, c.a, c.b)
+		}
+	}
+
+	// Duplicate submission: a cache hit carrying the identical result.
+	dup, err := reg.Submit(JobSpec{Spec: voxelSpec(t), TotalPhotons: total, ChunkPhotons: chunk, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup.Cached {
+		t.Fatal("identical voxel submission not served from cache")
+	}
+	dupRes, err := dup.Job.Wait(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dupRes.CacheHit {
+		t.Fatal("cached result not flagged")
+	}
+	if !reflect.DeepEqual(dupRes.Tally, res.Tally) {
+		t.Fatal("cache-hit tally differs from the original result")
+	}
+
+	// A fresh registry recomputing from scratch must reproduce the result:
+	// the cache is a pure shortcut, never a divergence.
+	reg2 := New(Options{CacheSize: -1})
+	startWorkers(t, reg2, 2)
+	out2, err := reg2.Submit(JobSpec{Spec: voxelSpec(t), TotalPhotons: total, ChunkPhotons: chunk, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Cached {
+		t.Fatal("cache-disabled registry reported a cache hit")
+	}
+	res2, err := out2.Job.Wait(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res2.Tally.AbsorbedWeight-res.Tally.AbsorbedWeight) > 1e-9 ||
+		math.Abs(res2.Tally.DetectedWeight-res.Tally.DetectedWeight) > 1e-9 ||
+		res2.Tally.DetectedCount != res.Tally.DetectedCount {
+		t.Fatal("recomputed voxel job differs from the cached one")
+	}
+	if bal := res2.Tally.EnergyBalance(); math.Abs(bal) > 1e-6*res2.Tally.N() {
+		t.Fatalf("energy balance broken through the service layer: %g", bal)
+	}
+}

@@ -48,13 +48,21 @@ func (a V) Normalize() V {
 // azimuthal angle φ, returning the new unit direction. This is the standard
 // MCML direction update (Prahl et al. 1989, Wang & Jacques MCML manual).
 func Scatter(d V, cosTheta, phi float64) V {
-	sinTheta := math.Sqrt(1 - cosTheta*cosTheta)
-	cosPhi := math.Cos(phi)
-	sinPhi := math.Sin(phi)
+	return ScatterCS(d, cosTheta, math.Cos(phi), math.Sin(phi))
+}
+
+// ScatterCS is Scatter with the azimuth supplied directly as (cos φ, sin φ)
+// — the transport hot path samples that pair without trigonometric calls
+// (rng.AzimuthUnit). The rotation needs sinθ/√(1−uz²) and sinθ·√(1−uz²);
+// both come from a single square root of the product, so one event costs
+// one sqrt and one division.
+func ScatterCS(d V, cosTheta, cosPhi, sinPhi float64) V {
+	st2 := 1 - cosTheta*cosTheta // sin²θ
 
 	// Near-vertical propagation needs the degenerate branch to avoid the
-	// 1/sqrt(1-uz²) singularity.
+	// 1/√(1-uz²) singularity.
 	if math.Abs(d.Z) > 0.99999 {
+		sinTheta := math.Sqrt(st2)
 		sign := 1.0
 		if d.Z < 0 {
 			sign = -1.0
@@ -65,11 +73,17 @@ func Scatter(d V, cosTheta, phi float64) V {
 			sign * cosTheta,
 		}
 	}
+	if st2 <= 0 {
+		// θ = 0 or π exactly: pure forward/backward scattering.
+		return d.Scale(cosTheta)
+	}
 
-	denom := math.Sqrt(1 - d.Z*d.Z)
+	dn2 := 1 - d.Z*d.Z        // denom² = 1−uz²
+	g := math.Sqrt(st2 * dn2) // sinθ·denom
+	f := st2 / g              // sinθ/denom
 	return V{
-		sinTheta*(d.X*d.Z*cosPhi-d.Y*sinPhi)/denom + d.X*cosTheta,
-		sinTheta*(d.Y*d.Z*cosPhi+d.X*sinPhi)/denom + d.Y*cosTheta,
-		-sinTheta*cosPhi*denom + d.Z*cosTheta,
+		f*(d.X*d.Z*cosPhi-d.Y*sinPhi) + d.X*cosTheta,
+		f*(d.Y*d.Z*cosPhi+d.X*sinPhi) + d.Y*cosTheta,
+		-cosPhi*g + d.Z*cosTheta,
 	}
 }

@@ -1,0 +1,183 @@
+package voxel
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/optics"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+// accelTestGrid builds a small heterogeneous grid: three depth bands plus a
+// painted sphere, so the radius map sees flat interfaces, a curved one and
+// the grid hull.
+func accelTestGrid(t *testing.T) *Grid {
+	t.Helper()
+	g := New("accel", 24, 20, 16, 1, 1, 1, "base",
+		optics.Properties{MuA: 0.02, MuS: 10, G: 0.9, N: 1.4})
+	mid, err := g.AddMedium("mid", optics.Properties{MuA: 0.05, MuS: 5, G: 0.8, N: 1.35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sph, err := g.AddMedium("sphere", optics.Properties{MuA: 1, MuS: 8, G: 0.9, N: 1.45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.PaintBox(mid, g.X0, g.Y0, 6, -g.X0, -g.Y0, 11)
+	g.PaintSphere(sph, 2, -1, 8, 3)
+	return g
+}
+
+// TestSafeRadiusInvariant brute-forces the fusion invariant for every
+// voxel: the Chebyshev ball of the mapped radius is entirely in-grid and
+// same-label, and the radius is maximal (the next larger ball violates).
+func TestSafeRadiusInvariant(t *testing.T) {
+	g := accelTestGrid(t)
+	rad := g.ensureAccel().rad
+
+	ballUniform := func(i, j, k, r int) bool {
+		if i-r < 0 || i+r >= g.Nx || j-r < 0 || j+r >= g.Ny || k-r < 0 || k+r >= g.Nz {
+			return false
+		}
+		l := g.Labels[g.Index(i, j, k)]
+		for dk := -r; dk <= r; dk++ {
+			for dj := -r; dj <= r; dj++ {
+				for di := -r; di <= r; di++ {
+					if g.Labels[g.Index(i+di, j+dj, k+dk)] != l {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+
+	for k := 0; k < g.Nz; k++ {
+		for j := 0; j < g.Ny; j++ {
+			for i := 0; i < g.Nx; i++ {
+				r := int(rad[g.Index(i, j, k)])
+				if !ballUniform(i, j, k, r) {
+					t.Fatalf("voxel (%d,%d,%d): radius %d ball not uniform", i, j, k, r)
+				}
+				if r < 255 && ballUniform(i, j, k, r+1) {
+					t.Errorf("voxel (%d,%d,%d): radius %d not maximal", i, j, k, r)
+				}
+			}
+		}
+	}
+}
+
+// TestFusionMatchesPlainDDA fires random rays through the heterogeneous
+// grid and compares the fused traversal against the same walk with the
+// radius map zeroed (which disables both the fast path and in-walk jumps).
+// Boundary hits must agree; no-boundary outcomes must agree on "beyond
+// maxDist".
+func TestFusionMatchesPlainDDA(t *testing.T) {
+	g := accelTestGrid(t)
+	plain := g.Clone()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	plainRad := plain.acc.Load().rad
+	for i := range plainRad {
+		plainRad[i] = 0
+	}
+
+	r := rng.New(2027)
+	rays := 2000
+	for n := 0; n < rays; n++ {
+		pos := vec.V{
+			X: g.X0 + r.Float64()*g.Width(),
+			Y: g.Y0 + r.Float64()*g.Height(),
+			Z: r.Float64() * g.Depth(),
+		}
+		cosPhi, sinPhi := r.AzimuthUnit()
+		cosT := 2*r.Float64() - 1
+		sinT := math.Sqrt(1 - cosT*cosT)
+		dir := vec.V{X: sinT * cosPhi, Y: sinT * sinPhi, Z: cosT}
+		region := g.RegionAt(pos)
+		if region < 0 {
+			continue
+		}
+		maxDist := r.Float64() * 12
+
+		sf, hf := g.ToBoundary(pos, dir, region, maxDist)
+		sp, hp := plain.ToBoundary(pos, dir, region, maxDist)
+
+		fusedBeyond, plainBeyond := sf > maxDist && hf == (geom.Hit{}), sp > maxDist && hp == (geom.Hit{})
+		if fusedBeyond != plainBeyond {
+			t.Fatalf("ray %d: fused beyond=%v plain beyond=%v (s %g vs %g)", n, fusedBeyond, plainBeyond, sf, sp)
+		}
+		if plainBeyond {
+			continue
+		}
+		if math.Abs(sf-sp) > 1e-9 {
+			t.Fatalf("ray %d: boundary distance %g vs %g", n, sf, sp)
+		}
+		if hf != hp {
+			t.Fatalf("ray %d: hits differ: %+v vs %+v", n, hf, hp)
+		}
+	}
+}
+
+// TestConcurrentLazyAccelBuild pins the atomic publication of the
+// accelerator: goroutines tracing a never-validated shared grid may race
+// into the lazy build, and all must come back with consistent results
+// (run under -race in CI).
+func TestConcurrentLazyAccelBuild(t *testing.T) {
+	g := accelTestGrid(t)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for w := range errs {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pos := vec.V{X: float64(w) - 4, Z: 3}
+			s, _ := g.ToBoundary(pos, vec.V{Z: 1}, g.RegionAt(pos), math.Inf(1))
+			if s <= 0 {
+				errs[w] = fmt.Errorf("worker %d: non-positive boundary distance %g", w, s)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPaintInvalidatesAccel guards the staleness trap: painting after a
+// trace must rebuild the radius map, not fuse through the new inclusion.
+func TestPaintInvalidatesAccel(t *testing.T) {
+	g := New("repaint", 16, 16, 16, 1, 1, 1, "base",
+		optics.Properties{MuA: 0.02, MuS: 10, G: 0.9, N: 1.4})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.acc.Load() == nil {
+		t.Fatal("Validate did not build the accelerator")
+	}
+	lbl, err := g.AddMedium("inc", optics.Properties{MuA: 1, MuS: 5, G: 0.8, N: 1.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if painted := g.PaintSphere(lbl, 0, 0, 8, 3); painted == 0 {
+		t.Fatal("nothing painted")
+	}
+	if g.acc.Load() != nil {
+		t.Fatal("Paint left a stale accelerator in place")
+	}
+	// A ray straight down the sphere's axis must now report the inclusion.
+	s, hit := g.ToBoundary(vec.V{Z: 0.5}, vec.V{Z: 1}, 0, math.Inf(1))
+	if hit.Next != lbl {
+		t.Fatalf("post-paint trace missed the inclusion: s=%g hit=%+v", s, hit)
+	}
+}

@@ -88,6 +88,7 @@ func (g *Grid) AddMedium(name string, p optics.Properties) (int, error) {
 // under the shape helpers; inclusions layer in call order (later paints
 // overwrite earlier ones).
 func (g *Grid) Paint(label int, inside func(x, y, z float64) bool) int {
+	g.invalidateAccel()
 	painted := 0
 	l := uint8(label)
 	for k := 0; k < g.Nz; k++ {
@@ -163,12 +164,21 @@ func (g *Grid) VolumeFraction(label int) float64 {
 
 // Clone returns a deep copy, so a base grid can fan out into perturbed
 // variants (probe-position sweeps, inclusion ablations) without rebuilding.
+// The derived traversal accelerator is not copied (it holds an atomic
+// pointer, so the struct is rebuilt field-wise); the clone rebuilds its
+// own when first validated or traced.
 func (g *Grid) Clone() *Grid {
-	cp := *g
-	cp.Labels = append([]uint8(nil), g.Labels...)
-	cp.Media = append([]optics.Properties(nil), g.Media...)
-	cp.MediaNames = append([]string(nil), g.MediaNames...)
-	return &cp
+	return &Grid{
+		Name: g.Name,
+		Nx:   g.Nx, Ny: g.Ny, Nz: g.Nz,
+		Dx: g.Dx, Dy: g.Dy, Dz: g.Dz,
+		X0: g.X0, Y0: g.Y0,
+		NAbove:     g.NAbove,
+		NBelow:     g.NBelow,
+		Labels:     append([]uint8(nil), g.Labels...),
+		Media:      append([]optics.Properties(nil), g.Media...),
+		MediaNames: append([]string(nil), g.MediaNames...),
+	}
 }
 
 // Bounds sanity helper: InsideGrid reports whether the world point is

@@ -16,6 +16,7 @@ package voxel
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/geom"
 	"repro/internal/optics"
@@ -49,6 +50,14 @@ type Grid struct {
 	Labels     []uint8
 	Media      []optics.Properties
 	MediaNames []string
+
+	// acc is the derived traversal accelerator (reciprocal voxel sizes and
+	// the same-label safe-radius map). It is unexported so gob skips it,
+	// built by Validate (or lazily on first trace) and invalidated by the
+	// mutating builders. Publication is atomic, so grids shared across
+	// tracing goroutines stay race-free even when several kernels trigger
+	// the lazy build concurrently (the builds are idempotent; one wins).
+	acc atomic.Pointer[gridAccel]
 }
 
 // New returns a grid of nx×ny×nz voxels with edges dx×dy×dz mm, laterally
@@ -154,45 +163,75 @@ func (g *Grid) nudge() float64 { return 1e-6 * g.MinVoxel() }
 // sampled free path), returning that face distance with a zero Hit — in
 // optically thick media this makes the per-event cost O(1) instead of
 // O(grid diameter).
+//
+// Label-homogeneous stretches are fused via the safe-radius map (see
+// gridAccel): a scattering event whose sampled step fits inside the
+// current voxel's same-label Chebyshev ball returns without seeding the
+// DDA at all, and the walk jumps whole balls at a time instead of crossing
+// their interior faces one by one.
 func (g *Grid) ToBoundary(pos, dir vec.V, r int, maxDist float64) (float64, geom.Hit) {
-	eps := g.nudge()
-	i, j, k := g.voxelOf(pos.X+dir.X*eps, pos.Y+dir.Y*eps, pos.Z+dir.Z*eps)
+	a := g.acc.Load()
+	if a == nil {
+		a = g.ensureAccel()
+	}
+	eps := a.eps
+
+	i := clampIdx(int(math.Floor((pos.X+dir.X*eps-g.X0)*a.invDx)), g.Nx)
+	j := clampIdx(int(math.Floor((pos.Y+dir.Y*eps-g.Y0)*a.invDy)), g.Ny)
+	k := clampIdx(int(math.Floor((pos.Z+dir.Z*eps)*a.invDz)), g.Nz)
+	idx := (k*g.Ny+j)*g.Nx + i
+
+	// Fusion fast path: if the whole sampled step fits inside the current
+	// voxel's same-label ball, no face test is needed at all — the common
+	// case for scattering-dominated media, where the free path is a small
+	// fraction of a voxel edge.
+	if rad := a.rad[idx]; rad > 0 && int(g.Labels[idx]) == r {
+		if safe := float64(rad) * a.minEdge; safe > maxDist {
+			return safe, geom.Hit{}
+		}
+	}
 
 	// Per-axis DDA state: the parametric distance to the next face
 	// (tMax) and the distance between successive faces (tDelta).
 	const inf = math.MaxFloat64
-	stepX, tMaxX, tDeltaX := 0, inf, inf
-	switch {
-	case dir.X > 0:
-		stepX = 1
-		tMaxX = (g.X0 + float64(i+1)*g.Dx - pos.X) / dir.X
-		tDeltaX = g.Dx / dir.X
-	case dir.X < 0:
-		stepX = -1
-		tMaxX = (pos.X - (g.X0 + float64(i)*g.Dx)) / -dir.X
-		tDeltaX = g.Dx / -dir.X
+	stepX, tMaxX, tDeltaX, invX := 0, inf, inf, 0.0
+	if dir.X != 0 {
+		invX = 1 / dir.X
+		if dir.X > 0 {
+			stepX = 1
+			tMaxX = (g.X0 + float64(i+1)*g.Dx - pos.X) * invX
+			tDeltaX = g.Dx * invX
+		} else {
+			stepX = -1
+			tMaxX = (g.X0 + float64(i)*g.Dx - pos.X) * invX
+			tDeltaX = -g.Dx * invX
+		}
 	}
-	stepY, tMaxY, tDeltaY := 0, inf, inf
-	switch {
-	case dir.Y > 0:
-		stepY = 1
-		tMaxY = (g.Y0 + float64(j+1)*g.Dy - pos.Y) / dir.Y
-		tDeltaY = g.Dy / dir.Y
-	case dir.Y < 0:
-		stepY = -1
-		tMaxY = (pos.Y - (g.Y0 + float64(j)*g.Dy)) / -dir.Y
-		tDeltaY = g.Dy / -dir.Y
+	stepY, tMaxY, tDeltaY, invY := 0, inf, inf, 0.0
+	if dir.Y != 0 {
+		invY = 1 / dir.Y
+		if dir.Y > 0 {
+			stepY = 1
+			tMaxY = (g.Y0 + float64(j+1)*g.Dy - pos.Y) * invY
+			tDeltaY = g.Dy * invY
+		} else {
+			stepY = -1
+			tMaxY = (g.Y0 + float64(j)*g.Dy - pos.Y) * invY
+			tDeltaY = -g.Dy * invY
+		}
 	}
-	stepZ, tMaxZ, tDeltaZ := 0, inf, inf
-	switch {
-	case dir.Z > 0:
-		stepZ = 1
-		tMaxZ = (float64(k+1)*g.Dz - pos.Z) / dir.Z
-		tDeltaZ = g.Dz / dir.Z
-	case dir.Z < 0:
-		stepZ = -1
-		tMaxZ = (pos.Z - float64(k)*g.Dz) / -dir.Z
-		tDeltaZ = g.Dz / -dir.Z
+	stepZ, tMaxZ, tDeltaZ, invZ := 0, inf, inf, 0.0
+	if dir.Z != 0 {
+		invZ = 1 / dir.Z
+		if dir.Z > 0 {
+			stepZ = 1
+			tMaxZ = (float64(k+1)*g.Dz - pos.Z) * invZ
+			tDeltaZ = g.Dz * invZ
+		} else {
+			stepZ = -1
+			tMaxZ = (float64(k)*g.Dz - pos.Z) * invZ
+			tDeltaZ = -g.Dz * invZ
+		}
 	}
 	// A packet resolved fractionally past a face yields a slightly negative
 	// tMax; clamp so distances stay physical.
@@ -234,16 +273,6 @@ func (g *Grid) ToBoundary(pos, dir vec.V, r int, maxDist float64) (float64, geom
 			return t, geom.Hit{}
 		}
 
-		var normal vec.V
-		switch axis {
-		case 0:
-			normal = vec.V{X: -float64(stepX)}
-		case 1:
-			normal = vec.V{Y: -float64(stepY)}
-		default:
-			normal = vec.V{Z: -float64(stepZ)}
-		}
-
 		// Out of the grid: classify the exit face. The side walls are an
 		// artificial truncation, not a physical surface, so they are
 		// index-matched to the local medium — otherwise total internal
@@ -252,6 +281,15 @@ func (g *Grid) ToBoundary(pos, dir vec.V, r int, maxDist float64) (float64, geom
 		// from LateralFraction. The top face is the real entry surface
 		// (NAbove) and the bottom face is terminated by NBelow.
 		if i < 0 || i >= g.Nx || j < 0 || j >= g.Ny || k < 0 || k >= g.Nz {
+			var normal vec.V
+			switch axis {
+			case 0:
+				normal = vec.V{X: -float64(stepX)}
+			case 1:
+				normal = vec.V{Y: -float64(stepY)}
+			default:
+				normal = vec.V{Z: -float64(stepZ)}
+			}
 			hit := geom.Hit{Normal: normal, Next: r, N2: g.Media[r].N, Exit: geom.ExitLateral}
 			if axis == 2 {
 				if stepZ < 0 {
@@ -267,8 +305,28 @@ func (g *Grid) ToBoundary(pos, dir vec.V, r int, maxDist float64) (float64, geom
 
 		// A face into a different medium is the boundary; same-label faces
 		// are stepped over.
-		if label := int(g.Labels[g.Index(i, j, k)]); label != r {
+		idx = (k*g.Ny+j)*g.Nx + i
+		if label := int(g.Labels[idx]); label != r {
+			var normal vec.V
+			switch axis {
+			case 0:
+				normal = vec.V{X: -float64(stepX)}
+			case 1:
+				normal = vec.V{Y: -float64(stepY)}
+			default:
+				normal = vec.V{Z: -float64(stepZ)}
+			}
 			return t, geom.Hit{Normal: normal, Next: label, N2: g.Media[label].N}
+		}
+
+		// Fuse: deep inside a homogeneous run, leap the whole same-label
+		// ball in one go instead of crossing its interior faces.
+		if rad := a.rad[idx]; rad >= 2 {
+			nt := t + float64(rad)*a.minEdge
+			if nt > maxDist {
+				return nt, geom.Hit{}
+			}
+			i, j, k = g.reseed(a, pos, dir, nt, invX, invY, invZ, &tMaxX, &tMaxY, &tMaxZ)
 		}
 	}
 }
@@ -307,5 +365,8 @@ func (g *Grid) Validate() error {
 			return fmt.Errorf("voxel: grid %q voxel %d has label %d, only %d media", g.Name, idx, l, nm)
 		}
 	}
+	// A valid grid is about to be traced: build the traversal accelerator
+	// now, while the caller (mc.Config.Normalize) is still single-threaded.
+	g.ensureAccel()
 	return nil
 }
