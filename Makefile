@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race short bench bench-smoke cover fmt vet
+.PHONY: build test race short bench bench-smoke cover fmt vet fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -21,12 +21,18 @@ race:
 # for the multi-job service registry. Compare against the committed
 # BENCH_pr*.json trajectory.
 bench:
-	$(GO) run ./cmd/mcbench -out BENCH_pr3.json
+	$(GO) run ./cmd/mcbench -out BENCH_pr4.json
 
 # bench-smoke is the CI bitrot guard: tiny budgets, noisy numbers, proves
 # the harness still runs.
 bench-smoke:
-	$(GO) run ./cmd/mcbench -quick -out /tmp/bench-smoke.json
+	$(GO) run ./cmd/mcbench -quick -out bench-smoke.json
+
+# fuzz-smoke gives the wire decoder ten seconds of coverage-guided input on
+# top of the committed corpus (which seeds the v3 batch frames) — enough to
+# catch a decode regression without stalling CI.
+fuzz-smoke:
+	$(GO) test ./internal/protocol -run '^$$' -fuzz FuzzDecodeMessage -fuzztime 10s
 
 # cover enforces the same coverage floor as CI (keep COVER_FLOOR in sync
 # with .github/workflows/ci.yml).

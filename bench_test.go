@@ -259,6 +259,78 @@ func BenchmarkProtocolResult(b *testing.B) {
 	}
 }
 
+// codecBenchTally builds the wire-representative chunk tally (annulus
+// detection plus a mostly-zero 50³ detected-path grid) the tally-codec
+// benchmarks encode.
+func codecBenchTally(b *testing.B) *mc.Tally {
+	b.Helper()
+	tally, err := phomc.Run(phomc.Fig3Config(3, 1, 50, 12), 2000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tally
+}
+
+// BenchmarkTallyEncodeGob vs BenchmarkTallyEncodeCompact (and the decode
+// pair below) compare the two tally codecs on the same chunk result:
+// ns/op, bytes/result (reported metric) and allocs. The compact codec is
+// what ResultBatch frames carry; gob remains for checkpoints.
+func BenchmarkTallyEncodeGob(b *testing.B) {
+	tally := codecBenchTally(b)
+	var codec mc.GobTallyCodec
+	b.ReportAllocs()
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		blob, err := codec.EncodeTally(tally)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(blob)
+	}
+	b.ReportMetric(float64(n), "bytes/result")
+}
+
+func BenchmarkTallyEncodeCompact(b *testing.B) {
+	tally := codecBenchTally(b)
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = mc.AppendTally(buf[:0], tally)
+	}
+	b.ReportMetric(float64(len(buf)), "bytes/result")
+}
+
+func BenchmarkTallyDecodeGob(b *testing.B) {
+	var codec mc.GobTallyCodec
+	blob, err := codec.EncodeTally(codecBenchTally(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.DecodeTally(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(blob)), "bytes/result")
+}
+
+func BenchmarkTallyDecodeCompact(b *testing.B) {
+	blob := mc.AppendTally(nil, codecBenchTally(b))
+	var scratch mc.Tally
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := mc.DecodeTallyInto(&scratch, blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(blob)), "bytes/result")
+}
+
 // BenchmarkDistributedLoopback runs a complete DataManager job with four
 // in-process TCP workers per iteration — the end-to-end distributed path.
 func BenchmarkDistributedLoopback(b *testing.B) {

@@ -1,14 +1,25 @@
 // Command mcbench measures the repository's headline throughput numbers
 // and writes them to a machine-readable JSON file, seeding the performance
-// trajectory across PRs (`make bench` → BENCH_pr3.json, alongside the
-// committed BENCH_pr2.json for comparison):
+// trajectory across PRs (`make bench` → BENCH_pr4.json, alongside the
+// committed BENCH_pr2/pr3.json for comparison):
 //
 //   - photons/sec of the layered kernel (Table 1 adult head),
 //   - photons/sec of the voxel kernel (the same head voxelized),
-//   - heap allocations per photon for both kernels (the hot path is
-//     designed to allocate nothing after warm-up),
+//   - heap allocations per photon for both kernels,
 //   - jobs/sec of the service registry draining many small jobs over an
-//     in-memory worker fleet (scheduling + reduction overhead).
+//     in-memory worker fleet. This workload is unchanged since PR 2 for
+//     trajectory comparability — and is physics-bound on a small host
+//     (the result plane contributes only a few percent), so it moves with
+//     kernel speed, not wire speed;
+//   - jobs/sec of the *service plane* proper: near-zero-physics jobs
+//     drained twice on the same host — once by legacy-style per-chunk
+//     gob-tally clients (the PR 3 wire behaviour, still spoken by the
+//     protocol), once by the v3 batched pre-reducing clients — so the
+//     result-plane overhaul is measured against itself, not against
+//     photon transport;
+//   - the end-to-end distributed check: one realistic scoring job run
+//     locally with RunParallel and over a 3-worker in-memory fleet, with
+//     wire bytes per chunk under the gob and compact tally codecs.
 //
 // -quick shrinks every budget for CI smoke runs (seconds, not minutes);
 // its numbers are noisy and only prove the harness still works.
@@ -27,6 +38,8 @@ import (
 	"repro/internal/detector"
 	"repro/internal/distsys"
 	"repro/internal/mc"
+	"repro/internal/protocol"
+	"repro/internal/rng"
 	"repro/internal/service"
 	"repro/internal/source"
 	"repro/internal/tissue"
@@ -50,21 +63,55 @@ type Report struct {
 
 	RegistryJobs       int     `json:"registryJobs"`
 	RegistryJobsPerSec float64 `json:"registryJobsPerSec"`
-	Timestamp          string  `json:"timestamp"`
+
+	// Service-plane A/B: identical near-zero-physics jobs drained by
+	// legacy per-chunk clients vs v3 batched clients.
+	ServicePlaneJobs              int     `json:"servicePlaneJobs"`
+	ServicePlaneChunksPerJob      int     `json:"servicePlaneChunksPerJob"`
+	ServicePlaneLegacyJobsPerSec  float64 `json:"servicePlaneLegacyJobsPerSec"`
+	ServicePlaneBatchedJobsPerSec float64 `json:"servicePlaneBatchedJobsPerSec"`
+	ServicePlaneSpeedup           float64 `json:"servicePlaneSpeedup"`
+	// Per-chunk overhead after subtracting the measured compute cost of
+	// the same chunks run directly — the "fixed per-chunk overhead of the
+	// distributed path" this PR attacks.
+	ServicePlanePhysicsUsPerChunk float64 `json:"servicePlanePhysicsUsPerChunk"`
+	OverheadLegacyUsPerChunk      float64 `json:"overheadLegacyUsPerChunk"`
+	OverheadBatchedUsPerChunk     float64 `json:"overheadBatchedUsPerChunk"`
+	ServicePlaneOverheadReduction float64 `json:"servicePlaneOverheadReduction"`
+
+	// End-to-end distributed vs local on the same realistic job.
+	DistributedWorkers       int     `json:"distributedWorkers"`
+	LocalPhotonsPerSec       float64 `json:"localPhotonsPerSec"`
+	DistributedPhotonsPerSec float64 `json:"distributedPhotonsPerSec"`
+	DistributedVsLocal       float64 `json:"distributedVsLocal"`
+	DistributedBatches       int64   `json:"distributedBatches"`
+	DistributedTallyMerges   int64   `json:"distributedTallyMerges"`
+	DistributedMergesPerSec  float64 `json:"distributedMergesPerSec"`
+
+	// Wire cost of one chunk result of the distributed job above.
+	WireBytesPerChunkGob     int     `json:"wireBytesPerChunkGob"`
+	WireBytesPerChunkCompact int     `json:"wireBytesPerChunkCompact"`
+	WireBytesRatio           float64 `json:"wireBytesRatio"`
+
+	Timestamp string `json:"timestamp"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr3.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr4.json", "output JSON path")
 	photons := flag.Int64("photons", 200_000, "photons per kernel benchmark run")
 	jobs := flag.Int("jobs", 32, "jobs for the registry benchmark")
 	workers := flag.Int("workers", 4, "fleet size for the registry benchmark")
+	distPhotons := flag.Int64("dist-photons", 45_000, "photons for the distributed end-to-end benchmark")
 	quick := flag.Bool("quick", false, "CI smoke mode: tiny budgets, noisy numbers")
 	flag.Parse()
 
+	planeJobs, planeChunks := 48, 16
 	if *quick {
 		*photons = 5_000
 		*jobs = 4
 		*workers = 2
+		*distPhotons = 3_000
+		planeJobs, planeChunks = 6, 8
 	}
 
 	rep := Report{
@@ -99,9 +146,35 @@ func main() {
 		rep.VoxelPhotonsPerSec, rep.VoxelAllocsPerPhoton)
 
 	rep.RegistryJobs = *jobs
-	rep.RegistryJobsPerSec = registryRate(*jobs, *workers)
-	fmt.Printf("registry:       %.1f jobs/sec (%d jobs over %d workers)\n",
+	rep.RegistryJobsPerSec = registryRate(*jobs, *workers, batchedClient)
+	fmt.Printf("registry:       %.1f jobs/sec (%d jobs over %d workers; physics-bound)\n",
 		rep.RegistryJobsPerSec, *jobs, *workers)
+
+	rep.ServicePlaneJobs = planeJobs
+	rep.ServicePlaneChunksPerJob = planeChunks
+	rep.ServicePlaneLegacyJobsPerSec = servicePlaneRate(planeJobs, planeChunks, *workers, legacyClient)
+	rep.ServicePlaneBatchedJobsPerSec = servicePlaneRate(planeJobs, planeChunks, *workers, batchedClient)
+	rep.ServicePlaneSpeedup = rep.ServicePlaneBatchedJobsPerSec / rep.ServicePlaneLegacyJobsPerSec
+	rep.ServicePlanePhysicsUsPerChunk = servicePlanePhysics(planeJobs, planeChunks)
+	perChunk := func(jobsPerSec float64) float64 {
+		return 1e6/(jobsPerSec*float64(planeChunks)) - rep.ServicePlanePhysicsUsPerChunk
+	}
+	rep.OverheadLegacyUsPerChunk = perChunk(rep.ServicePlaneLegacyJobsPerSec)
+	rep.OverheadBatchedUsPerChunk = perChunk(rep.ServicePlaneBatchedJobsPerSec)
+	rep.ServicePlaneOverheadReduction = rep.OverheadLegacyUsPerChunk / rep.OverheadBatchedUsPerChunk
+	fmt.Printf("service plane:  %.1f legacy vs %.1f batched jobs/sec (%.2fx, %d jobs × %d chunks); "+
+		"overhead %.1f → %.1f µs/chunk (%.2fx) over %.1f µs physics\n",
+		rep.ServicePlaneLegacyJobsPerSec, rep.ServicePlaneBatchedJobsPerSec,
+		rep.ServicePlaneSpeedup, planeJobs, planeChunks,
+		rep.OverheadLegacyUsPerChunk, rep.OverheadBatchedUsPerChunk,
+		rep.ServicePlaneOverheadReduction, rep.ServicePlanePhysicsUsPerChunk)
+
+	distributedBench(&rep, *distPhotons, 3)
+	fmt.Printf("distributed:    %.0f photons/sec over %d workers vs %.0f local (%.2fx), "+
+		"%d merges (%.1f/sec), wire %dB gob → %dB compact per chunk (%.1fx)\n",
+		rep.DistributedPhotonsPerSec, rep.DistributedWorkers, rep.LocalPhotonsPerSec,
+		rep.DistributedVsLocal, rep.DistributedTallyMerges, rep.DistributedMergesPerSec,
+		rep.WireBytesPerChunkGob, rep.WireBytesPerChunkCompact, rep.WireBytesRatio)
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -120,10 +193,7 @@ func main() {
 
 // kernelRate runs the config once (plus a small warm-up that also builds
 // the geometry accelerators) and returns photons/sec across all cores plus
-// heap allocations and bytes per photon during the timed run. The
-// allocation figures come from runtime.MemStats deltas, so they include
-// the per-run fixed cost (kernels, tallies, merge) amortised over the
-// photon budget — the hot loop itself allocates nothing.
+// heap allocations and bytes per photon during the timed run.
 func kernelRate(cfg *mc.Config, photons int64) (rate, allocsPerPhoton, bytesPerPhoton float64) {
 	if _, err := mc.RunParallel(cfg, photons/10+1, 1, 0); err != nil {
 		fatal(err)
@@ -142,10 +212,91 @@ func kernelRate(cfg *mc.Config, photons int64) (rate, allocsPerPhoton, bytesPerP
 		float64(m1.TotalAlloc-m0.TotalAlloc) / float64(photons)
 }
 
+// client drains a registry over one connection until the service is done.
+type client func(rw net.Conn, name string)
+
+// batchedClient is the production worker: v3 batched pre-reduction with
+// the compact tally codec.
+func batchedClient(rw net.Conn, name string) {
+	distsys.Work(rw, distsys.WorkerOptions{Name: name})
+}
+
+// legacyClient reproduces the PR 3-era wire behaviour on today's protocol:
+// one TaskRequest/TaskAssign round trip plus one TaskResult/ResultAck
+// round trip per chunk, the tally travelling as a gob *mc.Tally. The
+// service still speaks this path, which makes it the honest baseline for
+// the result-plane A/B.
+func legacyClient(rw net.Conn, name string) {
+	pc := protocol.NewConn(rw)
+	defer pc.Close()
+	if err := pc.Send(&protocol.Message{Type: protocol.MsgHello,
+		Hello: &protocol.Hello{Version: protocol.Version, Name: name}}); err != nil {
+		return
+	}
+	if _, err := pc.Recv(); err != nil {
+		return
+	}
+	type rt struct {
+		cfg     *mc.Config
+		seed    uint64
+		streams int
+		fan     int
+	}
+	jobs := map[uint64]*rt{}
+	var known []uint64
+	for {
+		if err := pc.Send(&protocol.Message{Type: protocol.MsgTaskRequest,
+			Request: &protocol.TaskRequest{KnownJobs: known}}); err != nil {
+			return
+		}
+		msg, err := pc.Recv()
+		if err != nil {
+			return
+		}
+		switch msg.Type {
+		case protocol.MsgTaskAssign:
+			a := msg.Assign
+			r := jobs[a.JobID]
+			if r == nil {
+				if a.Job == nil {
+					return
+				}
+				cfg, err := a.Job.Spec.Build()
+				if err != nil {
+					return
+				}
+				r = &rt{cfg: cfg, seed: a.Job.Seed, streams: a.Job.Streams, fan: a.Job.Fan}
+				jobs[a.JobID] = r
+				known = append(known, a.JobID)
+			}
+			tally, err := mc.RunStreamFan(r.cfg, a.Photons, r.seed, a.Stream, r.streams, r.fan)
+			if err != nil {
+				return
+			}
+			if err := pc.Send(&protocol.Message{Type: protocol.MsgTaskResult,
+				Result: &protocol.TaskResult{JobID: a.JobID, ChunkID: a.ChunkID, Tally: tally}}); err != nil {
+				return
+			}
+			if _, err := pc.Recv(); err != nil {
+				return
+			}
+		case protocol.MsgNoWork:
+			if msg.NoWork.Done {
+				return
+			}
+			time.Sleep(msg.NoWork.RetryIn)
+		default:
+			return
+		}
+	}
+}
+
 // registryRate submits many small distinct jobs to one registry, drains
-// them over an in-memory pipe fleet, and returns completed jobs/sec —
-// dominated by scheduling, wire codec and reduction overhead, not physics.
-func registryRate(jobs, workers int) float64 {
+// them over an in-memory pipe fleet, and returns completed jobs/sec. The
+// workload is unchanged since PR 2; on a small host it is physics-bound
+// (≈13 ms of photon transport per job), so treat it as a whole-system
+// number, not a wire number.
+func registryRate(jobs, workers int, c client) float64 {
 	reg := service.New(service.Options{DrainOnEmpty: true, CacheSize: -1})
 	model := tissue.HomogeneousSlab("slab", tissue.ScalpProps, 5)
 	handles := make([]*service.Job, 0, jobs)
@@ -164,16 +315,70 @@ func registryRate(jobs, workers int) float64 {
 		}
 		handles = append(handles, out.Job)
 	}
+	return drain(reg, handles, workers, c)
+}
 
+// servicePlaneRate is registryRate with photon transport reduced to noise
+// (one photon per chunk): jobs/sec here is scheduling, wire codec and
+// reduction cost — the plane this PR overhauls — measured per client kind.
+func servicePlaneRate(jobs, chunksPerJob, workers int, c client) float64 {
+	reg := service.New(service.Options{DrainOnEmpty: true, CacheSize: -1})
+	model := tissue.HomogeneousSlab("slab", tissue.ScalpProps, 5)
+	handles := make([]*service.Job, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		spec := mc.NewSpec(model,
+			source.Spec{Kind: source.KindPencil},
+			detector.Spec{Kind: detector.KindAnnulus, RMin: 1, RMax: 4})
+		out, err := reg.Submit(service.JobSpec{
+			Spec:         spec,
+			TotalPhotons: int64(chunksPerJob),
+			ChunkPhotons: 1,
+			Seed:         uint64(i + 1),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		handles = append(handles, out.Job)
+	}
+	return drain(reg, handles, workers, c)
+}
+
+// servicePlanePhysics measures the bare compute cost of the service-plane
+// workload's chunks — the same per-job runner + stream-cache path a worker
+// uses, with no registry, wire or reduction — in µs per chunk.
+func servicePlanePhysics(jobs, chunksPerJob int) float64 {
+	model := tissue.HomogeneousSlab("slab", tissue.ScalpProps, 5)
+	spec := mc.NewSpec(model,
+		source.Spec{Kind: source.KindPencil},
+		detector.Spec{Kind: detector.KindAnnulus, RMin: 1, RMax: 4})
+	start := time.Now()
+	for i := 0; i < jobs; i++ {
+		cfg, err := spec.Build()
+		if err != nil {
+			fatal(err)
+		}
+		runner, err := mc.NewRunner(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		cache := rng.NewStreamCache(uint64(i + 1))
+		for s := 0; s < chunksPerJob; s++ {
+			runner.Run(1, cache.Stream(s))
+		}
+	}
+	return time.Since(start).Seconds() * 1e6 / float64(jobs*chunksPerJob)
+}
+
+func drain(reg *service.Registry, handles []*service.Job, workers int, c client) float64 {
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		server, client := net.Pipe()
+		server, pipeClient := net.Pipe()
 		go reg.HandleConn(server)
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			distsys.Work(client, distsys.WorkerOptions{Name: fmt.Sprintf("bench-%d", w)})
+			c(pipeClient, fmt.Sprintf("bench-%d", w))
 		}(w)
 	}
 	for _, j := range handles {
@@ -183,7 +388,86 @@ func registryRate(jobs, workers int) float64 {
 	}
 	elapsed := time.Since(start).Seconds()
 	wg.Wait()
-	return float64(jobs) / elapsed
+	return float64(len(handles)) / elapsed
+}
+
+// distributedBench runs one realistic scoring job (adult head, annulus
+// detector, 50³ detected-path grid) locally with RunParallel and then over
+// a 3-worker in-memory fleet through the full v3 result plane, recording
+// the throughput ratio, the reduction counters, and the wire bytes of one
+// chunk result under both tally codecs.
+func distributedBench(rep *Report, photons int64, workers int) {
+	spec := mc.NewSpec(tissue.AdultHead(),
+		source.Spec{Kind: source.KindPencil},
+		detector.Spec{Kind: detector.KindAnnulus, RMin: 10, RMax: 30})
+	spec.PathGrid = &mc.GridSpec{N: 50, Edge: 60}
+
+	// ~230-photon chunks: the dynamic self-scheduling granularity of the
+	// paper's platform, and a chunk tally sparse enough that the wire
+	// numbers reflect real per-chunk traffic.
+	chunk := int64(230)
+	nChunks := (photons + chunk - 1) / chunk
+	const seed = 7
+
+	cfg, err := spec.Build()
+	if err != nil {
+		fatal(err)
+	}
+	// Warm-up (builds tables) + wire-cost measurement on one real chunk.
+	chunkTally, err := mc.RunStream(cfg, chunk, seed, 0, int(nChunks))
+	if err != nil {
+		fatal(err)
+	}
+	gobBytes, err := mc.GobTallyCodec{}.EncodeTally(chunkTally)
+	if err != nil {
+		fatal(err)
+	}
+	compactBytes := mc.AppendTally(nil, chunkTally)
+	rep.WireBytesPerChunkGob = len(gobBytes)
+	rep.WireBytesPerChunkCompact = len(compactBytes)
+	rep.WireBytesRatio = float64(len(gobBytes)) / float64(len(compactBytes))
+
+	start := time.Now()
+	if _, err := mc.RunParallel(cfg, photons, seed, 0); err != nil {
+		fatal(err)
+	}
+	rep.LocalPhotonsPerSec = float64(photons) / time.Since(start).Seconds()
+
+	reg := service.New(service.Options{DrainOnEmpty: true, CacheSize: -1})
+	out, err := reg.Submit(service.JobSpec{
+		Spec:         spec,
+		TotalPhotons: photons,
+		ChunkPhotons: chunk,
+		Seed:         seed,
+		Fan:          runtime.GOMAXPROCS(0), // one chunk saturates a worker's cores
+	})
+	if err != nil {
+		fatal(err)
+	}
+	start = time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		server, pipeClient := net.Pipe()
+		go reg.HandleConn(server)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			distsys.Work(pipeClient, distsys.WorkerOptions{Name: fmt.Sprintf("dist-%d", w)})
+		}(w)
+	}
+	if _, err := out.Job.Wait(10 * time.Minute); err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start).Seconds()
+	wg.Wait()
+
+	stats := reg.Stats()
+	rep.DistributedWorkers = workers
+	rep.DistributedPhotonsPerSec = float64(photons) / elapsed
+	rep.DistributedVsLocal = rep.DistributedPhotonsPerSec / rep.LocalPhotonsPerSec
+	rep.DistributedBatches = stats.BatchesReduced
+	rep.DistributedTallyMerges = stats.TallyMerges
+	rep.DistributedMergesPerSec = float64(stats.TallyMerges) / elapsed
 }
 
 func fatal(err error) {

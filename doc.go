@@ -61,6 +61,20 @@
 // fleet on completion); both binaries checkpoint on Ctrl-C so a long job
 // is never lost.
 //
+// # Result plane
+//
+// The distributed result path (protocol v3) is engineered so that fleet
+// throughput tracks kernel throughput rather than per-chunk bookkeeping:
+// workers compute each chunk across a job-defined fan of jump-separated
+// sub-streams on all their cores (RunStreamFan — the tally depends on the
+// fan width, never on the core count), pre-reduce consecutive chunk
+// tallies per job, and flush them as one batch riding the next task
+// request, with tallies encoded by a sparse binary codec instead of gob
+// and per-chunk acks preserving the exactly-once reduction under timeout
+// reassignment. The registry merges each decoded batch outside its
+// dispatch lock via a per-job reducer. See DESIGN.md's "Result plane"
+// section for the wire layout and invariants.
+//
 // # Performance
 //
 // The per-photon hot path is allocation-free and trig-free: exponential
@@ -71,7 +85,7 @@
 // tallies (internal/mc/testdata) pin the physics bit-for-bit, and
 // statistical gates prove the specialised paths equivalent to the
 // reference tracer; see DESIGN.md's "Performance" section. cmd/mcbench
-// writes the machine-readable throughput snapshot (BENCH_pr3.json).
+// writes the machine-readable throughput snapshot (BENCH_pr4.json).
 //
 // The library is organised as a thin facade over focused internal packages;
 // see DESIGN.md for the full system inventory and EXPERIMENTS.md for the

@@ -12,6 +12,14 @@
 // dispatcher in internal/service. One DataManager is one registry holding
 // one job and draining its fleet when the job completes; cmd/mcqueue runs
 // the same machinery as a long-lived, many-job service.
+//
+// The worker speaks the protocol v3 result plane: chunks are computed
+// across the job's fan of RNG sub-streams on all available cores,
+// pre-reduced per job into a batch buffer, and flushed as one ResultBatch
+// (compact-codec tallies) riding the next task request — with the
+// buffered chunks advertised as Holding so the server keeps their
+// assignments alive, and per-chunk acks preserving the rejection and
+// duplicate semantics of the single-result path.
 package distsys
 
 import (

@@ -9,10 +9,21 @@ import (
 
 	"repro/internal/mc"
 	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// Default pre-reduction flush thresholds. A batch flushes when it covers
+// DefaultFlushChunks chunk results or its oldest result is older than
+// DefaultFlushAge — whichever comes first — riding the next TaskRequest
+// when possible and going out standalone when the server has no work to
+// pair it with.
+const (
+	DefaultFlushChunks = 8
+	DefaultFlushAge    = 250 * time.Millisecond
 )
 
 // WorkerOptions configure one client. The zero value plus a transport is a
-// dedicated, reliable worker.
+// dedicated, reliable worker with default batching.
 type WorkerOptions struct {
 	// Name identifies the worker to the server; generated if empty.
 	Name string
@@ -22,17 +33,33 @@ type WorkerOptions struct {
 	// after each chunk, emulating a slower or non-dedicated machine.
 	Slowdown float64
 	// FailAfterChunks, if positive, makes the worker drop its connection
-	// after computing that many chunks — fault-injection for tests.
+	// after computing (and flushing) that many chunks — deterministic
+	// fault-injection for tests. Losing an *unflushed* buffer is the
+	// abrupt-transport-death case, covered by closing the connection.
 	FailAfterChunks int
+	// FlushChunks caps the chunk results pre-reduced into one batch before
+	// it must flush; 0 means DefaultFlushChunks, 1 disables batching (every
+	// result flushes on the next request).
+	FlushChunks int
+	// FlushAge bounds how long a computed result may wait in the batch
+	// buffer; 0 means DefaultFlushAge.
+	FlushAge time.Duration
 	// Logf, if set, receives progress logging.
 	Logf func(format string, args ...any)
 }
 
 // WorkerStats summarises a worker session.
 type WorkerStats struct {
+	// Chunks counts results the server accepted (including benign
+	// duplicates); Photons covers the same set. Compute is accrued at
+	// compute time and therefore also includes work whose results were
+	// later rejected or lost with the connection.
 	Chunks  int
 	Photons int64
 	Compute time.Duration
+	// Batches counts result flushes (piggybacked or standalone); with
+	// pre-reduction it is ≤ Chunks.
+	Batches int
 	// Rejected counts results the server refused to reduce (stale or
 	// mismatched assignments); the session continues after a rejection.
 	Rejected int
@@ -42,13 +69,31 @@ type WorkerStats struct {
 // FailAfterChunks.
 var ErrInjectedFailure = errors.New("distsys: worker failed by injection")
 
-// jobRuntime caches one job's built config so a session can interleave
-// chunks of many jobs without rebuilding (workers are job-agnostic; the
-// server routes results by JobID).
+// jobRuntime caches one job's built config and its jump-state stream
+// cache so a session can interleave chunks of many jobs without
+// rebuilding or re-jumping (workers are job-agnostic; the server routes
+// results by JobID).
 type jobRuntime struct {
 	cfg     *mc.Config
+	runner  *mc.Runner
 	seed    uint64
 	streams int
+	fan     int
+	cache   *rng.StreamCache
+}
+
+// run computes one chunk. Single-stream chunks draw their generator from
+// the per-job StreamCache (one Jump per new stream instead of O(stream)
+// per chunk); fanned chunks derive their sub-streams from the chunk's
+// FanSeed, which is O(fan) regardless.
+func (rt *jobRuntime) run(photons int64, stream int) (*mc.Tally, error) {
+	if rt.fan > 1 {
+		return mc.RunStreamFan(rt.cfg, photons, rt.seed, stream, rt.streams, rt.fan)
+	}
+	if stream < 0 || stream >= rt.streams {
+		return nil, fmt.Errorf("distsys: stream %d outside [0,%d)", stream, rt.streams)
+	}
+	return rt.runner.Run(photons, rt.cache.Stream(stream)), nil
 }
 
 // maxCachedJobs bounds the per-session descriptor cache (a built Config
@@ -58,12 +103,131 @@ type jobRuntime struct {
 // re-sends a descriptor the worker has dropped.
 const maxCachedJobs = 32
 
+// workerGroup accumulates one job's pre-reduced results inside a batch.
+type workerGroup struct {
+	chunks  []int
+	photons []int64 // parallel to chunks, for ack-time accounting
+	elapsed time.Duration
+	tally   *mc.Tally
+}
+
+// resultBatch is the worker-side pre-reduction buffer: consecutive chunk
+// tallies merge per job, and the whole buffer flushes as one ResultBatch.
+type resultBatch struct {
+	groups map[uint64]*workerGroup
+	order  []uint64
+	chunks int
+	oldest time.Time
+}
+
+func newResultBatch() *resultBatch {
+	return &resultBatch{groups: make(map[uint64]*workerGroup)}
+}
+
+// add folds one chunk result into the buffer.
+func (b *resultBatch) add(jobID uint64, chunkID int, photons int64, elapsed time.Duration, tally *mc.Tally) error {
+	g := b.groups[jobID]
+	if g == nil {
+		g = &workerGroup{tally: tally}
+		b.groups[jobID] = g
+		b.order = append(b.order, jobID)
+	} else if err := g.tally.Merge(tally); err != nil {
+		return err
+	}
+	g.chunks = append(g.chunks, chunkID)
+	g.photons = append(g.photons, photons)
+	g.elapsed += elapsed
+	if b.chunks == 0 {
+		b.oldest = time.Now()
+	}
+	b.chunks++
+	return nil
+}
+
+// refs lists the buffered chunks for the TaskRequest Holding advertisement.
+func (b *resultBatch) refs() []protocol.ChunkRef {
+	if b.chunks == 0 {
+		return nil
+	}
+	refs := make([]protocol.ChunkRef, 0, b.chunks)
+	for _, id := range b.order {
+		for _, c := range b.groups[id].chunks {
+			refs = append(refs, protocol.ChunkRef{JobID: id, ChunkID: c})
+		}
+	}
+	return refs
+}
+
+// encode renders the buffer as a wire batch, writing every group's compact
+// tally into one reusable arena buffer (returned for the next flush).
+func (b *resultBatch) encode(arena []byte) (*protocol.ResultBatch, []byte) {
+	offs := make([]int, len(b.order)+1)
+	arena = arena[:0]
+	for i, id := range b.order {
+		offs[i] = len(arena)
+		arena = mc.AppendTally(arena, b.groups[id].tally)
+	}
+	offs[len(b.order)] = len(arena)
+	groups := make([]protocol.BatchGroup, len(b.order))
+	for i, id := range b.order {
+		g := b.groups[id]
+		groups[i] = protocol.BatchGroup{
+			JobID:     id,
+			Chunks:    g.chunks,
+			Elapsed:   g.elapsed,
+			TallyData: arena[offs[i]:offs[i+1]:offs[i+1]],
+		}
+	}
+	return &protocol.ResultBatch{Groups: groups}, arena
+}
+
+// photonsFor returns the photon count of one buffered chunk (ack-time
+// accounting).
+func (b *resultBatch) photonsFor(jobID uint64, chunkID int) int64 {
+	g := b.groups[jobID]
+	if g == nil {
+		return 0
+	}
+	for i, c := range g.chunks {
+		if c == chunkID {
+			return g.photons[i]
+		}
+	}
+	return 0
+}
+
+func (b *resultBatch) reset() {
+	clear(b.groups)
+	b.order = b.order[:0]
+	b.chunks = 0
+}
+
 // Work connects a worker over the given transport and processes chunks —
 // of as many concurrent jobs as the server cares to assign — until the
 // server reports the service done. It returns session statistics.
+//
+// Each assigned chunk is computed across the job's fan of jump-separated
+// sub-streams on all available cores (mc.RunStreamFan), pre-reduced into a
+// per-job batch, and flushed either on the next TaskRequest (once the
+// size/age threshold trips) or standalone when the server has no work. The
+// TaskRequest's Holding list keeps unflushed assignments alive on the
+// server; a dropped connection loses only the unflushed buffer, which the
+// server requeues.
 func Work(rw io.ReadWriteCloser, opts WorkerOptions) (*WorkerStats, error) {
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
+	}
+	if opts.FlushChunks <= 0 {
+		opts.FlushChunks = DefaultFlushChunks
+	}
+	// The buffer can briefly hold FlushChunks-1 chunks plus one full grant
+	// (itself ≤ FlushChunks); keep both the flushed batch and the Holding
+	// advertisement inside the protocol's frame bound.
+	if opts.FlushChunks > protocol.MaxBatchChunks/2 {
+		opts.FlushChunks = protocol.MaxBatchChunks / 2
+	}
+	if opts.FlushAge <= 0 {
+		opts.FlushAge = DefaultFlushAge
 	}
 	pc := protocol.NewConn(rw)
 	defer pc.Close()
@@ -88,18 +252,89 @@ func Work(rw io.ReadWriteCloser, opts WorkerOptions) (*WorkerStats, error) {
 
 	jobs := make(map[uint64]*jobRuntime)
 	var known []uint64
+	var arena []byte
+	batch := newResultBatch()
 	stats := &WorkerStats{}
+	computed := 0
+
+	applyAcks := func(acks []protocol.ResultAck) {
+		for _, a := range acks {
+			if a.Rejected {
+				stats.Rejected++
+				opts.Logf("distsys: %s result for job %016x chunk %d rejected: %s",
+					opts.Name, a.JobID, a.ChunkID, a.Reason)
+				continue
+			}
+			stats.Chunks++
+			stats.Photons += batch.photonsFor(a.JobID, a.ChunkID)
+		}
+		stats.Batches++
+		batch.reset()
+	}
+
+	// flushStandalone pushes the buffer out on its own round trip — used
+	// when the server has no work to piggyback on, and before idling, so
+	// held results never gate a job's completion.
+	flushStandalone := func() error {
+		if batch.chunks == 0 {
+			return nil
+		}
+		var wire *protocol.ResultBatch
+		wire, arena = batch.encode(arena)
+		if err := pc.Send(&protocol.Message{Type: protocol.MsgResultBatch, Batch: wire}); err != nil {
+			return err
+		}
+		ack, err := pc.Recv()
+		if err != nil {
+			return err
+		}
+		if ack.Type != protocol.MsgBatchAck || ack.BatchAck == nil {
+			return fmt.Errorf("distsys: expected batch ack, got %v", ack.Type)
+		}
+		applyAcks(ack.BatchAck.Acks)
+		return nil
+	}
+
+	// Assignment prefetch uses slow start: the first request asks for one
+	// chunk and the window doubles per successful assignment up to one
+	// batch worth (FlushChunks). A cold worker joining a fresh job
+	// therefore cannot grab the whole queue before its peers have dialled
+	// in, while a warmed-up session still amortises the request/assign
+	// round trip across a full batch.
+	want := 1
 	for {
-		if err := pc.Send(&protocol.Message{Type: protocol.MsgTaskRequest,
-			Request: &protocol.TaskRequest{KnownJobs: known}}); err != nil {
+		req := &protocol.TaskRequest{KnownJobs: known, Want: want}
+		flushing := batch.chunks > 0 &&
+			(batch.chunks >= opts.FlushChunks || time.Since(batch.oldest) >= opts.FlushAge)
+		if flushing {
+			req.Batch, arena = batch.encode(arena)
+		} else {
+			req.Holding = batch.refs()
+		}
+		if err := pc.Send(&protocol.Message{Type: protocol.MsgTaskRequest, Request: req}); err != nil {
 			return stats, err
 		}
 		msg, err := pc.Recv()
 		if err != nil {
 			return stats, err
 		}
+		if msg.Type == protocol.MsgError {
+			return stats, fmt.Errorf("distsys: server error: %s", msg.Error.Msg)
+		}
+		if flushing {
+			if msg.BatchAck == nil {
+				return stats, fmt.Errorf("distsys: flush on %v reply lost its batch ack", msg.Type)
+			}
+			applyAcks(msg.BatchAck.Acks)
+		}
 		switch msg.Type {
 		case protocol.MsgTaskAssign:
+			if want *= 2; want > opts.FlushChunks {
+				want = opts.FlushChunks
+			}
+			if want < 1 {
+				want = 1
+			}
 			a := msg.Assign
 			rt := jobs[a.JobID]
 			if rt == nil {
@@ -110,7 +345,12 @@ func Work(rw io.ReadWriteCloser, opts WorkerOptions) (*WorkerStats, error) {
 				if err != nil {
 					return stats, fmt.Errorf("distsys: bad job spec: %w", err)
 				}
-				rt = &jobRuntime{cfg: cfg, seed: a.Job.Seed, streams: a.Job.Streams}
+				runner, err := mc.NewRunner(cfg)
+				if err != nil {
+					return stats, fmt.Errorf("distsys: bad job spec: %w", err)
+				}
+				rt = &jobRuntime{cfg: cfg, runner: runner, seed: a.Job.Seed, streams: a.Job.Streams,
+					fan: a.Job.Fan, cache: rng.NewStreamCache(a.Job.Seed)}
 				jobs[a.JobID] = rt
 				known = append(known, a.JobID)
 				if len(known) > maxCachedJobs {
@@ -118,50 +358,50 @@ func Work(rw io.ReadWriteCloser, opts WorkerOptions) (*WorkerStats, error) {
 					known = known[1:]
 				}
 			}
-			start := time.Now()
-			tally, err := mc.RunStream(rt.cfg, a.Photons, rt.seed, a.Stream, rt.streams)
-			if err != nil {
-				return stats, err
-			}
-			elapsed := time.Since(start)
-			if opts.Slowdown > 0 {
-				time.Sleep(time.Duration(opts.Slowdown * float64(elapsed)))
-			}
-			if err := pc.Send(&protocol.Message{Type: protocol.MsgTaskResult,
-				Result: &protocol.TaskResult{
-					JobID: a.JobID, ChunkID: a.ChunkID, Elapsed: elapsed, Tally: tally,
-				}}); err != nil {
-				return stats, err
-			}
-			ack, err := pc.Recv()
-			if err != nil {
-				return stats, err
-			}
-			if ack.Type != protocol.MsgResultAck || ack.Ack == nil {
-				return stats, fmt.Errorf("distsys: expected ack, got %v", ack.Type)
-			}
-			if ack.Ack.Rejected {
-				stats.Rejected++
-				opts.Logf("distsys: %s result for job %016x chunk %d rejected: %s",
-					opts.Name, a.JobID, a.ChunkID, ack.Ack.Reason)
-				continue
-			}
-			stats.Chunks++
-			stats.Photons += a.Photons
-			stats.Compute += elapsed
-			opts.Logf("distsys: %s finished job %016x chunk %d (%d photons, %v)",
-				opts.Name, a.JobID, a.ChunkID, a.Photons, elapsed)
-			if opts.FailAfterChunks > 0 && stats.Chunks >= opts.FailAfterChunks {
-				return stats, ErrInjectedFailure
+			grants := append([]protocol.ChunkGrant{
+				{ChunkID: a.ChunkID, Stream: a.Stream, Photons: a.Photons}}, a.Extra...)
+			for _, g := range grants {
+				start := time.Now()
+				tally, err := rt.run(g.Photons, g.Stream)
+				if err != nil {
+					return stats, err
+				}
+				elapsed := time.Since(start)
+				if opts.Slowdown > 0 {
+					time.Sleep(time.Duration(opts.Slowdown * float64(elapsed)))
+				}
+				if err := batch.add(a.JobID, g.ChunkID, g.Photons, elapsed, tally); err != nil {
+					return stats, fmt.Errorf("distsys: pre-reducing job %016x chunk %d: %w",
+						a.JobID, g.ChunkID, err)
+				}
+				stats.Compute += elapsed
+				computed++
+				opts.Logf("distsys: %s finished job %016x chunk %d (%d photons, %v; %d buffered)",
+					opts.Name, a.JobID, g.ChunkID, g.Photons, elapsed, batch.chunks)
+				if opts.FailAfterChunks > 0 && computed >= opts.FailAfterChunks {
+					// Flush what is computed; any still-ungranted chunks of
+					// this assignment are released when the connection drops.
+					if err := flushStandalone(); err != nil {
+						return stats, err
+					}
+					return stats, ErrInjectedFailure
+				}
 			}
 		case protocol.MsgNoWork:
+			if batch.chunks > 0 {
+				// Idle with buffered results: flush before waiting, or the
+				// held chunks would gate their jobs' completion.
+				if err := flushStandalone(); err != nil {
+					return stats, err
+				}
+				continue // the flush may have finished the service
+			}
 			if msg.NoWork.Done {
 				return stats, nil
 			}
 			time.Sleep(msg.NoWork.RetryIn)
-		case protocol.MsgError:
-			return stats, fmt.Errorf("distsys: server error: %s", msg.Error.Msg)
 		default:
+			// MsgError returned above, before the batch-ack check.
 			return stats, fmt.Errorf("distsys: unexpected message %v", msg.Type)
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/rng"
 )
@@ -37,6 +38,108 @@ func RunStream(cfg *Config, n int64, seed uint64, stream, streams int) (*Tally, 
 	k := newKernel(cfg, r)
 	k.RunPhotons(n)
 	return k.tally, nil
+}
+
+// RunWithRand simulates n photons on a caller-provided generator — the
+// building block for callers that manage stream derivation themselves
+// (e.g. a worker amortising Jump costs across a job's chunks with an
+// rng.StreamCache). Passing the state New(seed) jumped `stream` times
+// reproduces RunStream(cfg, n, seed, stream, streams) bit-for-bit.
+func RunWithRand(cfg *Config, n int64, r *rng.Rand) (*Tally, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	k := newKernel(cfg, r)
+	k.RunPhotons(n)
+	return k.tally, nil
+}
+
+// Runner amortises kernel setup across many chunk runs of one
+// configuration: the config is normalised once and the kernel's scratch
+// buffers (sub-packet stack, pooled visit-site slices) are reused from
+// chunk to chunk instead of being rebuilt per call. Each Run still
+// accumulates into a fresh Tally — the reduction contract is untouched —
+// and the photon trajectories are bit-identical to RunWithRand on the
+// same generator state. Not safe for concurrent use; distributed workers
+// keep one Runner per cached job.
+type Runner struct {
+	k *kernel
+}
+
+// NewRunner validates and normalises cfg and prepares a reusable kernel.
+func NewRunner(cfg *Config) (*Runner, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	return &Runner{k: newKernel(cfg, nil)}, nil
+}
+
+// Run simulates n photons on the provided generator into a fresh tally.
+func (ru *Runner) Run(n int64, r *rng.Rand) *Tally {
+	ru.k.rng = r
+	ru.k.tally = NewTally(ru.k.cfg)
+	ru.k.RunPhotons(n)
+	return ru.k.tally
+}
+
+// RunStreamFan computes chunk `stream` of `streams` like RunStream, but
+// splits the chunk's photons across `fan` jump-separated sub-streams
+// derived deterministically from the chunk's stream index (rng.FanStreams)
+// and merges the sub-tallies in sub-stream order. The result is a pure
+// function of (cfg, n, seed, stream, streams, fan): the number of
+// goroutines actually used — at most GOMAXPROCS — never changes the tally,
+// so a fanned chunk computed on a 1-core and a 32-core worker reduces
+// identically. fan ≤ 1 is byte-identical to RunStream, which keeps the
+// golden tallies and every legacy cache entry valid.
+func RunStreamFan(cfg *Config, n int64, seed uint64, stream, streams, fan int) (*Tally, error) {
+	if fan <= 1 {
+		return RunStream(cfg, n, seed, stream, streams)
+	}
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	if stream < 0 || stream >= streams {
+		return nil, fmt.Errorf("mc: stream %d outside [0,%d)", stream, streams)
+	}
+	subs := rng.FanStreams(seed, stream, fan)
+	shares := make([]int64, fan)
+	for i := range shares {
+		shares[i] = n / int64(fan)
+		if int64(i) < n%int64(fan) {
+			shares[i]++
+		}
+	}
+	tallies := make([]*Tally, fan)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > fan {
+		workers = fan
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= fan {
+					return
+				}
+				k := newKernel(cfg, subs[i])
+				k.RunPhotons(shares[i])
+				tallies[i] = k.tally
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := NewTally(cfg)
+	for _, t := range tallies {
+		if err := total.Merge(t); err != nil {
+			return nil, err
+		}
+	}
+	return total, nil
 }
 
 // RunParallel fans n photons across `workers` goroutines (default

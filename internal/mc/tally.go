@@ -101,10 +101,38 @@ func NewTally(cfg *Config) *Tally {
 }
 
 // Merge folds o into t. Both tallies must come from the same Config.
+// Merging a tally into itself is rejected: the scalar sums would silently
+// double while the loops below read o's slices as they mutate t's, leaving
+// the tally internally inconsistent.
+//
+// Merge is atomic on error: every shape check (region counts, grid
+// geometry, histogram geometry) runs before the first field is mutated,
+// so a rejected merge leaves t untouched. The distributed reducer relies
+// on this — it requeues a rejected batch's chunks for recompute, which
+// would double-count if a failed Merge had already absorbed the scalars.
 func (t *Tally) Merge(o *Tally) error {
+	if t == o {
+		return fmt.Errorf("mc: tally cannot be merged into itself")
+	}
 	if len(o.LayerAbsorbed) != len(t.LayerAbsorbed) {
 		return fmt.Errorf("mc: merging tallies with %d vs %d layers",
 			len(t.LayerAbsorbed), len(o.LayerAbsorbed))
+	}
+	if o.AbsGrid != nil && t.AbsGrid != nil && !t.AbsGrid.CompatibleWith(o.AbsGrid) {
+		return fmt.Errorf("mc: merging tallies with incompatible absorption grids")
+	}
+	if o.PathGrid != nil && t.PathGrid != nil && !t.PathGrid.CompatibleWith(o.PathGrid) {
+		return fmt.Errorf("mc: merging tallies with incompatible path grids")
+	}
+	if o.PathHist != nil && t.PathHist != nil &&
+		(o.PathHist.Min != t.PathHist.Min || o.PathHist.Max != t.PathHist.Max ||
+			len(o.PathHist.Counts) != len(t.PathHist.Counts)) {
+		return fmt.Errorf("mc: merging tallies with incompatible path histograms")
+	}
+	if o.Radial != nil && t.Radial != nil &&
+		(o.Radial.Min != t.Radial.Min || o.Radial.Max != t.Radial.Max ||
+			len(o.Radial.Counts) != len(t.Radial.Counts)) {
+		return fmt.Errorf("mc: merging tallies with incompatible radial histograms")
 	}
 	t.Launched += o.Launched
 	t.SpecularWeight += o.SpecularWeight

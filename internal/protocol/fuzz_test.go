@@ -2,7 +2,11 @@ package protocol
 
 import (
 	"bytes"
+	"flag"
 	"io"
+	"os"
+	"path/filepath"
+	"strconv"
 	"testing"
 	"time"
 
@@ -11,6 +15,15 @@ import (
 	"repro/internal/source"
 	"repro/internal/tissue"
 )
+
+// updateCorpus rewrites the committed seed corpus under
+// testdata/fuzz/FuzzDecodeMessage with the current wire encoding:
+//
+//	go test ./internal/protocol -run TestCommittedCorpus -update-corpus
+//
+// Run it whenever the protocol gains message shapes worth seeding (the v3
+// batch frames were added this way) and commit the diff.
+var updateCorpus = flag.Bool("update-corpus", false, "rewrite committed fuzz corpus seeds")
 
 // readCloser adapts a bytes.Reader to the ReadWriteCloser Conn expects;
 // writes vanish (the fuzzer only exercises the decode direction).
@@ -48,31 +61,52 @@ func seedMessages(tb testing.TB) []*Message {
 	if err != nil {
 		tb.Fatal(err)
 	}
+	compact := mc.AppendTally(nil, tally)
 	return []*Message{
 		{Type: MsgHello, Hello: &Hello{Version: Version, Name: "w0", Mflops: 42}},
 		{Type: MsgWelcome, Welcome: &Welcome{Version: Version, ServerName: "srv"}},
 		{Type: MsgTaskRequest, Request: &TaskRequest{KnownJobs: []uint64{1, 2, 3}}},
 		{Type: MsgTaskAssign, Assign: &TaskAssign{
 			JobID: 9, ChunkID: 4, Stream: 4, Photons: 1000,
-			Job: &Job{ID: 9, Spec: *spec, Seed: 77, Streams: 8},
+			Job: &Job{ID: 9, Spec: *spec, Seed: 77, Streams: 8, Fan: 4},
 		}},
 		{Type: MsgTaskResult, Result: &TaskResult{JobID: 9, ChunkID: 4, Elapsed: time.Second, Tally: tally}},
-		{Type: MsgResultAck, Ack: &ResultAck{ChunkID: 4, Duplicate: true, Reason: "dup"}},
+		{Type: MsgResultAck, Ack: &ResultAck{JobID: 9, ChunkID: 4, Duplicate: true, Reason: "dup"}},
 		{Type: MsgNoWork, NoWork: &NoWork{Done: true, RetryIn: time.Minute}},
 		{Type: MsgError, Error: &Error{Msg: "boom"}},
+		// Protocol v3 frames: a standalone multi-job batch, a task request
+		// piggybacking a flush while holding other chunks, and a per-chunk
+		// batch ack.
+		{Type: MsgResultBatch, Batch: &ResultBatch{Groups: []BatchGroup{
+			{JobID: 9, Chunks: []int{4, 5, 6}, Elapsed: 3 * time.Second, TallyData: compact},
+			{JobID: 12, Chunks: []int{0}, TallyData: compact},
+		}}},
+		{Type: MsgTaskRequest, Request: &TaskRequest{
+			KnownJobs: []uint64{9, 12},
+			Holding:   []ChunkRef{{JobID: 12, ChunkID: 1}},
+			Batch: &ResultBatch{Groups: []BatchGroup{
+				{JobID: 9, Chunks: []int{7}, TallyData: compact},
+			}},
+		}},
+		{Type: MsgBatchAck, BatchAck: &BatchAck{Acks: []ResultAck{
+			{JobID: 9, ChunkID: 4},
+			{JobID: 9, ChunkID: 5, Duplicate: true},
+			{JobID: 12, ChunkID: 0, Rejected: true, Reason: "stale"},
+		}}},
 	}
 }
 
-// FuzzDecodeMessage throws arbitrary bytes at the protocol v2 wire decoder:
-// valid frames, truncated gobs, bit-flipped envelopes and oversized
-// KnownJobs advertisements. The decoder must never panic, and every
-// message it does accept must satisfy the envelope invariants Recv
-// promises (a known type, a bounded KnownJobs list).
+// FuzzDecodeMessage throws arbitrary bytes at the protocol v3 wire decoder:
+// valid frames (including batched results and piggybacked flushes),
+// truncated gobs, bit-flipped envelopes and oversized KnownJobs/Holding/
+// batch advertisements. The decoder must never panic, and every message it
+// does accept must satisfy the envelope invariants Recv promises (a known
+// type, bounded advertisement and batch sizes, no empty batch groups).
 func FuzzDecodeMessage(f *testing.F) {
 	msgs := seedMessages(f)
 
 	// Seed: each message alone, the whole conversation, a truncated stream
-	// and an oversized KnownJobs frame.
+	// and oversized KnownJobs/batch frames.
 	for _, m := range msgs {
 		f.Add(encodeMessages(f, m))
 	}
@@ -82,6 +116,11 @@ func FuzzDecodeMessage(f *testing.F) {
 	f.Add(all[:len(all)-1])
 	big := make([]uint64, MaxKnownJobs+1)
 	f.Add(encodeMessages(f, &Message{Type: MsgTaskRequest, Request: &TaskRequest{KnownJobs: big}}))
+	bigChunks := make([]int, MaxBatchChunks+1)
+	f.Add(encodeMessages(f, &Message{Type: MsgResultBatch, Batch: &ResultBatch{
+		Groups: []BatchGroup{{JobID: 1, Chunks: bigChunks}}}}))
+	f.Add(encodeMessages(f, &Message{Type: MsgResultBatch, Batch: &ResultBatch{
+		Groups: []BatchGroup{{JobID: 1}}}})) // empty group
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0x00, 0x01})
 
@@ -93,14 +132,90 @@ func FuzzDecodeMessage(f *testing.F) {
 			if err != nil {
 				return
 			}
-			if m.Type < MsgHello || m.Type > MsgError {
+			if m.Type < MsgHello || m.Type > MsgBatchAck {
 				t.Fatalf("Recv accepted invalid type %d", int(m.Type))
 			}
-			if m.Request != nil && len(m.Request.KnownJobs) > MaxKnownJobs {
-				t.Fatalf("Recv accepted %d known jobs", len(m.Request.KnownJobs))
+			if m.Request != nil {
+				if len(m.Request.KnownJobs) > MaxKnownJobs {
+					t.Fatalf("Recv accepted %d known jobs", len(m.Request.KnownJobs))
+				}
+				if len(m.Request.Holding) > MaxBatchChunks {
+					t.Fatalf("Recv accepted %d held chunks", len(m.Request.Holding))
+				}
+			}
+			for _, b := range []*ResultBatch{m.Batch, batchOf(m.Request)} {
+				if b == nil {
+					continue
+				}
+				if b.NumChunks() > MaxBatchChunks {
+					t.Fatalf("Recv accepted a %d-chunk batch", b.NumChunks())
+				}
+				for _, g := range b.Groups {
+					if len(g.Chunks) == 0 {
+						t.Fatal("Recv accepted an empty batch group")
+					}
+				}
+			}
+			if m.Assign != nil && 1+len(m.Assign.Extra) > MaxGrantChunks {
+				t.Fatalf("Recv accepted a %d-chunk grant", 1+len(m.Assign.Extra))
+			}
+			if m.BatchAck != nil && len(m.BatchAck.Acks) > MaxBatchChunks {
+				t.Fatalf("Recv accepted a %d-ack batch ack", len(m.BatchAck.Acks))
 			}
 		}
 	})
+}
+
+// corpusSeeds names the committed corpus entries and their frame builders.
+// They overlap FuzzDecodeMessage's f.Add seeds on purpose: the committed
+// files make the interesting shapes available to `go test -fuzz` runs from
+// a clean cache (the CI smoke job) without re-running the seed builders.
+func corpusSeeds(tb testing.TB) map[string][]byte {
+	msgs := seedMessages(tb)
+	all := encodeMessages(tb, msgs...)
+	seeds := map[string][]byte{
+		"hello":        encodeMessages(tb, msgs[0]),
+		"task_request": encodeMessages(tb, msgs[2]),
+		"truncated":    all[:len(all)/3],
+	}
+	big := make([]uint64, MaxKnownJobs+1)
+	seeds["oversized_knownjobs"] = encodeMessages(tb,
+		&Message{Type: MsgTaskRequest, Request: &TaskRequest{KnownJobs: big}})
+	// Protocol v3 frames.
+	for _, m := range msgs {
+		switch {
+		case m.Type == MsgResultBatch:
+			seeds["result_batch_v3"] = encodeMessages(tb, m)
+		case m.Type == MsgBatchAck:
+			seeds["batch_ack_v3"] = encodeMessages(tb, m)
+		case m.Type == MsgTaskRequest && m.Request != nil && m.Request.Batch != nil:
+			seeds["piggyback_request_v3"] = encodeMessages(tb, m)
+		}
+	}
+	seeds["empty_batch_group_v3"] = encodeMessages(tb,
+		&Message{Type: MsgResultBatch, Batch: &ResultBatch{Groups: []BatchGroup{{JobID: 1}}}})
+	return seeds
+}
+
+// TestCommittedCorpusCoversV3 keeps the committed seed corpus in sync with
+// the protocol: every named seed must exist on disk (regenerate with
+// -update-corpus), and the valid ones must still decode.
+func TestCommittedCorpusCoversV3(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeMessage")
+	for name, data := range corpusSeeds(t) {
+		path := filepath.Join(dir, name)
+		if *updateCorpus {
+			body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("rewrote %s (%d frame bytes)", path, len(data))
+			continue
+		}
+		if _, err := os.Stat(path); err != nil {
+			t.Errorf("corpus seed %s missing (run with -update-corpus): %v", name, err)
+		}
+	}
 }
 
 // TestRecvRejectsOversizedKnownJobs pins the new envelope validation
@@ -123,11 +238,41 @@ func TestRecvRejectsOversizedKnownJobs(t *testing.T) {
 
 // TestRecvRejectsInvalidType covers the type-range validation.
 func TestRecvRejectsInvalidType(t *testing.T) {
-	for _, typ := range []MsgType{0, MsgError + 1, -3} {
+	for _, typ := range []MsgType{0, MsgBatchAck + 1, -3} {
 		data := encodeMessages(t, &Message{Type: typ})
 		c := NewConn(readCloser{bytes.NewReader(data)})
 		if _, err := c.Recv(); err == nil {
 			t.Fatalf("type %d accepted", int(typ))
 		}
+	}
+}
+
+// TestRecvRejectsOversizedBatch covers the batch bounds for standalone and
+// piggybacked batches, plus the no-empty-groups rule.
+func TestRecvRejectsOversizedBatch(t *testing.T) {
+	big := &ResultBatch{Groups: []BatchGroup{{JobID: 1, Chunks: make([]int, MaxBatchChunks+1)}}}
+	for name, m := range map[string]*Message{
+		"standalone": {Type: MsgResultBatch, Batch: big},
+		"piggyback":  {Type: MsgTaskRequest, Request: &TaskRequest{Batch: big}},
+		"holding": {Type: MsgTaskRequest,
+			Request: &TaskRequest{Holding: make([]ChunkRef, MaxBatchChunks+1)}},
+		"empty-group": {Type: MsgResultBatch,
+			Batch: &ResultBatch{Groups: []BatchGroup{{JobID: 1}}}},
+		"grant": {Type: MsgTaskAssign,
+			Assign: &TaskAssign{JobID: 1, Extra: make([]ChunkGrant, MaxGrantChunks)}},
+		"batch-ack": {Type: MsgBatchAck,
+			BatchAck: &BatchAck{Acks: make([]ResultAck, MaxBatchChunks+1)}},
+	} {
+		c := NewConn(readCloser{bytes.NewReader(encodeMessages(t, m))})
+		if _, err := c.Recv(); err == nil {
+			t.Fatalf("%s frame accepted", name)
+		}
+	}
+
+	ok := &Message{Type: MsgResultBatch, Batch: &ResultBatch{
+		Groups: []BatchGroup{{JobID: 1, Chunks: make([]int, MaxBatchChunks)}}}}
+	c := NewConn(readCloser{bytes.NewReader(encodeMessages(t, ok))})
+	if _, err := c.Recv(); err != nil {
+		t.Fatalf("at-limit batch rejected: %v", err)
 	}
 }

@@ -5,6 +5,7 @@
 package protocol
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -19,7 +20,14 @@ import (
 // worker learns a job the first time it is handed one of its chunks), task
 // requests advertise the jobs a worker already knows, and results that do
 // not match a current assignment are rejected rather than reduced.
-const Version = 2
+//
+// Version 3 overhauled the result plane: workers pre-reduce consecutive
+// chunk tallies per job and flush them as a ResultBatch (standalone or
+// piggybacked on the next TaskRequest), tallies travel in the compact
+// mc codec instead of per-result gob, task requests advertise the
+// computed-but-unflushed chunks they are still Holding, jobs carry the
+// multi-core fan width, and acks come back per chunk in a BatchAck.
+const Version = 3
 
 // MsgType discriminates the envelope.
 type MsgType int
@@ -41,6 +49,10 @@ const (
 	MsgNoWork
 	// MsgError reports a fatal protocol or job error.
 	MsgError
+	// MsgResultBatch returns several pre-reduced chunk tallies at once.
+	MsgResultBatch
+	// MsgBatchAck acknowledges a batch with one ResultAck per chunk.
+	MsgBatchAck
 )
 
 // String implements fmt.Stringer.
@@ -62,6 +74,10 @@ func (t MsgType) String() string {
 		return "no-work"
 	case MsgError:
 		return "error"
+	case MsgResultBatch:
+		return "result-batch"
+	case MsgBatchAck:
+		return "batch-ack"
 	default:
 		return fmt.Sprintf("MsgType(%d)", int(t))
 	}
@@ -89,6 +105,13 @@ type Job struct {
 	Spec    mc.Spec
 	Seed    uint64
 	Streams int // total number of RNG streams (= number of chunks)
+	// Fan is the job-level multi-core decomposition: each chunk is split
+	// across Fan jump-separated sub-streams (mc.RunStreamFan) so a worker
+	// can compute one chunk on all its cores. Fan is part of the job's
+	// identity — a chunk tally is a pure function of (Seed, Stream, Fan),
+	// never of the worker's core count — and ≤ 1 means the legacy
+	// single-stream chunk.
+	Fan int
 }
 
 // MaxKnownJobs bounds the KnownJobs advertisement in a TaskRequest. Workers
@@ -103,28 +126,105 @@ const MaxKnownJobs = 4096
 // the descriptor for any job the worker has evicted from its bounded
 // cache. A nil request (legacy callers) leaves the server's per-session
 // record of shipped descriptors in place.
+//
+// Holding is the equally authoritative list of chunks the worker has
+// computed but not yet flushed: the server keeps those assignments alive
+// instead of treating the new request as abandoning them. Any assignment
+// of the session that appears in neither Holding nor the piggybacked
+// Batch is abandoned and requeued. Batch, when set, flushes the worker's
+// pre-reduced results on the same round trip; the per-chunk acks ride
+// back on the reply's BatchAck.
+// Want, when > 1, asks the server to grant up to that many chunks of one
+// job in a single TaskAssign (the Extra grants), amortising the
+// request/assign round trip the way ResultBatch amortises the result
+// path. 0 or 1 keeps the one-chunk-per-round-trip behaviour.
 type TaskRequest struct {
 	KnownJobs []uint64
+	Holding   []ChunkRef
+	Batch     *ResultBatch
+	Want      int
 }
 
-// TaskAssign hands one chunk to a worker. Stream selects the chunk's
-// dedicated RNG stream so results are reproducible and order-independent.
-// Job carries the full descriptor the first time a session is handed a
-// chunk of a job it has not advertised as known.
+// ChunkRef names one chunk of one job.
+type ChunkRef struct {
+	JobID   uint64
+	ChunkID int
+}
+
+// TaskAssign hands one or more chunks of one job to a worker. Stream
+// selects each chunk's dedicated RNG stream so results are reproducible
+// and order-independent. Job carries the full descriptor the first time a
+// session is handed a chunk of a job it has not advertised as known.
+// Extra carries further grants of the same job when the request asked for
+// more than one (TaskRequest.Want); every granted chunk has its own
+// outstanding entry and timeout clock on the server.
 type TaskAssign struct {
 	JobID   uint64
 	ChunkID int
 	Stream  int
 	Photons int64
 	Job     *Job
+	Extra   []ChunkGrant
 }
 
-// TaskResult returns a chunk's partial tally.
+// ChunkGrant is one additional chunk riding a multi-chunk TaskAssign.
+type ChunkGrant struct {
+	ChunkID int
+	Stream  int
+	Photons int64
+}
+
+// MaxGrantChunks bounds the chunks one TaskAssign may grant (first plus
+// Extra); Recv rejects larger frames.
+const MaxGrantChunks = 64
+
+// TaskResult returns a chunk's partial tally. Since protocol v3 the
+// batched ResultBatch is the workers' primary result path; TaskResult
+// remains for single-result callers and tests.
 type TaskResult struct {
 	JobID   uint64
 	ChunkID int
 	Elapsed time.Duration
 	Tally   *mc.Tally
+}
+
+// MaxBatchChunks bounds the total chunks covered by one ResultBatch;
+// larger frames are malformed or hostile and rejected by Recv before the
+// registry allocates per-chunk bookkeeping.
+const MaxBatchChunks = 4096
+
+// BatchGroup is one job's slice of a ResultBatch: the covered chunk list
+// and the worker-side pre-reduction of those chunks' tallies, encoded with
+// the compact mc codec (mc.AppendTally). Carrying bytes instead of a
+// *mc.Tally keeps the envelope's gob cost flat and lets the server decode
+// off the registry lock into a reusable scratch tally.
+type BatchGroup struct {
+	JobID     uint64
+	Chunks    []int
+	Elapsed   time.Duration // summed compute time of the covered chunks
+	TallyData []byte
+}
+
+// ResultBatch carries one or more pre-reduced groups. Groups for distinct
+// jobs let a worker interleaving many jobs still flush on one round trip.
+type ResultBatch struct {
+	Groups []BatchGroup
+}
+
+// NumChunks returns the total chunks covered by the batch.
+func (b *ResultBatch) NumChunks() int {
+	n := 0
+	for i := range b.Groups {
+		n += len(b.Groups[i].Chunks)
+	}
+	return n
+}
+
+// BatchAck acknowledges a ResultBatch with exactly one ResultAck per
+// covered chunk, in batch order — the per-chunk duplicate/rejected
+// semantics of the single-result path are unchanged by batching.
+type BatchAck struct {
+	Acks []ResultAck
 }
 
 // ResultAck confirms receipt of a result. Duplicate reports (e.g. after a
@@ -134,6 +234,9 @@ type TaskResult struct {
 // previous run, a cancelled job, or a forged JobID — and was not reduced;
 // the session stays open so the worker can request fresh work.
 type ResultAck struct {
+	// JobID disambiguates acks inside a multi-job BatchAck; single-result
+	// acks set it too.
+	JobID     uint64
 	ChunkID   int
 	Duplicate bool
 	Rejected  bool
@@ -153,18 +256,22 @@ type Error struct {
 	Msg string
 }
 
-// Message is the envelope travelling on the wire; exactly the field
-// matching Type is populated.
+// Message is the envelope travelling on the wire; the field matching Type
+// is populated. One exception to the one-field rule: a TaskAssign or
+// NoWork reply to a TaskRequest that piggybacked a Batch also carries the
+// BatchAck for it.
 type Message struct {
-	Type    MsgType
-	Hello   *Hello
-	Welcome *Welcome
-	Request *TaskRequest
-	Assign  *TaskAssign
-	Result  *TaskResult
-	Ack     *ResultAck
-	NoWork  *NoWork
-	Error   *Error
+	Type     MsgType
+	Hello    *Hello
+	Welcome  *Welcome
+	Request  *TaskRequest
+	Assign   *TaskAssign
+	Result   *TaskResult
+	Ack      *ResultAck
+	NoWork   *NoWork
+	Error    *Error
+	Batch    *ResultBatch
+	BatchAck *BatchAck
 }
 
 // Conn wraps a stream with gob encode/decode of Messages. It is not safe
@@ -172,39 +279,82 @@ type Message struct {
 type Conn struct {
 	enc *gob.Encoder
 	dec *gob.Decoder
+	bw  *bufio.Writer
 	c   io.Closer
 }
 
 // NewConn wraps rw (a net.Conn or an in-memory pipe) in the protocol codec.
+// Writes are buffered and flushed once per Send: gob emits a message as
+// several small writes (type sections, then the value), and coalescing them
+// halves the rendezvous count on synchronous transports like net.Pipe and
+// the syscall count on TCP.
 func NewConn(rw io.ReadWriteCloser) *Conn {
-	return &Conn{enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw), c: rw}
+	bw := bufio.NewWriterSize(rw, 16<<10)
+	return &Conn{enc: gob.NewEncoder(bw), dec: gob.NewDecoder(rw), bw: bw, c: rw}
 }
 
-// Send encodes one message.
+// Send encodes one message and flushes it to the transport.
 func (c *Conn) Send(m *Message) error {
 	if err := c.enc.Encode(m); err != nil {
+		return fmt.Errorf("protocol: send %v: %w", m.Type, err)
+	}
+	if err := c.bw.Flush(); err != nil {
 		return fmt.Errorf("protocol: send %v: %w", m.Type, err)
 	}
 	return nil
 }
 
 // Recv decodes the next message and validates its envelope: a missing
-// type, an out-of-range type or an oversized KnownJobs advertisement are
-// protocol errors, not panics or unbounded allocations further up the
-// stack.
+// type, an out-of-range type, an oversized KnownJobs/Holding advertisement
+// or an oversized batch are protocol errors, not panics or unbounded
+// allocations further up the stack.
 func (c *Conn) Recv() (*Message, error) {
 	var m Message
 	if err := c.dec.Decode(&m); err != nil {
 		return nil, err
 	}
-	if m.Type < MsgHello || m.Type > MsgError {
+	if m.Type < MsgHello || m.Type > MsgBatchAck {
 		return nil, fmt.Errorf("protocol: message with invalid type %d", int(m.Type))
 	}
-	if m.Request != nil && len(m.Request.KnownJobs) > MaxKnownJobs {
-		return nil, fmt.Errorf("protocol: task request advertises %d known jobs, max %d",
-			len(m.Request.KnownJobs), MaxKnownJobs)
+	if m.Request != nil {
+		if len(m.Request.KnownJobs) > MaxKnownJobs {
+			return nil, fmt.Errorf("protocol: task request advertises %d known jobs, max %d",
+				len(m.Request.KnownJobs), MaxKnownJobs)
+		}
+		if len(m.Request.Holding) > MaxBatchChunks {
+			return nil, fmt.Errorf("protocol: task request holds %d chunks, max %d",
+				len(m.Request.Holding), MaxBatchChunks)
+		}
+	}
+	if m.Assign != nil && len(m.Assign.Extra) > MaxGrantChunks-1 {
+		return nil, fmt.Errorf("protocol: task assign grants %d chunks, max %d",
+			1+len(m.Assign.Extra), MaxGrantChunks)
+	}
+	if m.BatchAck != nil && len(m.BatchAck.Acks) > MaxBatchChunks {
+		return nil, fmt.Errorf("protocol: batch ack covers %d chunks, max %d",
+			len(m.BatchAck.Acks), MaxBatchChunks)
+	}
+	for _, b := range []*ResultBatch{m.Batch, batchOf(m.Request)} {
+		if b == nil {
+			continue
+		}
+		if n := b.NumChunks(); n > MaxBatchChunks {
+			return nil, fmt.Errorf("protocol: result batch covers %d chunks, max %d", n, MaxBatchChunks)
+		}
+		for i := range b.Groups {
+			if len(b.Groups[i].Chunks) == 0 {
+				return nil, fmt.Errorf("protocol: result batch group %d covers no chunks", i)
+			}
+		}
 	}
 	return &m, nil
+}
+
+func batchOf(r *TaskRequest) *ResultBatch {
+	if r == nil {
+		return nil
+	}
+	return r.Batch
 }
 
 // Close closes the underlying transport.

@@ -140,6 +140,134 @@ func TestTallyRoundTripPreservesEverything(t *testing.T) {
 	}
 }
 
+// TestResultBatchRoundTrip covers the v3 batched result path: an empty
+// batch (no groups — a legal no-op), a one-chunk batch, and a multi-job
+// batch whose compact tally payloads must decode bit-exact on the far side.
+func TestResultBatchRoundTrip(t *testing.T) {
+	tallyA, err := mc.Run(&mc.Config{Model: tissue.AdultHead()}, 400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tallyB, err := mc.Run(&mc.Config{
+		Model:  tissue.HomogeneousSlab("slab", tissue.ScalpProps, 5),
+		Radial: &mc.HistSpec{Min: 0, Max: 30, Bins: 15},
+	}, 200, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name  string
+		batch *ResultBatch
+	}{
+		{"empty", &ResultBatch{}},
+		{"one-chunk", &ResultBatch{Groups: []BatchGroup{
+			{JobID: 3, Chunks: []int{0}, Elapsed: time.Second, TallyData: mc.AppendTally(nil, tallyA)},
+		}}},
+		{"multi-job", &ResultBatch{Groups: []BatchGroup{
+			{JobID: 3, Chunks: []int{2, 3, 5}, Elapsed: 2 * time.Second, TallyData: mc.AppendTally(nil, tallyA)},
+			{JobID: 9, Chunks: []int{1}, TallyData: mc.AppendTally(nil, tallyB)},
+		}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c1, c2 := pipePair()
+			defer c1.Close()
+			defer c2.Close()
+			go c1.Send(&Message{Type: MsgResultBatch, Batch: tc.batch})
+			m, err := c2.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Type != MsgResultBatch || m.Batch == nil {
+				t.Fatalf("got %v", m.Type)
+			}
+			got := m.Batch
+			if len(got.Groups) != len(tc.batch.Groups) || got.NumChunks() != tc.batch.NumChunks() {
+				t.Fatalf("batch shape lost: %+v", got)
+			}
+			for i, g := range got.Groups {
+				want := tc.batch.Groups[i]
+				if g.JobID != want.JobID || g.Elapsed != want.Elapsed {
+					t.Fatalf("group %d metadata lost", i)
+				}
+				for k, ch := range g.Chunks {
+					if ch != want.Chunks[k] {
+						t.Fatalf("group %d chunk list changed", i)
+					}
+				}
+				dec, err := mc.DecodeTally(g.TallyData)
+				if err != nil {
+					t.Fatalf("group %d tally: %v", i, err)
+				}
+				src, err := mc.DecodeTally(want.TallyData)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dec.Launched != src.Launched || dec.AbsorbedWeight != src.AbsorbedWeight {
+					t.Fatalf("group %d tally payload corrupted", i)
+				}
+			}
+		})
+	}
+}
+
+// TestTaskRequestPiggybackRoundTrip checks a flush riding a task request
+// and the per-chunk acks riding the assign reply both survive the wire.
+func TestTaskRequestPiggybackRoundTrip(t *testing.T) {
+	tally, err := mc.Run(&mc.Config{Model: tissue.AdultHead()}, 100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := pipePair()
+	defer c1.Close()
+	defer c2.Close()
+
+	go func() {
+		c1.Send(&Message{Type: MsgTaskRequest, Request: &TaskRequest{
+			KnownJobs: []uint64{4},
+			Holding:   []ChunkRef{{JobID: 4, ChunkID: 9}},
+			Batch: &ResultBatch{Groups: []BatchGroup{
+				{JobID: 4, Chunks: []int{7, 8}, TallyData: mc.AppendTally(nil, tally)},
+			}},
+		}})
+	}()
+	m, err := c2.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := m.Request
+	if req == nil || req.Batch == nil || len(req.Holding) != 1 || req.Holding[0].ChunkID != 9 {
+		t.Fatalf("piggybacked request lost data: %+v", req)
+	}
+	if req.Batch.NumChunks() != 2 {
+		t.Fatalf("piggybacked batch covers %d chunks", req.Batch.NumChunks())
+	}
+
+	go func() {
+		c2.Send(&Message{Type: MsgTaskAssign,
+			Assign: &TaskAssign{JobID: 4, ChunkID: 10, Stream: 10, Photons: 50},
+			BatchAck: &BatchAck{Acks: []ResultAck{
+				{JobID: 4, ChunkID: 7},
+				{JobID: 4, ChunkID: 8, Duplicate: true},
+			}},
+		})
+	}()
+	reply, err := c1.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.BatchAck == nil || len(reply.BatchAck.Acks) != 2 {
+		t.Fatalf("batch ack lost from reply: %+v", reply)
+	}
+	if a := reply.BatchAck.Acks[1]; a.JobID != 4 || a.ChunkID != 8 || !a.Duplicate {
+		t.Fatalf("per-chunk ack corrupted: %+v", a)
+	}
+	if reply.Assign == nil || reply.Assign.ChunkID != 10 {
+		t.Fatal("assignment lost from piggybacked reply")
+	}
+}
+
 func TestRecvRejectsUntypedMessage(t *testing.T) {
 	c1, c2 := pipePair()
 	defer c1.Close()
@@ -163,7 +291,8 @@ func TestRecvOnClosedConn(t *testing.T) {
 
 func TestMsgTypeStrings(t *testing.T) {
 	types := []MsgType{MsgHello, MsgWelcome, MsgTaskRequest, MsgTaskAssign,
-		MsgTaskResult, MsgResultAck, MsgNoWork, MsgError, MsgType(42)}
+		MsgTaskResult, MsgResultAck, MsgNoWork, MsgError, MsgResultBatch,
+		MsgBatchAck, MsgType(42)}
 	for _, ty := range types {
 		if ty.String() == "" {
 			t.Fatalf("empty string for %d", int(ty))

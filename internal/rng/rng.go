@@ -66,6 +66,81 @@ func (r *Rand) Split() *Rand {
 	return cp
 }
 
+// FanSeed derives the sub-stream master seed for fanning one chunk stream
+// across several cores. The formula is part of the distributed
+// reproducibility contract — a chunk tally computed with fan f is a pure
+// function of (seed, stream, f), independent of which worker computes it —
+// and is pinned by TestFanSeedDerivationPinned; changing it silently would
+// change every fanned tally in the wild.
+//
+// The derivation finalizes the master seed once, xors in the stream index
+// scaled by a constant distinct from splitmix64's golden-ratio increment,
+// and finalizes again. The inner finalize keeps FanSeed off the master
+// seed's own splitmix64 sequence for every (seed, stream) — a plain
+// seed + k·increment offset would make fan sub-master seeds collide
+// exactly with the master generator's state words and with other seeds'
+// fans at shifted stream indices.
+func FanSeed(seed uint64, stream int) uint64 {
+	s := seed
+	mixed := splitmix64(&s)
+	s = mixed ^ (0x94d049bb133111eb * (uint64(stream) + 1))
+	return splitmix64(&s)
+}
+
+// StreamCache lazily materialises the jump-separated stream states of one
+// master seed. Serving stream i costs max(0, i−highest served) jumps
+// instead of i, so a worker computing many chunks of one job — in any
+// order — pays for each jump once instead of re-deriving every stream
+// from scratch (the old per-chunk cost was O(stream), a quadratic total
+// that dominated small-chunk jobs). Stream(i) returns exactly the state
+// New(seed) jumped i times, so cached and uncached derivations are
+// bit-identical. Not safe for concurrent use.
+type StreamCache struct {
+	states [][4]uint64
+}
+
+// maxCachedStreamStates bounds the cache memory (32 B per stream); a
+// pathological million-chunk job falls back to jumping from the last
+// cached state instead of growing without bound.
+const maxCachedStreamStates = 1 << 16
+
+// NewStreamCache returns a cache over the master seed's stream sequence.
+func NewStreamCache(seed uint64) *StreamCache {
+	return &StreamCache{states: [][4]uint64{New(seed).s}}
+}
+
+// Stream returns a fresh generator positioned at stream i (the master
+// jumped i times). It panics on a negative index.
+func (c *StreamCache) Stream(i int) *Rand {
+	if i < 0 {
+		panic("rng: negative stream index")
+	}
+	for len(c.states) <= i && len(c.states) < maxCachedStreamStates {
+		r := &Rand{s: c.states[len(c.states)-1]}
+		r.Jump()
+		c.states = append(c.states, r.s)
+	}
+	if i < len(c.states) {
+		return &Rand{s: c.states[i]}
+	}
+	r := &Rand{s: c.states[len(c.states)-1]}
+	for j := len(c.states) - 1; j < i; j++ {
+		r.Jump()
+	}
+	return r
+}
+
+// FanStreams returns fan jump-separated sub-streams for one chunk of a
+// distributed job: the sub-master seed is derived deterministically from
+// the chunk's stream index via FanSeed, then fanned with NewStreams, so
+// sub-stream i is the sub-master jumped forward i times by 2^128 steps.
+// Sub-streams of one chunk never overlap each other; collisions with the
+// top-level chunk streams (seeded differently) are probabilistically
+// excluded by the 2^256 xoshiro state space.
+func FanStreams(seed uint64, stream, fan int) []*Rand {
+	return NewStreams(FanSeed(seed, stream), fan)
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

@@ -272,3 +272,113 @@ func BenchmarkHenyeyGreenstein(b *testing.B) {
 		_ = r.HenyeyGreenstein(0.9)
 	}
 }
+
+// TestFanSeedDerivationPinned pins the sub-stream derivation of the
+// distributed fan-out: FanSeed and the first output of each FanStreams
+// sub-stream are part of the reproducibility contract (a fanned chunk tally
+// is a pure function of seed, stream index and fan width). If this test
+// fails, the change silently invalidates every fanned tally and cache entry
+// produced so far — bump the service cache key derivation instead of
+// updating the constants casually.
+func TestFanSeedDerivationPinned(t *testing.T) {
+	pins := []struct {
+		seed   uint64
+		stream int
+		want   uint64
+	}{
+		{0, 0, 0xe6b847134f41df3c},
+		{42, 0, 0xf9316fbbb3212da4},
+		{42, 1, 0xfeb1b1b7e01f4969},
+		{42, 7, 0x7ee3a7e8533d5148},
+		{0xdeadbeef, 3, 0xdb480212ab17c4b1},
+	}
+	for _, p := range pins {
+		if got := FanSeed(p.seed, p.stream); got != p.want {
+			t.Errorf("FanSeed(%#x, %d) = %#016x, want %#016x", p.seed, p.stream, got, p.want)
+		}
+	}
+
+	firsts := []uint64{
+		0x4f459652d7489feb,
+		0x18724774abdb3b74,
+		0xb3fb1e1d0a605b9e,
+		0xa54053b9fe829f91,
+	}
+	for i, r := range FanStreams(42, 3, 4) {
+		if got := r.Uint64(); got != firsts[i] {
+			t.Errorf("FanStreams(42,3,4)[%d] first output %#016x, want %#016x", i, got, firsts[i])
+		}
+	}
+}
+
+// TestFanStreamsJumpSeparated checks sub-streams are the sub-master seed's
+// jump sequence (so they never overlap each other) and distinct across
+// chunk stream indices.
+func TestFanStreamsJumpSeparated(t *testing.T) {
+	subs := FanStreams(7, 2, 3)
+	for i, s := range subs {
+		base := New(FanSeed(7, 2))
+		for j := 0; j < i; j++ {
+			base.Jump()
+		}
+		want := base.Uint64()
+		if got := s.Uint64(); got != want {
+			t.Fatalf("sub-stream %d is not the sub-master jumped %d times: %#x vs %#x", i, i, got, want)
+		}
+	}
+	if FanSeed(7, 2) == FanSeed(7, 3) || FanSeed(7, 2) == FanSeed(8, 2) {
+		t.Fatal("fan seeds collide across adjacent streams/seeds")
+	}
+}
+
+// TestFanSeedOffMasterSequence guards the domain separation of the fan
+// derivation: fan sub-master seeds must not land on the master seed's own
+// splitmix64 sequence (they would equal the master generator's state
+// words), and offsetting the seed by the splitmix64 increment must not
+// shift one seed's fan onto another's.
+func TestFanSeedOffMasterSequence(t *testing.T) {
+	const goldenRatio = 0x9e3779b97f4a7c15
+	for seed := uint64(0); seed < 8; seed++ {
+		master := New(seed)
+		for stream := 0; stream < 8; stream++ {
+			fs := FanSeed(seed, stream)
+			for w, s := range master.s {
+				if fs == s {
+					t.Fatalf("FanSeed(%d,%d) equals master state word %d", seed, stream, w)
+				}
+			}
+		}
+	}
+	for k := 1; k < 6; k++ {
+		if FanSeed(42, k) == FanSeed(42+goldenRatio, k-1) {
+			t.Fatalf("FanSeed aliases across golden-ratio-shifted seeds at stream %d", k)
+		}
+	}
+}
+
+// TestStreamCacheMatchesJumpDerivation checks cached stream states are
+// bit-identical to the canonical jump derivation, in ascending, random and
+// repeated access order.
+func TestStreamCacheMatchesJumpDerivation(t *testing.T) {
+	const seed = 99
+	want := func(i int) uint64 {
+		r := New(seed)
+		for j := 0; j < i; j++ {
+			r.Jump()
+		}
+		return r.Uint64()
+	}
+	c := NewStreamCache(seed)
+	for _, i := range []int{7, 0, 3, 7, 12, 1, 12} {
+		if got := c.Stream(i).Uint64(); got != want(i) {
+			t.Fatalf("cached stream %d first output %#x, want %#x", i, got, want(i))
+		}
+	}
+	// Streams must be independent copies: draining one does not disturb
+	// another.
+	a, b := c.Stream(2), c.Stream(2)
+	a.Uint64()
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("cache handed out aliased generator state")
+	}
+}

@@ -24,6 +24,15 @@ func (k Key) String() string { return fmt.Sprintf("%x", k[:]) }
 // KeyOf computes the content address of a job. Spec is plain data with no
 // maps, so its gob encoding is deterministic.
 func KeyOf(spec *mc.Spec, totalPhotons, chunkPhotons int64, seed uint64) (Key, error) {
+	return KeyOfFan(spec, totalPhotons, chunkPhotons, seed, 0)
+}
+
+// KeyOfFan is KeyOf for fanned jobs: a fan width > 1 changes every chunk
+// tally (the chunk decomposes into fan sub-streams), so it must be part of
+// the content address. The fan is appended to the hash input only when it
+// is > 1, which keeps the key *format* — and with it every existing cache
+// entry and restart-stable job ID of legacy single-stream jobs — untouched.
+func KeyOfFan(spec *mc.Spec, totalPhotons, chunkPhotons int64, seed uint64, fan int) (Key, error) {
 	h := sha256.New()
 	enc := gob.NewEncoder(h)
 	canonical := struct {
@@ -34,6 +43,11 @@ func KeyOf(spec *mc.Spec, totalPhotons, chunkPhotons int64, seed uint64) (Key, e
 	}{*spec, totalPhotons, chunkPhotons, seed}
 	if err := enc.Encode(&canonical); err != nil {
 		return Key{}, fmt.Errorf("service: cache key: %w", err)
+	}
+	if fan > 1 {
+		if err := enc.Encode(fan); err != nil {
+			return Key{}, fmt.Errorf("service: cache key: %w", err)
+		}
 	}
 	var k Key
 	h.Sum(k[:0])

@@ -7,6 +7,7 @@ import (
 	"net"
 	"time"
 
+	"repro/internal/mc"
 	"repro/internal/protocol"
 )
 
@@ -17,9 +18,28 @@ type session struct {
 	name      string
 	mflops    float64
 	connected time.Time
-	cur       *assignment     // the chunk this session is computing, if any
+	// assigned is the set of chunks this session owns: the one it is
+	// computing plus any it has computed but not yet flushed (protocol v3
+	// workers batch results). An entry lives until its result is reduced,
+	// the worker stops advertising it (abandoned → requeued), or the
+	// connection drops.
+	assigned  map[chunkRef]*assignment
 	knownJobs map[uint64]bool // descriptors already shipped on this conn
 }
+
+// chunkRef names one chunk of one job.
+type chunkRef struct {
+	job   uint64
+	chunk int
+}
+
+// Idle-worker retry hints: busyRetry while any chunk is outstanding or
+// merging (its reduction may free this worker immediately), idleRetry when
+// the service is truly empty.
+const (
+	busyRetry = 5 * time.Millisecond
+	idleRetry = 50 * time.Millisecond
+)
 
 // assignment pins a handed-out chunk to the session it went to.
 type assignment struct {
@@ -85,6 +105,11 @@ func (r *Registry) HandleConn(rw io.ReadWriteCloser) error {
 		return err
 	}
 
+	// scratch is this connection's reusable decode target: batch tallies
+	// land in it, are merged into the job, and the buffers are reused for
+	// the next group — steady-state batch decoding allocates almost
+	// nothing.
+	var scratch mc.Tally
 	for {
 		msg, err := pc.Recv()
 		if err != nil {
@@ -92,12 +117,25 @@ func (r *Registry) HandleConn(rw io.ReadWriteCloser) error {
 		}
 		switch msg.Type {
 		case protocol.MsgTaskRequest:
+			var acks *protocol.BatchAck
+			if msg.Request != nil && msg.Request.Batch != nil {
+				acks = &protocol.BatchAck{Acks: r.reduceBatch(sess, msg.Request.Batch, &scratch)}
+			}
 			reply := r.nextAssignment(sess, msg.Request)
+			reply.BatchAck = acks
 			if err := pc.Send(reply); err != nil {
 				return err
 			}
 			if reply.Type == protocol.MsgNoWork && reply.NoWork.Done {
 				return nil
+			}
+		case protocol.MsgResultBatch:
+			if msg.Batch == nil {
+				return fmt.Errorf("service: empty batch from %q", sess.name)
+			}
+			ack := &protocol.BatchAck{Acks: r.reduceBatch(sess, msg.Batch, &scratch)}
+			if err := pc.Send(&protocol.Message{Type: protocol.MsgBatchAck, BatchAck: ack}); err != nil {
+				return err
 			}
 		case protocol.MsgTaskResult:
 			if msg.Result == nil || msg.Result.Tally == nil {
@@ -126,6 +164,7 @@ func (r *Registry) registerSession(h *protocol.Hello) *session {
 		name:      name,
 		mflops:    h.Mflops,
 		connected: time.Now(),
+		assigned:  make(map[chunkRef]*assignment),
 		knownJobs: make(map[uint64]bool),
 	}
 	r.sessions[sess.id] = sess
@@ -133,44 +172,46 @@ func (r *Registry) registerSession(h *protocol.Hello) *session {
 	return sess
 }
 
-// releaseSession requeues the chunk outstanding on a dropped connection.
+// releaseSession requeues every chunk outstanding on a dropped connection.
 func (r *Registry) releaseSession(sess *session) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	delete(r.sessions, sess.id)
-	r.releaseCurLocked(sess)
+	for ref, a := range sess.assigned {
+		r.releaseAssignmentLocked(sess, ref, a)
+	}
 }
 
-// releaseCurLocked abandons the session's current assignment, requeueing
-// its chunk if it is still outstanding on this session. Every path that
-// gives up on an assignment (disconnect, a fresh request without a result,
-// an unmergeable result) must come through here — a chunk left in
-// outstanding with no owner would otherwise wedge a ChunkTimeout=0 job
-// forever.
-func (r *Registry) releaseCurLocked(sess *session) {
-	if sess.cur == nil {
-		return
-	}
-	j, id := sess.cur.job, sess.cur.chunkID
-	sess.cur = nil
+// releaseAssignmentLocked abandons one of the session's assignments,
+// requeueing its chunk if it is still outstanding on this session. Every
+// path that gives up on an assignment (disconnect, a request that stops
+// advertising the chunk, an unmergeable result) must come through here — a
+// chunk left in outstanding with no owner would otherwise wedge a
+// ChunkTimeout=0 job forever.
+func (r *Registry) releaseAssignmentLocked(sess *session, ref chunkRef, a *assignment) {
+	delete(sess.assigned, ref)
+	j := a.job
 	if !j.activeLocked() {
 		return
 	}
-	if st := j.outstanding[id]; st != nil && st.session == sess.id {
-		delete(j.outstanding, id)
-		j.pending = append(j.pending, id)
+	if st := j.outstanding[ref.chunk]; st != nil && st.session == sess.id {
+		delete(j.outstanding, ref.chunk)
+		j.pending = append(j.pending, ref.chunk)
 		j.reassigned++
-		r.logf("service: worker %q abandoned job %016x chunk %d; requeued", sess.name, j.id, id)
+		r.logf("service: worker %q abandoned job %016x chunk %d; requeued", sess.name, j.id, ref.chunk)
 	}
 }
 
-// nextAssignment picks the next chunk for an idle worker: reclaim overdue
-// chunks everywhere, gather the schedulable jobs, and let the cross-job
-// policy choose.
+// nextAssignment picks the next chunk for an idle worker: sync the
+// worker's advertised state, reclaim overdue chunks everywhere, gather the
+// schedulable jobs, and let the cross-job policy choose.
 func (r *Registry) nextAssignment(sess *session, req *protocol.TaskRequest) *protocol.Message {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 
+	if sess.assigned == nil { // tests construct sessions directly
+		sess.assigned = make(map[chunkRef]*assignment)
+	}
 	if req != nil {
 		// The request's KnownJobs list is authoritative: the worker may
 		// have evicted descriptors it advertised earlier, in which case
@@ -180,16 +221,35 @@ func (r *Registry) nextAssignment(sess *session, req *protocol.TaskRequest) *pro
 			sess.knownJobs[id] = true
 		}
 	}
-	r.releaseCurLocked(sess) // a new request abandons any undelivered assignment
+	// Equally authoritative: the Holding list (plus any batch flushed just
+	// before this call, whose chunks have already left sess.assigned). An
+	// assignment the worker no longer advertises is abandoned — for a
+	// legacy nil request that is every undelivered assignment, preserving
+	// the v2 "a new request abandons the current chunk" semantics.
+	if len(sess.assigned) > 0 {
+		var held map[chunkRef]bool
+		if req != nil && len(req.Holding) > 0 {
+			held = make(map[chunkRef]bool, len(req.Holding))
+			for _, h := range req.Holding {
+				held[chunkRef{h.JobID, h.ChunkID}] = true
+			}
+		}
+		for ref, a := range sess.assigned {
+			if !held[ref] {
+				r.releaseAssignmentLocked(sess, ref, a)
+			}
+		}
+	}
 
 	now := time.Now()
-	var cands []Candidate
-	var jobs []*Job
+	cands := r.candScratch[:0]
+	jobs := r.jobScratch[:0]
 	outstanding := false
 	minTimeout := time.Duration(0)
+	pendTotal := 0
 	for _, j := range r.active {
 		j.reclaimExpiredLocked(now)
-		if len(j.outstanding) > 0 {
+		if len(j.outstanding) > 0 || len(j.merging) > 0 {
 			outstanding = true
 			if j.spec.ChunkTimeout > 0 && (minTimeout == 0 || j.spec.ChunkTimeout < minTimeout) {
 				minTimeout = j.spec.ChunkTimeout
@@ -198,6 +258,7 @@ func (r *Registry) nextAssignment(sess *session, req *protocol.TaskRequest) *pro
 		if !j.schedulableLocked() {
 			continue
 		}
+		pendTotal += len(j.pending)
 		cands = append(cands, Candidate{
 			ID:              j.id,
 			Seq:             j.seq,
@@ -208,6 +269,7 @@ func (r *Registry) nextAssignment(sess *session, req *protocol.TaskRequest) *pro
 		})
 		jobs = append(jobs, j)
 	}
+	r.candScratch, r.jobScratch = cands, jobs // reuse the backing arrays
 
 	if len(cands) == 0 {
 		if !outstanding && r.opts.DrainOnEmpty && r.seq > 0 {
@@ -220,8 +282,15 @@ func (r *Registry) nextAssignment(sess *session, req *protocol.TaskRequest) *pro
 			}
 		}
 		retry := minTimeout / 4
-		if retry <= 0 {
-			retry = 50 * time.Millisecond
+		if retry <= 0 || retry > idleRetry {
+			retry = idleRetry
+		}
+		if outstanding && retry > busyRetry {
+			// Chunks are in flight (or held in worker batches): their
+			// reduction can unblock this worker — or end a draining
+			// service — any moment, so poll fast instead of sleeping out
+			// the tail of the queue.
+			retry = busyRetry
 		}
 		return &protocol.Message{Type: protocol.MsgNoWork, NoWork: &protocol.NoWork{RetryIn: retry}}
 	}
@@ -232,16 +301,61 @@ func (r *Registry) nextAssignment(sess *session, req *protocol.TaskRequest) *pro
 	}
 	j := jobs[pick]
 
-	id := j.pending[len(j.pending)-1]
-	j.pending = j.pending[:len(j.pending)-1]
-	tries := 1
-	if st := j.outstanding[id]; st != nil {
-		tries = st.tries + 1
+	// Grant up to Want chunks of the picked job in one reply. Every grant
+	// gets its own outstanding entry (so per-chunk timeout reassignment is
+	// unchanged) and its own policy charge (so fair-share accounting stays
+	// per chunk; only the interleaving granularity coarsens).
+	want := 1
+	if req != nil && req.Want > 1 {
+		want = req.Want
+		if want > protocol.MaxGrantChunks {
+			want = protocol.MaxGrantChunks
+		}
+		// Keep the tail parallel: when the whole schedulable queue is
+		// shallow relative to the fleet, never hand one worker more than
+		// its fleet-fair share of it.
+		if n := len(r.sessions); n > 1 {
+			if fair := (pendTotal + n - 1) / n; fair < want {
+				want = fair
+			}
+		}
+		// Keep the grant inside the timeout envelope: a worker computes
+		// its grant serially, so the last chunk's clock runs for the whole
+		// window. Granting more than ~a quarter of the timeout's worth of
+		// estimated compute would make spurious reclaims — and, with
+		// all-or-nothing batches, wholesale recomputes — systematic. With
+		// no estimate yet, probe one chunk at a time.
+		if j.spec.ChunkTimeout > 0 {
+			byTimeout := 1
+			if j.chunkSecs > 0 {
+				byTimeout = int(j.spec.ChunkTimeout.Seconds() / (4 * j.chunkSecs))
+			}
+			if byTimeout < want {
+				want = byTimeout
+			}
+		}
+		if want < 1 {
+			want = 1
+		}
 	}
-	j.outstanding[id] = &chunkState{
-		id: id, photons: j.photons[id], assigned: now,
-		session: sess.id, worker: sess.name, tries: tries,
+	grant := func() (int, int64) {
+		id := j.pending[len(j.pending)-1]
+		j.pending = j.pending[:len(j.pending)-1]
+		tries := 1
+		if st := j.outstanding[id]; st != nil {
+			tries = st.tries + 1
+		}
+		j.outstanding[id] = &chunkState{
+			id: id, photons: j.photons[id], assigned: now,
+			session: sess.id, worker: sess.name, tries: tries,
+		}
+		j.assigned += j.photons[id]
+		r.chunksAssigned++
+		r.policy.Charge(j.id, j.photons[id], j.spec.Weight)
+		sess.assigned[chunkRef{j.id, id}] = &assignment{job: j, chunkID: id}
+		return id, j.photons[id]
 	}
+
 	if j.state == StateQueued {
 		j.state = StateRunning
 	}
@@ -253,16 +367,19 @@ func (r *Registry) nextAssignment(sess *session, req *protocol.TaskRequest) *pro
 			Name: sess.name, Mflops: sess.mflops, Connected: sess.connected,
 		}
 	}
-	j.assigned += j.photons[id]
-	r.chunksAssigned++
-	r.policy.Charge(j.id, j.photons[id], j.spec.Weight)
-	sess.cur = &assignment{job: j, chunkID: id}
 
+	id, photons := grant()
 	assign := &protocol.TaskAssign{
 		JobID:   j.id,
 		ChunkID: id,
 		Stream:  id,
-		Photons: j.photons[id],
+		Photons: photons,
+	}
+	for len(assign.Extra)+1 < want && len(j.pending) > 0 {
+		id, photons := grant()
+		assign.Extra = append(assign.Extra, protocol.ChunkGrant{
+			ChunkID: id, Stream: id, Photons: photons,
+		})
 	}
 	if !sess.knownJobs[j.id] {
 		assign.Job = &protocol.Job{
@@ -270,91 +387,243 @@ func (r *Registry) nextAssignment(sess *session, req *protocol.TaskRequest) *pro
 			Spec:    *j.spec.Spec,
 			Seed:    j.spec.Seed,
 			Streams: j.nChunks,
+			Fan:     j.spec.Fan,
 		}
 		sess.knownJobs[j.id] = true
 	}
 	return &protocol.Message{Type: protocol.MsgTaskAssign, Assign: assign}
 }
 
-// handleResult routes a returned tally to its job. A result is reduced
-// exactly once, and only when it matches the session's current assignment:
-// anything else — unknown or cancelled JobID (a stale worker from a
-// previous run, a forged ID), an out-of-range chunk, a chunk this session
-// was never handed — is rejected without touching the tally. Results for
-// already-completed chunks (the reassignment race) are benign duplicates.
-func (r *Registry) handleResult(sess *session, res *protocol.TaskResult) *protocol.ResultAck {
+// reduceBatch reduces a worker-side pre-reduced batch group by group,
+// returning one ack per covered chunk in batch order. Each group's tally
+// is decoded into the caller's scratch tally off the registry lock.
+func (r *Registry) reduceBatch(sess *session, b *protocol.ResultBatch, scratch *mc.Tally) []protocol.ResultAck {
+	acks := make([]protocol.ResultAck, 0, b.NumChunks())
+	for i := range b.Groups {
+		g := &b.Groups[i]
+		if err := mc.DecodeTallyInto(scratch, g.TallyData); err != nil {
+			// The payload is unusable; give the chunks back to the queue so
+			// an honest recompute can finish the job.
+			acks = append(acks, r.rejectGroup(sess, g, fmt.Sprintf("undecodable tally: %v", err))...)
+			continue
+		}
+		acks = append(acks, r.reduceGroup(sess, g.JobID, g.Chunks, scratch, g.Elapsed)...)
+	}
 	r.mu.Lock()
-	ack, finished := r.handleResultLocked(sess, res)
+	r.batches++
 	r.mu.Unlock()
+	return acks
+}
+
+// rejectGroup rejects every chunk of a group, requeueing the ones this
+// session legitimately owned.
+func (r *Registry) rejectGroup(sess *session, g *protocol.BatchGroup, reason string) []protocol.ResultAck {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	acks := make([]protocol.ResultAck, 0, len(g.Chunks))
+	for _, id := range g.Chunks {
+		ref := chunkRef{g.JobID, id}
+		if a := sess.assigned[ref]; a != nil {
+			r.releaseAssignmentLocked(sess, ref, a)
+			a.job.rejected++
+		}
+		r.rejected++
+		acks = append(acks, protocol.ResultAck{JobID: g.JobID, ChunkID: id, Rejected: true, Reason: reason})
+	}
+	r.logf("service: rejected %d-chunk group from %q: %s", len(g.Chunks), sess.name, reason)
+	return acks
+}
+
+// handleResult routes a single returned tally to its job — the
+// pre-batching result path, still spoken by tests and single-result
+// clients. It shares the reduction machinery (and its exactly-once
+// guarantees) with the batched path.
+func (r *Registry) handleResult(sess *session, res *protocol.TaskResult) *protocol.ResultAck {
+	acks := r.reduceGroup(sess, res.JobID, []int{res.ChunkID}, res.Tally, res.Elapsed)
+	return &acks[0]
+}
+
+// reduceGroup performs the exactly-once reduction of one pre-merged group
+// of chunks in three phases:
+//
+//  1. under the registry lock, classify every covered chunk (duplicate,
+//     stale, or claimable) and — only if the whole group is claimable —
+//     claim the chunks by moving them from outstanding into the job's
+//     merging set;
+//  2. off the registry lock, under the job's redMu, merge the combined
+//     tally — the fleet keeps dispatching while a large tally merges;
+//  3. re-enter the registry lock to publish completion, credit the worker
+//     and detect job finish.
+//
+// A group is all-or-nothing: the tally is the sum of all covered chunks,
+// so if any chunk is a duplicate (the timeout-reassignment race) the
+// others are requeued for an honest recompute instead of merging a blob
+// that would double-count. Chunk tallies are pure functions of the stream
+// index, so the recompute reproduces the identical result.
+func (r *Registry) reduceGroup(sess *session, jobID uint64, chunks []int, tally *mc.Tally, elapsed time.Duration) []protocol.ResultAck {
+	acks := make([]protocol.ResultAck, len(chunks))
+	for i, id := range chunks {
+		acks[i] = protocol.ResultAck{JobID: jobID, ChunkID: id}
+	}
+	reject := func(i int, reason string) {
+		acks[i].Rejected = true
+		acks[i].Reason = reason
+		r.rejected++
+	}
+
+	// Phase 1: classify and claim under the registry lock.
+	r.mu.Lock()
+	j := r.jobs[jobID]
+	if j == nil {
+		for i, id := range chunks {
+			delete(sess.assigned, chunkRef{jobID, id})
+			reject(i, fmt.Sprintf("unknown job %016x", jobID))
+		}
+		r.mu.Unlock()
+		r.logf("service: rejected result from %q: unknown job %016x", sess.name, jobID)
+		return acks
+	}
+	if j.state == StateCanceled {
+		for i, id := range chunks {
+			delete(sess.assigned, chunkRef{jobID, id}) // nothing to requeue; Cancel dropped the chunks
+			reject(i, fmt.Sprintf("job %016x canceled", jobID))
+			j.rejected++
+		}
+		r.mu.Unlock()
+		r.logf("service: rejected result from %q: job %016x canceled", sess.name, jobID)
+		return acks
+	}
+
+	claimable := true
+	seen := make(map[int]bool, len(chunks))
+	for i, id := range chunks {
+		switch {
+		case seen[id]:
+			// A repeated chunk in one group would double-count its
+			// completion; nothing honest produces it.
+			reject(i, fmt.Sprintf("job %016x chunk %d listed twice in one group", jobID, id))
+			j.rejected++
+			claimable = false
+			continue
+		case id < 0 || id >= j.nChunks:
+			reject(i, fmt.Sprintf("job %016x has no chunk %d", jobID, id))
+			j.rejected++
+			claimable = false
+		case j.completed[id] || j.merging[id]:
+			// Already reduced (or being reduced): the reassignment race.
+			acks[i].Duplicate = true
+			j.duplicates++
+			// Any outstanding entry for a completed chunk is stale (a
+			// reassignment the merge beat to the finish line); drop it so
+			// the reclaim loop cannot requeue an already-reduced chunk.
+			if j.completed[id] {
+				delete(j.outstanding, id)
+			}
+			delete(sess.assigned, chunkRef{jobID, id})
+			claimable = false
+		case sess.assigned[chunkRef{jobID, id}] == nil:
+			reject(i, fmt.Sprintf("job %016x chunk %d does not match a current assignment of the session",
+				jobID, id))
+			j.rejected++
+			claimable = false
+		}
+		seen[id] = true
+	}
+	if !claimable {
+		// Mixed group: requeue the chunks that were honestly owned so the
+		// fleet recomputes them, and report why.
+		for i, id := range chunks {
+			if acks[i].Duplicate || acks[i].Rejected {
+				continue
+			}
+			ref := chunkRef{jobID, id}
+			r.releaseAssignmentLocked(sess, ref, sess.assigned[ref])
+			reject(i, fmt.Sprintf("job %016x chunk %d rode a partially stale batch; requeued", jobID, id))
+			j.rejected++
+		}
+		r.mu.Unlock()
+		r.logf("service: rejected %d-chunk group from %q: partially stale or duplicate",
+			len(chunks), sess.name)
+		return acks
+	}
+	for _, id := range chunks {
+		delete(j.outstanding, id) // late result wins over any reassignment
+		j.merging[id] = true
+		delete(sess.assigned, chunkRef{jobID, id})
+	}
+	r.mu.Unlock()
+
+	// Phase 2: merge off the registry lock. redMu serialises merges into
+	// this job's tally and orders before the registry lock (Snapshot takes
+	// them in the same order).
+	j.redMu.Lock()
+	mergeErr := j.tally.Merge(tally)
+
+	// Phase 3: publish.
+	r.mu.Lock()
+	var finished *Job
+	switch {
+	case mergeErr != nil:
+		for i, id := range chunks {
+			delete(j.merging, id)
+			if j.activeLocked() {
+				j.pending = append(j.pending, id) // honest recompute
+				j.reassigned++
+			}
+			reject(i, fmt.Sprintf("unmergeable tally: %v", mergeErr))
+			j.rejected++
+		}
+		r.logf("service: rejected %d-chunk group from %q: unmergeable tally: %v",
+			len(chunks), sess.name, mergeErr)
+	case j.state == StateCanceled:
+		// Cancel raced the merge; the merged weight is invisible (a
+		// canceled tally is never returned or cached) and the chunks are
+		// already dropped.
+		for i := range chunks {
+			delete(j.merging, chunks[i])
+			reject(i, fmt.Sprintf("job %016x canceled", jobID))
+			j.rejected++
+		}
+	default:
+		for _, id := range chunks {
+			delete(j.merging, id)
+			j.completed[id] = true
+			j.nCompleted++
+			// If a timeout reclaimed this chunk before the late result
+			// landed, it is back in pending (purge it or the fleet
+			// recomputes a reduced chunk) — or was even re-assigned while
+			// the merge ran (drop the stale outstanding entry so the
+			// reclaim loop cannot requeue a completed chunk).
+			delete(j.outstanding, id)
+			for i, p := range j.pending {
+				if p == id {
+					j.pending = append(j.pending[:i], j.pending[i+1:]...)
+					break
+				}
+			}
+		}
+		if w := j.workers[sess.name]; w != nil {
+			w.Chunks += len(chunks)
+		}
+		if elapsed > 0 {
+			per := elapsed.Seconds() / float64(len(chunks))
+			if j.chunkSecs == 0 {
+				j.chunkSecs = per
+			} else {
+				j.chunkSecs = 0.7*j.chunkSecs + 0.3*per
+			}
+		}
+		r.photonsDone += tally.Launched
+		r.merges++
+		if j.nCompleted == j.nChunks {
+			r.finishJobLocked(j)
+			finished = j
+		}
+	}
+	r.mu.Unlock()
+	j.redMu.Unlock()
 	if finished != nil {
 		r.sealJob(finished) // cache clone + waiter release, off the hot lock
 	}
-	return ack
-}
-
-func (r *Registry) handleResultLocked(sess *session, res *protocol.TaskResult) (*protocol.ResultAck, *Job) {
-	reject := func(reason string) *protocol.ResultAck {
-		r.rejected++
-		r.logf("service: rejected result from %q: %s", sess.name, reason)
-		return &protocol.ResultAck{ChunkID: res.ChunkID, Rejected: true, Reason: reason}
-	}
-
-	j := r.jobs[res.JobID]
-	if j == nil {
-		return reject(fmt.Sprintf("unknown job %016x", res.JobID)), nil
-	}
-	if j.state == StateCanceled {
-		j.rejected++
-		if sess.cur != nil && sess.cur.job == j {
-			sess.cur = nil // nothing to requeue; Cancel dropped the chunks
-		}
-		return reject(fmt.Sprintf("job %016x canceled", res.JobID)), nil
-	}
-	if res.ChunkID < 0 || res.ChunkID >= j.nChunks {
-		j.rejected++
-		return reject(fmt.Sprintf("job %016x has no chunk %d", res.JobID, res.ChunkID)), nil
-	}
-	if j.completed[res.ChunkID] {
-		j.duplicates++
-		// Any outstanding entry for a completed chunk is stale (a
-		// reassignment the merge beat to the finish line); drop it so the
-		// reclaim loop cannot requeue an already-reduced chunk.
-		delete(j.outstanding, res.ChunkID)
-		if sess.cur != nil && sess.cur.job == j && sess.cur.chunkID == res.ChunkID {
-			sess.cur = nil
-		}
-		return &protocol.ResultAck{ChunkID: res.ChunkID, Duplicate: true}, nil
-	}
-	if sess.cur == nil || sess.cur.job != j || sess.cur.chunkID != res.ChunkID {
-		j.rejected++
-		return reject(fmt.Sprintf("job %016x chunk %d does not match the session's current assignment",
-			res.JobID, res.ChunkID)), nil
-	}
-	if err := j.tally.Merge(res.Tally); err != nil {
-		j.rejected++
-		r.releaseCurLocked(sess) // requeue the chunk for an honest recompute
-		return reject(fmt.Sprintf("unmergeable tally: %v", err)), nil
-	}
-	sess.cur = nil
-	j.completed[res.ChunkID] = true
-	j.nCompleted++
-	delete(j.outstanding, res.ChunkID)
-	// If a timeout reclaimed this chunk before the late result landed, it
-	// is back in pending; purge it or the fleet recomputes a reduced chunk.
-	for i, p := range j.pending {
-		if p == res.ChunkID {
-			j.pending = append(j.pending[:i], j.pending[i+1:]...)
-			break
-		}
-	}
-	if w := j.workers[sess.name]; w != nil {
-		w.Chunks++
-	}
-	r.photonsDone += res.Tally.Launched
-	var finished *Job
-	if j.nCompleted == j.nChunks {
-		r.finishJobLocked(j)
-		finished = j
-	}
-	return &protocol.ResultAck{ChunkID: res.ChunkID}, finished
+	return acks
 }

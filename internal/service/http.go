@@ -28,10 +28,13 @@ func NewAPI(reg *Registry) *API { return &API{reg: reg} }
 // JobRequest is the POST /jobs body. Spec is the full serialisable
 // simulation description (layered model or voxel grid, source, detector).
 type JobRequest struct {
-	Spec         *mc.Spec      `json:"spec"`
-	Photons      int64         `json:"photons"`
-	ChunkPhotons int64         `json:"chunkPhotons,omitempty"`
-	Seed         uint64        `json:"seed,omitempty"`
+	Spec         *mc.Spec `json:"spec"`
+	Photons      int64    `json:"photons"`
+	ChunkPhotons int64    `json:"chunkPhotons,omitempty"`
+	Seed         uint64   `json:"seed,omitempty"`
+	// Fan is the per-chunk multi-core decomposition width (see
+	// JobSpec.Fan); ≤ 1 keeps the legacy single-stream chunks.
+	Fan          int           `json:"fan,omitempty"`
 	ChunkTimeout time.Duration `json:"chunkTimeoutNs,omitempty"`
 	Priority     int           `json:"priority,omitempty"`
 	Weight       float64       `json:"weight,omitempty"`
@@ -102,6 +105,7 @@ func (a *API) submit(w http.ResponseWriter, req *http.Request) {
 		TotalPhotons: body.Photons,
 		ChunkPhotons: body.ChunkPhotons,
 		Seed:         body.Seed,
+		Fan:          body.Fan,
 		ChunkTimeout: body.ChunkTimeout,
 		Priority:     body.Priority,
 		Weight:       body.Weight,

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/mc"
@@ -100,7 +101,12 @@ type chunkState struct {
 }
 
 // Job is one simulation owned by a Registry. All mutable state is guarded
-// by the registry's lock; the exported methods take it.
+// by the registry's lock, except the tally: merges happen under the
+// per-job redMu so the fleet's dispatch lock is never held across a
+// (potentially grid-sized) Merge. Lock order is redMu before the registry
+// lock — reducers take redMu, merge, then re-enter the registry lock to
+// publish completion; Snapshot takes both in the same order to read a
+// merge-consistent (completed set, tally) pair.
 type Job struct {
 	reg *Registry
 
@@ -115,7 +121,20 @@ type Job struct {
 	photons     []int64 // photons per chunk
 	completed   []bool
 	nCompleted  int
-	tally       *mc.Tally
+
+	// merging marks chunks claimed by an in-flight off-lock reduction:
+	// no longer outstanding (reclaim must not requeue them), not yet
+	// completed (drain must not fire). A concurrent result for a merging
+	// chunk is a benign duplicate.
+	merging map[int]bool
+	redMu   sync.Mutex // serialises merges into tally; held before reg.mu
+	tally   *mc.Tally
+
+	// chunkSecs is an EWMA of observed per-chunk compute seconds (from
+	// result Elapsed), used to cap multi-chunk grants so a serially
+	// computing worker cannot be handed more chunks than fit inside the
+	// job's ChunkTimeout. Zero until the first result lands.
+	chunkSecs float64
 
 	state      JobState
 	cacheHit   bool
@@ -148,6 +167,7 @@ func newJob(reg *Registry, key Key, spec JobSpec) (*Job, error) {
 		outstanding: make(map[int]*chunkState),
 		photons:     make([]int64, n),
 		completed:   make([]bool, n),
+		merging:     make(map[int]bool),
 		tally:       mc.NewTally(cfg),
 		state:       StateQueued,
 		workers:     make(map[string]*WorkerInfo),
@@ -266,6 +286,7 @@ func bornDoneJob(reg *Registry, key Key, spec JobSpec, tally *mc.Tally) *Job {
 		outstanding: make(map[int]*chunkState),
 		completed:   make([]bool, n),
 		nCompleted:  n,
+		merging:     make(map[int]bool),
 		tally:       tally,
 		state:       StateDone,
 		cacheHit:    true,
@@ -334,11 +355,16 @@ type Snapshot struct {
 // Snapshot captures the job's current reduction state. Chunks in flight
 // are not part of the snapshot and will be recomputed on resume.
 //
-// Only the gob *encode* of the tally runs under the registry lock (it must
-// see a merge-consistent view); the decode half of the deep copy happens
-// after release, so periodic checkpointing of a large-tally job holds the
-// fleet's dispatch lock for roughly half the clone cost.
+// The per-job reduction lock is taken first (the lock order reducers use),
+// so the snapshot never observes a chunk whose merge has landed in the
+// tally without its completion mark, or vice versa — either would
+// double-count or drop the chunk on resume. Only the gob *encode* of the
+// tally runs under the locks (it must see a merge-consistent view); the
+// decode half of the deep copy happens after release, so periodic
+// checkpointing of a large-tally job holds the fleet's dispatch lock for
+// roughly half the clone cost.
 func (j *Job) Snapshot() *Snapshot {
+	j.redMu.Lock()
 	j.reg.mu.Lock()
 	snap := &Snapshot{
 		Spec:    j.spec,
@@ -354,6 +380,7 @@ func (j *Job) Snapshot() *Snapshot {
 	var buf bytes.Buffer
 	err := gob.NewEncoder(&buf).Encode(j.tally)
 	j.reg.mu.Unlock()
+	j.redMu.Unlock()
 	if err != nil {
 		panic(fmt.Sprintf("service: snapshot tally encode: %v", err))
 	}

@@ -26,6 +26,13 @@ type Registry struct {
 	chunksAssigned int64 // lifetime fleet counters
 	photonsDone    int64
 	rejected       int64
+	batches        int64 // worker result batches reduced
+	merges         int64 // tally merges into job tallies (≤ chunks: pre-reduction)
+
+	// Dispatch scratch buffers, reused under mu so the per-request
+	// candidate gathering allocates nothing at steady state.
+	candScratch []Candidate
+	jobScratch  []*Job
 
 	drainOnce sync.Once
 	drained   chan struct{} // closed when DrainOnEmpty and all jobs finished
@@ -79,7 +86,7 @@ func (r *Registry) Submit(spec JobSpec) (*SubmitOutcome, error) {
 	if err := spec.normalize(); err != nil {
 		return nil, err
 	}
-	key, err := KeyOf(spec.Spec, spec.TotalPhotons, spec.ChunkPhotons, spec.Seed)
+	key, err := KeyOfFan(spec.Spec, spec.TotalPhotons, spec.ChunkPhotons, spec.Seed, spec.Fan)
 	if err != nil {
 		return nil, err
 	}
@@ -133,7 +140,7 @@ func (r *Registry) SubmitSnapshot(snap *Snapshot) (*Job, error) {
 	if snap.Tally == nil || snap.NChunks <= 0 {
 		return nil, fmt.Errorf("service: snapshot is incomplete")
 	}
-	key, err := KeyOf(spec.Spec, spec.TotalPhotons, spec.ChunkPhotons, spec.Seed)
+	key, err := KeyOfFan(spec.Spec, spec.TotalPhotons, spec.ChunkPhotons, spec.Seed, spec.Fan)
 	if err != nil {
 		return nil, err
 	}
@@ -348,6 +355,8 @@ type Stats struct {
 	ChunksAssigned    int64  `json:"chunksAssigned"`
 	PhotonsCompleted  int64  `json:"photonsCompleted"`
 	RejectedResults   int64  `json:"rejectedResults"`
+	BatchesReduced    int64  `json:"batchesReduced"`
+	TallyMerges       int64  `json:"tallyMerges"`
 	CacheEntries      int    `json:"cacheEntries"`
 	CacheHits         int64  `json:"cacheHits"`
 	CacheMisses       int64  `json:"cacheMisses"`
@@ -363,6 +372,8 @@ func (r *Registry) Stats() Stats {
 		ChunksAssigned:   r.chunksAssigned,
 		PhotonsCompleted: r.photonsDone,
 		RejectedResults:  r.rejected,
+		BatchesReduced:   r.batches,
+		TallyMerges:      r.merges,
 		Policy:           r.policy.Name(),
 	}
 	s.CacheEntries, s.CacheHits, s.CacheMisses = r.cache.stats()

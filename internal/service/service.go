@@ -7,12 +7,18 @@
 // fair-share built on sched.FairShare), and results are routed back to
 // their job by the protocol's JobID. Workers are job-agnostic; a session
 // learns a job's spec the first time it is assigned one of its chunks.
+// Since protocol v3, workers flush pre-reduced result batches (compact
+// tally codec, per-chunk acks) and the registry merges each batch off its
+// dispatch lock through a per-job reducer, so fleet throughput tracks
+// kernel throughput rather than per-chunk wire bookkeeping.
 //
 // Completed tallies land in a content-addressed result cache keyed by the
-// canonical gob encoding of (Spec, TotalPhotons, ChunkPhotons, Seed) — the
-// exact tuple that determines a reproducible result — so a duplicate
-// submission returns instantly without assigning a single chunk, and an
-// identical submission racing an active job coalesces onto it.
+// canonical gob encoding of (Spec, TotalPhotons, ChunkPhotons, Seed) —
+// plus the Fan width when one is set, since a fanned chunk decomposes into
+// different sub-streams — the exact tuple that determines a reproducible
+// result. A duplicate submission returns instantly without assigning a
+// single chunk, and an identical submission racing an active job coalesces
+// onto it.
 //
 // The API surface is programmatic (Registry) and HTTP (NewAPI): POST /jobs,
 // GET /jobs/{id}, GET /jobs/{id}/result, DELETE /jobs/{id}, GET /stats.
@@ -56,6 +62,13 @@ type JobSpec struct {
 	// with fixed-size chunks); it defaults to TotalPhotons.
 	ChunkPhotons int64
 	Seed         uint64
+	// Fan is the per-chunk multi-core decomposition width: workers compute
+	// each chunk as Fan jump-separated sub-streams (mc.RunStreamFan) and a
+	// chunk tally is a pure function of (Seed, stream, Fan) — never of the
+	// computing worker's core count. ≤ 1 means the legacy single-stream
+	// chunk and keeps result bytes (and the cache key) identical to
+	// pre-fan submissions.
+	Fan int
 	// ChunkTimeout reassigns a chunk whose result has not arrived in time;
 	// zero disables reassignment.
 	ChunkTimeout time.Duration
@@ -84,6 +97,9 @@ func (s *JobSpec) normalize() error {
 	}
 	if s.Weight <= 0 {
 		s.Weight = 1
+	}
+	if s.Fan <= 1 {
+		s.Fan = 0 // canonical "no fan": fan 1 computes the same tally
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -28,6 +29,13 @@ func slabSpec(thicknessMM float64) *mc.Spec {
 // localTally computes the ground-truth reduction of a job's streams.
 func localTally(t *testing.T, spec *mc.Spec, total, chunk int64, seed uint64) *mc.Tally {
 	t.Helper()
+	return localTallyFan(t, spec, total, chunk, seed, 0)
+}
+
+// localTallyFan is localTally for fanned jobs: the standalone decomposition
+// a fan-width-f distributed job must reproduce.
+func localTallyFan(t *testing.T, spec *mc.Spec, total, chunk int64, seed uint64, fan int) *mc.Tally {
+	t.Helper()
 	cfg, err := spec.Build()
 	if err != nil {
 		t.Fatal(err)
@@ -41,7 +49,7 @@ func localTally(t *testing.T, spec *mc.Spec, total, chunk int64, seed uint64) *m
 			n = remaining
 		}
 		remaining -= n
-		tt, err := mc.RunStream(cfg, n, seed, s, streams)
+		tt, err := mc.RunStreamFan(cfg, n, seed, s, streams, fan)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,6 +139,140 @@ func workClient(rw net.Conn, name string) (int, error) {
 			time.Sleep(msg.NoWork.RetryIn)
 		default:
 			return chunks, errors.New("unexpected message")
+		}
+	}
+}
+
+// batchClient is a minimal protocol v3 worker that mirrors distsys.Work's
+// result plane: chunks computed with the job's fan, pre-reduced per job,
+// flushed as a batch piggybacked on the next task request once flushChunks
+// accumulate (or standalone when idle), with Holding advertised in between.
+func batchClient(rw net.Conn, name string, flushChunks int) (int, error) {
+	pc := protocol.NewConn(rw)
+	defer pc.Close()
+	if err := pc.Send(&protocol.Message{Type: protocol.MsgHello,
+		Hello: &protocol.Hello{Version: protocol.Version, Name: name}}); err != nil {
+		return 0, err
+	}
+	if _, err := pc.Recv(); err != nil {
+		return 0, err
+	}
+	type rt struct {
+		cfg     *mc.Config
+		seed    uint64
+		streams int
+		fan     int
+	}
+	jobs := map[uint64]*rt{}
+	type group struct {
+		chunks []int
+		tally  *mc.Tally
+	}
+	pending := map[uint64]*group{}
+	var order []uint64
+	buffered, accepted := 0, 0
+
+	encode := func() *protocol.ResultBatch {
+		b := &protocol.ResultBatch{}
+		for _, id := range order {
+			g := pending[id]
+			b.Groups = append(b.Groups, protocol.BatchGroup{
+				JobID: id, Chunks: g.chunks, TallyData: mc.AppendTally(nil, g.tally),
+			})
+		}
+		return b
+	}
+	apply := func(acks []protocol.ResultAck) {
+		for _, a := range acks {
+			if !a.Rejected {
+				accepted++
+			}
+		}
+		pending = map[uint64]*group{}
+		order = nil
+		buffered = 0
+	}
+	holding := func() []protocol.ChunkRef {
+		var refs []protocol.ChunkRef
+		for _, id := range order {
+			for _, c := range pending[id].chunks {
+				refs = append(refs, protocol.ChunkRef{JobID: id, ChunkID: c})
+			}
+		}
+		return refs
+	}
+
+	for {
+		req := &protocol.TaskRequest{}
+		flushing := buffered >= flushChunks && buffered > 0
+		if flushing {
+			req.Batch = encode()
+		} else {
+			req.Holding = holding()
+		}
+		if err := pc.Send(&protocol.Message{Type: protocol.MsgTaskRequest, Request: req}); err != nil {
+			return accepted, err
+		}
+		msg, err := pc.Recv()
+		if err != nil {
+			return accepted, err
+		}
+		if flushing {
+			if msg.BatchAck == nil {
+				return accepted, errors.New("flush reply lost its batch ack")
+			}
+			apply(msg.BatchAck.Acks)
+		}
+		switch msg.Type {
+		case protocol.MsgTaskAssign:
+			a := msg.Assign
+			r := jobs[a.JobID]
+			if r == nil {
+				if a.Job == nil {
+					return accepted, errors.New("assign without descriptor")
+				}
+				cfg, err := a.Job.Spec.Build()
+				if err != nil {
+					return accepted, err
+				}
+				r = &rt{cfg: cfg, seed: a.Job.Seed, streams: a.Job.Streams, fan: a.Job.Fan}
+				jobs[a.JobID] = r
+			}
+			tally, err := mc.RunStreamFan(r.cfg, a.Photons, r.seed, a.Stream, r.streams, r.fan)
+			if err != nil {
+				return accepted, err
+			}
+			g := pending[a.JobID]
+			if g == nil {
+				g = &group{tally: tally}
+				pending[a.JobID] = g
+				order = append(order, a.JobID)
+			} else if err := g.tally.Merge(tally); err != nil {
+				return accepted, err
+			}
+			g.chunks = append(g.chunks, a.ChunkID)
+			buffered++
+		case protocol.MsgNoWork:
+			if buffered > 0 {
+				if err := pc.Send(&protocol.Message{Type: protocol.MsgResultBatch, Batch: encode()}); err != nil {
+					return accepted, err
+				}
+				ack, err := pc.Recv()
+				if err != nil {
+					return accepted, err
+				}
+				if ack.Type != protocol.MsgBatchAck || ack.BatchAck == nil {
+					return accepted, errors.New("expected batch ack")
+				}
+				apply(ack.BatchAck.Acks)
+				continue
+			}
+			if msg.NoWork.Done {
+				return accepted, nil
+			}
+			time.Sleep(msg.NoWork.RetryIn)
+		default:
+			return accepted, errors.New("unexpected message")
 		}
 	}
 }
@@ -257,18 +399,34 @@ func TestCancel(t *testing.T) {
 // two jobs with different specs submitted to one registry over a 3-worker
 // in-memory fleet finish with tallies matching their single-job runs, and
 // a duplicate submission is served from the cache without launching
-// photons.
+// photons. The fleet speaks the full v3 result plane — job A fans each
+// chunk across 2 sub-streams and both jobs' results ride pre-reduced
+// batches (flush threshold 3) with timeout reassignment armed — and must
+// still reproduce the standalone fan-matched decompositions exactly.
 func TestConcurrentJobsSharedFleet(t *testing.T) {
 	reg := New(Options{Policy: FairShare()})
-	startWorkers(t, reg, 3)
+	for i := 0; i < 3; i++ {
+		server, client := net.Pipe()
+		go reg.HandleConn(server)
+		name := string(rune('a' + i))
+		go func() {
+			// Long-lived registries never say Done; the worker exits when
+			// the test closes its pipe.
+			_, _ = batchClient(client, name, 3)
+		}()
+		t.Cleanup(func() { client.Close() })
+	}
 
 	specA, specB := slabSpec(5), slabSpec(8)
-	const totalA, chunkA, seedA = 3000, 250, 11
+	const totalA, chunkA, seedA, fanA = 3000, 250, 11, 2
 	const totalB, chunkB, seedB = 2000, 200, 23
 
 	var outA, outB *SubmitOutcome
 	var err error
-	if outA, err = reg.Submit(JobSpec{Spec: specA, TotalPhotons: totalA, ChunkPhotons: chunkA, Seed: seedA}); err != nil {
+	if outA, err = reg.Submit(JobSpec{
+		Spec: specA, TotalPhotons: totalA, ChunkPhotons: chunkA, Seed: seedA,
+		Fan: fanA, ChunkTimeout: 10 * time.Second,
+	}); err != nil {
 		t.Fatal(err)
 	}
 	if outB, err = reg.Submit(JobSpec{Spec: specB, TotalPhotons: totalB, ChunkPhotons: chunkB, Seed: seedB}); err != nil {
@@ -286,7 +444,7 @@ func TestConcurrentJobsSharedFleet(t *testing.T) {
 		t.Fatal(errA, errB)
 	}
 
-	wantA := localTally(t, specA, totalA, chunkA, seedA)
+	wantA := localTallyFan(t, specA, totalA, chunkA, seedA, fanA)
 	wantB := localTally(t, specB, totalB, chunkB, seedB)
 	if resA.Tally.Launched != totalA || resB.Tally.Launched != totalB {
 		t.Fatalf("launched %d/%d, want %d/%d",
@@ -302,11 +460,23 @@ func TestConcurrentJobsSharedFleet(t *testing.T) {
 		t.Fatal("multi-job detection counts differ from standalone runs")
 	}
 
-	// Duplicate submission: served from cache, zero new chunks assigned.
+	// Duplicate submission (same fan → same content key): served from
+	// cache, zero new chunks assigned.
 	assignedBefore := reg.Stats().ChunksAssigned
-	dup, err := reg.Submit(JobSpec{Spec: specA, TotalPhotons: totalA, ChunkPhotons: chunkA, Seed: seedA})
+	dup, err := reg.Submit(JobSpec{Spec: specA, TotalPhotons: totalA, ChunkPhotons: chunkA, Seed: seedA, Fan: fanA})
 	if err != nil {
 		t.Fatal(err)
+	}
+	// A different fan is a different decomposition, hence a different key;
+	// fan ≤ 1 keeps the legacy key format.
+	kFan, _ := KeyOfFan(specA, totalA, chunkA, seedA, fanA)
+	kPlain, _ := KeyOf(specA, totalA, chunkA, seedA)
+	kOne, _ := KeyOfFan(specA, totalA, chunkA, seedA, 1)
+	if kFan == kPlain {
+		t.Fatal("fan width did not change the content key")
+	}
+	if kOne != kPlain {
+		t.Fatal("fan 1 changed the legacy content key")
 	}
 	if !dup.Cached {
 		t.Fatal("duplicate submission not served from cache")
@@ -373,7 +543,7 @@ func completeAssign(reg *Registry, sess *session, a *protocol.TaskAssign) {
 		j.nCompleted++
 	}
 	delete(j.outstanding, a.ChunkID)
-	sess.cur = nil
+	delete(sess.assigned, chunkRef{a.JobID, a.ChunkID})
 }
 
 // TestPriorityPolicyDrainsHighFirst checks strict priority ordering.
@@ -556,6 +726,267 @@ func TestLateResultAfterReclaimDoesNotRecompute(t *testing.T) {
 	}
 }
 
+// TestPartiallyStaleBatchRequeued drives the batched reduction through the
+// timeout-reassignment race: a batch covering one chunk another session
+// already reduced must not merge its combined tally (it would double-count
+// the duplicate), and the honestly-owned chunks must be requeued so an
+// honest recompute — bit-identical, chunk tallies being pure functions of
+// the stream — completes the job exactly once.
+func TestPartiallyStaleBatchRequeued(t *testing.T) {
+	spec := slabSpec(5)
+	reg := New(Options{})
+	out, err := reg.Submit(JobSpec{
+		Spec: spec, TotalPhotons: 300, ChunkPhotons: 100, Seed: 19,
+		ChunkTimeout: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := out.Job
+	cfg, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunkTally := func(a *protocol.TaskAssign) *mc.Tally {
+		tt, err := mc.RunStream(cfg, a.Photons, 19, a.Stream, j.NumChunks())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tt
+	}
+	newSess := func(id uint64) *session {
+		s := &session{id: id, name: fmt.Sprintf("s%d", id),
+			assigned: map[chunkRef]*assignment{}, knownJobs: map[uint64]bool{}}
+		reg.mu.Lock()
+		reg.sessions[s.id] = s
+		reg.mu.Unlock()
+		return s
+	}
+	s1, s2 := newSess(201), newSess(202)
+
+	// s1 takes two chunks (advertising the first as held), both time out,
+	// and s2 recomputes the first.
+	a1 := reg.nextAssignment(s1, nil).Assign
+	hold1 := &protocol.TaskRequest{Holding: []protocol.ChunkRef{{JobID: a1.JobID, ChunkID: a1.ChunkID}}}
+	a2 := reg.nextAssignment(s1, hold1).Assign
+	time.Sleep(60 * time.Millisecond)
+	a3 := reg.nextAssignment(s2, nil).Assign
+	if a3.ChunkID != a2.ChunkID {
+		// LIFO requeue hands back the most recently reclaimed chunk; the
+		// test only needs *some* overlap, so track which one s2 got.
+		t.Logf("s2 recomputes chunk %d", a3.ChunkID)
+	}
+	if ack := reg.handleResult(s2, &protocol.TaskResult{
+		JobID: a3.JobID, ChunkID: a3.ChunkID, Tally: chunkTally(a3)}); ack.Rejected || ack.Duplicate {
+		t.Fatalf("s2 recompute not reduced: %+v", ack)
+	}
+
+	// s1 now flushes a pre-reduced batch covering both chunks — one of
+	// which s2 already completed. Nothing from this blob may merge.
+	combined := mc.NewTally(cfg)
+	if err := combined.Merge(chunkTally(a1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := combined.Merge(chunkTally(a2)); err != nil {
+		t.Fatal(err)
+	}
+	launchedBefore := func() int64 {
+		reg.mu.Lock()
+		defer reg.mu.Unlock()
+		return j.tally.Launched
+	}()
+	acks := reg.reduceBatch(s1, &protocol.ResultBatch{Groups: []protocol.BatchGroup{{
+		JobID:     a1.JobID,
+		Chunks:    []int{a1.ChunkID, a2.ChunkID},
+		TallyData: mc.AppendTally(nil, combined),
+	}}}, &mc.Tally{})
+	if len(acks) != 2 {
+		t.Fatalf("got %d acks for a 2-chunk batch", len(acks))
+	}
+	var dups, rejects int
+	for _, a := range acks {
+		switch {
+		case a.Duplicate:
+			dups++
+		case a.Rejected:
+			rejects++
+		}
+	}
+	if dups != 1 || rejects != 1 {
+		t.Fatalf("acks = %+v, want one duplicate and one rejected-requeued", acks)
+	}
+	if got := func() int64 {
+		reg.mu.Lock()
+		defer reg.mu.Unlock()
+		return j.tally.Launched
+	}(); got != launchedBefore {
+		t.Fatalf("partially stale batch leaked %d photons into the tally", got-launchedBefore)
+	}
+
+	// The fresh chunk is back in pending; an honest recompute finishes the
+	// job with exactly-once totals.
+	for {
+		m := reg.nextAssignment(s2, nil)
+		if m.Type != protocol.MsgTaskAssign {
+			break
+		}
+		a := m.Assign
+		if ack := reg.handleResult(s2, &protocol.TaskResult{
+			JobID: a.JobID, ChunkID: a.ChunkID, Tally: chunkTally(a)}); ack.Rejected {
+			t.Fatalf("honest recompute rejected: %+v", ack)
+		}
+	}
+	res, err := j.Wait(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tally.Launched != 300 {
+		t.Fatalf("launched %d, want 300 (double count or lost chunk)", res.Tally.Launched)
+	}
+	want := localTally(t, spec, 300, 100, 19)
+	if math.Abs(res.Tally.AbsorbedWeight-want.AbsorbedWeight) > 1e-9 {
+		t.Fatalf("absorbed %g != standalone %g", res.Tally.AbsorbedWeight, want.AbsorbedWeight)
+	}
+}
+
+// TestGrantCappedByChunkTimeout keeps multi-chunk grants inside the
+// timeout envelope: a worker computes its grant serially, so handing it
+// more chunks than fit in ChunkTimeout would guarantee spurious reclaims
+// and batch-wide recomputes. With no compute estimate the dispatcher
+// probes one chunk; once results carry Elapsed it grants up to a quarter
+// of the timeout's worth.
+func TestGrantCappedByChunkTimeout(t *testing.T) {
+	reg := New(Options{})
+	out, err := reg.Submit(JobSpec{
+		Spec: slabSpec(5), TotalPhotons: 3200, ChunkPhotons: 100, Seed: 31,
+		ChunkTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := out.Job
+	sess := &session{id: 401, name: "probe",
+		assigned: map[chunkRef]*assignment{}, knownJobs: map[uint64]bool{}}
+	reg.mu.Lock()
+	reg.sessions[sess.id] = sess
+	reg.mu.Unlock()
+
+	// No estimate yet: probe a single chunk even though 8 were requested.
+	a := reg.nextAssignment(sess, &protocol.TaskRequest{Want: 8}).Assign
+	if len(a.Extra) != 0 {
+		t.Fatalf("untimed job granted %d chunks before any estimate", 1+len(a.Extra))
+	}
+	completeAssign(reg, sess, a)
+
+	// 100 ms per chunk against a 2 s timeout: at most 2s/(4×100ms) = 5.
+	reg.mu.Lock()
+	j.chunkSecs = 0.1
+	reg.mu.Unlock()
+	a = reg.nextAssignment(sess, &protocol.TaskRequest{Want: 8}).Assign
+	if got := 1 + len(a.Extra); got != 5 {
+		t.Fatalf("granted %d chunks, want 5 (2s timeout / 4×100ms chunks)", got)
+	}
+
+	// A job without a timeout grants the full request.
+	reg2 := New(Options{})
+	out2, err := reg2.Submit(JobSpec{Spec: slabSpec(5), TotalPhotons: 3200, ChunkPhotons: 100, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess2 := &session{id: 402, name: "probe2",
+		assigned: map[chunkRef]*assignment{}, knownJobs: map[uint64]bool{}}
+	reg2.mu.Lock()
+	reg2.sessions[sess2.id] = sess2
+	reg2.mu.Unlock()
+	a = reg2.nextAssignment(sess2, &protocol.TaskRequest{Want: 8}).Assign
+	if got := 1 + len(a.Extra); got != 8 {
+		t.Fatalf("untimed job granted %d chunks, want 8", got)
+	}
+	_ = out2
+}
+
+// TestBatchGroupRepeatedChunkRejected guards the claim protocol against a
+// hostile group listing the same chunk twice, which would double-count
+// its completion and finish the job with missing chunks.
+func TestBatchGroupRepeatedChunkRejected(t *testing.T) {
+	spec := slabSpec(5)
+	reg := New(Options{})
+	out, err := reg.Submit(JobSpec{Spec: spec, TotalPhotons: 200, ChunkPhotons: 100, Seed: 27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := out.Job
+	cfg, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := &session{id: 301, name: "hostile",
+		assigned: map[chunkRef]*assignment{}, knownJobs: map[uint64]bool{}}
+	reg.mu.Lock()
+	reg.sessions[sess.id] = sess
+	reg.mu.Unlock()
+	a := reg.nextAssignment(sess, nil).Assign
+
+	tt, err := mc.RunStream(cfg, a.Photons, 27, a.Stream, j.NumChunks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acks := reg.reduceBatch(sess, &protocol.ResultBatch{Groups: []protocol.BatchGroup{{
+		JobID:     a.JobID,
+		Chunks:    []int{a.ChunkID, a.ChunkID},
+		TallyData: mc.AppendTally(nil, tt),
+	}}}, &mc.Tally{})
+	for i, ack := range acks {
+		if !ack.Rejected {
+			t.Fatalf("ack %d for a repeated-chunk group not rejected: %+v", i, ack)
+		}
+	}
+	reg.mu.Lock()
+	completed, launched := j.nCompleted, j.tally.Launched
+	reg.mu.Unlock()
+	if completed != 0 || launched != 0 {
+		t.Fatalf("repeated-chunk group reduced anyway: %d completed, %d launched", completed, launched)
+	}
+}
+
+// TestV2WorkerRejectedGracefully pins the version gate: a protocol v2
+// worker connecting to the v3 service gets a clear error message and a
+// closed session — no hang, no silent protocol confusion.
+func TestV2WorkerRejectedGracefully(t *testing.T) {
+	reg := New(Options{})
+	server, client := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- reg.HandleConn(server) }()
+
+	pc := protocol.NewConn(client)
+	defer pc.Close()
+	if err := pc.Send(&protocol.Message{Type: protocol.MsgHello,
+		Hello: &protocol.Hello{Version: 2, Name: "legacy"}}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := pc.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != protocol.MsgError || reply.Error == nil {
+		t.Fatalf("v2 hello answered with %v, want a protocol error", reply.Type)
+	}
+	if !strings.Contains(reply.Error.Msg, "version mismatch") {
+		t.Fatalf("unclear rejection message: %q", reply.Error.Msg)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("server treated the v2 worker as accepted")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server hung on a v2 worker")
+	}
+	if _, err := pc.Recv(); err == nil {
+		t.Fatal("session left open after version rejection")
+	}
+}
+
 // TestCachePutIsolatedFromCallerMutation guards the cache against callers
 // merging into the Result.Tally they were handed back.
 func TestCachePutIsolatedFromCallerMutation(t *testing.T) {
@@ -574,7 +1005,9 @@ func TestCachePutIsolatedFromCallerMutation(t *testing.T) {
 		t.Fatal(err)
 	}
 	launched := res.Tally.Launched
-	if err := res.Tally.Merge(res.Tally); err != nil { // caller mutates its copy
+	// Caller mutates its copy (self-merge is rejected by mc.Tally, so fold
+	// in a clone to double every accumulator).
+	if err := res.Tally.Merge(cloneTally(res.Tally)); err != nil {
 		t.Fatal(err)
 	}
 	dup, err := reg.Submit(JobSpec{Spec: slabSpec(5), TotalPhotons: 200, ChunkPhotons: 100, Seed: 12})

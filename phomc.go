@@ -80,6 +80,15 @@ func RunStream(cfg *Config, n int64, seed uint64, stream, streams int) (*Tally, 
 	return mc.RunStream(cfg, n, seed, stream, streams)
 }
 
+// RunStreamFan computes chunk `stream` split across `fan` deterministic
+// jump-separated sub-streams on all available cores; the tally depends on
+// the fan width but never on the number of cores that executed it, and
+// fan ≤ 1 is byte-identical to RunStream. This is what distributed workers
+// run for jobs submitted with a Fan.
+func RunStreamFan(cfg *Config, n int64, seed uint64, stream, streams, fan int) (*Tally, error) {
+	return mc.RunStreamFan(cfg, n, seed, stream, streams, fan)
+}
+
 // NewTally returns an empty tally shaped for cfg, ready to Merge into.
 func NewTally(cfg *Config) *Tally { return mc.NewTally(cfg) }
 
