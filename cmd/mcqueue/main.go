@@ -14,6 +14,17 @@
 // DELETE /jobs/{id}, and watch fleet health on GET /stats. Submitting the
 // same spec/photons/seed again returns the cached tally instantly.
 //
+// A job may carry a precision target instead of a fixed photon budget —
+//
+//	curl -s localhost:8080/jobs -d '{"spec":{...},"chunkPhotons":50000,"seed":1,
+//	      "target":{"observable":"diffuse","relErr":0.01}}'
+//
+// — in which case the registry issues chunks until the observable's
+// relative standard error meets the target (GET /jobs/{id} reports the
+// live estimate ± CI and photons spent), and a stored run of the same
+// physics that already meets-or-exceeds the precision serves the request
+// from cache.
+//
 // On SIGINT/SIGTERM every unfinished job is checkpointed into
 // -checkpoint-dir before exit, and those checkpoints are resumed
 // automatically on the next start, so an operator Ctrl-C never loses work.
@@ -41,6 +52,8 @@ func main() {
 	policyName := fs.String("policy", "fair", "cross-job scheduling policy: fifo, priority, fair")
 	cacheSize := fs.Int("cache", 256, "result cache entries (0 default, negative disables)")
 	retain := fs.Int("retain", 1024, "finished jobs kept queryable (negative: forever)")
+	maxTarget := fs.Int64("target-max-photons", 0,
+		"operator cap on precision-targeted jobs' photon budgets (0 = 50M default)")
 	ckptDir := fs.String("checkpoint-dir", "mcqueue-ckpt",
 		"directory for shutdown checkpoints (resumed on next start)")
 	verbose := fs.Bool("v", false, "log submissions, assignments and worker churn")
@@ -51,9 +64,10 @@ func main() {
 		fatal(fmt.Errorf("unknown policy %q", *policyName))
 	}
 	opts := service.Options{
-		Policy:     policy,
-		CacheSize:  *cacheSize,
-		RetainDone: *retain,
+		Policy:           policy,
+		CacheSize:        *cacheSize,
+		RetainDone:       *retain,
+		MaxTargetPhotons: *maxTarget,
 	}
 	if *verbose {
 		opts.Logf = log.Printf

@@ -8,6 +8,11 @@
 //	mcsim -model white-matter -detector disk -det-sep 3 -det-radius 1 \
 //	      -path-grid -grid 50 -grid-edge 12 -photons 200000 -map
 //	mcsim -model adult-head -detector annulus -gate-max 80 -photons 50000
+//	mcsim -model adult-head -rel-err 0.01 -target-obs diffuse
+//
+// The last form runs until the diffuse reflectance's relative standard
+// error reaches 1% instead of guessing a photon budget up front, and
+// prints the estimate with its 95% confidence interval.
 package main
 
 import (
@@ -29,6 +34,15 @@ func main() {
 	photons := fs.Int64("photons", 100000, "number of photon packets")
 	seed := fs.Uint64("seed", 1, "master RNG seed")
 	workers := fs.Int("workers", 0, "goroutines (0 = GOMAXPROCS)")
+	relErr := fs.Float64("rel-err", 0,
+		"run until this relative standard error instead of a fixed -photons budget (e.g. 0.01)")
+	targetObs := fs.String("target-obs", "diffuse",
+		"observable the -rel-err target steers by: diffuse, transmit, absorbed, detected")
+	targetChunk := fs.Int64("target-chunk", 10000, "photons per adaptive round chunk")
+	minPhotons := fs.Int64("min-photons", 0,
+		"photon floor before the first -rel-err test (0 = 16 chunks; low floors bias the stop)")
+	maxPhotons := fs.Int64("max-photons", 0,
+		"photon cap for -rel-err runs (0 = 100× -photons)")
 	showMap := fs.Bool("map", false, "print an ASCII x–z map of the scored grid")
 	csvPath := fs.String("csv", "", "write the grid's y-projection as CSV to this file")
 	savePath := fs.String("save", "", "write the tally as a mergeable .tally file")
@@ -52,11 +66,41 @@ func main() {
 
 	start := time.Now()
 	var tally *mc.Tally
-	if *streams > 1 {
+	switch {
+	case *relErr > 0:
+		// Run-until-precision: rounds of -workers streams until the
+		// target observable's RSE reaches -rel-err.
+		if *streams > 1 {
+			fatal(fmt.Errorf("-rel-err and -streams are mutually exclusive"))
+		}
+		tgt := mc.Target{
+			Observable: mc.Observable(*targetObs),
+			RelErr:     *relErr,
+			MinPhotons: *minPhotons,
+			MaxPhotons: *maxPhotons,
+		}
+		if tgt.MinPhotons == 0 {
+			tgt.MinPhotons = 16 * *targetChunk
+		}
+		if tgt.MaxPhotons == 0 {
+			tgt.MaxPhotons = 100 * *photons
+		}
+		tally, err = mc.RunAdaptive(cfg, tgt, *seed, *targetChunk, *workers)
+		if err == nil {
+			est, ci := tally.EstimateCI(tgt.Observable)
+			status := "met"
+			if !tgt.MetBy(tally) {
+				status = "NOT met (photon cap reached)"
+			}
+			fmt.Printf("precision target %s RSE ≤ %g: %s\n", tgt.Observable, tgt.RelErr, status)
+			fmt.Printf("estimate %s = %.6f ± %.6f (95%% CI, RSE %.3g%%) after %d photons\n\n",
+				tgt.Observable, est, ci, 100*tally.RelStdErr(tgt.Observable), tally.Launched)
+		}
+	case *streams > 1:
 		// Partial run: one stream of a sharded experiment, mergeable later
 		// with mcmerge.
 		tally, err = mc.RunStream(cfg, *photons, *seed, *stream, *streams)
-	} else {
+	default:
 		tally, err = mc.RunParallel(cfg, *photons, *seed, *workers)
 	}
 	if err != nil {
@@ -66,7 +110,7 @@ func main() {
 
 	cli.PrintTally(os.Stdout, tally, cfg.Model)
 	fmt.Printf("\nwall time %.2fs (%.0f photons/s)\n",
-		elapsed.Seconds(), float64(*photons)/elapsed.Seconds())
+		elapsed.Seconds(), float64(tally.Launched)/elapsed.Seconds())
 
 	grid := tally.PathGrid
 	what := "detected-photon path density"

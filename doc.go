@@ -61,6 +61,32 @@
 // fleet on completion); both binaries checkpoint on Ctrl-C so a long job
 // is never lost.
 //
+// # Adaptive precision
+//
+// A job may carry a PrecisionTarget instead of a fixed photon budget —
+// "diffuse reflectance to 1% relative standard error" — the standard
+// Monte Carlo stopping rule. With Spec.TrackMoments set, every chunk
+// tally carries second moments of the headline observables (one weighted
+// sample per chunk; Tally.Moments), so any partial reduction yields an
+// unbiased standard-error estimate in any merge order. The registry
+// issues chunks open-endedly, re-estimates the RSE as batches land, and
+// finalizes the job the moment the target is met, normalizing by the
+// photons actually simulated; GET /jobs/{id} reports the live estimate
+// ± CI and photons spent, and RunAdaptive is the local equivalent:
+//
+//	tgt := phomc.PrecisionTarget{Observable: phomc.ObsDiffuse, RelErr: 0.01}
+//	tally, err := phomc.RunAdaptive(cfg, tgt, 42, 10_000, 0)
+//	est, ci := tally.EstimateCI(phomc.ObsDiffuse)
+//
+// One caveat is structural: the rule tests an *estimated* variance, and
+// stopping on a noisy estimate selects for optimistic draws — stop too
+// early and the reported CI is overconfident. Target.MinPhotons is the
+// guard: it defers the first RSE test until enough chunks (16 by
+// default) back the estimate; raise it when targeting a precision barely
+// reachable at the floor. Zero-mean observables never meet a relative
+// target, so Target.MaxPhotons (operator-cappable) bounds every run.
+// See DESIGN.md's "Adaptive precision" section and examples/adaptive.
+//
 // # Result plane
 //
 // The distributed result path (protocol v3) is engineered so that fleet

@@ -1,0 +1,112 @@
+// Adaptive: precision-targeted jobs end to end. Instead of guessing a
+// photon budget — and over-simulating 10–100× to be safe — a job names the
+// precision it needs ("diffuse reflectance to 1% relative standard error")
+// and the service runs exactly as many chunks as that takes: workers
+// stream variance-carrying tallies, the registry re-estimates the RSE as
+// batches land, and the job finalizes the moment the target is met.
+//
+// The walkthrough submits the same physics three ways — a conservative
+// fixed budget, a 1% precision target, and a looser 3% resubmission served
+// from the meets-or-exceeds cache — and compares photons spent.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	phomc "repro"
+)
+
+func main() {
+	reg := phomc.NewJobRegistry(phomc.RegistryOptions{})
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go reg.Serve(l)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			phomc.WorkTCP(l.Addr().String(), phomc.WorkerOptions{
+				Name: fmt.Sprintf("pc-%d", i),
+			})
+		}(i)
+	}
+
+	spec := phomc.NewSpec(phomc.AdultHead(),
+		phomc.SourceSpec{Kind: "pencil"},
+		phomc.DetectorSpec{Kind: "annulus", RMin: 10, RMax: 30})
+	spec.TrackMoments = true // moments make fixed runs precision-comparable
+
+	// 1. The old way: a conservative fixed budget, sized by gut feeling.
+	const conservative = 400_000
+	fixed, err := reg.Submit(phomc.ServiceJobSpec{
+		Spec: spec, TotalPhotons: conservative, ChunkPhotons: 2_000, Seed: 1,
+		Label: "fixed-budget",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The adaptive way: state the precision, let the stopping rule pay.
+	target := &phomc.PrecisionTarget{
+		Observable: phomc.ObsDiffuse,
+		RelErr:     0.01, // 1% relative standard error on Rd
+	}
+	adaptive, err := reg.Submit(phomc.ServiceJobSpec{
+		Spec: spec, ChunkPhotons: 2_000, Seed: 1, Target: target,
+		Label: "precision-1pct",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fixedRes, err := fixed.Job.Wait(10 * time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adaptiveRes, err := adaptive.Job.Wait(10 * time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fEst, fCI := fixedRes.Tally.EstimateCI(phomc.ObsDiffuse)
+	aEst, aCI := adaptiveRes.Tally.EstimateCI(phomc.ObsDiffuse)
+	fmt.Printf("fixed budget:    Rd = %.5f ± %.5f after %7d photons\n",
+		fEst, fCI, fixedRes.Tally.Launched)
+	fmt.Printf("precision 1%%:    Rd = %.5f ± %.5f after %7d photons (target met: %v)\n",
+		aEst, aCI, adaptiveRes.Tally.Launched, adaptiveRes.TargetMet)
+	fmt.Printf("photon savings:  %.1f× fewer than the conservative budget\n",
+		float64(fixedRes.Tally.Launched)/float64(adaptiveRes.Tally.Launched))
+
+	// 3. A looser request for the same physics costs nothing: the stored
+	// 1% run already meets-or-exceeds 3%.
+	loose, err := reg.Submit(phomc.ServiceJobSpec{
+		Spec: spec, ChunkPhotons: 2_000, Seed: 1,
+		Target: &phomc.PrecisionTarget{
+			Observable: phomc.ObsDiffuse,
+			RelErr:     0.03,
+			MinPhotons: 16_000,
+		},
+		Label: "precision-3pct",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	looseRes, err := loose.Job.Wait(time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("precision 3%%:    served from cache=%v, %d photons, zero new chunks\n",
+		loose.Cached, looseRes.Tally.Launched)
+
+	st := adaptive.Job.Status()
+	fmt.Printf("\nstatus view:     state=%s estimate=%.5f rse=%.3f%% ci95=%.5f photonsRun=%d\n",
+		st.State, st.Estimate, 100*st.RelStdErr, st.CI95, st.PhotonsRun)
+}

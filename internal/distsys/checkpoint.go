@@ -30,6 +30,12 @@ type Checkpoint struct {
 	Priority     int
 	Weight       float64
 	Label        string
+	// Fan and Target round-trip the v3 multi-core decomposition and the
+	// v4 precision goal. Both are zero-valued in older checkpoints, which
+	// gob therefore still decodes; before Fan was carried here a fanned
+	// job silently resumed unfanned onto a different stream decomposition.
+	Fan    int
+	Target *mc.Target
 }
 
 // Checkpoint captures the job's current reduction state. It is safe to call
@@ -54,6 +60,8 @@ func FromSnapshot(snap *service.Snapshot) *Checkpoint {
 		Priority:     snap.Spec.Priority,
 		Weight:       snap.Spec.Weight,
 		Label:        snap.Spec.Label,
+		Fan:          snap.Spec.Fan,
+		Target:       snap.Spec.Target,
 	}
 }
 
@@ -66,6 +74,8 @@ func (cp *Checkpoint) Snapshot() *service.Snapshot {
 			TotalPhotons: cp.TotalPhotons,
 			ChunkPhotons: cp.ChunkPhotons,
 			Seed:         cp.Seed,
+			Fan:          cp.Fan,
+			Target:       cp.Target,
 			ChunkTimeout: cp.ChunkTimeout,
 			Priority:     cp.Priority,
 			Weight:       cp.Weight,

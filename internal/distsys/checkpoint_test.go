@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"repro/internal/mc"
+	"repro/internal/service"
 )
 
 // partialJob runs exactly `chunks` chunks of a job by letting a worker fail
@@ -156,5 +159,49 @@ func TestResumeRejectsOutOfRangeChunk(t *testing.T) {
 	cp.Completed = append(cp.Completed, 999)
 	if _, err := Resume(cp, JobOptions{}); err == nil {
 		t.Fatal("corrupt checkpoint accepted")
+	}
+}
+
+// TestCheckpointCarriesFanAndTarget pins the v4 checkpoint fields: the fan
+// width and the precision target survive the snapshot → checkpoint → disk
+// → snapshot round trip. (Before Fan rode the checkpoint, a fanned job
+// silently resumed unfanned — onto a different stream decomposition.)
+func TestCheckpointCarriesFanAndTarget(t *testing.T) {
+	tgt := &mc.Target{Observable: mc.ObsDiffuse, RelErr: 0.01, MinPhotons: 4000, MaxPhotons: 40_000}
+	snap := &service.Snapshot{
+		Spec: service.JobSpec{
+			Spec:         quickSpec(),
+			ChunkPhotons: 400,
+			Seed:         19,
+			Fan:          3,
+			Target:       tgt,
+			Label:        "precision",
+		},
+		NChunks:   5,
+		Completed: []int{0, 2},
+		Tally:     &mc.Tally{Launched: 800},
+	}
+	cp := FromSnapshot(snap)
+	if cp.Fan != 3 || cp.Target == nil || cp.Target.RelErr != 0.01 {
+		t.Fatalf("checkpoint dropped fan/target: %+v", cp)
+	}
+
+	path := filepath.Join(t.TempDir(), "prec.ckpt")
+	if err := cp.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := back.Snapshot()
+	if rs.Spec.Fan != 3 {
+		t.Fatalf("resumed fan %d, want 3", rs.Spec.Fan)
+	}
+	if rs.Spec.Target == nil || *rs.Spec.Target != *tgt {
+		t.Fatalf("resumed target %+v, want %+v", rs.Spec.Target, tgt)
+	}
+	if rs.NChunks != 5 || len(rs.Completed) != 2 {
+		t.Fatalf("resumed chunk state wrong: %+v", rs)
 	}
 }

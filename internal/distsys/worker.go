@@ -85,12 +85,14 @@ type jobRuntime struct {
 // run computes one chunk. Single-stream chunks draw their generator from
 // the per-job StreamCache (one Jump per new stream instead of O(stream)
 // per chunk); fanned chunks derive their sub-streams from the chunk's
-// FanSeed, which is O(fan) regardless.
+// FanSeed, which is O(fan) regardless. A non-positive stream count marks
+// an open-ended (precision-targeted) job: the server issues chunk ids
+// without a predetermined bound, so only the lower bound is checked.
 func (rt *jobRuntime) run(photons int64, stream int) (*mc.Tally, error) {
 	if rt.fan > 1 {
 		return mc.RunStreamFan(rt.cfg, photons, rt.seed, stream, rt.streams, rt.fan)
 	}
-	if stream < 0 || stream >= rt.streams {
+	if stream < 0 || (rt.streams > 0 && stream >= rt.streams) {
 		return nil, fmt.Errorf("distsys: stream %d outside [0,%d)", stream, rt.streams)
 	}
 	return rt.runner.Run(photons, rt.cache.Stream(stream)), nil

@@ -11,10 +11,17 @@ import (
 	"repro/internal/stats"
 )
 
-// TallyCodecVersion is the wire version byte leading every compact tally
-// encoding. Decoders reject anything else, so the format can evolve without
-// silently misreading old bytes.
+// TallyCodecVersion is the wire version byte leading the compact encoding
+// of a legacy (moment-free) tally. Decoders reject unknown versions, so
+// the format can evolve without silently misreading old bytes.
 const TallyCodecVersion = 1
+
+// TallyCodecVersionMoments is the version byte of frames carrying the
+// chunk-level moment accumulators of precision-targeted jobs. The encoder
+// emits it only when Tally.Moments is non-nil, so every moment-free tally
+// — in particular every fixed-count legacy job's chunks — still encodes
+// byte-identically to version 1.
+const TallyCodecVersionMoments = 2
 
 // TallyCodec serialises tallies. The distributed result plane uses the
 // compact codec; checkpoints and the content-addressed cache key stay on
@@ -67,11 +74,13 @@ func (GobTallyCodec) DecodeTally(data []byte) (*Tally, error) {
 }
 
 // Optional-section presence flags (bit positions in the flags varint).
+// tallyHasMoments is only valid in version-2 frames.
 const (
 	tallyHasAbsGrid = 1 << iota
 	tallyHasPathGrid
 	tallyHasPathHist
 	tallyHasRadial
+	tallyHasMoments
 )
 
 // Decode-side sanity bounds: a hostile or corrupt frame must not drive a
@@ -86,7 +95,11 @@ const (
 // extended slice. Passing buf[:0] of a retained buffer makes steady-state
 // encoding allocation-free; the worker reuses one buffer per session.
 func AppendTally(buf []byte, t *Tally) []byte {
-	buf = append(buf, TallyCodecVersion)
+	version := byte(TallyCodecVersion)
+	if t.Moments != nil {
+		version = TallyCodecVersionMoments
+	}
+	buf = append(buf, version)
 	var flags uint64
 	if t.AbsGrid != nil {
 		flags |= tallyHasAbsGrid
@@ -99,6 +112,9 @@ func AppendTally(buf []byte, t *Tally) []byte {
 	}
 	if t.Radial != nil {
 		flags |= tallyHasRadial
+	}
+	if t.Moments != nil {
+		flags |= tallyHasMoments
 	}
 	buf = binary.AppendUvarint(buf, flags)
 	buf = binary.AppendVarint(buf, t.Launched)
@@ -126,6 +142,13 @@ func AppendTally(buf []byte, t *Tally) []byte {
 	if t.Radial != nil {
 		buf = appendHist(buf, t.Radial)
 	}
+	if t.Moments != nil {
+		for _, r := range [...]*stats.Running{
+			&t.Moments.Diffuse, &t.Moments.Transmit, &t.Moments.Absorbed, &t.Moments.Detected} {
+			buf = binary.AppendVarint(buf, r.N)
+			buf = appendF64(buf, r.SumW, r.SumWX, r.SumWX2, r.MinV, r.MaxV)
+		}
+	}
 	return buf
 }
 
@@ -144,14 +167,20 @@ func DecodeTally(data []byte) (*Tally, error) {
 // allocation.
 func DecodeTallyInto(t *Tally, data []byte) error {
 	d := tallyDecoder{data: data}
-	if v, err := d.byte(); err != nil {
+	version, err := d.byte()
+	if err != nil {
 		return err
-	} else if v != TallyCodecVersion {
-		return fmt.Errorf("mc: tally codec: unsupported version %d (want %d)", v, TallyCodecVersion)
+	}
+	if version != TallyCodecVersion && version != TallyCodecVersionMoments {
+		return fmt.Errorf("mc: tally codec: unsupported version %d (want %d or %d)",
+			version, TallyCodecVersion, TallyCodecVersionMoments)
 	}
 	flags, err := d.uvarint()
 	if err != nil {
 		return err
+	}
+	if version < TallyCodecVersionMoments && flags&tallyHasMoments != 0 {
+		return fmt.Errorf("mc: tally codec: version %d frame carries moments", version)
 	}
 	if t.Launched, err = d.varint(); err != nil {
 		return err
@@ -218,6 +247,22 @@ func DecodeTallyInto(t *Tally, data []byte) error {
 		}
 	} else {
 		t.Radial = nil
+	}
+	if flags&tallyHasMoments != 0 {
+		if t.Moments == nil {
+			t.Moments = &Moments{}
+		}
+		for _, r := range [...]*stats.Running{
+			&t.Moments.Diffuse, &t.Moments.Transmit, &t.Moments.Absorbed, &t.Moments.Detected} {
+			if r.N, err = d.varint(); err != nil {
+				return err
+			}
+			if err := d.f64(&r.SumW, &r.SumWX, &r.SumWX2, &r.MinV, &r.MaxV); err != nil {
+				return err
+			}
+		}
+	} else {
+		t.Moments = nil
 	}
 	if d.off != len(d.data) {
 		return fmt.Errorf("mc: tally codec: %d trailing bytes", len(d.data)-d.off)

@@ -46,8 +46,14 @@ func TestCompactCodecRoundTripGolden(t *testing.T) {
 			if !bytes.Equal(tallyJSON(t, tally), tallyJSON(t, back)) {
 				t.Fatal("compact codec round trip changed the tally")
 			}
-			if blob[0] != mc.TallyCodecVersion {
-				t.Fatalf("frame leads with %d, want version byte %d", blob[0], mc.TallyCodecVersion)
+			wantVersion := byte(mc.TallyCodecVersion)
+			if tally.Moments != nil {
+				// Only moment-carrying tallies pay the version bump; every
+				// legacy fixture must keep its v1 bytes.
+				wantVersion = mc.TallyCodecVersionMoments
+			}
+			if blob[0] != wantVersion {
+				t.Fatalf("frame leads with %d, want version byte %d", blob[0], wantVersion)
 			}
 
 			// The mostly-zero payloads are what the sparse runs exist for;
@@ -147,9 +153,16 @@ func TestCompactCodecRejectsBadFrames(t *testing.T) {
 		t.Error("empty frame accepted")
 	}
 	bad := append([]byte(nil), blob...)
-	bad[0] = mc.TallyCodecVersion + 1
+	bad[0] = mc.TallyCodecVersionMoments + 1
 	if _, err := mc.DecodeTally(bad); err == nil {
 		t.Error("wrong version accepted")
+	}
+	// A legacy-version frame must not claim the moments section: the flag
+	// bit only exists from version 2 on.
+	v1moments := append([]byte(nil), blob...)
+	v1moments[1] |= 1 << 4 // flags varint (single byte here): tallyHasMoments
+	if _, err := mc.DecodeTally(v1moments); err == nil {
+		t.Error("version-1 frame with moments flag accepted")
 	}
 	for cut := 1; cut < len(blob); cut += 7 {
 		if _, err := mc.DecodeTally(blob[:cut]); err == nil {

@@ -109,6 +109,14 @@ type Config struct {
 	// used to compare against diffusion theory.
 	Radial *HistSpec
 
+	// TrackMoments makes every runner record chunk-level second moments
+	// of the headline observables (Tally.Moments) — one weighted sample
+	// per stream or fan sub-stream — enabling on-line standard-error
+	// estimates and run-until-precision termination. Off by default: the
+	// legacy path's tallies, and therefore its golden fixtures, cache
+	// keys and wire bytes, are unchanged.
+	TrackMoments bool
+
 	// Hot-path tables, built by Normalize and read-only afterwards: the
 	// per-region optical table every kernel indexes instead of calling
 	// Geometry.Props per event, and the devirtualised layered fast path

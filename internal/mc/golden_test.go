@@ -78,6 +78,16 @@ func goldenCases(t *testing.T) []struct {
 				Detector: detector.Annulus{RMin: 10, RMax: 30},
 			}, 3000, 5, 3)
 		}},
+		{"layered_moments", func() (*mc.Tally, error) {
+			// The precision path: chunk moments recorded per stream and
+			// merged across three parallel streams. Pins the moment
+			// accumulators' values and their JSON/codec encodings.
+			return mc.RunParallel(&mc.Config{
+				Model:        head,
+				Detector:     detector.Annulus{RMin: 10, RMax: 30},
+				TrackMoments: true,
+			}, 3000, 5, 3)
+		}},
 		{"layered_pathgrid", func() (*mc.Tally, error) {
 			return mc.Run(&mc.Config{
 				Model:    tissue.HomogeneousWhiteMatter(),

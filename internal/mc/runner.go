@@ -17,18 +17,29 @@ func Run(cfg *Config, n int64, seed uint64) (*Tally, error) {
 	}
 	k := newKernel(cfg, rng.New(seed))
 	k.RunPhotons(n)
+	k.record()
 	return k.tally, nil
+}
+
+// record folds the finished leaf tally's chunk moments in when the config
+// asks for them — every runner calls it once per single-stream run.
+func (k *kernel) record() {
+	if k.cfg.TrackMoments {
+		k.tally.RecordChunkMoments()
+	}
 }
 
 // RunStream simulates n photons on stream `stream` of `streams` independent
 // RNG streams derived from seed. Chunks computed this way merge into exactly
 // the same tally regardless of which worker computes which stream — the
-// reproducibility contract of the distributed system.
+// reproducibility contract of the distributed system. streams ≤ 0 means the
+// stream space is open-ended (precision-targeted jobs issue chunks without
+// a predetermined count); only the lower bound is then checked.
 func RunStream(cfg *Config, n int64, seed uint64, stream, streams int) (*Tally, error) {
 	if err := cfg.Normalize(); err != nil {
 		return nil, err
 	}
-	if stream < 0 || stream >= streams {
+	if stream < 0 || (streams > 0 && stream >= streams) {
 		return nil, fmt.Errorf("mc: stream %d outside [0,%d)", stream, streams)
 	}
 	r := rng.New(seed)
@@ -37,6 +48,7 @@ func RunStream(cfg *Config, n int64, seed uint64, stream, streams int) (*Tally, 
 	}
 	k := newKernel(cfg, r)
 	k.RunPhotons(n)
+	k.record()
 	return k.tally, nil
 }
 
@@ -51,6 +63,7 @@ func RunWithRand(cfg *Config, n int64, r *rng.Rand) (*Tally, error) {
 	}
 	k := newKernel(cfg, r)
 	k.RunPhotons(n)
+	k.record()
 	return k.tally, nil
 }
 
@@ -79,6 +92,7 @@ func (ru *Runner) Run(n int64, r *rng.Rand) *Tally {
 	ru.k.rng = r
 	ru.k.tally = NewTally(ru.k.cfg)
 	ru.k.RunPhotons(n)
+	ru.k.record()
 	return ru.k.tally
 }
 
@@ -98,7 +112,7 @@ func RunStreamFan(cfg *Config, n int64, seed uint64, stream, streams, fan int) (
 	if err := cfg.Normalize(); err != nil {
 		return nil, err
 	}
-	if stream < 0 || stream >= streams {
+	if stream < 0 || (streams > 0 && stream >= streams) {
 		return nil, fmt.Errorf("mc: stream %d outside [0,%d)", stream, streams)
 	}
 	subs := rng.FanStreams(seed, stream, fan)
@@ -127,6 +141,7 @@ func RunStreamFan(cfg *Config, n int64, seed uint64, stream, streams, fan int) (
 				}
 				k := newKernel(cfg, subs[i])
 				k.RunPhotons(shares[i])
+				k.record()
 				tallies[i] = k.tally
 			}
 		}()
@@ -140,6 +155,78 @@ func RunStreamFan(cfg *Config, n int64, seed uint64, stream, streams, fan int) (
 		}
 	}
 	return total, nil
+}
+
+// RunAdaptive is the local run-until-precision loop: it simulates rounds
+// of `workers` jump-separated streams of `chunk` photons each — merged in
+// stream order, so the result is a pure function of (cfg, tgt, seed,
+// chunk, workers) — and stops at the first round boundary where the
+// target is met or tgt.MaxPhotons (when set) is reached. TrackMoments is
+// forced on; the returned tally's estimate and CI come from EstimateCI.
+//
+// The stopping rule tests the on-line variance estimate, which is itself
+// noisy early on: a low tgt.MinPhotons floor can latch onto an
+// optimistically small estimate and terminate with an overconfident CI
+// (the rule's standard small-sample bias). Callers should keep the floor
+// at several chunks' worth; a MaxPhotons of zero trusts the target alone,
+// which never terminates for a zero-mean observable.
+func RunAdaptive(cfg *Config, tgt Target, seed uint64, chunk int64, workers int) (*Tally, error) {
+	if err := tgt.Normalize(); err != nil {
+		return nil, err
+	}
+	if !cfg.TrackMoments {
+		// The stopping rule needs chunk moments; run on a copy rather than
+		// flipping the caller's config, whose later fixed-count runs must
+		// keep their moment-free (byte-identical) encodings.
+		c := *cfg
+		c.TrackMoments = true
+		cfg = &c
+	}
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	if chunk <= 0 {
+		return nil, fmt.Errorf("mc: adaptive chunk size %d must be positive", chunk)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	cache := rng.NewStreamCache(seed)
+	total := NewTally(cfg)
+	tallies := make([]*Tally, workers)
+	for stream := 0; ; {
+		round := workers
+		if tgt.MaxPhotons > 0 {
+			if left := (tgt.MaxPhotons - total.Launched + chunk - 1) / chunk; left < int64(round) {
+				round = int(left)
+			}
+		}
+		if round <= 0 {
+			return total, nil // budget exhausted before the target was met
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < round; w++ {
+			wg.Add(1)
+			go func(w int, r *rng.Rand) {
+				defer wg.Done()
+				k := newKernel(cfg, r)
+				k.RunPhotons(chunk)
+				k.record()
+				tallies[w] = k.tally
+			}(w, cache.Stream(stream+w))
+		}
+		wg.Wait()
+		for _, t := range tallies[:round] {
+			if err := total.Merge(t); err != nil {
+				return nil, err
+			}
+		}
+		stream += round
+		if tgt.MetBy(total) {
+			return total, nil
+		}
+	}
 }
 
 // RunParallel fans n photons across `workers` goroutines (default
@@ -173,6 +260,7 @@ func RunParallel(cfg *Config, n int64, seed uint64, workers int) (*Tally, error)
 			defer wg.Done()
 			k := newKernel(cfg, streams[w])
 			k.RunPhotons(share)
+			k.record()
 			tallies[w] = k.tally
 		}(w, share)
 	}

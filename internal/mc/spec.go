@@ -29,6 +29,12 @@ type Spec struct {
 	PathGrid *GridSpec
 	PathHist *HistSpec
 	Radial   *HistSpec
+
+	// TrackMoments enables chunk-level second-moment tracking
+	// (Config.TrackMoments); precision-targeted jobs force it on. As a
+	// zero-default bool it is omitted from legacy gob encodings, so
+	// existing cache keys and checkpoints are unchanged.
+	TrackMoments bool `json:",omitempty"`
 }
 
 // NewSpec captures a Config's serialisable parameters for a layered model.
@@ -67,6 +73,7 @@ func (s *Spec) Build() (*Config, error) {
 		PathGrid:          s.PathGrid,
 		PathHist:          s.PathHist,
 		Radial:            s.Radial,
+		TrackMoments:      s.TrackMoments,
 	}
 	switch {
 	case s.Voxel != nil:

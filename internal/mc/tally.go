@@ -69,6 +69,13 @@ type Tally struct {
 	PathGrid *grid.Grid3      // detected-photon interaction sites per voxel
 	PathHist *stats.Histogram // detected pathlength histogram
 	Radial   *stats.Histogram // exit-radius histogram of all escaping photons
+
+	// Moments, when Config.TrackMoments is set, carries the chunk-level
+	// second moments of the headline observables — the uncertainty
+	// estimate behind precision-targeted jobs. Nil on the legacy path,
+	// which keeps every pre-moment encoding (gob checkpoints, compact
+	// wire frames, golden JSON) byte-identical.
+	Moments *Moments `json:",omitempty"`
 }
 
 // NewTally returns a tally sized for the given configuration.
@@ -149,6 +156,12 @@ func (t *Tally) Merge(o *Tally) error {
 	t.OptPathStats.Merge(o.OptPathStats)
 	t.DepthStats.Merge(o.DepthStats)
 	t.ScatterStats.Merge(o.ScatterStats)
+	if o.Moments != nil {
+		if t.Moments == nil {
+			t.Moments = &Moments{}
+		}
+		t.Moments.Merge(o.Moments)
+	}
 	for i := range o.LayerAbsorbed {
 		t.LayerAbsorbed[i] += o.LayerAbsorbed[i]
 	}

@@ -1,0 +1,184 @@
+package mc_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/mc"
+	"repro/internal/source"
+	"repro/internal/tissue"
+)
+
+func slabCfg(t *testing.T, track bool) *mc.Config {
+	t.Helper()
+	spec := mc.NewSpec(tissue.HomogeneousSlab("slab", tissue.ScalpProps, 5),
+		source.Spec{Kind: source.KindPencil},
+		detector.Spec{Kind: detector.KindAnnulus, RMin: 1, RMax: 4})
+	spec.TrackMoments = track
+	cfg, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestTargetNormalizeAndMetBy pins the target validation matrix and the
+// stopping predicate.
+func TestTargetNormalizeAndMetBy(t *testing.T) {
+	tgt := mc.Target{RelErr: 0.02}
+	if err := tgt.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if tgt.Observable != mc.ObsDiffuse {
+		t.Fatalf("default observable %q", tgt.Observable)
+	}
+	for _, bad := range []mc.Target{
+		{RelErr: 0},
+		{RelErr: -0.1},
+		{RelErr: 1},
+		{RelErr: 0.1, Observable: "bogus"},
+		{RelErr: 0.1, MinPhotons: -1},
+		{RelErr: 0.1, MaxPhotons: -1},
+		{RelErr: 0.1, MinPhotons: 100, MaxPhotons: 50},
+	} {
+		bad := bad
+		if err := bad.Normalize(); err == nil {
+			t.Errorf("target %+v accepted", bad)
+		}
+	}
+	for _, obs := range []mc.Observable{mc.ObsDiffuse, mc.ObsTransmit, mc.ObsAbsorbed, mc.ObsDetected} {
+		if !obs.Valid() {
+			t.Errorf("%q invalid", obs)
+		}
+	}
+	if mc.Observable("").Valid() {
+		t.Error("empty observable valid")
+	}
+
+	// MetBy: a moment-free tally never meets; a floor gates an otherwise
+	// precise one; transmit/absorbed/detected route to their accumulators.
+	tight := mc.Target{Observable: mc.ObsDiffuse, RelErr: 0.5, MinPhotons: 10}
+	if err := tight.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	bare := &mc.Tally{Launched: 1000}
+	if tight.MetBy(bare) {
+		t.Fatal("moment-free tally met a target")
+	}
+	chunks := make([]*mc.Tally, 4)
+	merged := &mc.Tally{}
+	for i := range chunks {
+		chunks[i] = &mc.Tally{Launched: 100, DiffuseWeight: 50 + float64(i),
+			TransmitWeight: 10, AbsorbedWeight: 30, DetectedWeight: 5}
+		chunks[i].RecordChunkMoments()
+		if err := merged.Merge(chunks[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !tight.MetBy(merged) {
+		t.Fatalf("RSE %g did not meet 0.5", merged.RelStdErr(mc.ObsDiffuse))
+	}
+	floored := tight
+	floored.MinPhotons = 10_000
+	if floored.MetBy(merged) {
+		t.Fatal("floor did not gate the stop")
+	}
+	for _, obs := range []mc.Observable{mc.ObsTransmit, mc.ObsAbsorbed, mc.ObsDetected} {
+		if rse := merged.RelStdErr(obs); math.IsInf(rse, 1) || rse < 0 {
+			t.Errorf("%s RSE %g", obs, rse)
+		}
+	}
+	if !math.IsInf(merged.RelStdErr("bogus"), 1) {
+		t.Error("unknown observable has finite RSE")
+	}
+}
+
+// TestRunAdaptiveUnit pins the in-package adaptive loop: stop at target,
+// stop at cap, and argument validation.
+func TestRunAdaptiveUnit(t *testing.T) {
+	cfg := slabCfg(t, false) // RunAdaptive must force TrackMoments itself
+	tgt := mc.Target{Observable: mc.ObsDiffuse, RelErr: 0.05, MinPhotons: 900, MaxPhotons: 90_000}
+	tally, err := mc.RunAdaptive(cfg, tgt, 7, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tgt.MetBy(tally) {
+		t.Fatalf("unmet: %d photons RSE %g", tally.Launched, tally.RelStdErr(mc.ObsDiffuse))
+	}
+	if tally.Launched%300 != 0 {
+		t.Fatalf("launched %d not a whole number of chunks", tally.Launched)
+	}
+	if cfg.TrackMoments {
+		t.Fatal("RunAdaptive mutated the caller's config; its later fixed runs would grow moments")
+	}
+
+	// A cap below the floor still terminates, at the cap (rounded to
+	// whole rounds), unmet.
+	capped := mc.Target{Observable: mc.ObsDiffuse, RelErr: 0.001, MinPhotons: 600, MaxPhotons: 1200}
+	ct, err := mc.RunAdaptive(slabCfg(t, false), capped, 7, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Launched != 1200 {
+		t.Fatalf("capped run launched %d, want 1200", ct.Launched)
+	}
+	if capped.MetBy(ct) {
+		t.Fatal("0.1% met on 1200 photons")
+	}
+
+	if _, err := mc.RunAdaptive(slabCfg(t, false), mc.Target{RelErr: 0.1}, 7, 0, 2); err == nil {
+		t.Fatal("zero chunk size accepted")
+	}
+	if _, err := mc.RunAdaptive(slabCfg(t, false), mc.Target{RelErr: 7}, 7, 300, 2); err == nil {
+		t.Fatal("bad target accepted")
+	}
+}
+
+// TestTallyDerivedObservables covers the derived accessors alongside the
+// moments so a moments-tracking run still reports them coherently.
+func TestTallyDerivedObservables(t *testing.T) {
+	cfg := slabCfg(t, true)
+	cfg.PathGrid = nil
+	tally, err := mc.RunStream(cfg, 2000, 3, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := tally.LateralFraction(); f != 0 {
+		t.Fatalf("layered slab leaked %g laterally", f)
+	}
+	if d := tally.DPF(0); d != 0 {
+		t.Fatal("DPF(0) not guarded")
+	}
+	if tally.DetectedCount > 0 {
+		if d := tally.DPF(2.5); !(d > 0) {
+			t.Fatalf("DPF %g", d)
+		}
+	}
+	if rf := tally.ReachedFraction(0); !(rf > 0 && rf <= 1) {
+		t.Fatalf("reached fraction %g", rf)
+	}
+	if pf := tally.PenetrationFraction(0); !(pf > 0 && pf <= 1) {
+		t.Fatalf("penetration fraction %g", pf)
+	}
+	if pf := tally.PenetrationFraction(99); pf != 0 {
+		t.Fatalf("out-of-range penetration %g", pf)
+	}
+
+	// DecodeTally (the non-reusing entry point) round-trips the frame.
+	back, err := mc.DecodeTally(mc.AppendTally(nil, tally))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Launched != tally.Launched || back.Moments == nil {
+		t.Fatal("DecodeTally dropped state")
+	}
+	if _, err := mc.DecodeTally([]byte{0xFF}); err == nil {
+		t.Fatal("garbage frame accepted")
+	}
+
+	// EstimateCI on a moment-free tally reports unavailable.
+	if est, ci := (&mc.Tally{}).EstimateCI(mc.ObsDiffuse); est != 0 || !math.IsInf(ci, 1) {
+		t.Fatalf("empty estimate %g ± %g", est, ci)
+	}
+}

@@ -62,6 +62,16 @@ func seedMessages(tb testing.TB) []*Message {
 		tb.Fatal(err)
 	}
 	compact := mc.AppendTally(nil, tally)
+	// A moments-carrying chunk of a precision-targeted job (tally codec
+	// v2, open-ended descriptor).
+	precSpec := *spec
+	precSpec.TrackMoments = true
+	momTally, err := mc.Run(&mc.Config{
+		Model: tissue.HomogeneousSlab("slab", tissue.ScalpProps, 5), TrackMoments: true}, 50, 2)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	momCompact := mc.AppendTally(nil, momTally)
 	return []*Message{
 		{Type: MsgHello, Hello: &Hello{Version: Version, Name: "w0", Mflops: 42}},
 		{Type: MsgWelcome, Welcome: &Welcome{Version: Version, ServerName: "srv"}},
@@ -92,6 +102,17 @@ func seedMessages(tb testing.TB) []*Message {
 			{JobID: 9, ChunkID: 4},
 			{JobID: 9, ChunkID: 5, Duplicate: true},
 			{JobID: 12, ChunkID: 0, Rejected: true, Reason: "stale"},
+		}}},
+		// Protocol v4 frames: an open-ended precision-job descriptor
+		// (Streams 0, Target set) and its moments-carrying batch result.
+		{Type: MsgTaskAssign, Assign: &TaskAssign{
+			JobID: 21, ChunkID: 0, Stream: 0, Photons: 500,
+			Job: &Job{ID: 21, Spec: precSpec, Seed: 19, Streams: 0,
+				Target: &mc.Target{Observable: mc.ObsDiffuse, RelErr: 0.01,
+					MinPhotons: 8000, MaxPhotons: 1 << 20}},
+		}},
+		{Type: MsgResultBatch, Batch: &ResultBatch{Groups: []BatchGroup{
+			{JobID: 21, Chunks: []int{0}, Elapsed: time.Second, TallyData: momCompact},
 		}}},
 	}
 }
@@ -181,15 +202,25 @@ func corpusSeeds(tb testing.TB) map[string][]byte {
 	big := make([]uint64, MaxKnownJobs+1)
 	seeds["oversized_knownjobs"] = encodeMessages(tb,
 		&Message{Type: MsgTaskRequest, Request: &TaskRequest{KnownJobs: big}})
-	// Protocol v3 frames.
+	// Protocol v3/v4 frames.
 	for _, m := range msgs {
 		switch {
-		case m.Type == MsgResultBatch:
+		case m.Type == MsgResultBatch && seeds["result_batch_v3"] == nil:
 			seeds["result_batch_v3"] = encodeMessages(tb, m)
 		case m.Type == MsgBatchAck:
 			seeds["batch_ack_v3"] = encodeMessages(tb, m)
 		case m.Type == MsgTaskRequest && m.Request != nil && m.Request.Batch != nil:
 			seeds["piggyback_request_v3"] = encodeMessages(tb, m)
+		case m.Type == MsgTaskAssign && m.Assign != nil && m.Assign.Job != nil && m.Assign.Job.Target != nil:
+			seeds["precision_assign_v4"] = encodeMessages(tb, m)
+		}
+	}
+	// The last ResultBatch in the conversation is the moments-carrying v4
+	// one (tally codec version 2).
+	for i := len(msgs) - 1; i >= 0; i-- {
+		if msgs[i].Type == MsgResultBatch {
+			seeds["moments_batch_v4"] = encodeMessages(tb, msgs[i])
+			break
 		}
 	}
 	seeds["empty_batch_group_v3"] = encodeMessages(tb,

@@ -27,7 +27,15 @@ import (
 // mc codec instead of per-result gob, task requests advertise the
 // computed-but-unflushed chunks they are still Holding, jobs carry the
 // multi-core fan width, and acks come back per chunk in a BatchAck.
-const Version = 3
+//
+// Version 4 added precision-targeted jobs: a job descriptor may carry a
+// Target and an open-ended stream space (Streams == 0 — the server issues
+// chunks until the target's relative standard error is met, so there is
+// no predetermined chunk count), and chunk tallies of such jobs travel
+// with their moment accumulators (mc tally codec version 2). A v3 worker
+// would reject the open-ended stream indices and strip the moments, so
+// the handshake requires v4.
+const Version = 4
 
 // MsgType discriminates the envelope.
 type MsgType int
@@ -101,10 +109,14 @@ type Welcome struct {
 
 // Job describes one complete simulation the fleet is computing.
 type Job struct {
-	ID      uint64
-	Spec    mc.Spec
-	Seed    uint64
-	Streams int // total number of RNG streams (= number of chunks)
+	ID   uint64
+	Spec mc.Spec
+	Seed uint64
+	// Streams is the total number of RNG streams (= number of chunks) of a
+	// fixed-count job. Zero means the job is open-ended — a
+	// precision-targeted job issues chunks (streams 0, 1, 2, …) until its
+	// Target is met, so workers must not bound the stream index.
+	Streams int
 	// Fan is the job-level multi-core decomposition: each chunk is split
 	// across Fan jump-separated sub-streams (mc.RunStreamFan) so a worker
 	// can compute one chunk on all its cores. Fan is part of the job's
@@ -112,6 +124,11 @@ type Job struct {
 	// never of the worker's core count — and ≤ 1 means the legacy
 	// single-stream chunk.
 	Fan int
+	// Target, when set, is the precision goal of an open-ended job
+	// (informational for workers — the server owns the stopping rule; the
+	// Spec's TrackMoments flag is what makes chunk tallies carry the
+	// required moments).
+	Target *mc.Target
 }
 
 // MaxKnownJobs bounds the KnownJobs advertisement in a TaskRequest. Workers

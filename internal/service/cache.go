@@ -33,6 +33,18 @@ func KeyOf(spec *mc.Spec, totalPhotons, chunkPhotons int64, seed uint64) (Key, e
 // is > 1, which keeps the key *format* — and with it every existing cache
 // entry and restart-stable job ID of legacy single-stream jobs — untouched.
 func KeyOfFan(spec *mc.Spec, totalPhotons, chunkPhotons int64, seed uint64, fan int) (Key, error) {
+	return keyOf(spec, totalPhotons, chunkPhotons, seed, fan, nil)
+}
+
+// KeyOfTarget is the content address of a precision-targeted job: the
+// fixed-count tuple (with TotalPhotons zero — the count is open-ended)
+// extended by the normalized Target, appended the same trailing way the
+// fan is so every fixed-count key is untouched.
+func KeyOfTarget(spec *mc.Spec, chunkPhotons int64, seed uint64, fan int, tgt *mc.Target) (Key, error) {
+	return keyOf(spec, 0, chunkPhotons, seed, fan, tgt)
+}
+
+func keyOf(spec *mc.Spec, totalPhotons, chunkPhotons int64, seed uint64, fan int, tgt *mc.Target) (Key, error) {
 	h := sha256.New()
 	enc := gob.NewEncoder(h)
 	canonical := struct {
@@ -49,14 +61,47 @@ func KeyOfFan(spec *mc.Spec, totalPhotons, chunkPhotons int64, seed uint64, fan 
 			return Key{}, fmt.Errorf("service: cache key: %w", err)
 		}
 	}
+	if tgt != nil {
+		if err := enc.Encode(tgt); err != nil {
+			return Key{}, fmt.Errorf("service: cache key: %w", err)
+		}
+	}
 	var k Key
 	h.Sum(k[:0])
 	return k, nil
 }
 
-// cache is a bounded FIFO-evicting map from job key to completed tally.
-// It carries its own lock so the gob-round-trip tally clones in get/put
-// never stall the registry mutex (and with it the whole fleet).
+// PhysicsKeyOf addresses what a tally *is* rather than how much of it was
+// asked for: the (Spec, ChunkPhotons, Seed, Fan) tuple that fixes the
+// physics, the chunk decomposition and the RNG streams — everything but
+// the stopping point. Every moments-tracking result is indexed under its
+// physics key so a precision-targeted request can be served by any stored
+// run of the same decomposition that meets-or-exceeds it (more photons,
+// tighter RSE), whether that run was itself targeted or fixed-count.
+func PhysicsKeyOf(spec *mc.Spec, chunkPhotons int64, seed uint64, fan int) (Key, error) {
+	h := sha256.New()
+	enc := gob.NewEncoder(h)
+	canonical := struct {
+		Physics      string // domain separator vs the job-key tuple
+		Spec         mc.Spec
+		ChunkPhotons int64
+		Seed         uint64
+		Fan          int
+	}{"physics", *spec, chunkPhotons, seed, fan}
+	if err := enc.Encode(&canonical); err != nil {
+		return Key{}, fmt.Errorf("service: physics key: %w", err)
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k, nil
+}
+
+// cache is a bounded FIFO-evicting map from job key to completed tally,
+// plus a physics-keyed side index serving meets-or-exceeds precision
+// lookups (one entry per physics key: the deepest — most photons — stored
+// run of that decomposition). It carries its own lock so the
+// gob-round-trip tally clones in get/put never stall the registry mutex
+// (and with it the whole fleet).
 type cache struct {
 	mu      sync.Mutex
 	max     int
@@ -64,6 +109,9 @@ type cache struct {
 	order   []Key
 	hits    int64
 	misses  int64
+
+	physics      map[Key]*mc.Tally
+	physicsOrder []Key
 }
 
 func newCache(max int) *cache {
@@ -73,11 +121,23 @@ func newCache(max int) *cache {
 	if max == 0 {
 		max = 256
 	}
-	return &cache{max: max, entries: make(map[Key]*mc.Tally)}
+	return &cache{
+		max:     max,
+		entries: make(map[Key]*mc.Tally),
+		physics: make(map[Key]*mc.Tally),
+	}
 }
 
 // get returns a deep copy of the cached tally (callers may mutate results).
 func (c *cache) get(k Key) *mc.Tally {
+	return c.getCounted(k, true)
+}
+
+// getCounted is get with the miss counter optional: a lookup that falls
+// through to a second index (the physics lookup of precision submissions)
+// must record one miss for the whole submission, not one per index probed
+// — or the /stats hit rate operators size the cache by is skewed.
+func (c *cache) getCounted(k Key, recordMiss bool) *mc.Tally {
 	if c == nil {
 		return nil
 	}
@@ -85,7 +145,9 @@ func (c *cache) get(k Key) *mc.Tally {
 	defer c.mu.Unlock()
 	t, ok := c.entries[k]
 	if !ok {
-		c.misses++
+		if recordMiss {
+			c.misses++
+		}
 		return nil
 	}
 	c.hits++
@@ -110,6 +172,49 @@ func (c *cache) put(k Key, clone *mc.Tally) {
 		}
 	}
 	c.entries[k] = clone
+}
+
+// putPhysics indexes a pre-cloned moments-carrying tally under its physics
+// key, keeping the deepest run per key (a later shallower run must not
+// evict a stored result that satisfies stricter targets).
+func (c *cache) putPhysics(pk Key, clone *mc.Tally) {
+	if c == nil || clone == nil || clone.Moments == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.physics[pk]; ok {
+		if clone.Launched > cur.Launched {
+			c.physics[pk] = clone
+		}
+		return
+	}
+	c.physicsOrder = append(c.physicsOrder, pk)
+	if len(c.physicsOrder) > c.max {
+		delete(c.physics, c.physicsOrder[0])
+		c.physicsOrder = c.physicsOrder[1:]
+	}
+	c.physics[pk] = clone
+}
+
+// getMeeting returns a deep copy of the physics-indexed tally for pk if it
+// satisfies tgt (photon floor reached, RSE at or below the requested
+// relative error) — the meets-or-exceeds cache hit of precision-targeted
+// submissions. A request is never penalised for a stored run having spent
+// *more* photons than its own cap: the extra precision is free.
+func (c *cache) getMeeting(pk Key, tgt *mc.Target) *mc.Tally {
+	if c == nil || tgt == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.physics[pk]
+	if !ok || !tgt.MetBy(t) {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	return cloneTally(t)
 }
 
 // stats snapshots the entry count and hit/miss counters.

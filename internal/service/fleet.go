@@ -258,13 +258,16 @@ func (r *Registry) nextAssignment(sess *session, req *protocol.TaskRequest) *pro
 		if !j.schedulableLocked() {
 			continue
 		}
-		pendTotal += len(j.pending)
+		// Open-ended jobs count their issuable headroom (capped) alongside
+		// requeued chunks, so grant sizing and policies see real depth.
+		depth := len(j.pending) + j.issuableChunksLocked()
+		pendTotal += depth
 		cands = append(cands, Candidate{
 			ID:              j.id,
 			Seq:             j.seq,
 			Priority:        j.spec.Priority,
 			Weight:          j.spec.Weight,
-			PendingChunks:   len(j.pending),
+			PendingChunks:   depth,
 			AssignedPhotons: j.assigned,
 		})
 		jobs = append(jobs, j)
@@ -339,8 +342,16 @@ func (r *Registry) nextAssignment(sess *session, req *protocol.TaskRequest) *pro
 		}
 	}
 	grant := func() (int, int64) {
-		id := j.pending[len(j.pending)-1]
-		j.pending = j.pending[:len(j.pending)-1]
+		var id int
+		if n := len(j.pending); n > 0 {
+			id = j.pending[n-1]
+			j.pending = j.pending[:n-1]
+		} else {
+			// Open-ended issuance: synthesise the next fresh chunk. The
+			// schedulable check (or the loop condition below) guaranteed
+			// budget headroom.
+			id = j.issueChunkLocked()
+		}
 		tries := 1
 		if st := j.outstanding[id]; st != nil {
 			tries = st.tries + 1
@@ -375,19 +386,24 @@ func (r *Registry) nextAssignment(sess *session, req *protocol.TaskRequest) *pro
 		Stream:  id,
 		Photons: photons,
 	}
-	for len(assign.Extra)+1 < want && len(j.pending) > 0 {
+	for len(assign.Extra)+1 < want && (len(j.pending) > 0 || j.issuableChunksLocked() > 0) {
 		id, photons := grant()
 		assign.Extra = append(assign.Extra, protocol.ChunkGrant{
 			ChunkID: id, Stream: id, Photons: photons,
 		})
 	}
 	if !sess.knownJobs[j.id] {
+		streams := j.nChunks
+		if j.openEnded() {
+			streams = 0 // open-ended: workers must not bound the stream index
+		}
 		assign.Job = &protocol.Job{
 			ID:      j.id,
 			Spec:    *j.spec.Spec,
 			Seed:    j.spec.Seed,
-			Streams: j.nChunks,
+			Streams: streams,
 			Fan:     j.spec.Fan,
+			Target:  j.spec.Target,
 		}
 		sess.knownJobs[j.id] = true
 	}
@@ -493,6 +509,25 @@ func (r *Registry) reduceGroup(sess *session, jobID uint64, chunks []int, tally 
 		r.logf("service: rejected result from %q: job %016x canceled", sess.name, jobID)
 		return acks
 	}
+	if j.state == StateDone {
+		// An early-finalized precision job (a done fixed-count job has
+		// every chunk completed and takes the duplicate path below):
+		// chunks reduced before the stopping point are the benign
+		// duplicate race, stragglers computed past it are benign-rejected
+		// — acknowledged, never merged, never requeued.
+		for i, id := range chunks {
+			delete(sess.assigned, chunkRef{jobID, id})
+			if id >= 0 && id < j.nChunks && j.completed[id] {
+				acks[i].Duplicate = true
+				j.duplicates++
+			} else {
+				reject(i, fmt.Sprintf("job %016x already finalized", jobID))
+				j.rejected++
+			}
+		}
+		r.mu.Unlock()
+		return acks
+	}
 
 	claimable := true
 	seen := make(map[int]bool, len(chunks))
@@ -557,7 +592,22 @@ func (r *Registry) reduceGroup(sess *session, jobID uint64, chunks []int, tally 
 	// this job's tally and orders before the registry lock (Snapshot takes
 	// them in the same order).
 	j.redMu.Lock()
-	mergeErr := j.tally.Merge(tally)
+	// Re-check liveness now that the reduction lock is held: a cancel —
+	// or another batch meeting the job's precision target — may have
+	// landed while this group waited, and a job that left the active
+	// states must not absorb more weight. Its tally is either published
+	// to waiters and the cache (Done) or discarded (Canceled); merging
+	// into it after the fact would corrupt the former and waste work on
+	// the latter, and /stats lifecycle counters would drift from the
+	// tallies behind them. State changes to Done require this redMu, so
+	// the check cannot go stale before the merge below.
+	r.mu.Lock()
+	live := j.activeLocked()
+	r.mu.Unlock()
+	var mergeErr error
+	if live {
+		mergeErr = j.tally.Merge(tally)
+	}
 
 	// Phase 3: publish.
 	r.mu.Lock()
@@ -575,13 +625,18 @@ func (r *Registry) reduceGroup(sess *session, jobID uint64, chunks []int, tally 
 		}
 		r.logf("service: rejected %d-chunk group from %q: unmergeable tally: %v",
 			len(chunks), sess.name, mergeErr)
-	case j.state == StateCanceled:
-		// Cancel raced the merge; the merged weight is invisible (a
-		// canceled tally is never returned or cached) and the chunks are
-		// already dropped.
+	case !live || !j.activeLocked():
+		// The job was canceled (possibly mid-merge: that weight is
+		// invisible — a canceled tally is never returned or cached) or
+		// finalized while this group waited on the reduction lock; the
+		// chunks are already dropped or moot.
+		reason := "canceled"
+		if j.state == StateDone {
+			reason = "already finalized"
+		}
 		for i := range chunks {
 			delete(j.merging, chunks[i])
-			reject(i, fmt.Sprintf("job %016x canceled", jobID))
+			reject(i, fmt.Sprintf("job %016x %s", jobID, reason))
 			j.rejected++
 		}
 	default:
@@ -615,7 +670,26 @@ func (r *Registry) reduceGroup(sess *session, jobID uint64, chunks []int, tally 
 		}
 		r.photonsDone += tally.Launched
 		r.merges++
-		if j.nCompleted == j.nChunks {
+		// Re-estimate the observable off the dispatch-critical path (the
+		// moment arithmetic is a handful of float ops on the already
+		// redMu-guarded tally) and publish it for Status readers.
+		j.publishEstimate(j.tally)
+		switch {
+		case j.openEnded() && j.targetMet:
+			// The stopping rule fired: finalize immediately. Granting
+			// stops, queued and in-flight chunks are shed (stragglers
+			// that still flush are benign-rejected above), and the
+			// result is normalized by the photons actually reduced.
+			j.pending = nil
+			j.outstanding = make(map[int]*chunkState)
+			r.finishJobLocked(j)
+			finished = j
+			r.logf("service: job %016x met %s RSE ≤ %g after %d photons",
+				j.id, j.spec.Target.Observable, j.spec.Target.RelErr, j.photonsRun)
+		case j.nCompleted == j.nChunks && (!j.openEnded() || j.issuableChunksLocked() == 0):
+			// Fixed-count: every chunk reduced. Open-ended: the photon
+			// cap is spent and nothing is left in flight — the job
+			// finishes unmet, reporting its achieved RSE.
 			r.finishJobLocked(j)
 			finished = j
 		}

@@ -27,14 +27,20 @@ func NewAPI(reg *Registry) *API { return &API{reg: reg} }
 
 // JobRequest is the POST /jobs body. Spec is the full serialisable
 // simulation description (layered model or voxel grid, source, detector).
+// Exactly one of Photons (fixed budget) or Target (run until the named
+// observable reaches the requested relative standard error) sizes the job.
 type JobRequest struct {
 	Spec         *mc.Spec `json:"spec"`
-	Photons      int64    `json:"photons"`
+	Photons      int64    `json:"photons,omitempty"`
 	ChunkPhotons int64    `json:"chunkPhotons,omitempty"`
 	Seed         uint64   `json:"seed,omitempty"`
 	// Fan is the per-chunk multi-core decomposition width (see
 	// JobSpec.Fan); ≤ 1 keeps the legacy single-stream chunks.
-	Fan          int           `json:"fan,omitempty"`
+	Fan int `json:"fan,omitempty"`
+	// Target makes the job precision-targeted (see JobSpec.Target), e.g.
+	// {"observable":"diffuse","relErr":0.01}. GET /jobs/{id} then reports
+	// the live estimate ± CI and the photons spent.
+	Target       *mc.Target    `json:"target,omitempty"`
 	ChunkTimeout time.Duration `json:"chunkTimeoutNs,omitempty"`
 	Priority     int           `json:"priority,omitempty"`
 	Weight       float64       `json:"weight,omitempty"`
@@ -51,10 +57,14 @@ type JobAccepted struct {
 
 // JobResultBody is the GET /jobs/{id}/result response.
 type JobResultBody struct {
-	ID       string    `json:"id"`
-	CacheHit bool      `json:"cacheHit,omitempty"`
-	Elapsed  float64   `json:"elapsedSeconds"`
-	Tally    *mc.Tally `json:"tally"`
+	ID       string     `json:"id"`
+	CacheHit bool       `json:"cacheHit,omitempty"`
+	Target   *mc.Target `json:"target,omitempty"`
+	// TargetMet reports a precision-targeted job stopped because its
+	// RSE goal was reached (false: the photon cap ended it first).
+	TargetMet bool      `json:"targetMet,omitempty"`
+	Elapsed   float64   `json:"elapsedSeconds"`
+	Tally     *mc.Tally `json:"tally"`
 }
 
 type apiError struct {
@@ -106,6 +116,7 @@ func (a *API) submit(w http.ResponseWriter, req *http.Request) {
 		ChunkPhotons: body.ChunkPhotons,
 		Seed:         body.Seed,
 		Fan:          body.Fan,
+		Target:       body.Target,
 		ChunkTimeout: body.ChunkTimeout,
 		Priority:     body.Priority,
 		Weight:       body.Weight,
@@ -154,10 +165,12 @@ func (a *API) result(w http.ResponseWriter, req *http.Request) {
 			return
 		}
 		writeJSON(w, http.StatusOK, JobResultBody{
-			ID:       st.IDHex,
-			CacheHit: res.CacheHit,
-			Elapsed:  res.Elapsed.Seconds(),
-			Tally:    res.Tally,
+			ID:        st.IDHex,
+			CacheHit:  res.CacheHit,
+			Target:    res.Target,
+			TargetMet: res.TargetMet,
+			Elapsed:   res.Elapsed.Seconds(),
+			Tally:     res.Tally,
 		})
 	case StateCanceled.String():
 		writeJSON(w, http.StatusGone, apiError{Error: "job canceled", State: st.State})

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/mc"
 )
 
 // postJob submits a job over the HTTP API and returns the response.
@@ -224,5 +226,67 @@ func TestHTTPJobIDRoundTrip(t *testing.T) {
 	var back uint64
 	if _, err := fmt.Sscanf(st.IDHex, "%x", &back); err != nil || back != out.Job.ID() {
 		t.Fatalf("hex id does not round-trip: %v %d", err, back)
+	}
+}
+
+// TestHTTPPrecisionJob drives a precision-targeted job over the HTTP API:
+// submission with a target body, progress reporting estimate ± CI and
+// photons spent, and the result echoing the met target.
+func TestHTTPPrecisionJob(t *testing.T) {
+	reg := New(Options{})
+	ts := httptest.NewServer(NewAPI(reg).Handler())
+	defer ts.Close()
+	startWorkers(t, reg, 2)
+
+	spec := targetSpec(5)
+	acc, code := postJob(t, ts, JobRequest{
+		Spec:         spec,
+		ChunkPhotons: 500,
+		Seed:         41,
+		Target:       &mc.Target{Observable: mc.ObsDiffuse, RelErr: 0.02, MinPhotons: 4000},
+		Label:        "precision",
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("submit: http %d", code)
+	}
+
+	st := waitDone(t, ts, acc.ID)
+	if !st.TargetMet {
+		t.Fatalf("status not met: %+v", st)
+	}
+	if st.Target == nil || st.Target.RelErr != 0.02 {
+		t.Fatalf("status target missing: %+v", st.Target)
+	}
+	if st.PhotonsRun < 4000 {
+		t.Fatalf("photonsRun %d below floor", st.PhotonsRun)
+	}
+	if st.Estimate <= 0 || st.CI95 <= 0 || st.RelStdErr <= 0 || st.RelStdErr > 0.02 {
+		t.Fatalf("estimate triple wrong: est=%g ci=%g rse=%g", st.Estimate, st.CI95, st.RelStdErr)
+	}
+
+	var res JobResultBody
+	if code := getJSON(t, ts.URL+"/jobs/"+acc.ID+"/result", &res); code != http.StatusOK {
+		t.Fatalf("result: http %d", code)
+	}
+	if !res.TargetMet || res.Target == nil {
+		t.Fatalf("result body lost the target: %+v", res)
+	}
+	if res.Tally.Launched != st.PhotonsRun {
+		t.Fatalf("result launched %d != status photonsRun %d", res.Tally.Launched, st.PhotonsRun)
+	}
+	if res.Tally.Moments == nil {
+		t.Fatal("result tally carries no moments")
+	}
+	if got := res.Tally.RelStdErr(mc.ObsDiffuse); math.Abs(got-st.RelStdErr) > 1e-12 {
+		t.Fatalf("tally RSE %g != status %g", got, st.RelStdErr)
+	}
+
+	// A bad target is rejected at submission, not accepted and wedged.
+	if _, code := postJob(t, ts, JobRequest{
+		Spec:   spec,
+		Seed:   1,
+		Target: &mc.Target{RelErr: 2},
+	}); code != http.StatusUnprocessableEntity {
+		t.Fatalf("bad target: http %d", code)
 	}
 }

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/mc"
+	"repro/internal/protocol"
 )
 
 // JobState is the lifecycle of a job inside the registry.
@@ -66,28 +68,43 @@ type Result struct {
 	// CacheHit reports the result was served from the content-addressed
 	// cache without assigning any chunks.
 	CacheHit bool
+	// Target echoes a precision-targeted job's goal; TargetMet reports
+	// whether the stopping rule fired (false means the photon cap ended
+	// the job first — the tally still reports its achieved RSE).
+	Target    *mc.Target
+	TargetMet bool
 	// Workers lists per-client contribution, sorted by name.
 	Workers []WorkerInfo
 }
 
 // JobStatus is a point-in-time snapshot of a job (the GET /jobs/{id} body).
+// For precision-targeted jobs TotalChunks counts chunks issued so far (the
+// job is open-ended), PhotonsRun counts photons actually reduced, and
+// Estimate/RelStdErr/CI95 report the live observable estimate — absent
+// until two chunks have reduced, since one sample has no spread.
 type JobStatus struct {
-	ID              uint64    `json:"-"`
-	IDHex           string    `json:"id"`
-	Label           string    `json:"label,omitempty"`
-	State           string    `json:"state"`
-	CacheHit        bool      `json:"cacheHit,omitempty"`
-	TotalPhotons    int64     `json:"photons"`
-	ChunkPhotons    int64     `json:"chunkPhotons"`
-	CompletedChunks int       `json:"completedChunks"`
-	TotalChunks     int       `json:"totalChunks"`
-	Priority        int       `json:"priority,omitempty"`
-	Weight          float64   `json:"weight,omitempty"`
-	Reassigned      int       `json:"reassigned,omitempty"`
-	Duplicates      int       `json:"duplicates,omitempty"`
-	Rejected        int       `json:"rejected,omitempty"`
-	Submitted       time.Time `json:"submitted"`
-	Finished        time.Time `json:"finished,omitzero"`
+	ID              uint64     `json:"-"`
+	IDHex           string     `json:"id"`
+	Label           string     `json:"label,omitempty"`
+	State           string     `json:"state"`
+	CacheHit        bool       `json:"cacheHit,omitempty"`
+	TotalPhotons    int64      `json:"photons"`
+	ChunkPhotons    int64      `json:"chunkPhotons"`
+	CompletedChunks int        `json:"completedChunks"`
+	TotalChunks     int        `json:"totalChunks"`
+	Priority        int        `json:"priority,omitempty"`
+	Weight          float64    `json:"weight,omitempty"`
+	Reassigned      int        `json:"reassigned,omitempty"`
+	Duplicates      int        `json:"duplicates,omitempty"`
+	Rejected        int        `json:"rejected,omitempty"`
+	Target          *mc.Target `json:"target,omitempty"`
+	TargetMet       bool       `json:"targetMet,omitempty"`
+	PhotonsRun      int64      `json:"photonsRun,omitempty"`
+	Estimate        float64    `json:"estimate,omitempty"`
+	RelStdErr       float64    `json:"relStdErr,omitempty"`
+	CI95            float64    `json:"ci95,omitempty"`
+	Submitted       time.Time  `json:"submitted"`
+	Finished        time.Time  `json:"finished,omitzero"`
 }
 
 // chunkState tracks one outstanding work unit.
@@ -113,14 +130,30 @@ type Job struct {
 	id   uint64
 	seq  uint64
 	key  Key
+	pkey Key // physics key (meets-or-exceeds cache index)
 	spec JobSpec
 
+	// nChunks is the fixed chunk count of a budgeted job. A
+	// precision-targeted job (spec.Target != nil) is open-ended: nChunks
+	// is the high-water mark of chunks *issued* so far and grows as the
+	// dispatcher synthesises new chunk ids.
 	nChunks     int
 	pending     []int // chunk ids awaiting assignment (LIFO on reassign)
 	outstanding map[int]*chunkState
 	photons     []int64 // photons per chunk
 	completed   []bool
 	nCompleted  int
+
+	// Precision-job progress, published under the registry lock after
+	// each merge so Status never needs the reduction lock: the live
+	// estimate of the target observable, its relative standard error and
+	// 95% CI half-width, photons reduced, and whether the stopping rule
+	// fired (vs the photon cap).
+	estimate   float64
+	estRSE     float64
+	estCI      float64
+	photonsRun int64
+	targetMet  bool
 
 	// merging marks chunks claimed by an in-flight off-lock reduction:
 	// no longer outstanding (reclaim must not requeue them), not yet
@@ -184,7 +217,45 @@ func newJob(reg *Registry, key Key, spec JobSpec) (*Job, error) {
 		j.photons[i] = p
 		j.pending = append(j.pending, i)
 	}
+	// An open-ended job starts with no chunks at all (numChunks returned
+	// 0); the dispatcher issues them on demand via issueChunkLocked.
 	return j, nil
+}
+
+// openEnded reports precision-targeted (run-until-precision) issuance.
+func (j *Job) openEnded() bool { return j.spec.Target != nil }
+
+// issuedPhotonsLocked is the photon total of every chunk issued so far
+// (open-ended chunks are uniformly ChunkPhotons-sized).
+func (j *Job) issuedPhotonsLocked() int64 {
+	return int64(j.nChunks) * j.spec.ChunkPhotons
+}
+
+// issuableChunksLocked returns how many fresh chunks an open-ended job may
+// still issue, capped for candidate accounting (the true remaining budget
+// can be millions of chunks; schedulers only need "plenty").
+func (j *Job) issuableChunksLocked() int {
+	if !j.openEnded() || j.targetMet {
+		return 0
+	}
+	left := (j.spec.Target.MaxPhotons - j.issuedPhotonsLocked()) / j.spec.ChunkPhotons
+	if left <= 0 {
+		return 0
+	}
+	if left > int64(protocol.MaxGrantChunks) {
+		return protocol.MaxGrantChunks
+	}
+	return int(left)
+}
+
+// issueChunkLocked synthesises the next fresh chunk of an open-ended job.
+// The caller must have checked issuableChunksLocked.
+func (j *Job) issueChunkLocked() int {
+	id := j.nChunks
+	j.nChunks++
+	j.photons = append(j.photons, j.spec.ChunkPhotons)
+	j.completed = append(j.completed, false)
+	return id
 }
 
 // ID returns the job's registry-unique identifier (also the wire JobID).
@@ -204,7 +275,7 @@ func (j *Job) Status() JobStatus {
 }
 
 func (j *Job) statusLocked() JobStatus {
-	return JobStatus{
+	st := JobStatus{
 		ID:              j.id,
 		IDHex:           fmt.Sprintf("%016x", j.id),
 		Label:           j.spec.Label,
@@ -219,9 +290,21 @@ func (j *Job) statusLocked() JobStatus {
 		Reassigned:      j.reassigned,
 		Duplicates:      j.duplicates,
 		Rejected:        j.rejected,
+		Target:          j.spec.Target,
+		TargetMet:       j.targetMet,
+		PhotonsRun:      j.photonsRun,
 		Submitted:       j.submitted,
 		Finished:        j.finishedAt,
 	}
+	// The estimate triple is published together after each merge; an
+	// infinite RSE (fewer than two chunks) is withheld rather than sent
+	// through JSON.
+	if j.estRSE > 0 && !math.IsInf(j.estRSE, 1) {
+		st.Estimate = j.estimate
+		st.RelStdErr = j.estRSE
+		st.CI95 = j.estCI
+	}
+	return st
 }
 
 // Progress returns the number of reduced chunks and the total.
@@ -261,6 +344,8 @@ func (j *Job) Wait(timeout time.Duration) (*Result, error) {
 		Duplicates: j.duplicates,
 		Rejected:   j.rejected,
 		CacheHit:   j.cacheHit,
+		Target:     j.spec.Target,
+		TargetMet:  j.targetMet,
 	}
 	if !j.started.IsZero() {
 		res.Elapsed = j.finishedAt.Sub(j.started)
@@ -298,8 +383,29 @@ func bornDoneJob(reg *Registry, key Key, spec JobSpec, tally *mc.Tally) *Job {
 	for i := range j.completed {
 		j.completed[i] = true
 	}
+	j.publishEstimate(tally)
 	close(j.finished)
 	return j
+}
+
+// publishEstimate refreshes the job's Status-visible estimate fields from
+// a tally. Reducers call it under both the reduction and registry locks;
+// construction paths (cache hits, snapshot resumes) call it before the job
+// is published anywhere.
+func (j *Job) publishEstimate(t *mc.Tally) {
+	if t == nil || t.Moments == nil {
+		return
+	}
+	obs := mc.ObsDiffuse
+	if j.spec.Target != nil {
+		obs = j.spec.Target.Observable
+	}
+	j.estimate, j.estCI = t.EstimateCI(obs)
+	j.estRSE = t.RelStdErr(obs)
+	j.photonsRun = t.Launched
+	if j.spec.Target != nil && j.spec.Target.MetBy(t) {
+		j.targetMet = true
+	}
 }
 
 // absorbParamsLocked folds a coalesced duplicate submission's scheduling
@@ -318,9 +424,14 @@ func (j *Job) absorbParamsLocked(spec JobSpec) {
 	}
 }
 
-// schedulable reports whether the job can receive assignments (lock held).
+// schedulable reports whether the job can receive assignments (lock held):
+// requeued chunks for any job, plus fresh open-ended issuance while a
+// precision target is unmet and under budget.
 func (j *Job) schedulableLocked() bool {
-	return (j.state == StateQueued || j.state == StateRunning) && len(j.pending) > 0
+	if j.state != StateQueued && j.state != StateRunning {
+		return false
+	}
+	return len(j.pending) > 0 || j.issuableChunksLocked() > 0
 }
 
 // activeLocked reports whether the job still has work in flight or queued.

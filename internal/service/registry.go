@@ -77,16 +77,19 @@ type SubmitOutcome struct {
 // deduplicated: against the cache if a previous run completed, against the
 // live job if one is still active (the live job absorbs the stronger of
 // the two submissions' scheduling parameters, so an urgent resubmission is
-// not silently demoted to the incumbent's priority).
+// not silently demoted to the incumbent's priority). A precision-targeted
+// submission is additionally matched against the physics index: any stored
+// run of the same (spec, chunking, seed, fan) decomposition that
+// meets-or-exceeds the requested precision serves it instantly.
 //
 // Heavy construction — Spec.Build (which may materialise a multi-megabyte
 // voxel geometry), tally allocation, cache-tally cloning — happens outside
 // the registry mutex so a large submission never stalls fleet dispatch.
 func (r *Registry) Submit(spec JobSpec) (*SubmitOutcome, error) {
-	if err := spec.normalize(); err != nil {
+	if err := spec.normalize(r.opts.MaxTargetPhotons); err != nil {
 		return nil, err
 	}
-	key, err := KeyOfFan(spec.Spec, spec.TotalPhotons, spec.ChunkPhotons, spec.Seed, spec.Fan)
+	key, pkey, err := keysOf(&spec)
 	if err != nil {
 		return nil, err
 	}
@@ -99,10 +102,19 @@ func (r *Registry) Submit(spec JobSpec) (*SubmitOutcome, error) {
 	}
 	r.mu.Unlock()
 
-	if tally := r.cache.get(key); tally != nil {
+	// A precision submission probes two indexes but is one lookup: only
+	// the trailing physics probe records the miss.
+	tally := r.cache.getCounted(key, spec.Target == nil)
+	if tally == nil && spec.Target != nil {
+		// Meets-or-exceeds: a deeper or equal stored run of the same
+		// physics satisfies any looser request for it.
+		tally = r.cache.getMeeting(pkey, spec.Target)
+	}
+	if tally != nil {
 		// A cached key proves these exact spec bytes built and completed
 		// before, so the job is born Done without touching the geometry.
 		j := bornDoneJob(r, key, spec, tally)
+		j.pkey = pkey
 		r.mu.Lock()
 		r.registerLocked(j)
 		r.mu.Unlock()
@@ -114,6 +126,7 @@ func (r *Registry) Submit(spec JobSpec) (*SubmitOutcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	j.pkey = pkey
 	r.mu.Lock()
 	if live := r.byKey[key]; live != nil { // lost a race with an identical submission
 		live.absorbParamsLocked(spec)
@@ -124,9 +137,31 @@ func (r *Registry) Submit(spec JobSpec) (*SubmitOutcome, error) {
 	r.active = append(r.active, j)
 	r.byKey[key] = j
 	r.mu.Unlock()
-	r.logf("service: job %016x submitted (%d photons in %d chunks, %s)",
-		j.id, spec.TotalPhotons, j.nChunks, key)
+	if spec.Target != nil {
+		r.logf("service: job %016x submitted (%s RSE ≤ %g, %d-photon chunks, %s)",
+			j.id, spec.Target.Observable, spec.Target.RelErr, spec.ChunkPhotons, key)
+	} else {
+		r.logf("service: job %016x submitted (%d photons in %d chunks, %s)",
+			j.id, spec.TotalPhotons, j.nChunks, key)
+	}
 	return &SubmitOutcome{Job: j}, nil
+}
+
+// keysOf derives a normalized spec's content key and physics key.
+func keysOf(spec *JobSpec) (key, pkey Key, err error) {
+	if spec.Target != nil {
+		key, err = KeyOfTarget(spec.Spec, spec.ChunkPhotons, spec.Seed, spec.Fan, spec.Target)
+	} else {
+		key, err = KeyOfFan(spec.Spec, spec.TotalPhotons, spec.ChunkPhotons, spec.Seed, spec.Fan)
+	}
+	if err != nil {
+		return Key{}, Key{}, err
+	}
+	pkey, err = PhysicsKeyOf(spec.Spec, spec.ChunkPhotons, spec.Seed, spec.Fan)
+	if err != nil {
+		return Key{}, Key{}, err
+	}
+	return key, pkey, nil
 }
 
 // SubmitSnapshot resumes a checkpointed job: already reduced chunks stay
@@ -134,13 +169,13 @@ func (r *Registry) Submit(spec JobSpec) (*SubmitOutcome, error) {
 // job born Done.
 func (r *Registry) SubmitSnapshot(snap *Snapshot) (*Job, error) {
 	spec := snap.Spec
-	if err := spec.normalize(); err != nil {
+	if err := spec.normalize(r.opts.MaxTargetPhotons); err != nil {
 		return nil, err
 	}
-	if snap.Tally == nil || snap.NChunks <= 0 {
+	if snap.Tally == nil || snap.NChunks < 0 || (spec.Target == nil && snap.NChunks == 0) {
 		return nil, fmt.Errorf("service: snapshot is incomplete")
 	}
-	key, err := KeyOfFan(spec.Spec, spec.TotalPhotons, spec.ChunkPhotons, spec.Seed, spec.Fan)
+	key, pkey, err := keysOf(&spec)
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +185,14 @@ func (r *Registry) SubmitSnapshot(snap *Snapshot) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	if j.nChunks != snap.NChunks {
+	j.pkey = pkey
+	if j.openEnded() {
+		// Re-issue the snapshot's chunk space; incomplete ids are queued
+		// below and issuance continues past the high-water mark on demand.
+		for j.nChunks < snap.NChunks {
+			j.pending = append(j.pending, j.issueChunkLocked())
+		}
+	} else if j.nChunks != snap.NChunks {
 		return nil, fmt.Errorf("service: snapshot has %d chunks, job derives %d",
 			snap.NChunks, j.nChunks)
 	}
@@ -166,6 +208,7 @@ func (r *Registry) SubmitSnapshot(snap *Snapshot) (*Job, error) {
 		}
 	}
 	j.tally = cloneTally(snap.Tally)
+	j.publishEstimate(j.tally)
 	pending := j.pending[:0]
 	for _, id := range j.pending {
 		if !done[id] {
@@ -173,12 +216,21 @@ func (r *Registry) SubmitSnapshot(snap *Snapshot) (*Job, error) {
 		}
 	}
 	j.pending = pending
-	complete := j.nCompleted == j.nChunks
+	// A fixed-count snapshot is complete when every chunk reduced; an
+	// open-ended one when its restored tally already satisfies the target
+	// (or its budget is spent with nothing left in flight).
+	complete := j.nCompleted == j.nChunks &&
+		(!j.openEnded() || j.targetMet || j.issuableChunksLocked() == 0)
+	if j.openEnded() && j.targetMet {
+		j.pending = nil
+		complete = true
+	}
 	if complete {
 		j.state = StateDone
 		j.finishedAt = time.Now()
 		close(j.finished)
 		r.cache.put(key, cloneTally(j.tally))
+		r.cache.putPhysics(pkey, cloneTally(j.tally))
 	}
 
 	r.mu.Lock()
@@ -322,9 +374,13 @@ func (r *Registry) removeActiveLocked(j *Job) {
 	}
 }
 
-// sealJob caches a finished job's tally and releases its waiters.
+// sealJob caches a finished job's tally — under both its exact content key
+// and, when the tally carries moments, the physics index that serves
+// meets-or-exceeds precision lookups — and releases its waiters.
 func (r *Registry) sealJob(j *Job) {
-	r.cache.put(j.key, cloneTally(j.tally))
+	clone := cloneTally(j.tally)
+	r.cache.put(j.key, clone)
+	r.cache.putPhysics(j.pkey, clone)
 	close(j.finished)
 	r.logf("service: job %016x done (%d chunks, %d reassigned, %d duplicate, %d rejected)",
 		j.id, j.nChunks, j.reassigned, j.duplicates, j.rejected)
@@ -388,8 +444,15 @@ func (r *Registry) Stats() Stats {
 		case StateCanceled:
 			s.JobsCanceled++
 		}
-		s.PendingChunks += len(j.pending)
-		s.OutstandingChunks += len(j.outstanding)
+		// Only live jobs contribute queue depth: a job leaving the active
+		// states (cancel, early precision finalize) sheds its chunks at
+		// that transition, and any it could not shed — results mid-merge,
+		// batches still buffered on workers — must not be reported as
+		// schedulable backlog for a job the fleet will never serve again.
+		if j.activeLocked() {
+			s.PendingChunks += len(j.pending)
+			s.OutstandingChunks += len(j.outstanding)
+		}
 	}
 	return s
 }

@@ -50,18 +50,36 @@ type Options struct {
 	// every submitted job has finished — the one-shot mcserver mode. A
 	// long-lived service leaves it false and workers idle-poll.
 	DrainOnEmpty bool
+	// MaxTargetPhotons caps the photon budget of precision-targeted jobs
+	// (a submission's own Target.MaxPhotons is clamped to it); 0 means
+	// DefaultMaxTargetPhotons. An operator guard against a tight RelErr
+	// on a noisy observable monopolising the fleet.
+	MaxTargetPhotons int64
 	// Logf, if set, receives progress logging.
 	Logf func(format string, args ...any)
 }
 
 // JobSpec describes one simulation job submitted to a Registry.
 type JobSpec struct {
-	Spec         *mc.Spec
+	Spec *mc.Spec
+	// TotalPhotons fixes the photon budget of a fixed-count job. It is
+	// ignored (and normalized to zero) when Target is set: a
+	// precision-targeted job is open-ended and its chunk count is decided
+	// by the stopping rule, not up front.
 	TotalPhotons int64
 	// ChunkPhotons is the photons per work unit (dynamic self-scheduling
-	// with fixed-size chunks); it defaults to TotalPhotons.
+	// with fixed-size chunks); it defaults to TotalPhotons for
+	// fixed-count jobs and to DefaultTargetChunkPhotons for targeted ones.
 	ChunkPhotons int64
 	Seed         uint64
+	// Target, when set, turns the job into a run-until-precision job: the
+	// registry issues ChunkPhotons-sized chunks open-endedly, re-estimates
+	// the observable's relative standard error as batches reduce, and
+	// finalizes the job the moment the target is met (or its photon cap is
+	// reached). The simulation spec's TrackMoments flag is forced on so
+	// chunk tallies carry the required second moments. Results are
+	// normalized by the photons actually simulated.
+	Target *mc.Target
 	// Fan is the per-chunk multi-core decomposition width: workers compute
 	// each chunk as Fan jump-separated sub-streams (mc.RunStreamFan) and a
 	// chunk tally is a pure function of (Seed, stream, Fan) — never of the
@@ -80,16 +98,70 @@ type JobSpec struct {
 	Label string
 }
 
+// Precision-job defaults: the chunk size when the submission names none,
+// the min-photon floor in chunks, and the photon cap applied when neither
+// the submission nor Options set one. The floor guards the stopping
+// rule's small-sample bias: with few chunk samples the variance estimate
+// is noisy and testing it selects for optimistic draws, so the rule stops
+// early with an overconfident CI (DESIGN.md quantifies this). Sixteen
+// samples keeps the selection effect small; users targeting an RSE their
+// floor can barely reach should raise MinPhotons further.
+const (
+	DefaultTargetChunkPhotons = 10_000
+	DefaultMinTargetChunks    = 16
+	DefaultMaxTargetPhotons   = 50_000_000
+)
+
 // normalize fills defaults and runs the cheap structural checks. The
 // expensive spec validation (Spec.Build, which may materialise a voxel
 // geometry) is deferred to newJob so that cache hits and coalesced
 // submissions — whose exact spec bytes already built successfully once —
-// skip it entirely.
-func (s *JobSpec) normalize() error {
+// skip it entirely. maxTargetPhotons is the registry's operator cap
+// (zero means DefaultMaxTargetPhotons).
+func (s *JobSpec) normalize(maxTargetPhotons int64) error {
 	if s.Spec == nil {
 		return fmt.Errorf("service: job has no simulation spec")
 	}
-	if s.TotalPhotons <= 0 {
+	if s.Target != nil {
+		tgt := *s.Target // never mutate the caller's struct
+		s.Target = &tgt
+		s.TotalPhotons = 0
+		if s.ChunkPhotons <= 0 {
+			s.ChunkPhotons = DefaultTargetChunkPhotons
+		}
+		budget := maxTargetPhotons
+		if budget <= 0 {
+			budget = DefaultMaxTargetPhotons
+		}
+		if tgt.MaxPhotons == 0 || tgt.MaxPhotons > budget {
+			tgt.MaxPhotons = budget
+		}
+		// Round the cap up to a whole chunk so the budget boundary is a
+		// chunk boundary (the last issued chunk is never short).
+		if rem := tgt.MaxPhotons % s.ChunkPhotons; rem != 0 {
+			tgt.MaxPhotons += s.ChunkPhotons - rem
+		}
+		// The floor must fit the (possibly operator-clamped) budget: a
+		// defaulted floor shrinks to it, but an explicit MinPhotons above
+		// it is a contradiction Normalize rejects below — silently raising
+		// MaxPhotons instead would let any submission bypass the cap.
+		if tgt.MinPhotons == 0 {
+			tgt.MinPhotons = DefaultMinTargetChunks * s.ChunkPhotons
+			if tgt.MinPhotons > tgt.MaxPhotons {
+				tgt.MinPhotons = tgt.MaxPhotons
+			}
+		}
+		if err := s.Target.Normalize(); err != nil {
+			return err
+		}
+		if !s.Spec.TrackMoments {
+			// The stopping rule needs chunk moments; copy the spec rather
+			// than flipping the caller's (which may describe other jobs).
+			sp := *s.Spec
+			sp.TrackMoments = true
+			s.Spec = &sp
+		}
+	} else if s.TotalPhotons <= 0 {
 		return fmt.Errorf("service: non-positive photon count %d", s.TotalPhotons)
 	}
 	if s.ChunkPhotons <= 0 {
@@ -104,8 +176,12 @@ func (s *JobSpec) normalize() error {
 	return nil
 }
 
-// numChunks returns the chunk count the spec partitions into.
+// numChunks returns the chunk count a fixed-count spec partitions into
+// (zero for open-ended precision-targeted jobs).
 func (s *JobSpec) numChunks() int {
+	if s.Target != nil {
+		return 0
+	}
 	return int((s.TotalPhotons + s.ChunkPhotons - 1) / s.ChunkPhotons)
 }
 

@@ -25,6 +25,15 @@ type (
 	// BoundaryMode selects probabilistic or deterministic (classical
 	// splitting) boundary physics.
 	BoundaryMode = mc.BoundaryMode
+	// Observable names a headline scalar (diffuse, transmit, absorbed,
+	// detected) whose uncertainty the moment accumulators track.
+	Observable = mc.Observable
+	// PrecisionTarget asks for run-until-precision execution: simulate
+	// until the observable's relative standard error reaches RelErr.
+	PrecisionTarget = mc.Target
+	// Moments carries the chunk-level second moments behind the
+	// precision machinery (Tally.Moments; nil unless Spec.TrackMoments).
+	Moments = mc.Moments
 
 	// Model is a layered tissue description.
 	Model = tissue.Model
@@ -62,6 +71,14 @@ const (
 	BoundaryDeterministic = mc.BoundaryDeterministic
 )
 
+// Precision-target observables.
+const (
+	ObsDiffuse  = mc.ObsDiffuse
+	ObsTransmit = mc.ObsTransmit
+	ObsAbsorbed = mc.ObsAbsorbed
+	ObsDetected = mc.ObsDetected
+)
+
 // Run simulates n photons on a single RNG stream seeded with seed.
 func Run(cfg *Config, n int64, seed uint64) (*Tally, error) {
 	return mc.Run(cfg, n, seed)
@@ -87,6 +104,15 @@ func RunStream(cfg *Config, n int64, seed uint64, stream, streams int) (*Tally, 
 // run for jobs submitted with a Fan.
 func RunStreamFan(cfg *Config, n int64, seed uint64, stream, streams, fan int) (*Tally, error) {
 	return mc.RunStreamFan(cfg, n, seed, stream, streams, fan)
+}
+
+// RunAdaptive is the local run-until-precision loop: rounds of `workers`
+// streams of `chunk` photons each until the target's relative standard
+// error is met (or its MaxPhotons cap is reached). The result is a pure
+// function of (cfg, tgt, seed, chunk, workers) and reports its estimate
+// and confidence interval via Tally.EstimateCI.
+func RunAdaptive(cfg *Config, tgt PrecisionTarget, seed uint64, chunk int64, workers int) (*Tally, error) {
+	return mc.RunAdaptive(cfg, tgt, seed, chunk, workers)
 }
 
 // NewTally returns an empty tally shaped for cfg, ready to Merge into.
