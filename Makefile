@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race short bench bench-smoke cover fmt vet fuzz-smoke
+.PHONY: build test race short bench bench-smoke cover fmt vet fuzz-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,12 @@ bench:
 # the harness still runs.
 bench-smoke:
 	$(GO) run ./cmd/mcbench -quick -out bench-smoke.json
+
+# obs-smoke boots a real mcqueue + mcworker pair, submits a job with curl
+# and asserts the debug surface (/readyz, /metrics series, the per-job
+# event trace, pprof, SIGTERM drain) from the outside.
+obs-smoke:
+	./scripts/obs-smoke.sh
 
 # fuzz-smoke gives the wire decoder ten seconds of coverage-guided input on
 # top of the committed corpus (which seeds the v3 batch frames) — enough to

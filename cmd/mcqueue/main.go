@@ -25,23 +25,37 @@
 // physics that already meets-or-exceeds the precision serves the request
 // from cache.
 //
-// On SIGINT/SIGTERM every unfinished job is checkpointed into
-// -checkpoint-dir before exit, and those checkpoints are resumed
-// automatically on the next start, so an operator Ctrl-C never loses work.
+// The API listener also carries the debug surface — GET /metrics
+// (Prometheus text exposition), GET /healthz, GET /readyz (ready once the
+// fleet listener is up and checkpoint resume has finished), GET
+// /jobs/{id}/events (per-job lifecycle trace) and net/http/pprof under
+// /debug/pprof/ — unless -debug-addr moves it to its own listener.
+// Logging is structured (-log-format text|json); -v only lowers the level
+// to debug, never changes destination or format. -max-active-jobs sheds
+// POST /jobs with 429 + Retry-After while that many jobs are queued or
+// running.
+//
+// On SIGINT/SIGTERM in-flight HTTP requests are drained, then every
+// unfinished job is checkpointed into -checkpoint-dir before exit, and
+// those checkpoints are resumed automatically on the next start, so an
+// operator Ctrl-C never loses work.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"syscall"
+	"time"
 
 	"repro/internal/distsys"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -49,56 +63,100 @@ func main() {
 	fs := flag.NewFlagSet("mcqueue", flag.ExitOnError)
 	addr := fs.String("addr", ":9876", "worker fleet listen address")
 	httpAddr := fs.String("http", ":8080", "HTTP API listen address")
+	debugAddr := fs.String("debug-addr", "",
+		"separate listener for /metrics, /healthz, /readyz and /debug/pprof (empty: multiplexed on -http)")
 	policyName := fs.String("policy", "fair", "cross-job scheduling policy: fifo, priority, fair")
 	cacheSize := fs.Int("cache", 256, "result cache entries (0 default, negative disables)")
 	retain := fs.Int("retain", 1024, "finished jobs kept queryable (negative: forever)")
 	maxTarget := fs.Int64("target-max-photons", 0,
 		"operator cap on precision-targeted jobs' photon budgets (0 = 50M default)")
+	maxActive := fs.Int("max-active-jobs", 0,
+		"shed POST /jobs with 429 while this many jobs are queued or running (0: unbounded)")
+	traceEvents := fs.Int("trace-events", 0,
+		"per-job lifecycle event ring capacity (0: 512 default, negative: disable tracing)")
 	ckptDir := fs.String("checkpoint-dir", "mcqueue-ckpt",
 		"directory for shutdown checkpoints (resumed on next start)")
-	verbose := fs.Bool("v", false, "log submissions, assignments and worker churn")
+	logFormat := fs.String("log-format", "text", "log output format: text or json")
+	verbose := fs.Bool("v", false, "debug-level logging (submissions, assignments, worker churn)")
 	fs.Parse(os.Args[1:])
 
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *verbose)
+	if err != nil {
+		fatal(err)
+	}
 	policy, ok := service.PolicyByName(*policyName)
 	if !ok {
 		fatal(fmt.Errorf("unknown policy %q", *policyName))
 	}
-	opts := service.Options{
+	oreg := obs.NewRegistry()
+	ready := obs.NewReadiness("fleet-listener", "checkpoint-resume")
+	ckpt := oreg.CounterVec("mcqueue_checkpoint_total",
+		"Checkpoint operations by kind and outcome.", "op", "outcome")
+	reg := service.New(service.Options{
 		Policy:           policy,
 		CacheSize:        *cacheSize,
 		RetainDone:       *retain,
 		MaxTargetPhotons: *maxTarget,
-	}
-	if *verbose {
-		opts.Logf = log.Printf
-	}
-	reg := service.New(opts)
+		MaxActiveJobs:    *maxActive,
+		TraceEvents:      *traceEvents,
+		Obs:              oreg,
+		Logger:           logger,
+	})
 
-	resumed := resumeCheckpoints(reg, *ckptDir)
+	resumed := resumeCheckpoints(reg, *ckptDir, logger, ckpt)
+	ready.Set("checkpoint-resume", true)
 	if resumed > 0 {
-		fmt.Printf("resumed %d checkpointed job(s) from %s\n", resumed, *ckptDir)
+		logger.Info("resumed checkpointed jobs", "jobs", resumed, "dir", *ckptDir)
 	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
 	}
+	ready.Set("fleet-listener", true)
 	hl, err := net.Listen("tcp", *httpAddr)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("mcqueue: workers on %s, HTTP API on %s (%s policy)\n",
-		l.Addr(), hl.Addr(), policy.Name())
+	mux := http.NewServeMux()
+	service.NewAPI(reg).Register(mux)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	var debugSrv *http.Server
+	if *debugAddr == "" {
+		obs.RegisterDebug(mux, oreg, ready)
+	} else {
+		dl, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		dmux := http.NewServeMux()
+		obs.RegisterDebug(dmux, oreg, ready)
+		debugSrv = &http.Server{Handler: dmux, ReadHeaderTimeout: 5 * time.Second}
+		go debugSrv.Serve(dl)
+		logger.Info("debug listener up", "addr", dl.Addr().String())
+	}
+	logger.Info("mcqueue up", "fleet", l.Addr().String(), "http", hl.Addr().String(),
+		"policy", policy.Name())
 
-	// A final checkpoint on SIGINT/SIGTERM: no operator Ctrl-C loses a job.
+	// On SIGINT/SIGTERM: stop accepting and drain in-flight HTTP requests,
+	// then take the final checkpoint pass — no operator Ctrl-C loses a job,
+	// and no submission racing the shutdown is half-processed when the
+	// snapshot is cut.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		s := <-sig
-		saved, failed := saveCheckpoints(reg, *ckptDir)
-		fmt.Printf("\nmcqueue: %v — checkpointed %d active job(s) to %s\n", s, saved, *ckptDir)
+		logger.Info("shutting down", "signal", s.String())
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		srv.Shutdown(ctx)
+		if debugSrv != nil {
+			debugSrv.Shutdown(ctx)
+		}
+		cancel()
+		saved, failed := saveCheckpoints(reg, *ckptDir, logger, ckpt)
+		logger.Info("checkpointed active jobs", "saved", saved, "dir", *ckptDir)
 		if failed > 0 {
-			fmt.Fprintf(os.Stderr, "mcqueue: %d job(s) could NOT be checkpointed\n", failed)
+			logger.Error("some jobs could not be checkpointed", "failed", failed)
 			os.Exit(1)
 		}
 		os.Exit(0)
@@ -106,17 +164,17 @@ func main() {
 
 	go func() {
 		if err := reg.Serve(l); err != nil {
-			log.Printf("mcqueue: fleet listener: %v", err)
+			logger.Error("fleet listener failed", "err", err)
 		}
 	}()
-	if err := http.Serve(hl, service.NewAPI(reg).Handler()); err != nil {
+	if err := srv.Serve(hl); err != nil && err != http.ErrServerClosed {
 		fatal(err)
 	}
 }
 
 // saveCheckpoints snapshots every queued/running job into dir and returns
 // how many were written and how many failed.
-func saveCheckpoints(reg *service.Registry, dir string) (saved, failed int) {
+func saveCheckpoints(reg *service.Registry, dir string, logger *slog.Logger, ckpt *obs.CounterVec) (saved, failed int) {
 	for _, st := range reg.List() {
 		if st.State != service.StateQueued.String() && st.State != service.StateRunning.String() {
 			continue
@@ -126,16 +184,19 @@ func saveCheckpoints(reg *service.Registry, dir string) (saved, failed int) {
 			continue
 		}
 		if err := os.MkdirAll(dir, 0o755); err != nil {
-			log.Printf("mcqueue: checkpoint dir: %v", err)
+			logger.Warn("checkpoint dir unavailable", "dir", dir, "err", err)
+			ckpt.With("save", "error").Inc()
 			failed++
 			continue
 		}
 		path := filepath.Join(dir, st.IDHex+".ckpt")
 		if err := distsys.FromSnapshot(j.Snapshot()).Save(path); err != nil {
-			log.Printf("mcqueue: checkpoint %s: %v", st.IDHex, err)
+			logger.Warn("checkpoint save failed", "job", st.IDHex, "err", err)
+			ckpt.With("save", "error").Inc()
 			failed++
 			continue
 		}
+		ckpt.With("save", "ok").Inc()
 		saved++
 	}
 	return saved, failed
@@ -145,7 +206,7 @@ func saveCheckpoints(reg *service.Registry, dir string) (saved, failed int) {
 // checkpoint file is kept on disk until its job finishes — mcqueue has no
 // periodic checkpointing, so deleting it at resume time would lose all
 // recorded progress to a crash that never reaches the signal handler.
-func resumeCheckpoints(reg *service.Registry, dir string) int {
+func resumeCheckpoints(reg *service.Registry, dir string, logger *slog.Logger, ckpt *obs.CounterVec) int {
 	paths, err := filepath.Glob(filepath.Join(dir, "*.ckpt"))
 	if err != nil || len(paths) == 0 {
 		return 0
@@ -154,7 +215,8 @@ func resumeCheckpoints(reg *service.Registry, dir string) int {
 	for _, path := range paths {
 		cp, err := distsys.LoadCheckpoint(path)
 		if err != nil {
-			log.Printf("mcqueue: skipping %s: %v", path, err)
+			logger.Warn("skipping unreadable checkpoint", "path", path, "err", err)
+			ckpt.With("resume", "error").Inc()
 			continue
 		}
 		// The checkpoint carries the job's own ChunkTimeout (zero means the
@@ -163,13 +225,15 @@ func resumeCheckpoints(reg *service.Registry, dir string) int {
 		snap := cp.Snapshot()
 		job, err := reg.SubmitSnapshot(snap)
 		if err != nil {
-			log.Printf("mcqueue: resume %s: %v", path, err)
+			logger.Warn("checkpoint resume failed", "path", path, "err", err)
+			ckpt.With("resume", "error").Inc()
 			continue
 		}
 		go func(path string) {
 			<-job.Done()
 			os.Remove(path)
 		}(path)
+		ckpt.With("resume", "ok").Inc()
 		n++
 	}
 	return n

@@ -7,13 +7,19 @@
 //	mcserver -addr :9876 -photons 1000000 -chunk 50000 -model adult-head
 //	mcworker -addr localhost:9876 -name pc1
 //	mcworker -addr localhost:9876 -name pc2
+//
+// -debug-addr starts an HTTP debug listener serving GET /metrics
+// (Prometheus text exposition of the service-plane counters), GET
+// /healthz, GET /readyz and net/http/pprof. Logging is structured
+// (-log-format text|json); -v only lowers the level to debug.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -21,6 +27,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/distsys"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -28,31 +35,39 @@ func main() {
 	var sf cli.SpecFlags
 	sf.Register(fs)
 	addr := fs.String("addr", ":9876", "listen address")
+	debugAddr := fs.String("debug-addr", "",
+		"HTTP listener for /metrics, /healthz, /readyz and /debug/pprof (empty: disabled)")
 	photons := fs.Int64("photons", 1_000_000, "total photon packets")
 	chunk := fs.Int64("chunk", 50_000, "photons per work unit")
 	seed := fs.Uint64("seed", 1, "master RNG seed")
 	timeout := fs.Duration("chunk-timeout", 5*time.Minute,
 		"reassign a chunk if no result arrives in this window")
-	verbose := fs.Bool("v", false, "log assignments and worker churn")
+	logFormat := fs.String("log-format", "text", "log output format: text or json")
+	verbose := fs.Bool("v", false, "debug-level logging (assignments and worker churn)")
 	ckptPath := fs.String("checkpoint", "",
 		"periodically save a resumable job snapshot to this file")
 	resume := fs.Bool("resume", false, "resume the job from -checkpoint instead of starting fresh")
 	fs.Parse(os.Args[1:])
 
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *verbose)
+	if err != nil {
+		fatal(err)
+	}
 	spec, err := sf.Build()
 	if err != nil {
 		fatal(err)
 	}
 
+	oreg := obs.NewRegistry()
+	ready := obs.NewReadiness("fleet-listener")
 	opts := distsys.JobOptions{
 		Spec:         spec,
 		TotalPhotons: *photons,
 		ChunkPhotons: *chunk,
 		Seed:         *seed,
 		ChunkTimeout: *timeout,
-	}
-	if *verbose {
-		opts.Logf = log.Printf
+		Obs:          oreg,
+		Logger:       logger,
 	}
 
 	var dm *distsys.DataManager
@@ -82,21 +97,41 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	ready.Set("fleet-listener", true)
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dl, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		dmux := http.NewServeMux()
+		obs.RegisterDebug(dmux, oreg, ready)
+		debugSrv = &http.Server{Handler: dmux, ReadHeaderTimeout: 5 * time.Second}
+		go debugSrv.Serve(dl)
+		logger.Info("debug listener up", "addr", dl.Addr().String())
+	}
 	fmt.Printf("datamanager listening on %s — %d photons in %d chunks\n",
 		l.Addr(), *photons, dm.NumChunks())
 
 	// A final checkpoint on SIGINT/SIGTERM: an operator Ctrl-C never loses
-	// a long job, even when periodic checkpointing was not requested.
+	// a long job, even when periodic checkpointing was not requested. The
+	// debug listener is drained first so a scrape in flight is not cut off
+	// mid-body.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		s := <-sig
+		if debugSrv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			debugSrv.Shutdown(ctx)
+			cancel()
+		}
 		path := *ckptPath
 		if path == "" {
 			path = "mcserver.ckpt"
 		}
 		if err := dm.Checkpoint().Save(path); err != nil {
-			log.Printf("mcserver: final checkpoint: %v", err)
+			logger.Error("final checkpoint failed", "err", err)
 			os.Exit(1)
 		}
 		done, total := dm.Progress()
@@ -117,7 +152,7 @@ func main() {
 				fmt.Printf("progress: %d/%d chunks\n", done, total)
 				if *ckptPath != "" {
 					if err := dm.Checkpoint().Save(*ckptPath); err != nil {
-						log.Printf("mcserver: checkpoint: %v", err)
+						logger.Warn("periodic checkpoint failed", "err", err)
 					}
 				}
 			}

@@ -7,34 +7,65 @@
 // Example:
 //
 //	mcworker -addr localhost:9876 -name lab-pc-07
+//
+// -debug-addr starts an HTTP debug listener serving GET /metrics (photons
+// simulated, per-chunk compute-time histogram, batch flushes, wire
+// frame/byte counters), GET /healthz, GET /readyz (ready once the server
+// session is established) and net/http/pprof. Logging is structured
+// (-log-format text|json); -v only lowers the level to debug.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
 	"repro/internal/distsys"
+	"repro/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", "localhost:9876", "DataManager address")
+	debugAddr := flag.String("debug-addr", "",
+		"HTTP listener for /metrics, /healthz, /readyz and /debug/pprof (empty: disabled)")
 	name := flag.String("name", hostnameDefault(), "worker name reported to the server")
 	mflops := flag.Float64("mflops", 0, "self-reported processing rate (informational)")
 	slowdown := flag.Float64("slowdown", 0,
 		"artificial slowdown factor (testing heterogeneous fleets)")
-	verbose := flag.Bool("v", false, "log each chunk")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	verbose := flag.Bool("v", false, "debug-level logging (each chunk)")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *verbose)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcworker:", err)
+		os.Exit(1)
+	}
+	oreg := obs.NewRegistry()
+	ready := obs.NewReadiness("session")
+	if *debugAddr != "" {
+		dl, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcworker:", err)
+			os.Exit(1)
+		}
+		dmux := http.NewServeMux()
+		obs.RegisterDebug(dmux, oreg, ready)
+		srv := &http.Server{Handler: dmux, ReadHeaderTimeout: 5 * time.Second}
+		go srv.Serve(dl)
+		logger.Info("debug listener up", "addr", dl.Addr().String())
+	}
 
 	opts := distsys.WorkerOptions{
 		Name:     *name,
 		Mflops:   *mflops,
 		Slowdown: *slowdown,
-	}
-	if *verbose {
-		opts.Logf = log.Printf
+		Obs:      oreg,
+		Ready:    ready,
+		Logger:   logger,
 	}
 
 	start := time.Now()

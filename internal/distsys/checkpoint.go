@@ -130,7 +130,8 @@ func Resume(cp *Checkpoint, opts JobOptions) (*DataManager, error) {
 	reg := service.New(service.Options{
 		DrainOnEmpty: true,
 		CacheSize:    -1,
-		Logf:         opts.Logf,
+		Obs:          opts.Obs,
+		Logger:       opts.Logger,
 	})
 	// The caller's ChunkTimeout always wins, including an explicit zero to
 	// disable reassignment — the single-job CLI passes its flag on every

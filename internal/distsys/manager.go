@@ -24,10 +24,12 @@ package distsys
 
 import (
 	"io"
+	"log/slog"
 	"net"
 	"time"
 
 	"repro/internal/mc"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -44,8 +46,11 @@ type JobOptions struct {
 	// (non-dedicated clients may slow down or vanish). Zero disables
 	// reassignment.
 	ChunkTimeout time.Duration
-	// Logf, if set, receives progress logging.
-	Logf func(format string, args ...any)
+	// Obs receives the underlying registry's service-plane metrics; nil
+	// instruments into a private registry.
+	Obs *obs.Registry
+	// Logger, if set, receives structured progress logging (nil discards).
+	Logger *slog.Logger
 }
 
 // WorkerInfo summarises one connected client.
@@ -66,7 +71,8 @@ func NewDataManager(opts JobOptions) (*DataManager, error) {
 	reg := service.New(service.Options{
 		DrainOnEmpty: true,
 		CacheSize:    -1, // a one-shot job has nothing to deduplicate against
-		Logf:         opts.Logf,
+		Obs:          opts.Obs,
+		Logger:       opts.Logger,
 	})
 	out, err := reg.Submit(service.JobSpec{
 		Spec:         opts.Spec,

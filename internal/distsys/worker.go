@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"time"
 
 	"repro/internal/mc"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/rng"
 )
@@ -44,8 +46,47 @@ type WorkerOptions struct {
 	// FlushAge bounds how long a computed result may wait in the batch
 	// buffer; 0 means DefaultFlushAge.
 	FlushAge time.Duration
-	// Logf, if set, receives progress logging.
-	Logf func(format string, args ...any)
+	// Obs receives the worker-loop metrics (photons simulated, chunk
+	// compute-time histogram, batch flushes, holding-set size, wire
+	// frame/byte counters); nil instruments into a private registry.
+	Obs *obs.Registry
+	// Ready, if set, has its "session" condition raised once the server's
+	// welcome lands and lowered when the session ends — the worker
+	// daemon's readiness probe.
+	Ready *obs.Readiness
+	// Logger, if set, receives structured progress logging (nil discards).
+	Logger *slog.Logger
+}
+
+// workerMetrics is the worker loop's pre-resolved instrument set.
+// Registration is idempotent, so sequential sessions sharing one registry
+// accumulate into the same series.
+type workerMetrics struct {
+	photons  *obs.Counter
+	chunks   *obs.Counter
+	chunkSec *obs.Histogram
+	flushes  *obs.Counter
+	rejected *obs.Counter
+	holding  *obs.Gauge
+	conn     *protocol.ConnMetrics
+}
+
+func newWorkerMetrics(reg *obs.Registry) *workerMetrics {
+	return &workerMetrics{
+		photons: reg.Counter("worker_photons_total",
+			"Photons simulated by this worker."),
+		chunks: reg.Counter("worker_chunks_computed_total",
+			"Chunks computed (whether or not their results were later accepted)."),
+		chunkSec: reg.Histogram("worker_chunk_seconds",
+			"Per-chunk compute time.", obs.DefBuckets),
+		flushes: reg.Counter("worker_batches_flushed_total",
+			"Result-batch flushes (piggybacked or standalone)."),
+		rejected: reg.Counter("worker_results_rejected_total",
+			"Results the server refused to reduce."),
+		holding: reg.Gauge("worker_holding_chunks",
+			"Computed chunks buffered and not yet flushed."),
+		conn: protocol.NewConnMetrics(reg, "worker_conn"),
+	}
 }
 
 // WorkerStats summarises a worker session.
@@ -216,9 +257,18 @@ func (b *resultBatch) reset() {
 // server; a dropped connection loses only the unflushed buffer, which the
 // server requeues.
 func Work(rw io.ReadWriteCloser, opts WorkerOptions) (*WorkerStats, error) {
-	if opts.Logf == nil {
-		opts.Logf = func(string, ...any) {}
+	if opts.Logger == nil {
+		opts.Logger = obs.NopLogger()
 	}
+	log := opts.Logger
+	if opts.Name != "" {
+		log = log.With("worker", opts.Name)
+	}
+	oreg := opts.Obs
+	if oreg == nil {
+		oreg = obs.NewRegistry()
+	}
+	met := newWorkerMetrics(oreg)
 	if opts.FlushChunks <= 0 {
 		opts.FlushChunks = DefaultFlushChunks
 	}
@@ -232,6 +282,7 @@ func Work(rw io.ReadWriteCloser, opts WorkerOptions) (*WorkerStats, error) {
 		opts.FlushAge = DefaultFlushAge
 	}
 	pc := protocol.NewConn(rw)
+	pc.SetMetrics(met.conn)
 	defer pc.Close()
 
 	if err := pc.Send(&protocol.Message{Type: protocol.MsgHello, Hello: &protocol.Hello{
@@ -251,6 +302,11 @@ func Work(rw io.ReadWriteCloser, opts WorkerOptions) (*WorkerStats, error) {
 	if welcome.Type != protocol.MsgWelcome || welcome.Welcome == nil {
 		return nil, fmt.Errorf("distsys: expected welcome, got %v", welcome.Type)
 	}
+	if opts.Ready != nil {
+		opts.Ready.Set("session", true)
+		defer opts.Ready.Set("session", false)
+	}
+	log.Info("session established", "server", welcome.Welcome.ServerName)
 
 	jobs := make(map[uint64]*jobRuntime)
 	var known []uint64
@@ -263,15 +319,18 @@ func Work(rw io.ReadWriteCloser, opts WorkerOptions) (*WorkerStats, error) {
 		for _, a := range acks {
 			if a.Rejected {
 				stats.Rejected++
-				opts.Logf("distsys: %s result for job %016x chunk %d rejected: %s",
-					opts.Name, a.JobID, a.ChunkID, a.Reason)
+				met.rejected.Inc()
+				log.Warn("result rejected", "job", fmt.Sprintf("%016x", a.JobID),
+					"chunk", a.ChunkID, "reason", a.Reason)
 				continue
 			}
 			stats.Chunks++
 			stats.Photons += batch.photonsFor(a.JobID, a.ChunkID)
 		}
 		stats.Batches++
+		met.flushes.Inc()
 		batch.reset()
+		met.holding.Set(0)
 	}
 
 	// flushStandalone pushes the buffer out on its own round trip — used
@@ -378,8 +437,13 @@ func Work(rw io.ReadWriteCloser, opts WorkerOptions) (*WorkerStats, error) {
 				}
 				stats.Compute += elapsed
 				computed++
-				opts.Logf("distsys: %s finished job %016x chunk %d (%d photons, %v; %d buffered)",
-					opts.Name, a.JobID, g.ChunkID, g.Photons, elapsed, batch.chunks)
+				met.chunks.Inc()
+				met.photons.Add(uint64(g.Photons))
+				met.chunkSec.Observe(elapsed.Seconds())
+				met.holding.Set(int64(batch.chunks))
+				log.Debug("chunk finished", "job", fmt.Sprintf("%016x", a.JobID),
+					"chunk", g.ChunkID, "photons", g.Photons,
+					"elapsed", elapsed, "buffered", batch.chunks)
 				if opts.FailAfterChunks > 0 && computed >= opts.FailAfterChunks {
 					// Flush what is computed; any still-ungranted chunks of
 					// this assignment are released when the connection drops.

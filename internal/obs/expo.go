@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): families in registration order,
+// children sorted by label values so scrapes are deterministic.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.order...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if err := f.writeText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler returns the GET /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+func (f *family) writeText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+		f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
+		return err
+	}
+	if f.fn != nil {
+		_, err := fmt.Fprintf(w, "%s %s\n", f.name, formatValue(f.fn()))
+		return err
+	}
+	if f.vecFn != nil {
+		vals := f.vecFn()
+		keys := make([]string, 0, len(vals))
+		for k := range vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n",
+				f.name, labelString(f.labels, []string{k}), formatValue(vals[k])); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	f.mu.Lock()
+	keys := append([]string(nil), f.order...)
+	children := make([]any, len(keys))
+	labelVals := make([][]string, len(keys))
+	for i, k := range keys {
+		children[i] = f.children[k]
+		labelVals[i] = f.vals[k]
+	}
+	f.mu.Unlock()
+	sort.Sort(&bySortedLabels{keys, children, labelVals})
+
+	for i, m := range children {
+		labels := labelString(f.labels, labelVals[i])
+		switch m := m.(type) {
+		case *Counter:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labels, m.Value()); err != nil {
+				return err
+			}
+		case *Gauge:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labels, m.Value()); err != nil {
+				return err
+			}
+		case *Histogram:
+			cum := uint64(0)
+			for b := range m.buckets {
+				cum += m.buckets[b].Load()
+				le := "+Inf"
+				if b < len(m.bounds) {
+					le = formatValue(m.bounds[b])
+				}
+				bucketLabels := labelString(append(f.labels, "le"), append(labelVals[i], le))
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bucketLabels, cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labels, formatValue(m.Sum())); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labels, m.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// bySortedLabels sorts scrape rows by their child key for determinism.
+type bySortedLabels struct {
+	keys     []string
+	children []any
+	vals     [][]string
+}
+
+func (s *bySortedLabels) Len() int           { return len(s.keys) }
+func (s *bySortedLabels) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *bySortedLabels) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.children[i], s.children[j] = s.children[j], s.children[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}
+
+// labelString renders {k="v",...}; empty when there are no labels.
+func labelString(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a sample value: shortest round-trip float, with the
+// exposition spellings of the specials (NaN, +Inf, -Inf).
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value: backslash, double quote, newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

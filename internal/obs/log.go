@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the shared structured logger every daemon routes
+// through: format is "text" (the default) or "json", and verbose lowers
+// the level from Info to Debug — verbosity changes the level only, never
+// the destination or format. Returns an error on an unknown format so a
+// typo in -log-format fails fast instead of silently logging text.
+func NewLogger(w io.Writer, format string, verbose bool) (*slog.Logger, error) {
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// library layers whose caller wired no logger.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}

@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func scrape(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func wantLine(t *testing.T, text, line string) {
+	t.Helper()
+	for _, l := range strings.Split(text, "\n") {
+		if l == line {
+			return
+		}
+	}
+	t.Fatalf("exposition missing line %q in:\n%s", line, text)
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs ever submitted.")
+	c.Add(41)
+	c.Inc()
+	g := r.Gauge("queue_depth", "Chunks awaiting assignment.")
+	g.Set(7)
+	g.Add(-2)
+	v := r.CounterVec("frames_total", "Frames by type.", "dir", "type")
+	v.With("send", "hello").Add(3)
+	v.With("recv", "welcome").Inc()
+
+	text := scrape(t, r)
+	wantLine(t, text, "# HELP jobs_total Jobs ever submitted.")
+	wantLine(t, text, "# TYPE jobs_total counter")
+	wantLine(t, text, "jobs_total 42")
+	wantLine(t, text, "queue_depth 5")
+	wantLine(t, text, `frames_total{dir="send",type="hello"} 3`)
+	wantLine(t, text, `frames_total{dir="recv",type="welcome"} 1`)
+}
+
+// TestVecChildIdentity pins the hot-path contract: With on equal label
+// values returns the same child, and re-registering a family is
+// idempotent — wiring code may run once per connection.
+func TestVecChildIdentity(t *testing.T) {
+	r := NewRegistry()
+	v1 := r.CounterVec("x_total", "x", "k")
+	v2 := r.CounterVec("x_total", "x", "k")
+	if v1.With("a") != v2.With("a") {
+		t.Fatal("same label value resolved to different children")
+	}
+	v1.With("a").Inc()
+	v2.With("a").Inc()
+	wantLine(t, scrape(t, r), `x_total{k="a"} 2`)
+}
+
+func TestRegisterKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m", "m")
+}
+
+func TestEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", "line1\nline2 with \\ backslash", "path").
+		With("a\"b\\c\nd").Inc()
+	text := scrape(t, r)
+	wantLine(t, text, `# HELP esc_total line1\nline2 with \\ backslash`)
+	wantLine(t, text, `esc_total{path="a\"b\\c\nd"} 1`)
+}
+
+func TestSpecialFloatValues(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("nan_gauge", "n", func() float64 { return math.NaN() })
+	r.GaugeFunc("posinf_gauge", "p", func() float64 { return math.Inf(1) })
+	r.GaugeFunc("neginf_gauge", "m", func() float64 { return math.Inf(-1) })
+	text := scrape(t, r)
+	wantLine(t, text, "nan_gauge NaN")
+	wantLine(t, text, "posinf_gauge +Inf")
+	wantLine(t, text, "neginf_gauge -Inf")
+}
+
+func TestGaugeVecFunc(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeVecFunc("jobs", "Jobs by state.", "state", func() map[string]float64 {
+		return map[string]float64{"running": 2, "queued": 1}
+	})
+	text := scrape(t, r)
+	wantLine(t, text, `jobs{state="queued"} 1`)
+	wantLine(t, text, `jobs{state="running"} 2`)
+	// Deterministic order: queued sorts before running.
+	if strings.Index(text, `state="queued"`) > strings.Index(text, `state="running"`) {
+		t.Fatal("vec func rows not sorted by label value")
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	text := scrape(t, r)
+	// le buckets are cumulative; 0.1 falls in the le="0.1" bucket.
+	wantLine(t, text, `lat_seconds_bucket{le="0.1"} 2`)
+	wantLine(t, text, `lat_seconds_bucket{le="1"} 3`)
+	wantLine(t, text, `lat_seconds_bucket{le="10"} 4`)
+	wantLine(t, text, `lat_seconds_bucket{le="+Inf"} 5`)
+	wantLine(t, text, "lat_seconds_count 5")
+	if h.Sum() != 105.65 {
+		t.Fatalf("sum %g, want 105.65", h.Sum())
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d, want 5", h.Count())
+	}
+}
+
+func TestHistogramObserveConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("c_seconds", "c", []float64{1})
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if h.Count() != 4000 {
+		t.Fatalf("count %d, want 4000", h.Count())
+	}
+	if math.Abs(h.Sum()-2000) > 1e-9 {
+		t.Fatalf("sum %g, want 2000", h.Sum())
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 7; i++ {
+		tr.Record(Event{Kind: EvChunkGranted, Chunk: i})
+	}
+	events, dropped := tr.Snapshot()
+	if dropped != 3 {
+		t.Fatalf("dropped %d, want 3", dropped)
+	}
+	if len(events) != 4 {
+		t.Fatalf("retained %d, want 4", len(events))
+	}
+	for i, e := range events {
+		if e.Chunk != i+3 {
+			t.Fatalf("event %d has chunk %d, want %d (oldest overwritten first)", i, e.Chunk, i+3)
+		}
+		if e.Time.IsZero() {
+			t.Fatal("event not timestamped")
+		}
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Record(Event{Kind: EvSubmitted}) // must not panic
+	events, dropped := tr.Snapshot()
+	if events != nil || dropped != 0 {
+		t.Fatal("nil trace should be empty")
+	}
+}
+
+func TestTraceKeepsExplicitTime(t *testing.T) {
+	tr := NewTrace(2)
+	at := time.Date(2026, 8, 7, 0, 0, 0, 0, time.UTC)
+	tr.Record(Event{Kind: EvSubmitted, Time: at})
+	events, _ := tr.Snapshot()
+	if !events[0].Time.Equal(at) {
+		t.Fatalf("explicit timestamp rewritten: %v", events[0].Time)
+	}
+}
+
+func TestReadiness(t *testing.T) {
+	ready := NewReadiness("listener", "resume")
+	rec := httptest.NewRecorder()
+	ready.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("unready probe returned %d, want 503", rec.Code)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "listener") || !strings.Contains(body, "resume") {
+		t.Fatalf("unready body %q does not name the waiting conditions", body)
+	}
+	ready.Set("listener", true)
+	ready.Set("resume", true)
+	rec = httptest.NewRecorder()
+	ready.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("ready probe returned %d, want 200", rec.Code)
+	}
+}
+
+func TestDebugMux(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", "u").Inc()
+	mux := http.NewServeMux()
+	RegisterDebug(mux, r, nil) // nil readiness: /readyz tracks liveness
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	for path, want := range map[string]int{
+		"/metrics":            200,
+		"/healthz":            200,
+		"/readyz":             200,
+		"/debug/pprof/symbol": 200,
+	} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := make([]byte, 1<<10)
+		resp.Body.Read(body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("GET %s = %d, want %d", path, resp.StatusCode, want)
+		}
+		if path == "/metrics" && !strings.Contains(string(body), "up_total 1") {
+			t.Fatalf("GET /metrics body missing series: %q", body)
+		}
+	}
+}

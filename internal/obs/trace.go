@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// EventKind discriminates job lifecycle events.
+type EventKind uint8
+
+const (
+	// EvSubmitted records a job entering the registry.
+	EvSubmitted EventKind = iota + 1
+	// EvCoalesced records an identical submission attaching to this job.
+	EvCoalesced
+	// EvCacheHit records a submission served from cache; Detail names the
+	// index that hit ("exact" or "physics").
+	EvCacheHit
+	// EvResumed records a job restored from a checkpoint snapshot.
+	EvResumed
+	// EvChunkGranted records one chunk handed to a worker.
+	EvChunkGranted
+	// EvChunkCompleted records one chunk's tally reduced into the job.
+	EvChunkCompleted
+	// EvChunkReassigned records a chunk requeued after its owner timed
+	// out, disconnected, or stopped advertising it (Detail says which).
+	EvChunkReassigned
+	// EvChunkRejected records a result the reducer refused — benign
+	// stragglers after finalize included; Detail carries the reason.
+	EvChunkRejected
+	// EvEstimate records a precision-targeted job's re-estimate after a
+	// merge; Value is the observable's relative standard error.
+	EvEstimate
+	// EvFinalized records the job finishing; Detail distinguishes
+	// "complete", "target-met" and "budget-exhausted".
+	EvFinalized
+	// EvCanceled records the job being canceled.
+	EvCanceled
+)
+
+// String implements fmt.Stringer (also the JSON spelling).
+func (k EventKind) String() string {
+	switch k {
+	case EvSubmitted:
+		return "submitted"
+	case EvCoalesced:
+		return "coalesced"
+	case EvCacheHit:
+		return "cache-hit"
+	case EvResumed:
+		return "resumed"
+	case EvChunkGranted:
+		return "chunk-granted"
+	case EvChunkCompleted:
+		return "chunk-completed"
+	case EvChunkReassigned:
+		return "chunk-reassigned"
+	case EvChunkRejected:
+		return "chunk-rejected"
+	case EvEstimate:
+		return "estimate"
+	case EvFinalized:
+		return "finalized"
+	case EvCanceled:
+		return "canceled"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one entry of a job's lifecycle trace. Chunk is -1 for events
+// that are not chunk-scoped.
+type Event struct {
+	Time   time.Time
+	Kind   EventKind
+	Chunk  int
+	Worker string
+	Detail string
+	Value  float64
+}
+
+// Trace is a bounded ring of lifecycle events. When full, the oldest
+// events are overwritten and counted as dropped — a job's recent history
+// is always reconstructable at a fixed memory cost, no matter how many
+// chunks it churned through. A nil *Trace drops everything (tracing
+// disabled).
+//
+// The backing array grows geometrically toward cap instead of being
+// preallocated: a short-lived job (the common case — the service-plane
+// bench creates thousands per second) pays for the handful of events it
+// records, not for the full ring it never fills.
+type Trace struct {
+	mu      sync.Mutex
+	cap     int // maximum ring size; len(ring) grows toward it
+	ring    []Event
+	start   int // index of the oldest event
+	n       int // live events in the ring
+	dropped uint64
+}
+
+// DefaultTraceEvents is the per-job ring capacity when the operator names
+// none.
+const DefaultTraceEvents = 512
+
+// NewTrace returns a ring holding up to capacity events (<= 0 means
+// DefaultTraceEvents).
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultTraceEvents
+	}
+	return &Trace{cap: capacity}
+}
+
+// Record appends an event, stamping it with the current time if unset.
+func (t *Trace) Record(e Event) {
+	if t == nil {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	t.mu.Lock()
+	if t.n == len(t.ring) && len(t.ring) < t.cap {
+		// Grow toward cap. The ring has never wrapped while it is still
+		// growing (start stays 0 until the first overwrite), so a plain
+		// copy preserves order.
+		next := len(t.ring) * 2
+		if next == 0 {
+			next = 8
+		}
+		if next > t.cap {
+			next = t.cap
+		}
+		grown := make([]Event, next)
+		copy(grown, t.ring)
+		t.ring = grown
+	}
+	if t.n < len(t.ring) {
+		t.ring[(t.start+t.n)%len(t.ring)] = e
+		t.n++
+	} else {
+		t.ring[t.start] = e
+		t.start = (t.start + 1) % len(t.ring)
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Snapshot returns the retained events in chronological order and how
+// many older events the ring has overwritten.
+func (t *Trace) Snapshot() (events []Event, dropped uint64) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	events = make([]Event, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		events = append(events, t.ring[(t.start+i)%len(t.ring)])
+	}
+	return events, t.dropped
+}

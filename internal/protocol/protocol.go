@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/mc"
+	"repro/internal/obs"
 )
 
 // Version is the protocol version; mismatches are rejected at Hello time.
@@ -291,12 +292,76 @@ type Message struct {
 	BatchAck *BatchAck
 }
 
+// ConnMetrics counts frames and bytes by direction and message type on
+// behalf of a Conn. The per-type counters are resolved once at
+// construction, so the per-frame cost on an instrumented connection is
+// two atomic adds; an uninstrumented Conn pays only a nil check. One
+// ConnMetrics may be shared by every connection of a process (the
+// counters are fleet-wide totals, not per-session series — per-session
+// metric labels would be unbounded cardinality).
+type ConnMetrics struct {
+	sendFrames [MsgBatchAck + 1]*obs.Counter
+	recvFrames [MsgBatchAck + 1]*obs.Counter
+	sendBytes  [MsgBatchAck + 1]*obs.Counter
+	recvBytes  [MsgBatchAck + 1]*obs.Counter
+}
+
+// NewConnMetrics registers <subsystem>_frames_total and
+// <subsystem>_bytes_total (labels: dir, type) on reg and pre-resolves a
+// counter per direction and message type. Registration is idempotent:
+// calling it again with the same subsystem returns a view onto the same
+// counters.
+func NewConnMetrics(reg *obs.Registry, subsystem string) *ConnMetrics {
+	frames := reg.CounterVec(subsystem+"_frames_total",
+		"Protocol frames by direction and message type.", "dir", "type")
+	bytes := reg.CounterVec(subsystem+"_bytes_total",
+		"Protocol bytes by direction and message type.", "dir", "type")
+	m := &ConnMetrics{}
+	for t := MsgHello; t <= MsgBatchAck; t++ {
+		m.sendFrames[t] = frames.With("send", t.String())
+		m.recvFrames[t] = frames.With("recv", t.String())
+		m.sendBytes[t] = bytes.With("send", t.String())
+		m.recvBytes[t] = bytes.With("recv", t.String())
+	}
+	return m
+}
+
+// countWriter / countReader observe the raw transport byte streams so
+// Send/Recv can attribute per-message byte deltas to the message type.
+// The counts are read only from the same goroutine that drives the
+// codec half, so plain fields suffice (a Conn is half-duplex per side:
+// one goroutine sends, one receives).
+type countWriter struct {
+	w io.Writer
+	n uint64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += uint64(n)
+	return n, err
+}
+
+type countReader struct {
+	r io.Reader
+	n uint64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += uint64(n)
+	return n, err
+}
+
 // Conn wraps a stream with gob encode/decode of Messages. It is not safe
 // for concurrent writers.
 type Conn struct {
 	enc *gob.Encoder
 	dec *gob.Decoder
 	bw  *bufio.Writer
+	cw  *countWriter
+	cr  *countReader
+	met *ConnMetrics
 	c   io.Closer
 }
 
@@ -306,17 +371,28 @@ type Conn struct {
 // halves the rendezvous count on synchronous transports like net.Pipe and
 // the syscall count on TCP.
 func NewConn(rw io.ReadWriteCloser) *Conn {
-	bw := bufio.NewWriterSize(rw, 16<<10)
-	return &Conn{enc: gob.NewEncoder(bw), dec: gob.NewDecoder(rw), bw: bw, c: rw}
+	cw := &countWriter{w: rw}
+	cr := &countReader{r: rw}
+	bw := bufio.NewWriterSize(cw, 16<<10)
+	return &Conn{enc: gob.NewEncoder(bw), dec: gob.NewDecoder(cr), bw: bw, cw: cw, cr: cr, c: rw}
 }
+
+// SetMetrics attaches frame/byte accounting to the connection. Call it
+// before the first Send/Recv; nil detaches.
+func (c *Conn) SetMetrics(m *ConnMetrics) { c.met = m }
 
 // Send encodes one message and flushes it to the transport.
 func (c *Conn) Send(m *Message) error {
+	before := c.cw.n
 	if err := c.enc.Encode(m); err != nil {
 		return fmt.Errorf("protocol: send %v: %w", m.Type, err)
 	}
 	if err := c.bw.Flush(); err != nil {
 		return fmt.Errorf("protocol: send %v: %w", m.Type, err)
+	}
+	if c.met != nil && m.Type >= MsgHello && m.Type <= MsgBatchAck {
+		c.met.sendFrames[m.Type].Inc()
+		c.met.sendBytes[m.Type].Add(c.cw.n - before)
 	}
 	return nil
 }
@@ -326,12 +402,17 @@ func (c *Conn) Send(m *Message) error {
 // or an oversized batch are protocol errors, not panics or unbounded
 // allocations further up the stack.
 func (c *Conn) Recv() (*Message, error) {
+	before := c.cr.n
 	var m Message
 	if err := c.dec.Decode(&m); err != nil {
 		return nil, err
 	}
 	if m.Type < MsgHello || m.Type > MsgBatchAck {
 		return nil, fmt.Errorf("protocol: message with invalid type %d", int(m.Type))
+	}
+	if c.met != nil {
+		c.met.recvFrames[m.Type].Inc()
+		c.met.recvBytes[m.Type].Add(c.cr.n - before)
 	}
 	if m.Request != nil {
 		if len(m.Request.KnownJobs) > MaxKnownJobs {

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/mc"
+	"repro/internal/obs"
 )
 
 // killConn injects deterministic transport death: the connection errors
@@ -89,7 +91,8 @@ func startChaosWorkers(t *testing.T, reg *Registry, n int) {
 // made it, must merge to the same tally as computing those streams
 // locally).
 func TestChaosFleetReproducesReduction(t *testing.T) {
-	reg := New(Options{Policy: FairShare()})
+	oreg := obs.NewRegistry()
+	reg := New(Options{Policy: FairShare(), Obs: oreg})
 	startChaosWorkers(t, reg, 3)
 
 	fixedSpec := slabSpec(5)
@@ -172,6 +175,35 @@ func TestChaosFleetReproducesReduction(t *testing.T) {
 	}
 	if st.Workers > 3 {
 		t.Errorf("stats count %d workers, max 3 live", st.Workers)
+	}
+
+	// The exported metrics must tell the same recovery story as the
+	// internal ledgers: every reassignment of these two jobs appears in
+	// the reassigned counter, and the per-reason reject series sum to
+	// exactly the registry's reject count.
+	var buf bytes.Buffer
+	if err := oreg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m := parseExposition(t, buf.Bytes())
+	if got, want := m["service_chunks_reassigned_total"], float64(fixedRes.Reassigned+precRes.Reassigned); got != want {
+		t.Errorf("scraped reassigned %g != job ledgers %g", got, want)
+	}
+	rejects := m[`service_results_rejected_total{reason="stale"}`] +
+		m[`service_results_rejected_total{reason="batch"}`] +
+		m[`service_results_rejected_total{reason="benign"}`]
+	if rejects != float64(st.RejectedResults) {
+		t.Errorf("scraped rejects by reason sum to %g, stats say %d", rejects, st.RejectedResults)
+	}
+	if got, want := m["service_chunks_completed_total"], float64(total/chunk+len(reduced)); got != want {
+		t.Errorf("scraped completions %g, want %g reduced chunks", got, want)
+	}
+	if m["service_photons_reduced_total"] != float64(st.PhotonsCompleted) {
+		t.Errorf("scraped photons %g != stats %d",
+			m["service_photons_reduced_total"], st.PhotonsCompleted)
+	}
+	if m["fleet_reconnects_total"] == 0 {
+		t.Error("chaos restarts never counted as reconnects")
 	}
 }
 

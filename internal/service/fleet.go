@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/mc"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
@@ -67,7 +68,7 @@ func (r *Registry) Serve(l net.Listener) error {
 		}
 		go func() {
 			if err := r.HandleConn(conn); err != nil && !errors.Is(err, io.EOF) {
-				r.logf("service: connection ended: %v", err)
+				r.log.Warn("connection ended", "err", err)
 			}
 		}()
 	}
@@ -168,7 +169,12 @@ func (r *Registry) registerSession(h *protocol.Hello) *session {
 		knownJobs: make(map[uint64]bool),
 	}
 	r.sessions[sess.id] = sess
-	r.logf("service: worker %q connected (%.0f Mflop/s)", name, h.Mflops)
+	r.met.sessionsTotal.Inc()
+	if r.seenNames[name] {
+		r.met.reconnects.Inc()
+	}
+	r.seenNames[name] = true
+	r.log.Info("worker connected", "worker", name, "mflops", h.Mflops)
 	return sess
 }
 
@@ -198,7 +204,11 @@ func (r *Registry) releaseAssignmentLocked(sess *session, ref chunkRef, a *assig
 		delete(j.outstanding, ref.chunk)
 		j.pending = append(j.pending, ref.chunk)
 		j.reassigned++
-		r.logf("service: worker %q abandoned job %016x chunk %d; requeued", sess.name, j.id, ref.chunk)
+		r.met.chunksReassigned.Inc()
+		j.trace(obs.Event{Kind: obs.EvChunkReassigned, Chunk: ref.chunk,
+			Worker: sess.name, Detail: "abandoned"})
+		r.log.Debug("chunk abandoned; requeued", "job", jobHex(j.id),
+			"chunk", ref.chunk, "worker", sess.name)
 	}
 }
 
@@ -362,6 +372,8 @@ func (r *Registry) nextAssignment(sess *session, req *protocol.TaskRequest) *pro
 		}
 		j.assigned += j.photons[id]
 		r.chunksAssigned++
+		r.met.chunksGranted.Inc()
+		j.trace(obs.Event{Kind: obs.EvChunkGranted, Chunk: id, Worker: sess.name})
 		r.policy.Charge(j.id, j.photons[id], j.spec.Weight)
 		sess.assigned[chunkRef{j.id, id}] = &assignment{job: j, chunkID: id}
 		return id, j.photons[id]
@@ -428,6 +440,7 @@ func (r *Registry) reduceBatch(sess *session, b *protocol.ResultBatch, scratch *
 	r.mu.Lock()
 	r.batches++
 	r.mu.Unlock()
+	r.met.batchesReduced.Inc()
 	return acks
 }
 
@@ -442,11 +455,15 @@ func (r *Registry) rejectGroup(sess *session, g *protocol.BatchGroup, reason str
 		if a := sess.assigned[ref]; a != nil {
 			r.releaseAssignmentLocked(sess, ref, a)
 			a.job.rejected++
+			a.job.trace(obs.Event{Kind: obs.EvChunkRejected, Chunk: id,
+				Worker: sess.name, Detail: reason})
 		}
 		r.rejected++
+		r.met.rejectedBatch.Inc()
 		acks = append(acks, protocol.ResultAck{JobID: g.JobID, ChunkID: id, Rejected: true, Reason: reason})
 	}
-	r.logf("service: rejected %d-chunk group from %q: %s", len(g.Chunks), sess.name, reason)
+	r.log.Warn("rejected result group", "worker", sess.name,
+		"chunks", len(g.Chunks), "reason", reason)
 	return acks
 }
 
@@ -481,10 +498,11 @@ func (r *Registry) reduceGroup(sess *session, jobID uint64, chunks []int, tally 
 	for i, id := range chunks {
 		acks[i] = protocol.ResultAck{JobID: jobID, ChunkID: id}
 	}
-	reject := func(i int, reason string) {
+	reject := func(i int, class *obs.Counter, reason string) {
 		acks[i].Rejected = true
 		acks[i].Reason = reason
 		r.rejected++
+		class.Inc()
 	}
 
 	// Phase 1: classify and claim under the registry lock.
@@ -493,20 +511,22 @@ func (r *Registry) reduceGroup(sess *session, jobID uint64, chunks []int, tally 
 	if j == nil {
 		for i, id := range chunks {
 			delete(sess.assigned, chunkRef{jobID, id})
-			reject(i, fmt.Sprintf("unknown job %016x", jobID))
+			reject(i, r.met.rejectedStale, fmt.Sprintf("unknown job %016x", jobID))
 		}
 		r.mu.Unlock()
-		r.logf("service: rejected result from %q: unknown job %016x", sess.name, jobID)
+		r.log.Warn("rejected result for unknown job", "worker", sess.name, "job", jobHex(jobID))
 		return acks
 	}
 	if j.state == StateCanceled {
 		for i, id := range chunks {
 			delete(sess.assigned, chunkRef{jobID, id}) // nothing to requeue; Cancel dropped the chunks
-			reject(i, fmt.Sprintf("job %016x canceled", jobID))
+			reject(i, r.met.rejectedStale, fmt.Sprintf("job %016x canceled", jobID))
 			j.rejected++
+			j.trace(obs.Event{Kind: obs.EvChunkRejected, Chunk: id,
+				Worker: sess.name, Detail: "canceled"})
 		}
 		r.mu.Unlock()
-		r.logf("service: rejected result from %q: job %016x canceled", sess.name, jobID)
+		r.log.Warn("rejected result for canceled job", "worker", sess.name, "job", jobHex(jobID))
 		return acks
 	}
 	if j.state == StateDone {
@@ -520,9 +540,12 @@ func (r *Registry) reduceGroup(sess *session, jobID uint64, chunks []int, tally 
 			if id >= 0 && id < j.nChunks && j.completed[id] {
 				acks[i].Duplicate = true
 				j.duplicates++
+				r.met.duplicates.Inc()
 			} else {
-				reject(i, fmt.Sprintf("job %016x already finalized", jobID))
+				reject(i, r.met.rejectedBenign, fmt.Sprintf("job %016x already finalized", jobID))
 				j.rejected++
+				j.trace(obs.Event{Kind: obs.EvChunkRejected, Chunk: id,
+					Worker: sess.name, Detail: "already finalized"})
 			}
 		}
 		r.mu.Unlock()
@@ -536,18 +559,19 @@ func (r *Registry) reduceGroup(sess *session, jobID uint64, chunks []int, tally 
 		case seen[id]:
 			// A repeated chunk in one group would double-count its
 			// completion; nothing honest produces it.
-			reject(i, fmt.Sprintf("job %016x chunk %d listed twice in one group", jobID, id))
+			reject(i, r.met.rejectedStale, fmt.Sprintf("job %016x chunk %d listed twice in one group", jobID, id))
 			j.rejected++
 			claimable = false
 			continue
 		case id < 0 || id >= j.nChunks:
-			reject(i, fmt.Sprintf("job %016x has no chunk %d", jobID, id))
+			reject(i, r.met.rejectedStale, fmt.Sprintf("job %016x has no chunk %d", jobID, id))
 			j.rejected++
 			claimable = false
 		case j.completed[id] || j.merging[id]:
 			// Already reduced (or being reduced): the reassignment race.
 			acks[i].Duplicate = true
 			j.duplicates++
+			r.met.duplicates.Inc()
 			// Any outstanding entry for a completed chunk is stale (a
 			// reassignment the merge beat to the finish line); drop it so
 			// the reclaim loop cannot requeue an already-reduced chunk.
@@ -557,7 +581,7 @@ func (r *Registry) reduceGroup(sess *session, jobID uint64, chunks []int, tally 
 			delete(sess.assigned, chunkRef{jobID, id})
 			claimable = false
 		case sess.assigned[chunkRef{jobID, id}] == nil:
-			reject(i, fmt.Sprintf("job %016x chunk %d does not match a current assignment of the session",
+			reject(i, r.met.rejectedStale, fmt.Sprintf("job %016x chunk %d does not match a current assignment of the session",
 				jobID, id))
 			j.rejected++
 			claimable = false
@@ -573,12 +597,14 @@ func (r *Registry) reduceGroup(sess *session, jobID uint64, chunks []int, tally 
 			}
 			ref := chunkRef{jobID, id}
 			r.releaseAssignmentLocked(sess, ref, sess.assigned[ref])
-			reject(i, fmt.Sprintf("job %016x chunk %d rode a partially stale batch; requeued", jobID, id))
+			reject(i, r.met.rejectedBatch, fmt.Sprintf("job %016x chunk %d rode a partially stale batch; requeued", jobID, id))
 			j.rejected++
+			j.trace(obs.Event{Kind: obs.EvChunkRejected, Chunk: id,
+				Worker: sess.name, Detail: "partially stale batch"})
 		}
 		r.mu.Unlock()
-		r.logf("service: rejected %d-chunk group from %q: partially stale or duplicate",
-			len(chunks), sess.name)
+		r.log.Warn("rejected partially stale result group", "worker", sess.name,
+			"job", jobHex(jobID), "chunks", len(chunks))
 		return acks
 	}
 	for _, id := range chunks {
@@ -606,7 +632,9 @@ func (r *Registry) reduceGroup(sess *session, jobID uint64, chunks []int, tally 
 	r.mu.Unlock()
 	var mergeErr error
 	if live {
+		mergeStart := time.Now()
 		mergeErr = j.tally.Merge(tally)
+		r.met.reduceSeconds.Observe(time.Since(mergeStart).Seconds())
 	}
 
 	// Phase 3: publish.
@@ -619,31 +647,37 @@ func (r *Registry) reduceGroup(sess *session, jobID uint64, chunks []int, tally 
 			if j.activeLocked() {
 				j.pending = append(j.pending, id) // honest recompute
 				j.reassigned++
+				r.met.chunksReassigned.Inc()
+				j.trace(obs.Event{Kind: obs.EvChunkReassigned, Chunk: id,
+					Worker: sess.name, Detail: "unmergeable tally"})
 			}
-			reject(i, fmt.Sprintf("unmergeable tally: %v", mergeErr))
+			reject(i, r.met.rejectedBatch, fmt.Sprintf("unmergeable tally: %v", mergeErr))
 			j.rejected++
 		}
-		r.logf("service: rejected %d-chunk group from %q: unmergeable tally: %v",
-			len(chunks), sess.name, mergeErr)
+		r.log.Warn("rejected unmergeable result group", "worker", sess.name,
+			"job", jobHex(jobID), "chunks", len(chunks), "err", mergeErr)
 	case !live || !j.activeLocked():
 		// The job was canceled (possibly mid-merge: that weight is
 		// invisible — a canceled tally is never returned or cached) or
 		// finalized while this group waited on the reduction lock; the
 		// chunks are already dropped or moot.
-		reason := "canceled"
+		reason, class := "canceled", r.met.rejectedStale
 		if j.state == StateDone {
-			reason = "already finalized"
+			reason, class = "already finalized", r.met.rejectedBenign
 		}
 		for i := range chunks {
 			delete(j.merging, chunks[i])
-			reject(i, fmt.Sprintf("job %016x %s", jobID, reason))
+			reject(i, class, fmt.Sprintf("job %016x %s", jobID, reason))
 			j.rejected++
+			j.trace(obs.Event{Kind: obs.EvChunkRejected, Chunk: chunks[i],
+				Worker: sess.name, Detail: reason})
 		}
 	default:
 		for _, id := range chunks {
 			delete(j.merging, id)
 			j.completed[id] = true
 			j.nCompleted++
+			j.trace(obs.Event{Kind: obs.EvChunkCompleted, Chunk: id, Worker: sess.name})
 			// If a timeout reclaimed this chunk before the late result
 			// landed, it is back in pending (purge it or the fleet
 			// recomputes a reduced chunk) — or was even re-assigned while
@@ -670,10 +704,15 @@ func (r *Registry) reduceGroup(sess *session, jobID uint64, chunks []int, tally 
 		}
 		r.photonsDone += tally.Launched
 		r.merges++
+		r.met.chunksCompleted.Add(uint64(len(chunks)))
+		r.met.photonsReduced.Add(uint64(tally.Launched))
 		// Re-estimate the observable off the dispatch-critical path (the
 		// moment arithmetic is a handful of float ops on the already
 		// redMu-guarded tally) and publish it for Status readers.
 		j.publishEstimate(j.tally)
+		if j.openEnded() {
+			j.trace(obs.Event{Kind: obs.EvEstimate, Value: j.estRSE})
+		}
 		switch {
 		case j.openEnded() && j.targetMet:
 			// The stopping rule fired: finalize immediately. Granting
@@ -684,14 +723,21 @@ func (r *Registry) reduceGroup(sess *session, jobID uint64, chunks []int, tally 
 			j.outstanding = make(map[int]*chunkState)
 			r.finishJobLocked(j)
 			finished = j
-			r.logf("service: job %016x met %s RSE ≤ %g after %d photons",
-				j.id, j.spec.Target.Observable, j.spec.Target.RelErr, j.photonsRun)
+			j.trace(obs.Event{Kind: obs.EvFinalized, Detail: "target-met", Value: j.estRSE})
+			r.log.Info("job met precision target", "job", jobHex(j.id),
+				"observable", j.spec.Target.Observable, "relErr", j.spec.Target.RelErr,
+				"photons", j.photonsRun)
 		case j.nCompleted == j.nChunks && (!j.openEnded() || j.issuableChunksLocked() == 0):
 			// Fixed-count: every chunk reduced. Open-ended: the photon
 			// cap is spent and nothing is left in flight — the job
 			// finishes unmet, reporting its achieved RSE.
 			r.finishJobLocked(j)
 			finished = j
+			detail := "complete"
+			if j.openEnded() {
+				detail = "budget-exhausted"
+			}
+			j.trace(obs.Event{Kind: obs.EvFinalized, Detail: detail, Value: j.estRSE})
 		}
 	}
 	r.mu.Unlock()

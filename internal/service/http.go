@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -12,10 +13,12 @@ import (
 
 // API serves the registry over HTTP/JSON:
 //
-//	POST   /jobs            submit a job (returns id; cached/coalesced dedup)
+//	POST   /jobs            submit a job (returns id; cached/coalesced dedup;
+//	                        429 + Retry-After when the active-job cap sheds it)
 //	GET    /jobs            list retained jobs
 //	GET    /jobs/{id}       job status with progress
 //	GET    /jobs/{id}/result reduced tally once done (202 while running)
+//	GET    /jobs/{id}/events bounded lifecycle event trace
 //	DELETE /jobs/{id}       cancel a queued/running job
 //	GET    /stats           fleet and queue health
 type API struct {
@@ -75,13 +78,20 @@ type apiError struct {
 // Handler returns the API's route multiplexer.
 func (a *API) Handler() http.Handler {
 	mux := http.NewServeMux()
+	a.Register(mux)
+	return mux
+}
+
+// Register mounts the API's routes on an existing mux, so a daemon can
+// multiplex the job API with its debug surface on one listener.
+func (a *API) Register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /jobs", a.submit)
 	mux.HandleFunc("GET /jobs", a.list)
 	mux.HandleFunc("GET /jobs/{id}", a.status)
 	mux.HandleFunc("GET /jobs/{id}/result", a.result)
+	mux.HandleFunc("GET /jobs/{id}/events", a.events)
 	mux.HandleFunc("DELETE /jobs/{id}", a.cancel)
 	mux.HandleFunc("GET /stats", a.stats)
-	return mux
 }
 
 func writeJSON(w http.ResponseWriter, code int, body any) {
@@ -123,6 +133,13 @@ func (a *API) submit(w http.ResponseWriter, req *http.Request) {
 		Label:        body.Label,
 	})
 	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			// Load shedding, not a malformed job: tell the client to retry
+			// once the queue has drained a little.
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+			return
+		}
 		writeJSON(w, http.StatusUnprocessableEntity, apiError{Error: err.Error()})
 		return
 	}
@@ -177,6 +194,53 @@ func (a *API) result(w http.ResponseWriter, req *http.Request) {
 	default:
 		writeJSON(w, http.StatusAccepted, apiError{Error: "job not finished", State: st.State})
 	}
+}
+
+// eventBody is the JSON view of one trace event; chunk is omitted for
+// events that are not chunk-scoped.
+type eventBody struct {
+	Time   time.Time `json:"time"`
+	Kind   string    `json:"kind"`
+	Chunk  *int      `json:"chunk,omitempty"`
+	Worker string    `json:"worker,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+	Value  float64   `json:"value,omitempty"`
+}
+
+// eventsBody is the GET /jobs/{id}/events response. Dropped counts older
+// events the bounded ring has overwritten.
+type eventsBody struct {
+	ID      string      `json:"id"`
+	Dropped uint64      `json:"dropped,omitempty"`
+	Events  []eventBody `json:"events"`
+}
+
+func (a *API) events(w http.ResponseWriter, req *http.Request) {
+	j := a.jobFromPath(w, req)
+	if j == nil {
+		return
+	}
+	evs, dropped := j.Events()
+	body := eventsBody{
+		ID:      fmt.Sprintf("%016x", j.ID()),
+		Dropped: dropped,
+		Events:  make([]eventBody, 0, len(evs)),
+	}
+	for _, e := range evs {
+		eb := eventBody{
+			Time:   e.Time,
+			Kind:   e.Kind.String(),
+			Worker: e.Worker,
+			Detail: e.Detail,
+			Value:  e.Value,
+		}
+		if e.Chunk >= 0 {
+			chunk := e.Chunk
+			eb.Chunk = &chunk
+		}
+		body.Events = append(body.Events, eb)
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (a *API) cancel(w http.ResponseWriter, req *http.Request) {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/mc"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
@@ -181,6 +182,11 @@ type Job struct {
 	started    time.Time
 	finishedAt time.Time
 	finished   chan struct{}
+
+	// events is the job's bounded lifecycle trace (nil when disabled). It
+	// has its own mutex and never nests under the registry lock's critical
+	// sections for more than a ring append.
+	events *obs.Trace
 }
 
 // newJob builds the chunk partition for a normalized spec. It is called
@@ -206,6 +212,7 @@ func newJob(reg *Registry, key Key, spec JobSpec) (*Job, error) {
 		workers:     make(map[string]*WorkerInfo),
 		finished:    make(chan struct{}),
 		submitted:   time.Now(),
+		events:      reg.newTrace(),
 	}
 	remaining := spec.TotalPhotons
 	for i := 0; i < n; i++ {
@@ -379,6 +386,7 @@ func bornDoneJob(reg *Registry, key Key, spec JobSpec, tally *mc.Tally) *Job {
 		finished:    make(chan struct{}),
 		submitted:   now,
 		finishedAt:  now,
+		events:      reg.newTrace(),
 	}
 	for i := range j.completed {
 		j.completed[i] = true
@@ -396,12 +404,12 @@ func (j *Job) publishEstimate(t *mc.Tally) {
 	if t == nil || t.Moments == nil {
 		return
 	}
-	obs := mc.ObsDiffuse
+	observable := mc.ObsDiffuse
 	if j.spec.Target != nil {
-		obs = j.spec.Target.Observable
+		observable = j.spec.Target.Observable
 	}
-	j.estimate, j.estCI = t.EstimateCI(obs)
-	j.estRSE = t.RelStdErr(obs)
+	j.estimate, j.estCI = t.EstimateCI(observable)
+	j.estRSE = t.RelStdErr(observable)
 	j.photonsRun = t.Launched
 	if j.spec.Target != nil && j.spec.Target.MetBy(t) {
 		j.targetMet = true
@@ -449,7 +457,11 @@ func (j *Job) reclaimExpiredLocked(now time.Time) {
 			delete(j.outstanding, id)
 			j.pending = append(j.pending, id)
 			j.reassigned++
-			j.reg.logf("service: job %016x chunk %d timed out on %q; requeued", j.id, id, st.worker)
+			j.reg.met.chunksReassigned.Inc()
+			j.trace(obs.Event{Kind: obs.EvChunkReassigned, Chunk: id,
+				Worker: st.worker, Detail: "timeout"})
+			j.reg.log.Debug("chunk timed out; requeued", "job", jobHex(j.id),
+				"chunk", id, "worker", st.worker)
 		}
 	}
 }

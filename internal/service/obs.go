@@ -1,0 +1,155 @@
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// svcMetrics is the registry's pre-resolved instrument set. Every counter
+// a hot path touches is resolved once here, so steady-state accounting is
+// a single atomic add — no map lookups, no label formatting, no locks
+// beyond the ones dispatch already holds. Metrics carry no per-job,
+// per-chunk or per-worker labels (unbounded cardinality); that detail
+// lives in each job's bounded event trace instead.
+type svcMetrics struct {
+	jobsSubmitted *obs.Counter
+	jobsCoalesced *obs.Counter
+	jobsShed      *obs.Counter
+
+	cacheLookups    *obs.Counter
+	cacheHitExact   *obs.Counter
+	cacheHitPhysics *obs.Counter
+	cacheMisses     *obs.Counter
+
+	chunksGranted    *obs.Counter
+	chunksCompleted  *obs.Counter
+	chunksReassigned *obs.Counter
+
+	rejectedStale  *obs.Counter // results matching no live assignment
+	rejectedBatch  *obs.Counter // undecodable / partially stale / unmergeable groups
+	rejectedBenign *obs.Counter // stragglers after an early finalize
+	duplicates     *obs.Counter
+
+	batchesReduced *obs.Counter
+	photonsReduced *obs.Counter
+	reduceSeconds  *obs.Histogram
+
+	sessionsTotal *obs.Counter
+	reconnects    *obs.Counter
+}
+
+// newServiceMetrics registers the service-plane instruments on reg and
+// installs the scrape-time gauges that read registry state. The gauge
+// callbacks take r.mu, so a scrape must never run while the caller holds
+// it (the HTTP handler never does).
+func newServiceMetrics(reg *obs.Registry, r *Registry) *svcMetrics {
+	m := &svcMetrics{
+		jobsSubmitted: reg.Counter("service_jobs_submitted_total",
+			"Jobs accepted as fresh work (cache hits and coalesced submissions excluded)."),
+		jobsCoalesced: reg.Counter("service_jobs_coalesced_total",
+			"Submissions attached to an identical already-active job."),
+		jobsShed: reg.Counter("service_jobs_shed_total",
+			"Submissions refused because the active-job cap was reached."),
+		cacheLookups: reg.Counter("service_cache_lookups_total",
+			"Result-cache probes (one per non-coalesced submission)."),
+		cacheMisses: reg.Counter("service_cache_misses_total",
+			"Result-cache probes that found nothing."),
+		chunksGranted: reg.Counter("service_chunks_granted_total",
+			"Chunks handed to workers, including re-grants after reassignment."),
+		chunksCompleted: reg.Counter("service_chunks_completed_total",
+			"Chunks whose tallies reduced into a job exactly once."),
+		chunksReassigned: reg.Counter("service_chunks_reassigned_total",
+			"Chunks requeued after a timeout, disconnect or abandoned assignment."),
+		duplicates: reg.Counter("service_duplicate_results_total",
+			"Results acknowledged as duplicates of an already-reduced chunk."),
+		batchesReduced: reg.Counter("service_batches_reduced_total",
+			"Worker result batches processed by the reducer."),
+		photonsReduced: reg.Counter("service_photons_reduced_total",
+			"Photons represented by reduced tallies."),
+		reduceSeconds: reg.Histogram("service_reduce_seconds",
+			"Off-lock tally merge duration per reduced group.", obs.DefBuckets),
+		sessionsTotal: reg.Counter("fleet_sessions_total",
+			"Worker sessions ever accepted."),
+		reconnects: reg.Counter("fleet_reconnects_total",
+			"Sessions whose worker name had connected before (reconnections)."),
+	}
+	hits := reg.CounterVec("service_cache_hits_total",
+		"Result-cache hits by index probed.", "index")
+	m.cacheHitExact = hits.With("exact")
+	m.cacheHitPhysics = hits.With("physics")
+	rej := reg.CounterVec("service_results_rejected_total",
+		"Results the reducer refused, by reason.", "reason")
+	m.rejectedStale = rej.With("stale")
+	m.rejectedBatch = rej.With("batch")
+	m.rejectedBenign = rej.With("benign")
+
+	reg.GaugeVecFunc("service_jobs", "Retained jobs by lifecycle state.", "state",
+		func() map[string]float64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			out := map[string]float64{
+				StateQueued.String(): 0, StateRunning.String(): 0,
+				StateDone.String(): 0, StateCanceled.String(): 0,
+			}
+			for _, j := range r.order {
+				out[j.state.String()]++
+			}
+			return out
+		})
+	reg.GaugeFunc("service_pending_chunks",
+		"Chunks of live jobs awaiting assignment.", func() float64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			n := 0
+			for _, j := range r.active {
+				n += len(j.pending)
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("service_outstanding_chunks",
+		"Chunks of live jobs out on workers.", func() float64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			n := 0
+			for _, j := range r.active {
+				n += len(j.outstanding)
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("fleet_workers", "Currently connected worker sessions.",
+		func() float64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return float64(len(r.sessions))
+		})
+	return m
+}
+
+// trace records one lifecycle event on a job's bounded ring (nil-safe:
+// tracing disabled or the job predates the registry).
+func (j *Job) trace(e obs.Event) {
+	if e.Chunk == 0 && e.Kind != obs.EvChunkGranted && e.Kind != obs.EvChunkCompleted &&
+		e.Kind != obs.EvChunkReassigned && e.Kind != obs.EvChunkRejected {
+		e.Chunk = -1
+	}
+	j.events.Record(e)
+}
+
+// Events returns the job's retained lifecycle events in chronological
+// order and the count of older events its bounded ring overwrote.
+func (j *Job) Events() ([]obs.Event, uint64) { return j.events.Snapshot() }
+
+// newTrace builds a job's event ring per the registry options: 0 means
+// DefaultTraceEvents, negative disables tracing (a nil ring drops all
+// records at the cost of one nil check).
+func (r *Registry) newTrace() *obs.Trace {
+	if r.opts.TraceEvents < 0 {
+		return nil
+	}
+	return obs.NewTrace(r.opts.TraceEvents)
+}
+
+// ErrOverloaded is wrapped by Submit when the registry's active-job cap
+// refuses new work; the HTTP layer maps it to 429 + Retry-After.
+var ErrOverloaded = fmt.Errorf("service: too many active jobs")

@@ -1,0 +1,47 @@
+package service
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+)
+
+// BenchmarkServicePlaneBatched mirrors cmd/mcbench's service-plane
+// workload (many 1-photon chunks so dispatch overhead dominates) for
+// profiling the registry hot path in isolation.
+func BenchmarkServicePlaneBatched(b *testing.B) {
+	const jobs, chunksPerJob, workers = 48, 16, 4
+	for n := 0; n < b.N; n++ {
+		reg := New(Options{DrainOnEmpty: true, CacheSize: -1})
+		handles := make([]*Job, 0, jobs)
+		for i := 0; i < jobs; i++ {
+			out, err := reg.Submit(JobSpec{
+				Spec:         slabSpec(5),
+				TotalPhotons: chunksPerJob,
+				ChunkPhotons: 1,
+				Seed:         uint64(i + 1),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			handles = append(handles, out.Job)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			server, client := net.Pipe()
+			go reg.HandleConn(server)
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				_, _ = batchClient(client, fmt.Sprintf("bench-%d", w), 4)
+			}(w)
+		}
+		for _, j := range handles {
+			if _, err := j.Wait(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		wg.Wait()
+	}
+}

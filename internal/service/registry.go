@@ -2,8 +2,11 @@ package service
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Registry owns the concurrent jobs of the simulation service and the
@@ -12,16 +15,19 @@ import (
 type Registry struct {
 	opts   Options
 	policy Policy
+	log    *slog.Logger
+	met    *svcMetrics
 
-	mu       sync.Mutex
-	jobs     map[uint64]*Job
-	order    []*Job       // submission order (List is deterministic)
-	active   []*Job       // queued/running jobs only — the dispatcher's hot loop
-	byKey    map[Key]*Job // active jobs, for coalescing identical submissions
-	cache    *cache
-	seq      uint64
-	sessions map[uint64]*session
-	nextSess uint64
+	mu        sync.Mutex
+	jobs      map[uint64]*Job
+	order     []*Job       // submission order (List is deterministic)
+	active    []*Job       // queued/running jobs only — the dispatcher's hot loop
+	byKey     map[Key]*Job // active jobs, for coalescing identical submissions
+	cache     *cache
+	seq       uint64
+	sessions  map[uint64]*session
+	nextSess  uint64
+	seenNames map[string]bool // worker names ever connected (reconnect detection)
 
 	chunksAssigned int64 // lifetime fleet counters
 	photonsDone    int64
@@ -40,8 +46,8 @@ type Registry struct {
 
 // New returns an empty registry.
 func New(opts Options) *Registry {
-	if opts.Logf == nil {
-		opts.Logf = func(string, ...any) {}
+	if opts.Logger == nil {
+		opts.Logger = obs.NopLogger()
 	}
 	if opts.Policy == nil {
 		opts.Policy = FIFO()
@@ -49,18 +55,26 @@ func New(opts Options) *Registry {
 	if opts.RetainDone == 0 {
 		opts.RetainDone = 1024
 	}
-	return &Registry{
-		opts:     opts,
-		policy:   opts.Policy,
-		jobs:     make(map[uint64]*Job),
-		byKey:    make(map[Key]*Job),
-		cache:    newCache(opts.CacheSize),
-		sessions: make(map[uint64]*session),
-		drained:  make(chan struct{}),
+	r := &Registry{
+		opts:      opts,
+		policy:    opts.Policy,
+		log:       opts.Logger,
+		jobs:      make(map[uint64]*Job),
+		byKey:     make(map[Key]*Job),
+		cache:     newCache(opts.CacheSize),
+		sessions:  make(map[uint64]*session),
+		seenNames: make(map[string]bool),
+		drained:   make(chan struct{}),
 	}
+	// A nil Obs still gets live instruments (they are plain atomics and the
+	// accounting code stays branch-free); they are simply never scraped.
+	reg := opts.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	r.met = newServiceMetrics(reg, r)
+	return r
 }
-
-func (r *Registry) logf(format string, args ...any) { r.opts.Logf(format, args...) }
 
 // SubmitOutcome reports how a submission was satisfied.
 type SubmitOutcome struct {
@@ -98,29 +112,52 @@ func (r *Registry) Submit(spec JobSpec) (*SubmitOutcome, error) {
 	if live := r.byKey[key]; live != nil {
 		live.absorbParamsLocked(spec)
 		r.mu.Unlock()
+		r.met.jobsCoalesced.Inc()
+		live.trace(obs.Event{Kind: obs.EvCoalesced})
 		return &SubmitOutcome{Job: live, Coalesced: true}, nil
 	}
 	r.mu.Unlock()
 
 	// A precision submission probes two indexes but is one lookup: only
 	// the trailing physics probe records the miss.
+	r.met.cacheLookups.Inc()
 	tally := r.cache.getCounted(key, spec.Target == nil)
+	hitIndex := "exact"
 	if tally == nil && spec.Target != nil {
 		// Meets-or-exceeds: a deeper or equal stored run of the same
 		// physics satisfies any looser request for it.
 		tally = r.cache.getMeeting(pkey, spec.Target)
+		hitIndex = "physics"
 	}
 	if tally != nil {
 		// A cached key proves these exact spec bytes built and completed
 		// before, so the job is born Done without touching the geometry.
+		if hitIndex == "exact" {
+			r.met.cacheHitExact.Inc()
+		} else {
+			r.met.cacheHitPhysics.Inc()
+		}
 		j := bornDoneJob(r, key, spec, tally)
 		j.pkey = pkey
+		j.trace(obs.Event{Kind: obs.EvCacheHit, Detail: hitIndex})
 		r.mu.Lock()
 		r.registerLocked(j)
 		r.mu.Unlock()
-		r.logf("service: job %016x served from cache (%s)", j.id, key)
+		r.log.Info("job served from cache", "job", jobHex(j.id), "index", hitIndex)
 		return &SubmitOutcome{Job: j, Cached: true}, nil
 	}
+	r.met.cacheMisses.Inc()
+
+	// Early admission check: a fresh job is refused before paying
+	// Spec.Build (which may materialise a voxel geometry). Coalesced and
+	// cache-hit submissions returned above — they add no work and are
+	// never shed. The check repeats authoritatively under the lock below.
+	r.mu.Lock()
+	if err := r.admitLocked(); err != nil {
+		r.mu.Unlock()
+		return nil, err
+	}
+	r.mu.Unlock()
 
 	j, err := newJob(r, key, spec)
 	if err != nil {
@@ -131,21 +168,43 @@ func (r *Registry) Submit(spec JobSpec) (*SubmitOutcome, error) {
 	if live := r.byKey[key]; live != nil { // lost a race with an identical submission
 		live.absorbParamsLocked(spec)
 		r.mu.Unlock()
+		r.met.jobsCoalesced.Inc()
+		live.trace(obs.Event{Kind: obs.EvCoalesced})
 		return &SubmitOutcome{Job: live, Coalesced: true}, nil
+	}
+	if err := r.admitLocked(); err != nil { // authoritative re-check under the lock
+		r.mu.Unlock()
+		return nil, err
 	}
 	r.registerLocked(j)
 	r.active = append(r.active, j)
 	r.byKey[key] = j
 	r.mu.Unlock()
+	r.met.jobsSubmitted.Inc()
+	j.trace(obs.Event{Kind: obs.EvSubmitted})
 	if spec.Target != nil {
-		r.logf("service: job %016x submitted (%s RSE ≤ %g, %d-photon chunks, %s)",
-			j.id, spec.Target.Observable, spec.Target.RelErr, spec.ChunkPhotons, key)
+		r.log.Info("job submitted", "job", jobHex(j.id),
+			"observable", spec.Target.Observable, "relErr", spec.Target.RelErr,
+			"chunkPhotons", spec.ChunkPhotons)
 	} else {
-		r.logf("service: job %016x submitted (%d photons in %d chunks, %s)",
-			j.id, spec.TotalPhotons, j.nChunks, key)
+		r.log.Info("job submitted", "job", jobHex(j.id),
+			"photons", spec.TotalPhotons, "chunks", j.nChunks)
 	}
 	return &SubmitOutcome{Job: j}, nil
 }
+
+// admitLocked enforces the MaxActiveJobs shed cap on a would-be fresh job.
+func (r *Registry) admitLocked() error {
+	if r.opts.MaxActiveJobs > 0 && len(r.active) >= r.opts.MaxActiveJobs {
+		r.met.jobsShed.Inc()
+		return fmt.Errorf("%w (%d active, cap %d)", ErrOverloaded,
+			len(r.active), r.opts.MaxActiveJobs)
+	}
+	return nil
+}
+
+// jobHex is the log spelling of a job ID (matches the HTTP API's).
+func jobHex(id uint64) string { return fmt.Sprintf("%016x", id) }
 
 // keysOf derives a normalized spec's content key and physics key.
 func keysOf(spec *JobSpec) (key, pkey Key, err error) {
@@ -186,6 +245,7 @@ func (r *Registry) SubmitSnapshot(snap *Snapshot) (*Job, error) {
 		return nil, err
 	}
 	j.pkey = pkey
+	j.trace(obs.Event{Kind: obs.EvResumed, Value: float64(len(snap.Completed))})
 	if j.openEnded() {
 		// Re-issue the snapshot's chunk space; incomplete ids are queued
 		// below and issuance continues past the high-water mark on demand.
@@ -342,7 +402,8 @@ func (r *Registry) Cancel(id uint64) error {
 	r.removeActiveLocked(j)
 	delete(r.byKey, j.key)
 	r.policy.Forget(j.id)
-	r.logf("service: job %016x canceled", j.id)
+	j.trace(obs.Event{Kind: obs.EvCanceled})
+	r.log.Info("job canceled", "job", jobHex(j.id))
 	r.evictFinishedLocked()
 	r.checkDrainLocked()
 	return nil
@@ -382,8 +443,8 @@ func (r *Registry) sealJob(j *Job) {
 	r.cache.put(j.key, clone)
 	r.cache.putPhysics(j.pkey, clone)
 	close(j.finished)
-	r.logf("service: job %016x done (%d chunks, %d reassigned, %d duplicate, %d rejected)",
-		j.id, j.nChunks, j.reassigned, j.duplicates, j.rejected)
+	r.log.Info("job done", "job", jobHex(j.id), "chunks", j.nChunks,
+		"reassigned", j.reassigned, "duplicates", j.duplicates, "rejected", j.rejected)
 }
 
 // checkDrainLocked closes the drain channel once a one-shot registry has

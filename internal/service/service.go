@@ -30,9 +30,11 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"repro/internal/mc"
+	"repro/internal/obs"
 )
 
 // Options configure a Registry. The zero value is a long-lived multi-job
@@ -55,8 +57,19 @@ type Options struct {
 	// DefaultMaxTargetPhotons. An operator guard against a tight RelErr
 	// on a noisy observable monopolising the fleet.
 	MaxTargetPhotons int64
-	// Logf, if set, receives progress logging.
-	Logf func(format string, args ...any)
+	// MaxActiveJobs sheds fresh submissions (ErrOverloaded) while that many
+	// jobs are already queued or running; 0 means unbounded. Cache hits and
+	// coalesced submissions never shed — they add no work.
+	MaxActiveJobs int
+	// Obs receives the service-plane metrics; nil instruments into a
+	// private unexported registry (the counters still run — they are cheap
+	// atomics — but nothing scrapes them).
+	Obs *obs.Registry
+	// TraceEvents bounds each job's lifecycle event ring: 0 means
+	// obs.DefaultTraceEvents, negative disables per-job tracing.
+	TraceEvents int
+	// Logger, if set, receives structured progress logging (nil discards).
+	Logger *slog.Logger
 }
 
 // JobSpec describes one simulation job submitted to a Registry.

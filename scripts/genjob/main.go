@@ -1,0 +1,30 @@
+// Command genjob prints a small, valid POST /jobs request body for the
+// observability smoke test (scripts/obs-smoke.sh). Generating the JSON
+// from the real Spec types — instead of freezing a JSON string in the
+// shell script — keeps the smoke job compiling against whatever the
+// submission schema currently is.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/detector"
+	"repro/internal/mc"
+	"repro/internal/service"
+	"repro/internal/source"
+	"repro/internal/tissue"
+)
+
+func main() {
+	model := tissue.HomogeneousSlab("slab", tissue.ScalpProps, 5)
+	spec := mc.NewSpec(model,
+		source.Spec{Kind: source.KindPencil},
+		detector.Spec{Kind: detector.KindAnnulus, RMin: 1, RMax: 4})
+	req := service.JobRequest{Spec: spec, Photons: 2000, ChunkPhotons: 500, Seed: 7, Label: "smoke"}
+	b, err := json.Marshal(req)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(string(b))
+}

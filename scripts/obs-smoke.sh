@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# obs-smoke.sh — end-to-end smoke test of the observability plane.
+#
+# Boots a real mcqueue and one mcworker, submits a job over the HTTP API
+# with curl, and asserts the debug surface works from the outside:
+# /readyz gates on the fleet listener and checkpoint resume, /metrics
+# exposes the expected service- and worker-plane series with the right
+# values for this known job, GET /jobs/{id}/events tells the lifecycle
+# story, pprof answers, and SIGTERM shuts mcqueue down cleanly.
+#
+# Stdlib + curl only; run from anywhere inside the repo.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FLEET=127.0.0.1:19876
+HTTP=127.0.0.1:18080
+WDBG=127.0.0.1:18081
+
+WORK=$(mktemp -d)
+QPID= WPID=
+cleanup() {
+  [ -n "$WPID" ] && kill "$WPID" 2>/dev/null || true
+  [ -n "$QPID" ] && kill "$QPID" 2>/dev/null || true
+  wait 2>/dev/null || true
+  if [ "${FAILED:-0}" != 0 ]; then
+    echo "--- mcqueue log ---"; cat "$WORK/mcqueue.log" 2>/dev/null || true
+    echo "--- mcworker log ---"; cat "$WORK/mcworker.log" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  FAILED=1
+  echo "obs-smoke: FAIL: $*" >&2
+  exit 1
+}
+
+wait_http() { # url: poll until 200 or give up
+  for _ in $(seq 1 100); do
+    curl -fsS "$1" >/dev/null 2>&1 && return 0
+    sleep 0.2
+  done
+  fail "timeout waiting for $1"
+}
+
+echo "obs-smoke: building..."
+go build -o "$WORK" ./cmd/mcqueue ./cmd/mcworker
+go run ./scripts/genjob >"$WORK/job.json"
+
+"$WORK/mcqueue" -addr "$FLEET" -http "$HTTP" -log-format json \
+  -checkpoint-dir "$WORK/ckpt" >"$WORK/mcqueue.log" 2>&1 &
+QPID=$!
+wait_http "http://$HTTP/readyz"
+
+"$WORK/mcworker" -addr "$FLEET" -name smoke-worker -debug-addr "$WDBG" \
+  -log-format json >"$WORK/mcworker.log" 2>&1 &
+WPID=$!
+# Worker readiness flips only once its server session is established.
+wait_http "http://$WDBG/readyz"
+
+echo "obs-smoke: submitting job..."
+ID=$(curl -fsS -X POST "http://$HTTP/jobs" -d @"$WORK/job.json" |
+  sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p')
+[ -n "$ID" ] || fail "POST /jobs returned no job id"
+
+for _ in $(seq 1 150); do
+  STATE=$(curl -fsS "http://$HTTP/jobs/$ID" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')
+  [ "$STATE" = done ] && break
+  sleep 0.2
+done
+[ "$STATE" = done ] || fail "job stuck in state '$STATE'"
+
+curl -fsS "http://$HTTP/healthz" >/dev/null || fail "/healthz not OK"
+curl -fsS "http://$HTTP/debug/pprof/cmdline" >/dev/null || fail "pprof not mounted"
+
+echo "obs-smoke: checking scraped series..."
+METRICS=$(curl -fsS "http://$HTTP/metrics")
+expect() { # series value
+  echo "$METRICS" | grep -q "^$1 $2\$" ||
+    fail "expected '$1 $2' in /metrics, got: $(echo "$METRICS" | grep "^$1" || echo '<absent>')"
+}
+expect "service_jobs_submitted_total" 1
+expect "service_chunks_completed_total" 4       # 2000 photons / 500 per chunk
+expect "service_photons_reduced_total" 2000
+expect "fleet_sessions_total" 1
+expect 'service_jobs{state="done"}' 1
+echo "$METRICS" | grep -q '^service_reduce_seconds_bucket' || fail "reduce histogram absent"
+
+EVENTS=$(curl -fsS "http://$HTTP/jobs/$ID/events")
+for kind in submitted chunk-granted chunk-completed finalized; do
+  echo "$EVENTS" | grep -q "\"kind\":\"$kind\"" || fail "event trace missing '$kind'"
+done
+
+WMETRICS=$(curl -fsS "http://$WDBG/metrics")
+echo "$WMETRICS" | grep -q '^worker_photons_total 2000$' ||
+  fail "worker did not account 2000 photons: $(echo "$WMETRICS" | grep '^worker_photons' || true)"
+echo "$WMETRICS" | grep -q '^worker_chunks_computed_total 4$' || fail "worker chunk count wrong"
+echo "$WMETRICS" | grep -Eq '^worker_conn_frames_total\{dir="send",type="result-batch"\} [1-9]' ||
+  fail "wire frame counters silent"
+
+echo "obs-smoke: graceful shutdown..."
+kill -TERM "$QPID"
+ok=0
+for _ in $(seq 1 50); do
+  if ! kill -0 "$QPID" 2>/dev/null; then ok=1; break; fi
+  sleep 0.2
+done
+[ "$ok" = 1 ] || fail "mcqueue did not exit on SIGTERM"
+wait "$QPID" || fail "mcqueue exited non-zero on SIGTERM"
+QPID=
+
+echo "obs-smoke: PASS"

@@ -3,6 +3,7 @@ package phomc
 import (
 	"net/http"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -25,7 +26,22 @@ type (
 	RegistryStats = service.Stats
 	// SchedulingPolicy picks which job's chunk an idle worker receives.
 	SchedulingPolicy = service.Policy
+	// MetricsRegistry collects the service's counters, gauges and
+	// histograms and serves them as Prometheus text exposition. Pass one
+	// as RegistryOptions.Obs (or WorkerOptions.Obs / JobOptions.Obs) and
+	// mount NewMetricsHandler wherever the embedder's mux lives.
+	MetricsRegistry = obs.Registry
+	// JobEvent is one entry of a job's bounded lifecycle trace
+	// (GET /jobs/{id}/events).
+	JobEvent = obs.Event
 )
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewMetricsHandler serves reg as a Prometheus text-exposition scrape
+// endpoint (the body of GET /metrics).
+func NewMetricsHandler(reg *MetricsRegistry) http.Handler { return reg.Handler() }
 
 // NewJobRegistry returns an empty multi-job registry. Submit jobs with
 // Submit, serve workers with Serve/HandleConn, and expose the HTTP API
