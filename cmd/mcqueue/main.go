@@ -138,12 +138,20 @@ func main() {
 	logger.Info("mcqueue up", "fleet", l.Addr().String(), "http", hl.Addr().String(),
 		"policy", policy.Name())
 
-	// On SIGINT/SIGTERM: stop accepting and drain in-flight HTTP requests,
-	// then take the final checkpoint pass — no operator Ctrl-C loses a job,
-	// and no submission racing the shutdown is half-processed when the
-	// snapshot is cut.
+	// On SIGINT/SIGTERM the signal goroutine only drains the HTTP
+	// listeners; the final checkpoint pass runs in main, after srv.Serve
+	// has returned ErrServerClosed AND the drain has finished — Serve
+	// returns the instant Shutdown begins, so checkpointing from the
+	// goroutine would race main's exit and lose the pass entirely. No
+	// submission is half-processed when the snapshot is cut (the API is
+	// drained first), but worker connections on the fleet listener keep
+	// reducing result batches while checkpoints are written: each job's
+	// snapshot is internally consistent, not fleet-quiesced, and a
+	// reduction landing after its job's snapshot is simply recomputed on
+	// resume.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan struct{})
 	go func() {
 		s := <-sig
 		logger.Info("shutting down", "signal", s.String())
@@ -153,13 +161,7 @@ func main() {
 			debugSrv.Shutdown(ctx)
 		}
 		cancel()
-		saved, failed := saveCheckpoints(reg, *ckptDir, logger, ckpt)
-		logger.Info("checkpointed active jobs", "saved", saved, "dir", *ckptDir)
-		if failed > 0 {
-			logger.Error("some jobs could not be checkpointed", "failed", failed)
-			os.Exit(1)
-		}
-		os.Exit(0)
+		close(drained)
 	}()
 
 	go func() {
@@ -167,8 +169,15 @@ func main() {
 			logger.Error("fleet listener failed", "err", err)
 		}
 	}()
-	if err := srv.Serve(hl); err != nil && err != http.ErrServerClosed {
+	if err := srv.Serve(hl); err != http.ErrServerClosed {
 		fatal(err)
+	}
+	<-drained
+	saved, failed := saveCheckpoints(reg, *ckptDir, logger, ckpt)
+	logger.Info("checkpointed active jobs", "saved", saved, "dir", *ckptDir)
+	if failed > 0 {
+		logger.Error("some jobs could not be checkpointed", "failed", failed)
+		os.Exit(1)
 	}
 }
 

@@ -59,8 +59,10 @@ type WorkerOptions struct {
 }
 
 // workerMetrics is the worker loop's pre-resolved instrument set.
-// Registration is idempotent, so sequential sessions sharing one registry
-// accumulate into the same series.
+// Registration is idempotent, so sessions sharing one registry —
+// sequential or concurrent — accumulate into the same series: the
+// counters are monotonic, and the holding gauge is maintained with
+// per-session deltas (never Set), so concurrent sessions compose.
 type workerMetrics struct {
 	photons  *obs.Counter
 	chunks   *obs.Counter
@@ -312,6 +314,10 @@ func Work(rw io.ReadWriteCloser, opts WorkerOptions) (*WorkerStats, error) {
 	var known []uint64
 	var arena []byte
 	batch := newResultBatch()
+	// The holding gauge moves by deltas only (+1 per buffered chunk, -n per
+	// acked flush) so sessions sharing a registry compose; on any return the
+	// still-buffered chunks leave with the session.
+	defer func() { met.holding.Add(-int64(batch.chunks)) }()
 	stats := &WorkerStats{}
 	computed := 0
 
@@ -329,8 +335,8 @@ func Work(rw io.ReadWriteCloser, opts WorkerOptions) (*WorkerStats, error) {
 		}
 		stats.Batches++
 		met.flushes.Inc()
+		met.holding.Add(-int64(batch.chunks))
 		batch.reset()
-		met.holding.Set(0)
 	}
 
 	// flushStandalone pushes the buffer out on its own round trip — used
@@ -440,7 +446,7 @@ func Work(rw io.ReadWriteCloser, opts WorkerOptions) (*WorkerStats, error) {
 				met.chunks.Inc()
 				met.photons.Add(uint64(g.Photons))
 				met.chunkSec.Observe(elapsed.Seconds())
-				met.holding.Set(int64(batch.chunks))
+				met.holding.Inc()
 				log.Debug("chunk finished", "job", fmt.Sprintf("%016x", a.JobID),
 					"chunk", g.ChunkID, "photons", g.Photons,
 					"elapsed", elapsed, "buffered", batch.chunks)

@@ -236,19 +236,43 @@ func (r *Registry) GaugeVecFunc(name, help, label string, fn func() map[string]f
 
 // Histogram returns the unlabeled histogram with the given name. buckets
 // are upper bounds in increasing order (nil means DefBuckets); the +Inf
-// bucket is implicit.
+// bucket is implicit. Like kind and label mismatches, re-registering with
+// different buckets is a programming error and panics — the existing
+// child keeps its original bounds, so silently accepting new ones would
+// leave registration intent and exposition disagreeing.
 func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	if buckets == nil {
 		buckets = DefBuckets
 	}
 	f := r.register(name, help, kindHistogram, nil)
-	f.buckets = buckets
+	f.mu.Lock()
+	if f.buckets == nil {
+		f.buckets = append([]float64(nil), buckets...)
+	} else if !equalBounds(f.buckets, buckets) {
+		was := f.buckets
+		f.mu.Unlock()
+		panic(fmt.Sprintf("obs: histogram %q re-registered with buckets %v, was %v",
+			name, buckets, was))
+	}
+	f.mu.Unlock()
 	return f.child(nil, func() any {
 		return &Histogram{
 			bounds:  append([]float64(nil), buckets...),
 			buckets: make([]atomic.Uint64, len(buckets)+1),
 		}
 	}).(*Histogram)
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // joinLabelValues builds the child cache key. Values are joined with an

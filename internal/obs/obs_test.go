@@ -75,6 +75,20 @@ func TestRegisterKindMismatchPanics(t *testing.T) {
 	r.Gauge("m", "m")
 }
 
+func TestHistogramBucketMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Histogram("h_seconds", "h", []float64{1, 2})
+	if h2 := r.Histogram("h_seconds", "h", []float64{1, 2}); h2 != h1 {
+		t.Fatal("same buckets resolved to a different histogram")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a histogram with different buckets did not panic")
+		}
+	}()
+	r.Histogram("h_seconds", "h", []float64{1, 2, 4})
+}
+
 func TestEscaping(t *testing.T) {
 	r := NewRegistry()
 	r.CounterVec("esc_total", "line1\nline2 with \\ backslash", "path").

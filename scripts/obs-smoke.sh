@@ -6,7 +6,9 @@
 # /readyz gates on the fleet listener and checkpoint resume, /metrics
 # exposes the expected service- and worker-plane series with the right
 # values for this known job, GET /jobs/{id}/events tells the lifecycle
-# story, pprof answers, and SIGTERM shuts mcqueue down cleanly.
+# story, pprof answers, and SIGTERM shuts mcqueue down cleanly — with an
+# unfinished job still queued, so the final checkpoint pass must actually
+# run before the process exits (a drain that returns early loses it).
 #
 # Stdlib + curl only; run from anywhere inside the repo.
 set -euo pipefail
@@ -100,7 +102,18 @@ echo "$WMETRICS" | grep -q '^worker_chunks_computed_total 4$' || fail "worker ch
 echo "$WMETRICS" | grep -Eq '^worker_conn_frames_total\{dir="send",type="result-batch"\} [1-9]' ||
   fail "wire frame counters silent"
 
-echo "obs-smoke: graceful shutdown..."
+echo "obs-smoke: graceful shutdown checkpoints the active job..."
+# Stop the worker, then queue a job nothing can advance: it must still be
+# active when SIGTERM lands, so a clean exit proves the drain waited for
+# the final checkpoint pass instead of racing past it.
+kill "$WPID" 2>/dev/null || true
+wait "$WPID" 2>/dev/null || true
+WPID=
+go run ./scripts/genjob -photons 1000000 -seed 8 -label smoke-ckpt >"$WORK/bigjob.json"
+ID2=$(curl -fsS -X POST "http://$HTTP/jobs" -d @"$WORK/bigjob.json" |
+  sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p')
+[ -n "$ID2" ] || fail "second POST /jobs returned no job id"
+
 kill -TERM "$QPID"
 ok=0
 for _ in $(seq 1 50); do
@@ -110,5 +123,7 @@ done
 [ "$ok" = 1 ] || fail "mcqueue did not exit on SIGTERM"
 wait "$QPID" || fail "mcqueue exited non-zero on SIGTERM"
 QPID=
+[ -f "$WORK/ckpt/$ID2.ckpt" ] ||
+  fail "SIGTERM with an active job left no checkpoint in $WORK/ckpt"
 
 echo "obs-smoke: PASS"
