@@ -2,10 +2,15 @@
 
 GO ?= go
 
+# VERSION is stamped into the binaries (and surfaced as the mc_build_info
+# metric and the worker's telemetry report) via -ldflags -X.
+VERSION ?= $(shell git describe --always --dirty 2>/dev/null || echo dev)
+LDFLAGS = -X repro/internal/obs.Version=$(VERSION)
+
 .PHONY: build test race short bench bench-smoke cover fmt vet fuzz-smoke obs-smoke
 
 build:
-	$(GO) build ./...
+	$(GO) build -ldflags '$(LDFLAGS)' ./...
 
 test:
 	$(GO) test ./...
@@ -18,10 +23,10 @@ race:
 
 # bench writes the machine-readable perf snapshot for this PR series:
 # photons/sec and allocs/photon for the layered and voxel kernels, jobs/sec
-# for the multi-job service registry. Compare against the committed
-# BENCH_pr*.json trajectory.
+# for the multi-job service registry, and the telemetry on/off A/B.
+# Compare against the committed BENCH_pr*.json trajectory.
 bench:
-	$(GO) run ./cmd/mcbench -out BENCH_pr4.json
+	$(GO) run ./cmd/mcbench -out BENCH_pr7.json
 
 # bench-smoke is the CI bitrot guard: tiny budgets, noisy numbers, proves
 # the harness still runs.
@@ -30,7 +35,8 @@ bench-smoke:
 
 # obs-smoke boots a real mcqueue + mcworker pair, submits a job with curl
 # and asserts the debug surface (/readyz, /metrics series, the per-job
-# event trace, pprof, SIGTERM drain) from the outside.
+# event trace and spans, /fleet telemetry, mctop -once, pprof, SIGTERM
+# drain) from the outside.
 obs-smoke:
 	./scripts/obs-smoke.sh
 

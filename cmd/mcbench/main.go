@@ -1,7 +1,7 @@
 // Command mcbench measures the repository's headline throughput numbers
 // and writes them to a machine-readable JSON file, seeding the performance
-// trajectory across PRs (`make bench` → BENCH_pr4.json, alongside the
-// committed BENCH_pr2/pr3.json for comparison):
+// trajectory across PRs (`make bench` → BENCH_pr7.json, alongside the
+// committed BENCH_pr2/pr3/pr4.json for comparison):
 //
 //   - photons/sec of the layered kernel (Table 1 adult head),
 //   - photons/sec of the voxel kernel (the same head voxelized),
@@ -16,7 +16,8 @@
 //     gob-tally clients (the PR 3 wire behaviour, still spoken by the
 //     protocol), once by the v3 batched pre-reducing clients — so the
 //     result-plane overhaul is measured against itself, not against
-//     photon transport;
+//     photon transport — plus the same workload with the workers'
+//     piggybacked telemetry reports on vs off, pricing them;
 //   - the end-to-end distributed check: one realistic scoring job run
 //     locally with RunParallel and over a 3-worker in-memory fleet, with
 //     wire bytes per chunk under the gob and compact tally codecs.
@@ -29,6 +30,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net"
 	"os"
 	"runtime"
@@ -79,6 +81,14 @@ type Report struct {
 	OverheadBatchedUsPerChunk     float64 `json:"overheadBatchedUsPerChunk"`
 	ServicePlaneOverheadReduction float64 `json:"servicePlaneOverheadReduction"`
 
+	// Telemetry A/B: the same batched workload with the workers'
+	// piggybacked reports on (the default) vs off, server options
+	// identical — the cost of the telemetry itself, which must stay
+	// within noise (<3%). Best-of over interleaved paired rounds.
+	TelemetryOnJobsPerSec  float64 `json:"telemetryOnJobsPerSec"`
+	TelemetryOffJobsPerSec float64 `json:"telemetryOffJobsPerSec"`
+	TelemetryOverheadPct   float64 `json:"telemetryOverheadPct"`
+
 	// End-to-end distributed vs local on the same realistic job.
 	DistributedWorkers       int     `json:"distributedWorkers"`
 	LocalPhotonsPerSec       float64 `json:"localPhotonsPerSec"`
@@ -97,7 +107,7 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr4.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr7.json", "output JSON path")
 	photons := flag.Int64("photons", 200_000, "photons per kernel benchmark run")
 	jobs := flag.Int("jobs", 32, "jobs for the registry benchmark")
 	workers := flag.Int("workers", 4, "fleet size for the registry benchmark")
@@ -150,10 +160,11 @@ func main() {
 	fmt.Printf("registry:       %.1f jobs/sec (%d jobs over %d workers; physics-bound)\n",
 		rep.RegistryJobsPerSec, *jobs, *workers)
 
+	defaultOpts := service.Options{DrainOnEmpty: true, CacheSize: -1}
 	rep.ServicePlaneJobs = planeJobs
 	rep.ServicePlaneChunksPerJob = planeChunks
-	rep.ServicePlaneLegacyJobsPerSec = servicePlaneRate(planeJobs, planeChunks, *workers, legacyClient)
-	rep.ServicePlaneBatchedJobsPerSec = servicePlaneRate(planeJobs, planeChunks, *workers, batchedClient)
+	rep.ServicePlaneLegacyJobsPerSec = servicePlaneRate(planeJobs, planeChunks, *workers, legacyClient, defaultOpts)
+	rep.ServicePlaneBatchedJobsPerSec = servicePlaneRate(planeJobs, planeChunks, *workers, batchedClient, defaultOpts)
 	rep.ServicePlaneSpeedup = rep.ServicePlaneBatchedJobsPerSec / rep.ServicePlaneLegacyJobsPerSec
 	rep.ServicePlanePhysicsUsPerChunk = servicePlanePhysics(planeJobs, planeChunks)
 	perChunk := func(jobsPerSec float64) float64 {
@@ -168,6 +179,23 @@ func main() {
 		rep.ServicePlaneSpeedup, planeJobs, planeChunks,
 		rep.OverheadLegacyUsPerChunk, rep.OverheadBatchedUsPerChunk,
 		rep.ServicePlaneOverheadReduction, rep.ServicePlanePhysicsUsPerChunk)
+
+	// Telemetry A/B on the wire-bound workload, where a report's marginal
+	// bytes would show if they cost anything. The arms differ ONLY in the
+	// worker reports (server options identical — span stamps and event
+	// traces run in both, they are not what is being priced), and they
+	// interleave over paired rounds with best-of scoring so scheduler and
+	// GC drift lands on both arms instead of masquerading as overhead.
+	for round := 0; round < 3; round++ {
+		on := servicePlaneRate(planeJobs, planeChunks, *workers, batchedClient, defaultOpts)
+		off := servicePlaneRate(planeJobs, planeChunks, *workers, quietClient, defaultOpts)
+		rep.TelemetryOnJobsPerSec = math.Max(rep.TelemetryOnJobsPerSec, on)
+		rep.TelemetryOffJobsPerSec = math.Max(rep.TelemetryOffJobsPerSec, off)
+	}
+	rep.TelemetryOverheadPct = 100 * (rep.TelemetryOffJobsPerSec - rep.TelemetryOnJobsPerSec) /
+		rep.TelemetryOffJobsPerSec
+	fmt.Printf("telemetry A/B:  %.1f on vs %.1f off jobs/sec (%.2f%% overhead)\n",
+		rep.TelemetryOnJobsPerSec, rep.TelemetryOffJobsPerSec, rep.TelemetryOverheadPct)
 
 	distributedBench(&rep, *distPhotons, 3)
 	fmt.Printf("distributed:    %.0f photons/sec over %d workers vs %.0f local (%.2fx), "+
@@ -216,9 +244,15 @@ func kernelRate(cfg *mc.Config, photons int64) (rate, allocsPerPhoton, bytesPerP
 type client func(rw net.Conn, name string)
 
 // batchedClient is the production worker: v3 batched pre-reduction with
-// the compact tally codec.
+// the compact tally codec, telemetry reports on (the default).
 func batchedClient(rw net.Conn, name string) {
 	distsys.Work(rw, distsys.WorkerOptions{Name: name})
+}
+
+// quietClient is batchedClient with telemetry reporting disabled — the
+// "off" arm of the telemetry A/B.
+func quietClient(rw net.Conn, name string) {
+	distsys.Work(rw, distsys.WorkerOptions{Name: name, DisableTelemetry: true})
 }
 
 // legacyClient reproduces the PR 3-era wire behaviour on today's protocol:
@@ -321,8 +355,8 @@ func registryRate(jobs, workers int, c client) float64 {
 // servicePlaneRate is registryRate with photon transport reduced to noise
 // (one photon per chunk): jobs/sec here is scheduling, wire codec and
 // reduction cost — the plane this PR overhauls — measured per client kind.
-func servicePlaneRate(jobs, chunksPerJob, workers int, c client) float64 {
-	reg := service.New(service.Options{DrainOnEmpty: true, CacheSize: -1})
+func servicePlaneRate(jobs, chunksPerJob, workers int, c client, opts service.Options) float64 {
+	reg := service.New(opts)
 	model := tissue.HomogeneousSlab("slab", tissue.ScalpProps, 5)
 	handles := make([]*service.Job, 0, jobs)
 	for i := 0; i < jobs; i++ {

@@ -25,11 +25,16 @@
 // physics that already meets-or-exceeds the precision serves the request
 // from cache.
 //
-// The API listener also carries the debug surface — GET /metrics
-// (Prometheus text exposition), GET /healthz, GET /readyz (ready once the
-// fleet listener is up and checkpoint resume has finished), GET
-// /jobs/{id}/events (per-job lifecycle trace) and net/http/pprof under
-// /debug/pprof/ — unless -debug-addr moves it to its own listener.
+// The API also serves the introspection plane: GET /fleet (live worker
+// sessions with reported and inferred photon throughput), GET
+// /jobs/{id}/events (per-job lifecycle trace, filterable with ?kind= and
+// ?since=) and GET /jobs/{id}/spans (per-chunk queue/wire/compute/reduce
+// timing spans). cmd/mctop renders /fleet and /stats as a live terminal
+// dashboard. The API listener additionally carries the debug surface —
+// GET /metrics (Prometheus text exposition), GET /healthz, GET /readyz
+// (ready once the fleet listener is up and checkpoint resume has
+// finished) and net/http/pprof under /debug/pprof/ — unless -debug-addr
+// moves it to its own listener.
 // Logging is structured (-log-format text|json); -v only lowers the level
 // to debug, never changes destination or format. -max-active-jobs sheds
 // POST /jobs with 429 + Retry-After while that many jobs are queued or
@@ -54,6 +59,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/distsys"
 	"repro/internal/obs"
 	"repro/internal/service"
@@ -74,13 +80,15 @@ func main() {
 		"shed POST /jobs with 429 while this many jobs are queued or running (0: unbounded)")
 	traceEvents := fs.Int("trace-events", 0,
 		"per-job lifecycle event ring capacity (0: 512 default, negative: disable tracing)")
+	spanEvents := fs.Int("span-events", 0,
+		"per-job chunk span ring capacity (0: 512 default, negative: disable span recording)")
 	ckptDir := fs.String("checkpoint-dir", "mcqueue-ckpt",
 		"directory for shutdown checkpoints (resumed on next start)")
-	logFormat := fs.String("log-format", "text", "log output format: text or json")
-	verbose := fs.Bool("v", false, "debug-level logging (submissions, assignments, worker churn)")
+	var lf cli.LogFlags
+	lf.Register(fs)
 	fs.Parse(os.Args[1:])
 
-	logger, err := obs.NewLogger(os.Stderr, *logFormat, *verbose)
+	logger, err := lf.Build(os.Stderr)
 	if err != nil {
 		fatal(err)
 	}
@@ -99,6 +107,7 @@ func main() {
 		MaxTargetPhotons: *maxTarget,
 		MaxActiveJobs:    *maxActive,
 		TraceEvents:      *traceEvents,
+		SpanEvents:       *spanEvents,
 		Obs:              oreg,
 		Logger:           logger,
 	})

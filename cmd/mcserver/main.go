@@ -42,14 +42,14 @@ func main() {
 	seed := fs.Uint64("seed", 1, "master RNG seed")
 	timeout := fs.Duration("chunk-timeout", 5*time.Minute,
 		"reassign a chunk if no result arrives in this window")
-	logFormat := fs.String("log-format", "text", "log output format: text or json")
-	verbose := fs.Bool("v", false, "debug-level logging (assignments and worker churn)")
 	ckptPath := fs.String("checkpoint", "",
 		"periodically save a resumable job snapshot to this file")
 	resume := fs.Bool("resume", false, "resume the job from -checkpoint instead of starting fresh")
+	var lf cli.LogFlags
+	lf.Register(fs)
 	fs.Parse(os.Args[1:])
 
-	logger, err := obs.NewLogger(os.Stderr, *logFormat, *verbose)
+	logger, err := lf.Build(os.Stderr)
 	if err != nil {
 		fatal(err)
 	}

@@ -13,6 +13,12 @@
 // frame/byte counters), GET /healthz, GET /readyz (ready once the server
 // session is established) and net/http/pprof. Logging is structured
 // (-log-format text|json); -v only lowers the level to debug.
+//
+// The worker also piggybacks a small telemetry report on its chunk
+// requests — smoothed photons/sec, per-chunk compute and encode seconds,
+// goroutine and heap stats, build version — which the server surfaces on
+// GET /fleet. -no-telemetry suppresses it (the wire protocol is
+// unchanged either way; a report is an optional field).
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/distsys"
 	"repro/internal/obs"
 )
@@ -35,11 +42,13 @@ func main() {
 	mflops := flag.Float64("mflops", 0, "self-reported processing rate (informational)")
 	slowdown := flag.Float64("slowdown", 0,
 		"artificial slowdown factor (testing heterogeneous fleets)")
-	logFormat := flag.String("log-format", "text", "log output format: text or json")
-	verbose := flag.Bool("v", false, "debug-level logging (each chunk)")
+	noTelemetry := flag.Bool("no-telemetry", false,
+		"do not piggyback worker telemetry reports on chunk requests")
+	var lf cli.LogFlags
+	lf.Register(flag.CommandLine)
 	flag.Parse()
 
-	logger, err := obs.NewLogger(os.Stderr, *logFormat, *verbose)
+	logger, err := lf.Build(os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcworker:", err)
 		os.Exit(1)
@@ -60,12 +69,13 @@ func main() {
 	}
 
 	opts := distsys.WorkerOptions{
-		Name:     *name,
-		Mflops:   *mflops,
-		Slowdown: *slowdown,
-		Obs:      oreg,
-		Ready:    ready,
-		Logger:   logger,
+		Name:             *name,
+		Mflops:           *mflops,
+		Slowdown:         *slowdown,
+		DisableTelemetry: *noTelemetry,
+		Obs:              oreg,
+		Ready:            ready,
+		Logger:           logger,
 	}
 
 	start := time.Now()

@@ -101,6 +101,22 @@
 // dispatch lock via a per-job reducer. See DESIGN.md's "Result plane"
 // section for the wire layout and invariants.
 //
+// # Fleet introspection
+//
+// The service answers not just "how much" (Prometheus-style /metrics,
+// structured logs, per-job lifecycle traces at /jobs/{id}/events with
+// ?kind= and ?since= filters) but "who" and "where the time went":
+// workers piggyback a small telemetry report on their task requests —
+// kernel photons/sec EWMA, per-chunk compute/encode seconds, holding
+// depth, runtime stats, build version — as additive gob fields a v4
+// worker simply omits. The registry folds reports into per-session
+// profiles served at GET /fleet (FleetSession), joins its own
+// queued/granted/arrival stamps with the worker-reported compute time
+// into per-chunk spans (ChunkSpan: queue, wire, compute and reduce
+// segments, served at /jobs/{id}/spans and fed into aggregate
+// histograms), and cmd/mctop renders the whole plane as a live
+// terminal dashboard. See DESIGN.md's "Fleet introspection" section.
+//
 // # Performance
 //
 // The per-photon hot path is allocation-free and trig-free: exponential

@@ -1,0 +1,29 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"log/slog"
+
+	"repro/internal/obs"
+)
+
+// LogFlags collects the structured-logging flags every daemon shares:
+// -log-format selects the slog handler, -v lowers the level to debug.
+type LogFlags struct {
+	Format  string
+	Verbose bool
+}
+
+// Register attaches the logging flags to fs.
+func (lf *LogFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&lf.Format, "log-format", "text", "log output format: text or json")
+	fs.BoolVar(&lf.Verbose, "v", false, "debug-level logging")
+}
+
+// Build validates the flags into a logger writing to w. An unknown
+// -log-format is an error the daemons exit on — a typo must not silently
+// fall back to text and break a fleet's log pipeline.
+func (lf *LogFlags) Build(w io.Writer) (*slog.Logger, error) {
+	return obs.NewLogger(w, lf.Format, lf.Verbose)
+}

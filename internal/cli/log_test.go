@@ -1,0 +1,63 @@
+package cli
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestLogFlags table-tests the shared -log-format / -v plumbing: every
+// daemon parses these through LogFlags, so a bad format must surface as a
+// Build error (the daemons exit on it) rather than a silent text fallback.
+func TestLogFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr bool
+		verbose bool
+		marker  string // substring an Info line must contain
+	}{
+		{name: "defaults", args: nil, marker: "msg=hello"},
+		{name: "explicit text", args: []string{"-log-format", "text"}, marker: "msg=hello"},
+		{name: "json", args: []string{"-log-format", "json"}, marker: `"msg":"hello"`},
+		{name: "verbose", args: []string{"-v"}, verbose: true, marker: "msg=hello"},
+		{name: "unknown format", args: []string{"-log-format", "yaml"}, wantErr: true},
+		{name: "empty format", args: []string{"-log-format", ""}, marker: "msg=hello"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := flag.NewFlagSet("test", flag.ContinueOnError)
+			fs.SetOutput(io.Discard)
+			var lf LogFlags
+			lf.Register(fs)
+			if err := fs.Parse(tc.args); err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if lf.Verbose != tc.verbose {
+				t.Fatalf("Verbose = %v, want %v", lf.Verbose, tc.verbose)
+			}
+			var buf bytes.Buffer
+			logger, err := lf.Build(&buf)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Build accepted format %q", lf.Format)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			logger.Info("hello")
+			if got := buf.String(); !strings.Contains(got, tc.marker) {
+				t.Fatalf("log line %q missing %q", got, tc.marker)
+			}
+			buf.Reset()
+			logger.Debug("quiet")
+			if got := buf.String(); (got != "") != tc.verbose {
+				t.Fatalf("debug line with verbose=%v: %q", tc.verbose, got)
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"log/slog"
 	"net"
+	"runtime"
 	"time"
 
 	"repro/internal/mc"
@@ -56,6 +57,76 @@ type WorkerOptions struct {
 	Ready *obs.Readiness
 	// Logger, if set, receives structured progress logging (nil discards).
 	Logger *slog.Logger
+	// DisableTelemetry stops the session from piggybacking WorkerReports
+	// and per-chunk compute timings on the wire (the server falls back to
+	// ack-timing inference, as with a pre-telemetry worker). Mainly an A/B
+	// lever for benchmarks.
+	DisableTelemetry bool
+}
+
+// Telemetry cadence: a WorkerReport rides at most one TaskRequest per
+// reportInterval (the EWMAs change slowly, so more would be wire cost for
+// no information), and the runtime stats inside it refresh at most once
+// per runtimeInterval (runtime.ReadMemStats stops the world briefly).
+const (
+	reportInterval  = 250 * time.Millisecond
+	runtimeInterval = time.Second
+)
+
+// workerTelemetry accumulates the session's self-measured profile: EWMAs
+// of kernel throughput and per-chunk compute/encode time (same 0.7/0.3
+// blend the server uses for its ack-timing chunkSecs), plus rate-limited
+// Go runtime stats. Single-goroutine like the rest of the session loop.
+type workerTelemetry struct {
+	pps         float64 // photons per second, EWMA
+	chunkSecs   float64 // per-chunk compute seconds, EWMA
+	encodeSecs  float64 // per-flush batch encode seconds, EWMA
+	lastReport  time.Time
+	lastRuntime time.Time
+	goroutines  int
+	heapBytes   uint64
+}
+
+// ewma blends a new sample into the running average, seeding on first use.
+func ewma(cur, sample float64) float64 {
+	if cur == 0 {
+		return sample
+	}
+	return 0.7*cur + 0.3*sample
+}
+
+// chunk folds one computed chunk into the throughput EWMAs.
+func (t *workerTelemetry) chunk(photons int64, elapsed time.Duration) {
+	if secs := elapsed.Seconds(); secs > 0 {
+		t.pps = ewma(t.pps, float64(photons)/secs)
+		t.chunkSecs = ewma(t.chunkSecs, secs)
+	}
+}
+
+// maybeReport returns the report to piggyback on the next TaskRequest, or
+// nil when one rode the wire less than reportInterval ago.
+func (t *workerTelemetry) maybeReport(holding int) *protocol.WorkerReport {
+	now := time.Now()
+	if !t.lastReport.IsZero() && now.Sub(t.lastReport) < reportInterval {
+		return nil
+	}
+	t.lastReport = now
+	if t.lastRuntime.IsZero() || now.Sub(t.lastRuntime) >= runtimeInterval {
+		t.lastRuntime = now
+		t.goroutines = runtime.NumGoroutine()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		t.heapBytes = ms.HeapAlloc
+	}
+	return &protocol.WorkerReport{
+		PhotonsPerSec: t.pps,
+		ChunkSecs:     t.chunkSecs,
+		EncodeSecs:    t.encodeSecs,
+		Holding:       holding,
+		Goroutines:    t.goroutines,
+		HeapBytes:     t.heapBytes,
+		Version:       obs.Version,
+	}
 }
 
 // workerMetrics is the worker loop's pre-resolved instrument set.
@@ -151,22 +222,26 @@ const maxCachedJobs = 32
 // workerGroup accumulates one job's pre-reduced results inside a batch.
 type workerGroup struct {
 	chunks  []int
-	photons []int64 // parallel to chunks, for ack-time accounting
+	photons []int64   // parallel to chunks, for ack-time accounting
+	secs    []float64 // parallel to chunks, per-chunk compute time (telemetry)
 	elapsed time.Duration
 	tally   *mc.Tally
 }
 
 // resultBatch is the worker-side pre-reduction buffer: consecutive chunk
 // tallies merge per job, and the whole buffer flushes as one ResultBatch.
+// trackSecs selects whether flushes carry the per-chunk compute timings
+// (off when the session disables telemetry).
 type resultBatch struct {
-	groups map[uint64]*workerGroup
-	order  []uint64
-	chunks int
-	oldest time.Time
+	groups    map[uint64]*workerGroup
+	order     []uint64
+	chunks    int
+	oldest    time.Time
+	trackSecs bool
 }
 
-func newResultBatch() *resultBatch {
-	return &resultBatch{groups: make(map[uint64]*workerGroup)}
+func newResultBatch(trackSecs bool) *resultBatch {
+	return &resultBatch{groups: make(map[uint64]*workerGroup), trackSecs: trackSecs}
 }
 
 // add folds one chunk result into the buffer.
@@ -181,6 +256,9 @@ func (b *resultBatch) add(jobID uint64, chunkID int, photons int64, elapsed time
 	}
 	g.chunks = append(g.chunks, chunkID)
 	g.photons = append(g.photons, photons)
+	if b.trackSecs {
+		g.secs = append(g.secs, elapsed.Seconds())
+	}
 	g.elapsed += elapsed
 	if b.chunks == 0 {
 		b.oldest = time.Now()
@@ -221,6 +299,7 @@ func (b *resultBatch) encode(arena []byte) (*protocol.ResultBatch, []byte) {
 			Chunks:    g.chunks,
 			Elapsed:   g.elapsed,
 			TallyData: arena[offs[i]:offs[i+1]:offs[i+1]],
+			ChunkSecs: g.secs,
 		}
 	}
 	return &protocol.ResultBatch{Groups: groups}, arena
@@ -313,7 +392,8 @@ func Work(rw io.ReadWriteCloser, opts WorkerOptions) (*WorkerStats, error) {
 	jobs := make(map[uint64]*jobRuntime)
 	var known []uint64
 	var arena []byte
-	batch := newResultBatch()
+	tel := &workerTelemetry{}
+	batch := newResultBatch(!opts.DisableTelemetry)
 	// The holding gauge moves by deltas only (+1 per buffered chunk, -n per
 	// acked flush) so sessions sharing a registry compose; on any return the
 	// still-buffered chunks leave with the session.
@@ -339,6 +419,18 @@ func Work(rw io.ReadWriteCloser, opts WorkerOptions) (*WorkerStats, error) {
 		batch.reset()
 	}
 
+	// encodeBatch renders the buffer for the wire, feeding the encode-time
+	// EWMA the telemetry report carries.
+	encodeBatch := func() *protocol.ResultBatch {
+		start := time.Now()
+		var wire *protocol.ResultBatch
+		wire, arena = batch.encode(arena)
+		if !opts.DisableTelemetry {
+			tel.encodeSecs = ewma(tel.encodeSecs, time.Since(start).Seconds())
+		}
+		return wire
+	}
+
 	// flushStandalone pushes the buffer out on its own round trip — used
 	// when the server has no work to piggyback on, and before idling, so
 	// held results never gate a job's completion.
@@ -346,8 +438,7 @@ func Work(rw io.ReadWriteCloser, opts WorkerOptions) (*WorkerStats, error) {
 		if batch.chunks == 0 {
 			return nil
 		}
-		var wire *protocol.ResultBatch
-		wire, arena = batch.encode(arena)
+		wire := encodeBatch()
 		if err := pc.Send(&protocol.Message{Type: protocol.MsgResultBatch, Batch: wire}); err != nil {
 			return err
 		}
@@ -371,10 +462,13 @@ func Work(rw io.ReadWriteCloser, opts WorkerOptions) (*WorkerStats, error) {
 	want := 1
 	for {
 		req := &protocol.TaskRequest{KnownJobs: known, Want: want}
+		if !opts.DisableTelemetry {
+			req.Report = tel.maybeReport(batch.chunks)
+		}
 		flushing := batch.chunks > 0 &&
 			(batch.chunks >= opts.FlushChunks || time.Since(batch.oldest) >= opts.FlushAge)
 		if flushing {
-			req.Batch, arena = batch.encode(arena)
+			req.Batch = encodeBatch()
 		} else {
 			req.Holding = batch.refs()
 		}
@@ -442,6 +536,9 @@ func Work(rw io.ReadWriteCloser, opts WorkerOptions) (*WorkerStats, error) {
 						a.JobID, g.ChunkID, err)
 				}
 				stats.Compute += elapsed
+				if !opts.DisableTelemetry {
+					tel.chunk(g.Photons, elapsed)
+				}
 				computed++
 				met.chunks.Inc()
 				met.photons.Add(uint64(g.Photons))

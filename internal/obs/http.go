@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Readiness is a set of named readiness conditions; the /readyz probe is
@@ -76,7 +78,20 @@ func HealthHandler() http.Handler {
 // (text exposition of reg), GET /healthz, GET /readyz (ready), and the
 // net/http/pprof profiling endpoints under /debug/pprof/. A nil ready
 // makes /readyz track liveness only.
+//
+// It also registers the process-identity series every daemon shares:
+// mc_build_info{version,goversion} (constant 1, version from the
+// link-time Version stamp) and process_uptime_seconds (seconds since this
+// RegisterDebug call — daemons mount their debug surface at startup, so
+// that is process start for practical purposes).
 func RegisterDebug(mux *http.ServeMux, reg *Registry, ready *Readiness) {
+	reg.GaugeVec("mc_build_info",
+		"Build identity; constant 1 with version and Go toolchain labels.",
+		"version", "goversion").With(Version, runtime.Version()).Set(1)
+	start := time.Now()
+	reg.GaugeFunc("process_uptime_seconds",
+		"Seconds since the process mounted its debug surface.",
+		func() float64 { return time.Since(start).Seconds() })
 	mux.Handle("GET /metrics", reg.Handler())
 	mux.Handle("GET /healthz", HealthHandler())
 	if ready != nil {

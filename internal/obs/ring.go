@@ -1,0 +1,62 @@
+package obs
+
+import "sync"
+
+// ring is the bounded buffer shared by the per-job lifecycle Trace and the
+// per-chunk Spans: when full, the oldest entries are overwritten and
+// counted as dropped, so recent history is always reconstructable at a
+// fixed memory cost no matter how many entries churned through.
+//
+// The backing array grows geometrically toward cap instead of being
+// preallocated: a short-lived job (the common case — the service-plane
+// bench creates thousands per second) pays for the handful of entries it
+// records, not for the full ring it never fills.
+type ring[T any] struct {
+	mu      sync.Mutex
+	cap     int // maximum ring size; len(buf) grows toward it
+	buf     []T
+	start   int // index of the oldest entry
+	n       int // live entries in the ring
+	dropped uint64
+}
+
+// record appends one entry, overwriting the oldest when full.
+func (r *ring[T]) record(v T) {
+	r.mu.Lock()
+	if r.n == len(r.buf) && len(r.buf) < r.cap {
+		// Grow toward cap. The ring has never wrapped while it is still
+		// growing (start stays 0 until the first overwrite), so a plain
+		// copy preserves order.
+		next := len(r.buf) * 2
+		if next == 0 {
+			next = 8
+		}
+		if next > r.cap {
+			next = r.cap
+		}
+		grown := make([]T, next)
+		copy(grown, r.buf)
+		r.buf = grown
+	}
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = v
+		r.n++
+	} else {
+		r.buf[r.start] = v
+		r.start = (r.start + 1) % len(r.buf)
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// snapshot returns the retained entries in insertion order and how many
+// older entries the ring has overwritten.
+func (r *ring[T]) snapshot() (entries []T, dropped uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	entries = make([]T, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		entries = append(entries, r.buf[(r.start+i)%len(r.buf)])
+	}
+	return entries, r.dropped
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRingGrowThenWrap drives one ring across both regimes — geometric
+// growth toward cap, then overwrite-oldest — and checks the retained
+// window and the dropped counter agree at every step.
+func TestRingGrowThenWrap(t *testing.T) {
+	const capacity = 20
+	r := &ring[int]{cap: capacity}
+	for i := 0; i < 100; i++ {
+		r.record(i)
+		got, dropped := r.snapshot()
+		wantLen, wantDropped := i+1, uint64(0)
+		if i+1 > capacity {
+			wantLen, wantDropped = capacity, uint64(i+1-capacity)
+		}
+		if len(got) != wantLen || dropped != wantDropped {
+			t.Fatalf("after %d records: %d retained (want %d), %d dropped (want %d)",
+				i+1, len(got), wantLen, dropped, wantDropped)
+		}
+		// The retained window is always the most recent entries, in order.
+		for k, v := range got {
+			if want := i + 1 - wantLen + k; v != want {
+				t.Fatalf("after %d records: entry %d = %d, want %d", i+1, k, v, want)
+			}
+		}
+	}
+}
+
+func TestRingSmallCapNeverOverallocates(t *testing.T) {
+	r := &ring[int]{cap: 3}
+	for i := 0; i < 10; i++ {
+		r.record(i)
+	}
+	if len(r.buf) != 3 {
+		t.Fatalf("backing array grew to %d for cap 3", len(r.buf))
+	}
+	got, dropped := r.snapshot()
+	if len(got) != 3 || got[0] != 7 || got[2] != 9 || dropped != 7 {
+		t.Fatalf("got %v, dropped %d", got, dropped)
+	}
+}
+
+// TestTraceConcurrentRecordSnapshot hammers one Trace from writer and
+// reader goroutines at once; under -race this is the data-race check for
+// the ring the HTTP events handler reads while the reducer writes.
+func TestTraceConcurrentRecordSnapshot(t *testing.T) {
+	tr := NewTrace(64)
+	const writers, perWriter = 4, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tr.Record(Event{Kind: EvChunkCompleted, Chunk: w*perWriter + i})
+			}
+		}(w)
+	}
+	var rg sync.WaitGroup
+	for rdr := 0; rdr < 2; rdr++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				evs, dropped := tr.Snapshot()
+				if len(evs)+int(dropped) > writers*perWriter {
+					t.Errorf("snapshot accounts for %d events, only %d recorded",
+						len(evs)+int(dropped), writers*perWriter)
+					return
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	evs, dropped := tr.Snapshot()
+	if len(evs) != 64 || int(dropped) != writers*perWriter-64 {
+		t.Fatalf("final state: %d retained, %d dropped", len(evs), dropped)
+	}
+}
+
+func TestParseEventKind(t *testing.T) {
+	for k := EvSubmitted; k <= EvCanceled; k++ {
+		got, ok := ParseEventKind(k.String())
+		if !ok || got != k {
+			t.Fatalf("ParseEventKind(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := ParseEventKind("no-such-kind"); ok {
+		t.Fatal("ParseEventKind accepted garbage")
+	}
+	if _, ok := ParseEventKind(""); ok {
+		t.Fatal("ParseEventKind accepted empty string")
+	}
+}
+
+func TestSpansRingAndNilSafety(t *testing.T) {
+	var nilSpans *Spans
+	nilSpans.Record(Span{Chunk: 1}) // must not panic
+	if sps, dropped := nilSpans.Snapshot(); sps != nil || dropped != 0 {
+		t.Fatalf("nil Spans snapshot: %v, %d", sps, dropped)
+	}
+
+	s := NewSpans(4)
+	base := time.Now()
+	for i := 0; i < 6; i++ {
+		s.Record(Span{Chunk: i, Worker: "w", Granted: base,
+			Queue: time.Duration(i) * time.Millisecond})
+	}
+	sps, dropped := s.Snapshot()
+	if len(sps) != 4 || dropped != 2 {
+		t.Fatalf("got %d spans, %d dropped", len(sps), dropped)
+	}
+	if sps[0].Chunk != 2 || sps[3].Chunk != 5 {
+		t.Fatalf("span window wrong: %+v", sps)
+	}
+
+	if NewSpans(0) == nil || NewSpans(-1) == nil {
+		t.Fatal("NewSpans must default non-positive capacities")
+	}
+}

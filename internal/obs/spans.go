@@ -1,0 +1,65 @@
+package obs
+
+import "time"
+
+// Span is one chunk's cross-process timing breakdown, joined from
+// server-side stamps (grant, flush arrival, reduce) and the
+// worker-reported compute duration:
+//
+//	Queue   — chunk issued (or requeued) -> granted to a worker
+//	Wire    — granted -> result arrival, minus compute: encode/decode,
+//	          network, and any time the chunk sat in the worker's
+//	          pre-reduction hold buffer
+//	Compute — worker-reported kernel time for this chunk (server-inferred
+//	          share of the batch when the worker reported none)
+//	Reduce  — this chunk's share of merging its batch into the job tally
+//
+// Durations, not absolute pairs, so a span stays meaningful across the
+// two clocks involved (queue/wire/reduce are server-clock, compute is
+// worker-clock).
+type Span struct {
+	Chunk   int
+	Worker  string
+	Granted time.Time // server clock; orders spans and anchors the record
+	Queue   time.Duration
+	Wire    time.Duration
+	Compute time.Duration
+	Reduce  time.Duration
+}
+
+// Spans is a bounded ring of per-chunk spans (see ring for the
+// overwrite-oldest and grow-toward-cap semantics). A nil *Spans drops
+// everything (span recording disabled).
+type Spans struct {
+	ring ring[Span]
+}
+
+// DefaultSpanEvents is the per-job span ring capacity when the operator
+// names none.
+const DefaultSpanEvents = 512
+
+// NewSpans returns a ring holding up to capacity spans (<= 0 means
+// DefaultSpanEvents).
+func NewSpans(capacity int) *Spans {
+	if capacity <= 0 {
+		capacity = DefaultSpanEvents
+	}
+	return &Spans{ring: ring[Span]{cap: capacity}}
+}
+
+// Record appends a span, overwriting the oldest when full.
+func (s *Spans) Record(sp Span) {
+	if s == nil {
+		return
+	}
+	s.ring.record(sp)
+}
+
+// Snapshot returns the retained spans in insertion order and how many
+// older spans the ring has overwritten.
+func (s *Spans) Snapshot() (spans []Span, dropped uint64) {
+	if s == nil {
+		return nil, 0
+	}
+	return s.ring.snapshot()
+}

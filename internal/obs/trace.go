@@ -1,7 +1,6 @@
 package obs
 
 import (
-	"sync"
 	"time"
 )
 
@@ -68,6 +67,17 @@ func (k EventKind) String() string {
 	}
 }
 
+// ParseEventKind maps the JSON spelling back to its EventKind (the inverse
+// of String); ok is false for names no kind produces.
+func ParseEventKind(s string) (k EventKind, ok bool) {
+	for k := EvSubmitted; k <= EvCanceled; k++ {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
 // Event is one entry of a job's lifecycle trace. Chunk is -1 for events
 // that are not chunk-scoped.
 type Event struct {
@@ -79,23 +89,11 @@ type Event struct {
 	Value  float64
 }
 
-// Trace is a bounded ring of lifecycle events. When full, the oldest
-// events are overwritten and counted as dropped — a job's recent history
-// is always reconstructable at a fixed memory cost, no matter how many
-// chunks it churned through. A nil *Trace drops everything (tracing
-// disabled).
-//
-// The backing array grows geometrically toward cap instead of being
-// preallocated: a short-lived job (the common case — the service-plane
-// bench creates thousands per second) pays for the handful of events it
-// records, not for the full ring it never fills.
+// Trace is a bounded ring of lifecycle events (see ring for the
+// overwrite-oldest and grow-toward-cap semantics). A nil *Trace drops
+// everything (tracing disabled).
 type Trace struct {
-	mu      sync.Mutex
-	cap     int // maximum ring size; len(ring) grows toward it
-	ring    []Event
-	start   int // index of the oldest event
-	n       int // live events in the ring
-	dropped uint64
+	ring ring[Event]
 }
 
 // DefaultTraceEvents is the per-job ring capacity when the operator names
@@ -108,7 +106,7 @@ func NewTrace(capacity int) *Trace {
 	if capacity <= 0 {
 		capacity = DefaultTraceEvents
 	}
-	return &Trace{cap: capacity}
+	return &Trace{ring: ring[Event]{cap: capacity}}
 }
 
 // Record appends an event, stamping it with the current time if unset.
@@ -119,31 +117,7 @@ func (t *Trace) Record(e Event) {
 	if e.Time.IsZero() {
 		e.Time = time.Now()
 	}
-	t.mu.Lock()
-	if t.n == len(t.ring) && len(t.ring) < t.cap {
-		// Grow toward cap. The ring has never wrapped while it is still
-		// growing (start stays 0 until the first overwrite), so a plain
-		// copy preserves order.
-		next := len(t.ring) * 2
-		if next == 0 {
-			next = 8
-		}
-		if next > t.cap {
-			next = t.cap
-		}
-		grown := make([]Event, next)
-		copy(grown, t.ring)
-		t.ring = grown
-	}
-	if t.n < len(t.ring) {
-		t.ring[(t.start+t.n)%len(t.ring)] = e
-		t.n++
-	} else {
-		t.ring[t.start] = e
-		t.start = (t.start + 1) % len(t.ring)
-		t.dropped++
-	}
-	t.mu.Unlock()
+	t.ring.record(e)
 }
 
 // Snapshot returns the retained events in chronological order and how
@@ -152,11 +126,5 @@ func (t *Trace) Snapshot() (events []Event, dropped uint64) {
 	if t == nil {
 		return nil, 0
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	events = make([]Event, 0, t.n)
-	for i := 0; i < t.n; i++ {
-		events = append(events, t.ring[(t.start+i)%len(t.ring)])
-	}
-	return events, t.dropped
+	return t.ring.snapshot()
 }

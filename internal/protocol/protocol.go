@@ -156,11 +156,43 @@ const MaxKnownJobs = 4096
 // job in a single TaskAssign (the Extra grants), amortising the
 // request/assign round trip the way ResultBatch amortises the result
 // path. 0 or 1 keeps the one-chunk-per-round-trip behaviour.
+// Report, when set, piggybacks the worker's self-measured telemetry (see
+// WorkerReport). All of the telemetry fields are additive: gob leaves
+// absent fields zero, so a v4 peer that predates them interoperates
+// unchanged — which is why Version is still 4.
 type TaskRequest struct {
 	KnownJobs []uint64
 	Holding   []ChunkRef
 	Batch     *ResultBatch
 	Want      int
+	Report    *WorkerReport
+}
+
+// MaxReportVersion bounds the WorkerReport build-string length; Recv
+// rejects longer ones (a version string is tens of bytes, not kilobytes).
+const MaxReportVersion = 128
+
+// WorkerReport is a worker's compact self-portrait, piggybacked on a
+// TaskRequest so the server's per-session profile reflects what the
+// worker measured rather than only what the server can infer from ack
+// timing. Workers attach it at a gentle cadence (not every request), so
+// any single report may be slightly stale; the server folds each one into
+// its session profile as it arrives.
+type WorkerReport struct {
+	// PhotonsPerSec is the worker's EWMA of kernel throughput.
+	PhotonsPerSec float64
+	// ChunkSecs / EncodeSecs are EWMAs of per-chunk compute and
+	// batch-encode wall time.
+	ChunkSecs  float64
+	EncodeSecs float64
+	// Holding is the worker's pre-reduction buffer depth at send time.
+	Holding int
+	// Goroutines and HeapBytes are Go runtime stats (sampled, rate-limited
+	// worker-side — ReadMemStats is not free).
+	Goroutines int
+	HeapBytes  uint64
+	// Version is the worker's build/version string (obs.Version).
+	Version string
 }
 
 // ChunkRef names one chunk of one job.
@@ -216,11 +248,17 @@ const MaxBatchChunks = 4096
 // the compact mc codec (mc.AppendTally). Carrying bytes instead of a
 // *mc.Tally keeps the envelope's gob cost flat and lets the server decode
 // off the registry lock into a reusable scratch tally.
+// ChunkSecs, when non-empty, is the per-chunk compute wall time parallel
+// to Chunks — the worker-side timing that lets the server split Elapsed
+// into true per-chunk spans instead of assuming a uniform share. Additive
+// (v4 workers that omit it still reduce fine); Recv requires its length
+// to be zero or exactly len(Chunks).
 type BatchGroup struct {
 	JobID     uint64
 	Chunks    []int
 	Elapsed   time.Duration // summed compute time of the covered chunks
 	TallyData []byte
+	ChunkSecs []float64
 }
 
 // ResultBatch carries one or more pre-reduced groups. Groups for distinct
@@ -423,6 +461,10 @@ func (c *Conn) Recv() (*Message, error) {
 			return nil, fmt.Errorf("protocol: task request holds %d chunks, max %d",
 				len(m.Request.Holding), MaxBatchChunks)
 		}
+		if rep := m.Request.Report; rep != nil && len(rep.Version) > MaxReportVersion {
+			return nil, fmt.Errorf("protocol: worker report version string is %d bytes, max %d",
+				len(rep.Version), MaxReportVersion)
+		}
 	}
 	if m.Assign != nil && len(m.Assign.Extra) > MaxGrantChunks-1 {
 		return nil, fmt.Errorf("protocol: task assign grants %d chunks, max %d",
@@ -442,6 +484,10 @@ func (c *Conn) Recv() (*Message, error) {
 		for i := range b.Groups {
 			if len(b.Groups[i].Chunks) == 0 {
 				return nil, fmt.Errorf("protocol: result batch group %d covers no chunks", i)
+			}
+			if ns := len(b.Groups[i].ChunkSecs); ns != 0 && ns != len(b.Groups[i].Chunks) {
+				return nil, fmt.Errorf("protocol: result batch group %d has %d chunk timings for %d chunks",
+					i, ns, len(b.Groups[i].Chunks))
 			}
 		}
 	}

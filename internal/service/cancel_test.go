@@ -140,7 +140,7 @@ func TestUndecodableBatchRejectedAndRequeued(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess := reg.registerSession(&protocol.Hello{Name: "hostile"})
+	sess := reg.registerSession(&protocol.Hello{Name: "hostile"}, "")
 	defer reg.releaseSession(sess)
 
 	msg := reg.nextAssignment(sess, &protocol.TaskRequest{Want: 2})

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"time"
 
 	"repro/internal/mc"
@@ -18,7 +19,9 @@ type session struct {
 	id        uint64
 	name      string
 	mflops    float64
+	remote    string // transport remote address ("" for in-memory pipes)
 	connected time.Time
+	lastSeen  time.Time // last TaskRequest or result from this connection
 	// assigned is the set of chunks this session owns: the one it is
 	// computing plus any it has computed but not yet flushed (protocol v3
 	// workers batch results). An entry lives until its result is reduced,
@@ -26,6 +29,27 @@ type session struct {
 	// connection drops.
 	assigned  map[chunkRef]*assignment
 	knownJobs map[uint64]bool // descriptors already shipped on this conn
+
+	// Per-session profile: the worker's latest piggybacked WorkerReport
+	// (hasReport false until one arrives — pre-telemetry workers never
+	// send one), the count of chunks this session has had reduced, and the
+	// server's own ack-timing throughput inference (an EWMA of group
+	// photons over grant-to-arrival wall time) — the reported-vs-inferred
+	// pair GET /fleet exposes.
+	report      protocol.WorkerReport
+	hasReport   bool
+	completed   int
+	inferredPPS float64
+}
+
+// blend folds a sample into an EWMA, seeding on first use — the shared
+// smoothing for the server's per-job chunkSecs and per-session throughput
+// profiles (and the same 0.7/0.3 the worker uses for its reported EWMAs).
+func blend(cur, sample float64) float64 {
+	if cur == 0 {
+		return sample
+	}
+	return 0.7*cur + 0.3*sample
 }
 
 // chunkRef names one chunk of one job.
@@ -95,7 +119,11 @@ func (r *Registry) HandleConn(rw io.ReadWriteCloser) error {
 				protocol.Version, first.Hello.Version)}})
 		return fmt.Errorf("service: version mismatch from %q", first.Hello.Name)
 	}
-	sess := r.registerSession(first.Hello)
+	remote := ""
+	if nc, ok := rw.(net.Conn); ok {
+		remote = nc.RemoteAddr().String()
+	}
+	sess := r.registerSession(first.Hello, remote)
 	defer r.releaseSession(sess)
 
 	err = pc.Send(&protocol.Message{Type: protocol.MsgWelcome, Welcome: &protocol.Welcome{
@@ -152,7 +180,7 @@ func (r *Registry) HandleConn(rw io.ReadWriteCloser) error {
 	}
 }
 
-func (r *Registry) registerSession(h *protocol.Hello) *session {
+func (r *Registry) registerSession(h *protocol.Hello, remote string) *session {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.nextSess++
@@ -160,11 +188,14 @@ func (r *Registry) registerSession(h *protocol.Hello) *session {
 	if name == "" {
 		name = fmt.Sprintf("worker-%d", r.nextSess)
 	}
+	now := time.Now()
 	sess := &session{
 		id:        r.nextSess,
 		name:      name,
 		mflops:    h.Mflops,
-		connected: time.Now(),
+		remote:    remote,
+		connected: now,
+		lastSeen:  now,
 		assigned:  make(map[chunkRef]*assignment),
 		knownJobs: make(map[uint64]bool),
 	}
@@ -202,7 +233,7 @@ func (r *Registry) releaseAssignmentLocked(sess *session, ref chunkRef, a *assig
 	}
 	if st := j.outstanding[ref.chunk]; st != nil && st.session == sess.id {
 		delete(j.outstanding, ref.chunk)
-		j.pending = append(j.pending, ref.chunk)
+		j.requeueLocked(ref.chunk)
 		j.reassigned++
 		r.met.chunksReassigned.Inc()
 		j.trace(obs.Event{Kind: obs.EvChunkReassigned, Chunk: ref.chunk,
@@ -216,11 +247,20 @@ func (r *Registry) releaseAssignmentLocked(sess *session, ref chunkRef, a *assig
 // worker's advertised state, reclaim overdue chunks everywhere, gather the
 // schedulable jobs, and let the cross-job policy choose.
 func (r *Registry) nextAssignment(sess *session, req *protocol.TaskRequest) *protocol.Message {
+	now := time.Now()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 
 	if sess.assigned == nil { // tests construct sessions directly
 		sess.assigned = make(map[chunkRef]*assignment)
+	}
+	sess.lastSeen = now
+	if req != nil && req.Report != nil {
+		// Fold the piggybacked telemetry into the session profile. The
+		// report is the worker's own EWMA state, so the latest one simply
+		// replaces the previous — no server-side re-smoothing.
+		sess.report = *req.Report
+		sess.hasReport = true
 	}
 	if req != nil {
 		// The request's KnownJobs list is authoritative: the worker may
@@ -251,7 +291,6 @@ func (r *Registry) nextAssignment(sess *session, req *protocol.TaskRequest) *pro
 		}
 	}
 
-	now := time.Now()
 	cands := r.candScratch[:0]
 	jobs := r.jobScratch[:0]
 	outstanding := false
@@ -435,7 +474,7 @@ func (r *Registry) reduceBatch(sess *session, b *protocol.ResultBatch, scratch *
 			acks = append(acks, r.rejectGroup(sess, g, fmt.Sprintf("undecodable tally: %v", err))...)
 			continue
 		}
-		acks = append(acks, r.reduceGroup(sess, g.JobID, g.Chunks, scratch, g.Elapsed)...)
+		acks = append(acks, r.reduceGroup(sess, g.JobID, g.Chunks, scratch, g.Elapsed, g.ChunkSecs)...)
 	}
 	r.mu.Lock()
 	r.batches++
@@ -472,8 +511,18 @@ func (r *Registry) rejectGroup(sess *session, g *protocol.BatchGroup, reason str
 // clients. It shares the reduction machinery (and its exactly-once
 // guarantees) with the batched path.
 func (r *Registry) handleResult(sess *session, res *protocol.TaskResult) *protocol.ResultAck {
-	acks := r.reduceGroup(sess, res.JobID, []int{res.ChunkID}, res.Tally, res.Elapsed)
+	acks := r.reduceGroup(sess, res.JobID, []int{res.ChunkID}, res.Tally, res.Elapsed, nil)
 	return &acks[0]
+}
+
+// spanSeed is the server-side half of one chunk's span, captured at claim
+// time (phase 1) while the chunk's outstanding entry still exists, and
+// joined with compute/reduce durations at publish time (phase 3).
+type spanSeed struct {
+	idx     int // index into the group's chunk list (for per-chunk timings)
+	chunk   int
+	granted time.Time
+	queued  time.Time
 }
 
 // reduceGroup performs the exactly-once reduction of one pre-merged group
@@ -493,7 +542,12 @@ func (r *Registry) handleResult(sess *session, res *protocol.TaskResult) *protoc
 // others are requeued for an honest recompute instead of merging a blob
 // that would double-count. Chunk tallies are pure functions of the stream
 // index, so the recompute reproduces the identical result.
-func (r *Registry) reduceGroup(sess *session, jobID uint64, chunks []int, tally *mc.Tally, elapsed time.Duration) []protocol.ResultAck {
+//
+// secs, when it has one entry per chunk, is the worker-reported per-chunk
+// compute time (BatchGroup.ChunkSecs); it refines the span compute
+// segment, which otherwise falls back to an even share of elapsed.
+func (r *Registry) reduceGroup(sess *session, jobID uint64, chunks []int, tally *mc.Tally, elapsed time.Duration, secs []float64) []protocol.ResultAck {
+	arrival := time.Now()
 	acks := make([]protocol.ResultAck, len(chunks))
 	for i, id := range chunks {
 		acks[i] = protocol.ResultAck{JobID: jobID, ChunkID: id}
@@ -507,6 +561,7 @@ func (r *Registry) reduceGroup(sess *session, jobID uint64, chunks []int, tally 
 
 	// Phase 1: classify and claim under the registry lock.
 	r.mu.Lock()
+	sess.lastSeen = arrival
 	j := r.jobs[jobID]
 	if j == nil {
 		for i, id := range chunks {
@@ -607,7 +662,22 @@ func (r *Registry) reduceGroup(sess *session, jobID uint64, chunks []int, tally 
 			"job", jobHex(jobID), "chunks", len(chunks))
 		return acks
 	}
-	for _, id := range chunks {
+	// Claim the chunks, seeding spans from the outstanding entries before
+	// they go. A chunk whose entry is missing or owned by another session
+	// (a timeout reclaim raced this flush — the late result still wins the
+	// reduction) has no trustworthy grant stamp, so it gets no span. Seeds
+	// are gathered even when the per-job ring is disabled: the aggregate
+	// span histograms observe regardless.
+	var seeds []spanSeed
+	var minGranted time.Time
+	for i, id := range chunks {
+		if st := j.outstanding[id]; st != nil && st.session == sess.id {
+			seeds = append(seeds, spanSeed{idx: i, chunk: id,
+				granted: st.assigned, queued: j.queuedAtLocked(id)})
+			if minGranted.IsZero() || st.assigned.Before(minGranted) {
+				minGranted = st.assigned
+			}
+		}
 		delete(j.outstanding, id) // late result wins over any reassignment
 		j.merging[id] = true
 		delete(sess.assigned, chunkRef{jobID, id})
@@ -631,10 +701,12 @@ func (r *Registry) reduceGroup(sess *session, jobID uint64, chunks []int, tally 
 	live := j.activeLocked()
 	r.mu.Unlock()
 	var mergeErr error
+	var mergeDur time.Duration
 	if live {
 		mergeStart := time.Now()
 		mergeErr = j.tally.Merge(tally)
-		r.met.reduceSeconds.Observe(time.Since(mergeStart).Seconds())
+		mergeDur = time.Since(mergeStart)
+		r.met.reduceSeconds.Observe(mergeDur.Seconds())
 	}
 
 	// Phase 3: publish.
@@ -645,7 +717,7 @@ func (r *Registry) reduceGroup(sess *session, jobID uint64, chunks []int, tally 
 		for i, id := range chunks {
 			delete(j.merging, id)
 			if j.activeLocked() {
-				j.pending = append(j.pending, id) // honest recompute
+				j.requeueLocked(id) // honest recompute
 				j.reassigned++
 				r.met.chunksReassigned.Inc()
 				j.trace(obs.Event{Kind: obs.EvChunkReassigned, Chunk: id,
@@ -695,12 +767,44 @@ func (r *Registry) reduceGroup(sess *session, jobID uint64, chunks []int, tally 
 			w.Chunks += len(chunks)
 		}
 		if elapsed > 0 {
-			per := elapsed.Seconds() / float64(len(chunks))
-			if j.chunkSecs == 0 {
-				j.chunkSecs = per
-			} else {
-				j.chunkSecs = 0.7*j.chunkSecs + 0.3*per
+			j.chunkSecs = blend(j.chunkSecs, elapsed.Seconds()/float64(len(chunks)))
+		}
+		// Session profile: chunks credited, and the ack-timing throughput
+		// inference — group photons over earliest-grant-to-arrival wall
+		// time. It folds compute, wire and hold into one number (unlike
+		// the worker's reported kernel-only EWMA), which is exactly the
+		// reported-vs-inferred contrast /fleet exists to show.
+		sess.completed += len(chunks)
+		if !minGranted.IsZero() {
+			if wall := arrival.Sub(minGranted).Seconds(); wall > 0 {
+				sess.inferredPPS = blend(sess.inferredPPS, float64(tally.Launched)/wall)
 			}
+		}
+		// Join the phase-1 seeds with the worker-reported compute and this
+		// merge's duration into per-chunk spans; the segment histograms
+		// observe every span even after the per-job ring wraps.
+		reduceShare := mergeDur / time.Duration(len(chunks))
+		for _, sd := range seeds {
+			compute := elapsed / time.Duration(len(chunks))
+			if len(secs) == len(chunks) {
+				compute = time.Duration(secs[sd.idx] * float64(time.Second))
+			}
+			queue := sd.granted.Sub(sd.queued)
+			if sd.queued.IsZero() || queue < 0 {
+				queue = 0
+			}
+			wire := arrival.Sub(sd.granted) - compute
+			if wire < 0 {
+				wire = 0
+			}
+			j.spans.Record(obs.Span{
+				Chunk: sd.chunk, Worker: sess.name, Granted: sd.granted,
+				Queue: queue, Wire: wire, Compute: compute, Reduce: reduceShare,
+			})
+			r.met.spanQueue.Observe(queue.Seconds())
+			r.met.spanWire.Observe(wire.Seconds())
+			r.met.spanCompute.Observe(compute.Seconds())
+			r.met.spanReduce.Observe(reduceShare.Seconds())
 		}
 		r.photonsDone += tally.Launched
 		r.merges++
@@ -746,4 +850,64 @@ func (r *Registry) reduceGroup(sess *session, jobID uint64, chunks []int, tally 
 		r.sealJob(finished) // cache clone + waiter release, off the hot lock
 	}
 	return acks
+}
+
+// SessionStatus is one live worker session in the GET /fleet table: the
+// connection's identity and freshness, the chunks it holds and has
+// completed, and the reported-vs-inferred throughput pair — the worker's
+// own kernel EWMA next to the server's ack-timing estimate. The reported
+// fields (photons/sec through version) are zero/absent for sessions that
+// have never piggybacked a WorkerReport.
+type SessionStatus struct {
+	ID                    uint64    `json:"id"`
+	Name                  string    `json:"name"`
+	Remote                string    `json:"remote,omitempty"`
+	Mflops                float64   `json:"mflops,omitempty"`
+	Connected             time.Time `json:"connectedSince"`
+	LastSeen              time.Time `json:"lastSeen"`
+	ChunksHeld            int       `json:"chunksHeld"`
+	ChunksCompleted       int       `json:"chunksCompleted"`
+	InferredPhotonsPerSec float64   `json:"inferredPhotonsPerSec,omitempty"`
+	ReportedPhotonsPerSec float64   `json:"reportedPhotonsPerSec,omitempty"`
+	ChunkSeconds          float64   `json:"chunkSeconds,omitempty"`
+	EncodeSeconds         float64   `json:"encodeSeconds,omitempty"`
+	Holding               int       `json:"holding,omitempty"`
+	Goroutines            int       `json:"goroutines,omitempty"`
+	HeapBytes             uint64    `json:"heapBytes,omitempty"`
+	Version               string    `json:"version,omitempty"`
+}
+
+// Fleet snapshots every live worker session, ordered by session id
+// (connection order). This is the data ROADMAP item 5's speed-profile
+// scheduling needs: who is connected, how fast each worker says it is,
+// and how fast the server has observed it to be.
+func (r *Registry) Fleet() []SessionStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SessionStatus, 0, len(r.sessions))
+	for _, s := range r.sessions {
+		ss := SessionStatus{
+			ID:                    s.id,
+			Name:                  s.name,
+			Remote:                s.remote,
+			Mflops:                s.mflops,
+			Connected:             s.connected,
+			LastSeen:              s.lastSeen,
+			ChunksHeld:            len(s.assigned),
+			ChunksCompleted:       s.completed,
+			InferredPhotonsPerSec: s.inferredPPS,
+		}
+		if s.hasReport {
+			ss.ReportedPhotonsPerSec = s.report.PhotonsPerSec
+			ss.ChunkSeconds = s.report.ChunkSecs
+			ss.EncodeSeconds = s.report.EncodeSecs
+			ss.Holding = s.report.Holding
+			ss.Goroutines = s.report.Goroutines
+			ss.HeapBytes = s.report.HeapBytes
+			ss.Version = s.report.Version
+		}
+		out = append(out, ss)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/mc"
+	"repro/internal/obs"
 )
 
 // API serves the registry over HTTP/JSON:
@@ -18,9 +19,11 @@ import (
 //	GET    /jobs            list retained jobs
 //	GET    /jobs/{id}       job status with progress
 //	GET    /jobs/{id}/result reduced tally once done (202 while running)
-//	GET    /jobs/{id}/events bounded lifecycle event trace
+//	GET    /jobs/{id}/events bounded lifecycle event trace (?kind=, ?since=)
+//	GET    /jobs/{id}/spans  bounded per-chunk timing spans
 //	DELETE /jobs/{id}       cancel a queued/running job
 //	GET    /stats           fleet and queue health
+//	GET    /fleet           live worker sessions with telemetry profiles
 type API struct {
 	reg *Registry
 }
@@ -90,8 +93,10 @@ func (a *API) Register(mux *http.ServeMux) {
 	mux.HandleFunc("GET /jobs/{id}", a.status)
 	mux.HandleFunc("GET /jobs/{id}/result", a.result)
 	mux.HandleFunc("GET /jobs/{id}/events", a.events)
+	mux.HandleFunc("GET /jobs/{id}/spans", a.spans)
 	mux.HandleFunc("DELETE /jobs/{id}", a.cancel)
 	mux.HandleFunc("GET /stats", a.stats)
+	mux.HandleFunc("GET /fleet", a.fleet)
 }
 
 func writeJSON(w http.ResponseWriter, code int, body any) {
@@ -220,6 +225,27 @@ func (a *API) events(w http.ResponseWriter, req *http.Request) {
 	if j == nil {
 		return
 	}
+	// Server-side filters, so a client after one kind (or only what's new
+	// since its last poll) doesn't ship the whole ring every time.
+	q := req.URL.Query()
+	var wantKind obs.EventKind
+	if s := q.Get("kind"); s != "" {
+		k, ok := obs.ParseEventKind(s)
+		if !ok {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("unknown event kind %q", s)})
+			return
+		}
+		wantKind = k
+	}
+	var since time.Time
+	if s := q.Get("since"); s != "" {
+		t, err := time.Parse(time.RFC3339Nano, s)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad since time: %v", err)})
+			return
+		}
+		since = t
+	}
 	evs, dropped := j.Events()
 	body := eventsBody{
 		ID:      fmt.Sprintf("%016x", j.ID()),
@@ -227,6 +253,12 @@ func (a *API) events(w http.ResponseWriter, req *http.Request) {
 		Events:  make([]eventBody, 0, len(evs)),
 	}
 	for _, e := range evs {
+		if wantKind != 0 && e.Kind != wantKind {
+			continue
+		}
+		if !since.IsZero() && !e.Time.After(since) {
+			continue
+		}
 		eb := eventBody{
 			Time:   e.Time,
 			Kind:   e.Kind.String(),
@@ -241,6 +273,60 @@ func (a *API) events(w http.ResponseWriter, req *http.Request) {
 		body.Events = append(body.Events, eb)
 	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// spanBody is the JSON view of one per-chunk span; segment durations are
+// seconds.
+type spanBody struct {
+	Chunk          int       `json:"chunk"`
+	Worker         string    `json:"worker,omitempty"`
+	Granted        time.Time `json:"granted"`
+	QueueSeconds   float64   `json:"queueSeconds"`
+	WireSeconds    float64   `json:"wireSeconds"`
+	ComputeSeconds float64   `json:"computeSeconds"`
+	ReduceSeconds  float64   `json:"reduceSeconds"`
+}
+
+// spansBody is the GET /jobs/{id}/spans response. Dropped counts older
+// spans the bounded ring has overwritten.
+type spansBody struct {
+	ID      string     `json:"id"`
+	Dropped uint64     `json:"dropped,omitempty"`
+	Spans   []spanBody `json:"spans"`
+}
+
+func (a *API) spans(w http.ResponseWriter, req *http.Request) {
+	j := a.jobFromPath(w, req)
+	if j == nil {
+		return
+	}
+	sps, dropped := j.Spans()
+	body := spansBody{
+		ID:      fmt.Sprintf("%016x", j.ID()),
+		Dropped: dropped,
+		Spans:   make([]spanBody, 0, len(sps)),
+	}
+	for _, s := range sps {
+		body.Spans = append(body.Spans, spanBody{
+			Chunk:          s.Chunk,
+			Worker:         s.Worker,
+			Granted:        s.Granted,
+			QueueSeconds:   s.Queue.Seconds(),
+			WireSeconds:    s.Wire.Seconds(),
+			ComputeSeconds: s.Compute.Seconds(),
+			ReduceSeconds:  s.Reduce.Seconds(),
+		})
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// fleetBody is the GET /fleet response.
+type fleetBody struct {
+	Workers []SessionStatus `json:"workers"`
+}
+
+func (a *API) fleet(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, fleetBody{Workers: a.reg.Fleet()})
 }
 
 func (a *API) cancel(w http.ResponseWriter, req *http.Request) {

@@ -144,6 +144,10 @@ type Job struct {
 	photons     []int64 // photons per chunk
 	completed   []bool
 	nCompleted  int
+	// queued stamps, per chunk, when the chunk last entered the pending
+	// queue (submission, open-ended issuance, or any requeue) — the start
+	// of a span's queue-wait segment. Parallel to photons/completed.
+	queued []time.Time
 
 	// Precision-job progress, published under the registry lock after
 	// each merge so Status never needs the reduction lock: the live
@@ -187,6 +191,10 @@ type Job struct {
 	// has its own mutex and never nests under the registry lock's critical
 	// sections for more than a ring append.
 	events *obs.Trace
+	// spans is the job's bounded per-chunk timing ring (nil when
+	// disabled): queue-wait / wire+hold / compute / reduce segments joined
+	// from server stamps and worker-reported compute durations.
+	spans *obs.Spans
 }
 
 // newJob builds the chunk partition for a normalized spec. It is called
@@ -213,7 +221,9 @@ func newJob(reg *Registry, key Key, spec JobSpec) (*Job, error) {
 		finished:    make(chan struct{}),
 		submitted:   time.Now(),
 		events:      reg.newTrace(),
+		spans:       reg.newSpans(),
 	}
+	j.queued = make([]time.Time, n)
 	remaining := spec.TotalPhotons
 	for i := 0; i < n; i++ {
 		p := spec.ChunkPhotons
@@ -223,6 +233,7 @@ func newJob(reg *Registry, key Key, spec JobSpec) (*Job, error) {
 		remaining -= p
 		j.photons[i] = p
 		j.pending = append(j.pending, i)
+		j.queued[i] = j.submitted
 	}
 	// An open-ended job starts with no chunks at all (numChunks returned
 	// 0); the dispatcher issues them on demand via issueChunkLocked.
@@ -262,7 +273,27 @@ func (j *Job) issueChunkLocked() int {
 	j.nChunks++
 	j.photons = append(j.photons, j.spec.ChunkPhotons)
 	j.completed = append(j.completed, false)
+	j.queued = append(j.queued, time.Now())
 	return id
+}
+
+// requeueLocked returns a chunk to the pending queue, restarting its
+// queue-wait clock so span accounting measures the current wait, not the
+// sum across reassignments. Every requeue path must come through here.
+func (j *Job) requeueLocked(id int) {
+	j.pending = append(j.pending, id)
+	if id >= 0 && id < len(j.queued) {
+		j.queued[id] = time.Now()
+	}
+}
+
+// queuedAtLocked returns when the chunk last entered the pending queue
+// (zero for jobs predating the queue stamps, e.g. born-done jobs).
+func (j *Job) queuedAtLocked(id int) time.Time {
+	if id >= 0 && id < len(j.queued) {
+		return j.queued[id]
+	}
+	return time.Time{}
 }
 
 // ID returns the job's registry-unique identifier (also the wire JobID).
@@ -387,6 +418,7 @@ func bornDoneJob(reg *Registry, key Key, spec JobSpec, tally *mc.Tally) *Job {
 		submitted:   now,
 		finishedAt:  now,
 		events:      reg.newTrace(),
+		spans:       reg.newSpans(),
 	}
 	for i := range j.completed {
 		j.completed[i] = true
@@ -455,7 +487,7 @@ func (j *Job) reclaimExpiredLocked(now time.Time) {
 	for id, st := range j.outstanding {
 		if now.Sub(st.assigned) > j.spec.ChunkTimeout {
 			delete(j.outstanding, id)
-			j.pending = append(j.pending, id)
+			j.requeueLocked(id)
 			j.reassigned++
 			j.reg.met.chunksReassigned.Inc()
 			j.trace(obs.Event{Kind: obs.EvChunkReassigned, Chunk: id,

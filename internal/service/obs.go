@@ -35,6 +35,13 @@ type svcMetrics struct {
 	photonsReduced *obs.Counter
 	reduceSeconds  *obs.Histogram
 
+	// Per-chunk span segment distributions — the aggregate view of the
+	// per-job span rings, immune to ring eviction.
+	spanQueue   *obs.Histogram
+	spanWire    *obs.Histogram
+	spanCompute *obs.Histogram
+	spanReduce  *obs.Histogram
+
 	sessionsTotal *obs.Counter
 	reconnects    *obs.Counter
 }
@@ -69,6 +76,14 @@ func newServiceMetrics(reg *obs.Registry, r *Registry) *svcMetrics {
 			"Photons represented by reduced tallies."),
 		reduceSeconds: reg.Histogram("service_reduce_seconds",
 			"Off-lock tally merge duration per reduced group.", obs.DefBuckets),
+		spanQueue: reg.Histogram("service_span_queue_seconds",
+			"Span segment: chunk issued or requeued until granted to a worker.", obs.DefBuckets),
+		spanWire: reg.Histogram("service_span_wire_seconds",
+			"Span segment: granted until result arrival, minus compute (wire, encode, worker hold buffer).", obs.DefBuckets),
+		spanCompute: reg.Histogram("service_span_compute_seconds",
+			"Span segment: per-chunk compute (worker-reported, or the chunk's share of batch elapsed).", obs.DefBuckets),
+		spanReduce: reg.Histogram("service_span_reduce_seconds",
+			"Span segment: the chunk's share of its batch's off-lock tally merge.", obs.DefBuckets),
 		sessionsTotal: reg.Counter("fleet_sessions_total",
 			"Worker sessions ever accepted."),
 		reconnects: reg.Counter("fleet_reconnects_total",
@@ -148,6 +163,19 @@ func (r *Registry) newTrace() *obs.Trace {
 		return nil
 	}
 	return obs.NewTrace(r.opts.TraceEvents)
+}
+
+// Spans returns the job's retained per-chunk spans in completion order and
+// the count of older spans its bounded ring overwrote.
+func (j *Job) Spans() ([]obs.Span, uint64) { return j.spans.Snapshot() }
+
+// newSpans builds a job's span ring per the registry options: 0 means
+// DefaultSpanEvents, negative disables span recording.
+func (r *Registry) newSpans() *obs.Spans {
+	if r.opts.SpanEvents < 0 {
+		return nil
+	}
+	return obs.NewSpans(r.opts.SpanEvents)
 }
 
 // ErrOverloaded is wrapped by Submit when the registry's active-job cap

@@ -68,6 +68,12 @@ type Options struct {
 	// TraceEvents bounds each job's lifecycle event ring: 0 means
 	// obs.DefaultTraceEvents, negative disables per-job tracing.
 	TraceEvents int
+	// SpanEvents bounds each job's per-chunk span ring (queue-wait /
+	// wire+hold / compute / reduce segments behind GET /jobs/{id}/spans):
+	// 0 means obs.DefaultSpanEvents, negative disables span recording.
+	// The aggregate span histograms on the metrics registry observe
+	// regardless — they survive ring eviction and this switch.
+	SpanEvents int
 	// Logger, if set, receives structured progress logging (nil discards).
 	Logger *slog.Logger
 }

@@ -5,10 +5,13 @@
 # with curl, and asserts the debug surface works from the outside:
 # /readyz gates on the fleet listener and checkpoint resume, /metrics
 # exposes the expected service- and worker-plane series with the right
-# values for this known job, GET /jobs/{id}/events tells the lifecycle
-# story, pprof answers, and SIGTERM shuts mcqueue down cleanly — with an
-# unfinished job still queued, so the final checkpoint pass must actually
-# run before the process exits (a drain that returns early loses it).
+# values for this known job (plus build identity), GET /jobs/{id}/events
+# tells the lifecycle story (and filters by kind), GET /jobs/{id}/spans
+# decomposes every chunk's timing, GET /fleet shows the worker's
+# piggybacked telemetry, mctop -once renders it all, pprof answers, and
+# SIGTERM shuts mcqueue down cleanly — with an unfinished job still
+# queued, so the final checkpoint pass must actually run before the
+# process exits (a drain that returns early loses it).
 #
 # Stdlib + curl only; run from anywhere inside the repo.
 set -euo pipefail
@@ -48,7 +51,8 @@ wait_http() { # url: poll until 200 or give up
 }
 
 echo "obs-smoke: building..."
-go build -o "$WORK" ./cmd/mcqueue ./cmd/mcworker
+go build -ldflags '-X repro/internal/obs.Version=smoke-test' -o "$WORK" \
+  ./cmd/mcqueue ./cmd/mcworker ./cmd/mctop
 go run ./scripts/genjob >"$WORK/job.json"
 
 "$WORK/mcqueue" -addr "$FLEET" -http "$HTTP" -log-format json \
@@ -89,11 +93,50 @@ expect "service_photons_reduced_total" 2000
 expect "fleet_sessions_total" 1
 expect 'service_jobs{state="done"}' 1
 echo "$METRICS" | grep -q '^service_reduce_seconds_bucket' || fail "reduce histogram absent"
+echo "$METRICS" | grep -q '^service_span_compute_seconds_count 4$' ||
+  fail "span histograms did not observe all 4 chunks"
+echo "$METRICS" | grep -Eq '^mc_build_info\{.*version="smoke-test".*\} 1$' ||
+  fail "mc_build_info missing the -ldflags-injected version"
+echo "$METRICS" | grep -q '^process_uptime_seconds' || fail "uptime metric absent"
 
 EVENTS=$(curl -fsS "http://$HTTP/jobs/$ID/events")
 for kind in submitted chunk-granted chunk-completed finalized; do
   echo "$EVENTS" | grep -q "\"kind\":\"$kind\"" || fail "event trace missing '$kind'"
 done
+FILTERED=$(curl -fsS "http://$HTTP/jobs/$ID/events?kind=chunk-completed")
+echo "$FILTERED" | grep -q '"kind":"submitted"' && fail "?kind= filter leaked other kinds"
+[ "$(echo "$FILTERED" | grep -o '"kind":"chunk-completed"' | wc -l)" = 4 ] ||
+  fail "?kind=chunk-completed did not return exactly the 4 completions"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "http://$HTTP/jobs/$ID/events?kind=bogus")
+[ "$CODE" = 400 ] || fail "unknown event kind answered $CODE, want 400"
+
+echo "obs-smoke: checking spans and fleet telemetry..."
+SPANS=$(curl -fsS "http://$HTTP/jobs/$ID/spans")
+[ "$(echo "$SPANS" | grep -o '"chunk":' | wc -l)" = 4 ] || fail "expected 4 spans: $SPANS"
+for seg in queueSeconds wireSeconds computeSeconds reduceSeconds; do
+  echo "$SPANS" | grep -q "\"$seg\":" || fail "spans missing segment '$seg': $SPANS"
+done
+echo "$SPANS" | grep -q '"worker":"smoke-worker"' || fail "spans lost worker attribution"
+
+# The worker's piggybacked report rides its chunk requests at a gentle
+# cadence; after the job it keeps idle-polling, so give it a moment.
+FLEET_OK=0
+for _ in $(seq 1 50); do
+  FLEETJSON=$(curl -fsS "http://$HTTP/fleet")
+  if echo "$FLEETJSON" | grep -q '"name":"smoke-worker"' &&
+     echo "$FLEETJSON" | grep -Eq '"reportedPhotonsPerSec":[0-9]*\.?[0-9]*[1-9]'; then
+    FLEET_OK=1; break
+  fi
+  sleep 0.2
+done
+[ "$FLEET_OK" = 1 ] || fail "/fleet never showed smoke-worker with a nonzero reported rate: ${FLEETJSON:-}"
+echo "$FLEETJSON" | grep -q '"version":"smoke-test"' || fail "/fleet row missing worker build version"
+
+echo "obs-smoke: mctop -once renders the dashboard..."
+TOP=$("$WORK/mctop" -addr "http://$HTTP" -once)
+echo "$TOP" | grep -q "smoke-worker" || fail "mctop does not list the worker: $TOP"
+echo "$TOP" | grep -q "policy fair" || fail "mctop lost the stats header: $TOP"
+echo "$TOP" | grep -q "build smoke-test" || fail "mctop lost the build version: $TOP"
 
 WMETRICS=$(curl -fsS "http://$WDBG/metrics")
 echo "$WMETRICS" | grep -q '^worker_photons_total 2000$' ||

@@ -34,6 +34,14 @@ type (
 	// JobEvent is one entry of a job's bounded lifecycle trace
 	// (GET /jobs/{id}/events).
 	JobEvent = obs.Event
+	// ChunkSpan is one chunk's cross-process timing decomposition —
+	// queue-wait, wire+hold, compute, reduce — from a job's bounded span
+	// ring (GET /jobs/{id}/spans).
+	ChunkSpan = obs.Span
+	// FleetSession is one live worker session's telemetry profile:
+	// server-side accounting joined with the worker's own piggybacked
+	// report (GET /fleet).
+	FleetSession = service.SessionStatus
 )
 
 // NewMetricsRegistry returns an empty metrics registry.
@@ -50,7 +58,8 @@ func NewJobRegistry(opts RegistryOptions) *JobRegistry { return service.New(opts
 
 // NewServiceHandler wraps a registry in the HTTP JSON API:
 // POST /jobs, GET /jobs, GET /jobs/{id}, GET /jobs/{id}/result,
-// DELETE /jobs/{id}, GET /stats.
+// GET /jobs/{id}/events, GET /jobs/{id}/spans, DELETE /jobs/{id},
+// GET /stats, GET /fleet.
 func NewServiceHandler(reg *JobRegistry) http.Handler {
 	return service.NewAPI(reg).Handler()
 }
