@@ -38,7 +38,26 @@
 // Logging is structured (-log-format text|json); -v only lowers the level
 // to debug, never changes destination or format. -max-active-jobs sheds
 // POST /jobs with 429 + Retry-After while that many jobs are queued or
-// running.
+// running, and -max-body-bytes bounds the POST /jobs body (413 beyond it).
+//
+// Multi-tenancy: every submission carries a tenant (X-MC-Tenant header or
+// "tenant" body field; empty means "default"), and -tenants <file.json>
+// enables per-tenant token-bucket admission control plus weighted
+// scheduling. The file maps tenant names to classes —
+//
+//	{"default": {"weight": 1},
+//	 "team-a":  {"jobsPerSec": 2, "jobBurst": 10,
+//	             "photonsPerSec": 1e6, "photonBurst": 5e7, "weight": 3}}
+//
+// — where jobsPerSec/jobBurst rate-limit submissions, photonsPerSec/
+// photonBurst meter the photon quota (a zero rate leaves that dimension
+// unlimited), and weight sets the tenant's share of fleet throughput
+// under the tenant-fair policy. Submissions over a tenant's envelope are
+// shed with 429 + a Retry-After computed from the bucket's refill time;
+// cache hits and coalesced submissions are never shed. GET /tenants lists
+// live bucket levels, GET /stats and GET /fleet carry per-tenant rollups,
+// and when -tenants is given without an explicit -policy the scheduler
+// upgrades from fair to tenant-fair (two-level tenant→job fair queueing).
 //
 // On SIGINT/SIGTERM in-flight HTTP requests are drained, then every
 // unfinished job is checkpointed into -checkpoint-dir before exit, and
@@ -71,13 +90,18 @@ func main() {
 	httpAddr := fs.String("http", ":8080", "HTTP API listen address")
 	debugAddr := fs.String("debug-addr", "",
 		"separate listener for /metrics, /healthz, /readyz and /debug/pprof (empty: multiplexed on -http)")
-	policyName := fs.String("policy", "fair", "cross-job scheduling policy: fifo, priority, fair")
+	policyName := fs.String("policy", "fair",
+		"cross-job scheduling policy: fifo, priority, fair, tenant-fair")
 	cacheSize := fs.Int("cache", 256, "result cache entries (0 default, negative disables)")
 	retain := fs.Int("retain", 1024, "finished jobs kept queryable (negative: forever)")
 	maxTarget := fs.Int64("target-max-photons", 0,
 		"operator cap on precision-targeted jobs' photon budgets (0 = 50M default)")
 	maxActive := fs.Int("max-active-jobs", 0,
 		"shed POST /jobs with 429 while this many jobs are queued or running (0: unbounded)")
+	maxBody := fs.Int64("max-body-bytes", 0,
+		"POST /jobs body size cap, 413 beyond it (0: 32 MiB default, negative: unbounded)")
+	tenantsFile := fs.String("tenants", "",
+		"JSON tenant table enabling per-tenant token-bucket admission (see package doc)")
 	traceEvents := fs.Int("trace-events", 0,
 		"per-job lifecycle event ring capacity (0: 512 default, negative: disable tracing)")
 	spanEvents := fs.Int("span-events", 0,
@@ -91,6 +115,24 @@ func main() {
 	logger, err := lf.Build(os.Stderr)
 	if err != nil {
 		fatal(err)
+	}
+	var (
+		table     *service.TenantTable
+		admission service.AdmissionPolicy
+	)
+	if *tenantsFile != "" {
+		table, err = service.LoadTenantTable(*tenantsFile)
+		if err != nil {
+			fatal(err)
+		}
+		admission = service.NewTokenBucket(table, nil)
+		// A tenant table without an explicit -policy implies the operator
+		// wants tenant isolation in scheduling too, not just admission.
+		policySet := false
+		fs.Visit(func(f *flag.Flag) { policySet = policySet || f.Name == "policy" })
+		if !policySet {
+			*policyName = "tenant-fair"
+		}
 	}
 	policy, ok := service.PolicyByName(*policyName)
 	if !ok {
@@ -106,6 +148,8 @@ func main() {
 		RetainDone:       *retain,
 		MaxTargetPhotons: *maxTarget,
 		MaxActiveJobs:    *maxActive,
+		Admission:        admission,
+		Tenants:          table,
 		TraceEvents:      *traceEvents,
 		SpanEvents:       *spanEvents,
 		Obs:              oreg,
@@ -128,7 +172,9 @@ func main() {
 		fatal(err)
 	}
 	mux := http.NewServeMux()
-	service.NewAPI(reg).Register(mux)
+	api := service.NewAPI(reg)
+	api.MaxBodyBytes = *maxBody
+	api.Register(mux)
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	var debugSrv *http.Server
 	if *debugAddr == "" {

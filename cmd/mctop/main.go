@@ -3,8 +3,10 @@
 // telemetry profiles, GET /stats for queue health, GET /metrics for the
 // service-plane counters — and repaints a flicker-free ANSI view each
 // interval: fleet-wide photons/sec (counter deltas), job and chunk queue
-// depths, and one row per connected worker contrasting the rate the
-// worker reports against the rate the server infers from ack timing.
+// depths, one row per connected worker contrasting the rate the worker
+// reports against the rate the server infers from ack timing, and — when
+// the server runs per-tenant admission control — a tenant rollup with
+// live token-bucket levels.
 //
 // Example:
 //
@@ -51,8 +53,23 @@ type fleetWorker struct {
 	Version               string    `json:"version"`
 }
 
+// fleetTenant mirrors the service's TenantStatus JSON: the per-tenant
+// admission rollup the server folds into GET /fleet.
+type fleetTenant struct {
+	Name         string   `json:"name"`
+	Weight       float64  `json:"weight"`
+	ActiveJobs   int      `json:"activeJobs"`
+	Submitted    int64    `json:"submitted"`
+	Resumed      int64    `json:"resumed"`
+	Shed         int64    `json:"shed"`
+	Photons      int64    `json:"photons"`
+	JobTokens    *float64 `json:"jobTokens"`
+	PhotonTokens *float64 `json:"photonTokens"`
+}
+
 type fleetView struct {
 	Workers []fleetWorker `json:"workers"`
+	Tenants []fleetTenant `json:"tenants"`
 }
 
 type statsView struct {
@@ -276,7 +293,33 @@ func render(cur, prev sample, ansi bool) string {
 			humanCount(w.ReportedPhotonsPerSec), humanCount(w.InferredPhotonsPerSec),
 			w.ChunksCompleted, w.ChunksHeld, w.Goroutines, humanBytes(w.HeapBytes), seen)
 	}
+
+	// Per-tenant admission rollup — only drawn once the server reports
+	// tenants, so a pre-tenancy server renders exactly the classic frame.
+	if ts := cur.fleet.Tenants; len(ts) > 0 {
+		line("")
+		line("%-14s %6s %6s %9s %6s %10s %9s %9s",
+			"TENANT", "WEIGHT", "ACTIVE", "SUBMITTED", "SHED", "PHOTONS", "JOB-TOK", "PHOT-TOK")
+		for _, t := range ts {
+			line("%-14s %6.1f %6d %9d %6d %10s %9s %9s",
+				clip(t.Name, 14), t.Weight, t.ActiveJobs, t.Submitted, t.Shed,
+				humanCount(float64(t.Photons)), tokens(t.JobTokens), tokens(t.PhotonTokens))
+		}
+	}
 	return b.String()
+}
+
+// tokens renders a bucket level; "∞" when the admission policy keeps no
+// bucket for the dimension (nil in the JSON).
+func tokens(v *float64) string {
+	switch {
+	case v == nil:
+		return "∞"
+	case *v == 0: // a drained bucket is news, not absence
+		return "0"
+	default:
+		return humanCount(*v)
+	}
 }
 
 func clip(s string, n int) string {

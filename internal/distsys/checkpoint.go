@@ -36,6 +36,9 @@ type Checkpoint struct {
 	// job silently resumed unfanned onto a different stream decomposition.
 	Fan    int
 	Target *mc.Target
+	// Tenant preserves the job's owner across a restart (empty in older
+	// checkpoints; normalizes to the default tenant on resume).
+	Tenant string
 }
 
 // Checkpoint captures the job's current reduction state. It is safe to call
@@ -62,6 +65,7 @@ func FromSnapshot(snap *service.Snapshot) *Checkpoint {
 		Label:        snap.Spec.Label,
 		Fan:          snap.Spec.Fan,
 		Target:       snap.Spec.Target,
+		Tenant:       snap.Spec.Tenant,
 	}
 }
 
@@ -80,6 +84,7 @@ func (cp *Checkpoint) Snapshot() *service.Snapshot {
 			Priority:     cp.Priority,
 			Weight:       cp.Weight,
 			Label:        cp.Label,
+			Tenant:       cp.Tenant,
 		},
 		NChunks:   cp.NChunks,
 		Completed: cp.Completed,

@@ -11,13 +11,14 @@ package sched
 // flow competes fairly from its arrival instead of monopolising the server
 // while it "catches up" on service it never queued for. The multi-job
 // simulation service uses this with flows = job IDs and work = photons
-// assigned; the cluster simulator can reuse it for any divisible workload.
+// assigned; TwoLevel stacks two instances (string-keyed tenants over
+// uint64-keyed jobs) for hierarchical fairness.
 //
 // FairShare is not goroutine-safe; callers serialise access (the service
 // registry holds its own lock across Pick/Charge).
-type FairShare struct {
+type FairShare[K comparable] struct {
 	vtime float64
-	flows map[uint64]*fsFlow
+	flows map[K]*fsFlow
 }
 
 type fsFlow struct {
@@ -26,14 +27,14 @@ type fsFlow struct {
 }
 
 // NewFairShare returns an empty scheduler at virtual time zero.
-func NewFairShare() *FairShare {
-	return &FairShare{flows: make(map[uint64]*fsFlow)}
+func NewFairShare[K comparable]() *FairShare[K] {
+	return &FairShare[K]{flows: make(map[K]*fsFlow)}
 }
 
-// Observe registers flow with the given weight (minimum 1e-9; weight <= 0
-// is treated as 1). A new flow's tag starts at the current virtual time; an
-// existing flow keeps its tag but adopts the new weight.
-func (fs *FairShare) Observe(flow uint64, weight float64) {
+// Observe registers flow with the given weight (weight <= 0 is treated as
+// 1). A new flow's tag starts at the current virtual time; an existing flow
+// keeps its tag but adopts the new weight.
+func (fs *FairShare[K]) Observe(flow K, weight float64) {
 	if weight <= 0 {
 		weight = 1
 	}
@@ -45,12 +46,15 @@ func (fs *FairShare) Observe(flow uint64, weight float64) {
 }
 
 // Forget drops a finished flow's accounting state.
-func (fs *FairShare) Forget(flow uint64) { delete(fs.flows, flow) }
+func (fs *FairShare[K]) Forget(flow K) { delete(fs.flows, flow) }
+
+// Len reports the number of registered flows.
+func (fs *FairShare[K]) Len() int { return len(fs.flows) }
 
 // Pick returns the index into candidates of the flow that should be served
 // next (smallest tag; earlier candidate wins ties) or -1 if candidates is
 // empty. Unregistered candidates are Observed with weight 1 first.
-func (fs *FairShare) Pick(candidates []uint64) int {
+func (fs *FairShare[K]) Pick(candidates []K) int {
 	best := -1
 	for i, id := range candidates {
 		if _, ok := fs.flows[id]; !ok {
@@ -66,7 +70,7 @@ func (fs *FairShare) Pick(candidates []uint64) int {
 // Charge accounts work units of service to flow and advances the global
 // virtual time to the served flow's start tag (the start-time fair queueing
 // rule), so late joiners enter at the service frontier.
-func (fs *FairShare) Charge(flow uint64, work float64) {
+func (fs *FairShare[K]) Charge(flow K, work float64) {
 	f, ok := fs.flows[flow]
 	if !ok {
 		fs.Observe(flow, 1)
@@ -79,4 +83,4 @@ func (fs *FairShare) Charge(flow uint64, work float64) {
 }
 
 // VirtualTime exposes the global virtual clock (for tests and diagnostics).
-func (fs *FairShare) VirtualTime() float64 { return fs.vtime }
+func (fs *FairShare[K]) VirtualTime() float64 { return fs.vtime }

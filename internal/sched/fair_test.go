@@ -4,7 +4,7 @@ import "testing"
 
 // serve runs n quanta of the given size through the scheduler over the
 // candidate flows and returns the per-flow service totals.
-func serve(fs *FairShare, flows []uint64, n int, quantum float64) map[uint64]float64 {
+func serve(fs *FairShare[uint64], flows []uint64, n int, quantum float64) map[uint64]float64 {
 	got := make(map[uint64]float64)
 	for i := 0; i < n; i++ {
 		k := fs.Pick(flows)
@@ -15,7 +15,7 @@ func serve(fs *FairShare, flows []uint64, n int, quantum float64) map[uint64]flo
 }
 
 func TestFairShareEqualWeights(t *testing.T) {
-	fs := NewFairShare()
+	fs := NewFairShare[uint64]()
 	fs.Observe(1, 1)
 	fs.Observe(2, 1)
 	got := serve(fs, []uint64{1, 2}, 100, 10)
@@ -25,7 +25,7 @@ func TestFairShareEqualWeights(t *testing.T) {
 }
 
 func TestFairShareWeightedRatio(t *testing.T) {
-	fs := NewFairShare()
+	fs := NewFairShare[uint64]()
 	fs.Observe(1, 3)
 	fs.Observe(2, 1)
 	got := serve(fs, []uint64{1, 2}, 400, 5)
@@ -36,7 +36,7 @@ func TestFairShareWeightedRatio(t *testing.T) {
 }
 
 func TestFairShareLateJoinerDoesNotStarveOthers(t *testing.T) {
-	fs := NewFairShare()
+	fs := NewFairShare[uint64]()
 	fs.Observe(1, 1)
 	// Flow 1 runs alone for a while.
 	serve(fs, []uint64{1}, 50, 10)
@@ -55,7 +55,7 @@ func TestFairShareLateJoinerDoesNotStarveOthers(t *testing.T) {
 func TestFairShareUnevenQuanta(t *testing.T) {
 	// Fairness must hold in work units, not quantum counts: flow 1's quanta
 	// are 4x larger, so it should be picked ~4x less often.
-	fs := NewFairShare()
+	fs := NewFairShare[uint64]()
 	fs.Observe(1, 1)
 	fs.Observe(2, 1)
 	picks := map[uint64]int{}
@@ -80,7 +80,7 @@ func TestFairShareUnevenQuanta(t *testing.T) {
 }
 
 func TestFairShareForget(t *testing.T) {
-	fs := NewFairShare()
+	fs := NewFairShare[uint64]()
 	fs.Observe(1, 1)
 	fs.Charge(1, 100)
 	fs.Forget(1)
@@ -92,7 +92,7 @@ func TestFairShareForget(t *testing.T) {
 }
 
 func TestFairSharePickEmpty(t *testing.T) {
-	if k := NewFairShare().Pick(nil); k != -1 {
+	if k := NewFairShare[uint64]().Pick(nil); k != -1 {
 		t.Fatalf("pick on empty candidates = %d, want -1", k)
 	}
 }

@@ -1,0 +1,114 @@
+package sched
+
+// TwoLevel stacks two layers of start-time fair queueing into a
+// tenant→job hierarchy: an outer weighted competition between tenants and,
+// inside the winning tenant, an inner competition between that tenant's
+// jobs. The outer level guarantees each tenant its weighted share of fleet
+// throughput no matter how many jobs it queues — one tenant submitting a
+// hundred jobs still gets one tenant's share — while the inner level
+// splits the tenant's allocation across its own jobs by job weight.
+//
+// Both levels obey the FairShare late-joiner rule, so a tenant that goes
+// idle and returns competes from the current service frontier rather than
+// draining an accumulated deficit. Like FairShare, TwoLevel is not
+// goroutine-safe; callers serialise access.
+type TwoLevel struct {
+	tenants *FairShare[string]
+	jobs    map[string]*FairShare[uint64]
+	owner   map[uint64]string // job → tenant, for Charge/Forget by job id
+}
+
+// TenantJob names one schedulable job and its position in the hierarchy.
+type TenantJob struct {
+	Tenant       string
+	TenantWeight float64
+	Job          uint64
+	JobWeight    float64
+}
+
+// NewTwoLevel returns an empty hierarchy at virtual time zero.
+func NewTwoLevel() *TwoLevel {
+	return &TwoLevel{
+		tenants: NewFairShare[string](),
+		jobs:    make(map[string]*FairShare[uint64]),
+		owner:   make(map[uint64]string),
+	}
+}
+
+// Pick returns the index into cands of the job to serve next, or -1 if
+// cands is empty: first the tenant with the smallest outer tag among those
+// present, then that tenant's job with the smallest inner tag. Unseen
+// tenants and jobs are registered at the current virtual frontier.
+func (tl *TwoLevel) Pick(cands []TenantJob) int {
+	if len(cands) == 0 {
+		return -1
+	}
+	// Register everything in sight and collect the distinct tenants in
+	// first-appearance order (stable tie-breaking mirrors FairShare.Pick).
+	tenantOrder := make([]string, 0, 4)
+	seen := make(map[string]bool, 4)
+	for _, c := range cands {
+		tl.tenants.Observe(c.Tenant, c.TenantWeight)
+		tl.jobFS(c.Tenant).Observe(c.Job, c.JobWeight)
+		tl.owner[c.Job] = c.Tenant
+		if !seen[c.Tenant] {
+			seen[c.Tenant] = true
+			tenantOrder = append(tenantOrder, c.Tenant)
+		}
+	}
+	winner := tenantOrder[tl.tenants.Pick(tenantOrder)]
+	// Inner pick over the winning tenant's candidates only.
+	inner := tl.jobFS(winner)
+	best := -1
+	for i, c := range cands {
+		if c.Tenant != winner {
+			continue
+		}
+		if best == -1 || inner.flows[c.Job].tag < inner.flows[cands[best].Job].tag {
+			best = i
+		}
+	}
+	return best
+}
+
+// Charge accounts work units of service to job at both levels: the job's
+// inner tag advances by work/jobWeight and its tenant's outer tag by
+// work/tenantWeight, so heavy service to one job dilates its whole
+// tenant's claim on the fleet.
+func (tl *TwoLevel) Charge(job uint64, work float64) {
+	tenant, ok := tl.owner[job]
+	if !ok {
+		return // never Picked; nothing to account against
+	}
+	tl.tenants.Charge(tenant, work)
+	tl.jobFS(tenant).Charge(job, work)
+}
+
+// Forget drops a finished job; when a tenant's last job leaves, the
+// tenant's outer flow is dropped too, so a returning tenant re-enters at
+// the frontier like any late joiner.
+func (tl *TwoLevel) Forget(job uint64) {
+	tenant, ok := tl.owner[job]
+	if !ok {
+		return
+	}
+	delete(tl.owner, job)
+	fs := tl.jobFS(tenant)
+	fs.Forget(job)
+	if fs.Len() == 0 {
+		delete(tl.jobs, tenant)
+		tl.tenants.Forget(tenant)
+	}
+}
+
+// VirtualTime exposes the outer (tenant-level) virtual clock.
+func (tl *TwoLevel) VirtualTime() float64 { return tl.tenants.VirtualTime() }
+
+func (tl *TwoLevel) jobFS(tenant string) *FairShare[uint64] {
+	fs, ok := tl.jobs[tenant]
+	if !ok {
+		fs = NewFairShare[uint64]()
+		tl.jobs[tenant] = fs
+	}
+	return fs
+}

@@ -316,6 +316,8 @@ func (r *Registry) nextAssignment(sess *session, req *protocol.TaskRequest) *pro
 			Seq:             j.seq,
 			Priority:        j.spec.Priority,
 			Weight:          j.spec.Weight,
+			Tenant:          j.spec.Tenant,
+			TenantWeight:    j.tweight,
 			PendingChunks:   depth,
 			AssignedPhotons: j.assigned,
 		})
@@ -413,7 +415,7 @@ func (r *Registry) nextAssignment(sess *session, req *protocol.TaskRequest) *pro
 		r.chunksAssigned++
 		r.met.chunksGranted.Inc()
 		j.trace(obs.Event{Kind: obs.EvChunkGranted, Chunk: id, Worker: sess.name})
-		r.policy.Charge(j.id, j.photons[id], j.spec.Weight)
+		r.policy.Charge(cands[pick], j.photons[id])
 		sess.assigned[chunkRef{j.id, id}] = &assignment{job: j, chunkID: id}
 		return id, j.photons[id]
 	}
@@ -808,8 +810,10 @@ func (r *Registry) reduceGroup(sess *session, jobID uint64, chunks []int, tally 
 		}
 		r.photonsDone += tally.Launched
 		r.merges++
+		j.tstats.photons += tally.Launched
 		r.met.chunksCompleted.Add(uint64(len(chunks)))
 		r.met.photonsReduced.Add(uint64(tally.Launched))
+		j.tstats.photC.Add(uint64(tally.Launched))
 		// Re-estimate the observable off the dispatch-critical path (the
 		// moment arithmetic is a handful of float ops on the already
 		// redMu-guarded tally) and publish it for Status readers.

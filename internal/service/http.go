@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/mc"
@@ -15,18 +16,32 @@ import (
 // API serves the registry over HTTP/JSON:
 //
 //	POST   /jobs            submit a job (returns id; cached/coalesced dedup;
-//	                        429 + Retry-After when the active-job cap sheds it)
+//	                        tenant from X-MC-Tenant header or body; 429 +
+//	                        computed Retry-After when admission sheds it)
 //	GET    /jobs            list retained jobs
 //	GET    /jobs/{id}       job status with progress
 //	GET    /jobs/{id}/result reduced tally once done (202 while running)
 //	GET    /jobs/{id}/events bounded lifecycle event trace (?kind=, ?since=)
 //	GET    /jobs/{id}/spans  bounded per-chunk timing spans
 //	DELETE /jobs/{id}       cancel a queued/running job
-//	GET    /stats           fleet and queue health
+//	GET    /stats           fleet and queue health (with per-tenant rollup)
 //	GET    /fleet           live worker sessions with telemetry profiles
+//	GET    /tenants         per-tenant accounting and live bucket levels
 type API struct {
 	reg *Registry
+	// MaxBodyBytes caps the POST /jobs request body; an oversized body is
+	// a 413. 0 means DefaultMaxBodyBytes, negative disables the cap.
+	MaxBodyBytes int64
 }
+
+// DefaultMaxBodyBytes is the POST /jobs body cap when API.MaxBodyBytes is
+// zero: far above any sane spec (voxel grids ship as dimensions + fills,
+// not dense arrays), far below what could OOM the daemon.
+const DefaultMaxBodyBytes = 32 << 20
+
+// TenantHeader is the request header naming the submitting tenant; it wins
+// over JobRequest.Tenant, and both empty means DefaultTenant.
+const TenantHeader = "X-MC-Tenant"
 
 // NewAPI wraps a registry in the HTTP layer.
 func NewAPI(reg *Registry) *API { return &API{reg: reg} }
@@ -51,6 +66,10 @@ type JobRequest struct {
 	Priority     int           `json:"priority,omitempty"`
 	Weight       float64       `json:"weight,omitempty"`
 	Label        string        `json:"label,omitempty"`
+	// Tenant attributes the job for admission control and fair scheduling;
+	// the X-MC-Tenant request header overrides it, and both empty maps to
+	// the "default" tenant.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // JobAccepted is the POST /jobs response.
@@ -97,6 +116,7 @@ func (a *API) Register(mux *http.ServeMux) {
 	mux.HandleFunc("DELETE /jobs/{id}", a.cancel)
 	mux.HandleFunc("GET /stats", a.stats)
 	mux.HandleFunc("GET /fleet", a.fleet)
+	mux.HandleFunc("GET /tenants", a.tenants)
 }
 
 func writeJSON(w http.ResponseWriter, code int, body any) {
@@ -120,9 +140,38 @@ func (a *API) jobFromPath(w http.ResponseWriter, req *http.Request) *Job {
 }
 
 func (a *API) submit(w http.ResponseWriter, req *http.Request) {
+	// Bound the body before touching it: a multi-GB "spec" must die at the
+	// reader, not after the decoder has buffered it into memory.
+	limit := a.MaxBodyBytes
+	if limit == 0 {
+		limit = DefaultMaxBodyBytes
+	}
+	r := req.Body
+	if limit > 0 {
+		r = http.MaxBytesReader(w, req.Body, limit)
+	}
+	dec := json.NewDecoder(r)
+	// A typoed field ("prioirty", "photon") must fail loudly, not submit a
+	// silently-defaulted job.
+	dec.DisallowUnknownFields()
 	var body JobRequest
-	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+	if err := dec.Decode(&body); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				apiError{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	tenant := strings.TrimSpace(req.Header.Get(TenantHeader))
+	if tenant == "" {
+		tenant = strings.TrimSpace(body.Tenant)
+	}
+	if len(tenant) > MaxTenantNameLen {
+		writeJSON(w, http.StatusBadRequest,
+			apiError{Error: fmt.Sprintf("tenant name longer than %d bytes", MaxTenantNameLen)})
 		return
 	}
 	out, err := a.reg.Submit(JobSpec{
@@ -136,12 +185,19 @@ func (a *API) submit(w http.ResponseWriter, req *http.Request) {
 		Priority:     body.Priority,
 		Weight:       body.Weight,
 		Label:        body.Label,
+		Tenant:       tenant,
 	})
 	if err != nil {
-		if errors.Is(err, ErrOverloaded) {
-			// Load shedding, not a malformed job: tell the client to retry
-			// once the queue has drained a little.
-			w.Header().Set("Retry-After", "1")
+		var shed *ShedError
+		if errors.As(err, &shed) {
+			// Load shedding, not a malformed job: tell the client when a
+			// retry could succeed — the token bucket's refill time, or a
+			// queue-depth-scaled wait for the active-job cap.
+			secs := int64((shed.RetryAfter + time.Second - 1) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 			writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
 			return
 		}
@@ -323,10 +379,24 @@ func (a *API) spans(w http.ResponseWriter, req *http.Request) {
 // fleetBody is the GET /fleet response.
 type fleetBody struct {
 	Workers []SessionStatus `json:"workers"`
+	Tenants []TenantStatus  `json:"tenants,omitempty"`
 }
 
 func (a *API) fleet(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, fleetBody{Workers: a.reg.Fleet()})
+	writeJSON(w, http.StatusOK, fleetBody{Workers: a.reg.Fleet(), Tenants: a.reg.Tenants()})
+}
+
+// tenantsBody is the GET /tenants response.
+type tenantsBody struct {
+	Admission string         `json:"admission"`
+	Tenants   []TenantStatus `json:"tenants"`
+}
+
+func (a *API) tenants(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, tenantsBody{
+		Admission: a.reg.admission.Name(),
+		Tenants:   a.reg.Tenants(),
+	})
 }
 
 func (a *API) cancel(w http.ResponseWriter, req *http.Request) {

@@ -87,6 +87,7 @@ type JobStatus struct {
 	ID              uint64     `json:"-"`
 	IDHex           string     `json:"id"`
 	Label           string     `json:"label,omitempty"`
+	Tenant          string     `json:"tenant,omitempty"`
 	State           string     `json:"state"`
 	CacheHit        bool       `json:"cacheHit,omitempty"`
 	TotalPhotons    int64      `json:"photons"`
@@ -181,6 +182,12 @@ type Job struct {
 	rejected   int
 	assigned   int64 // photons handed out (fair-share accounting)
 	workers    map[string]*WorkerInfo
+
+	// tstats is the job's tenant accounting bucket and tweight the
+	// tenant's scheduling weight, both resolved once by registerLocked so
+	// the dispatch and reduce hot paths never do a map lookup per event.
+	tstats  *tenantStats
+	tweight float64
 
 	submitted  time.Time
 	started    time.Time
@@ -317,6 +324,7 @@ func (j *Job) statusLocked() JobStatus {
 		ID:              j.id,
 		IDHex:           fmt.Sprintf("%016x", j.id),
 		Label:           j.spec.Label,
+		Tenant:          j.spec.Tenant,
 		State:           j.state.String(),
 		CacheHit:        j.cacheHit,
 		TotalPhotons:    j.spec.TotalPhotons,

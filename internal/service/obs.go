@@ -14,8 +14,15 @@ import (
 // lives in each job's bounded event trace instead.
 type svcMetrics struct {
 	jobsSubmitted *obs.Counter
+	jobsResumed   *obs.Counter
 	jobsCoalesced *obs.Counter
-	jobsShed      *obs.Counter
+	jobsShed      *obs.CounterVec // by shed reason: cap, tenant_rate, tenant_quota
+
+	// Per-tenant accounting families; children are pre-resolved into each
+	// tenantStats the first time a tenant is seen.
+	tenantSubmitted *obs.CounterVec
+	tenantShed      *obs.CounterVec
+	tenantPhotons   *obs.CounterVec
 
 	cacheLookups    *obs.Counter
 	cacheHitExact   *obs.Counter
@@ -53,11 +60,19 @@ type svcMetrics struct {
 func newServiceMetrics(reg *obs.Registry, r *Registry) *svcMetrics {
 	m := &svcMetrics{
 		jobsSubmitted: reg.Counter("service_jobs_submitted_total",
-			"Jobs accepted as fresh work (cache hits and coalesced submissions excluded)."),
+			"Jobs accepted as fresh work (cache hits, coalesced submissions and checkpoint resumes excluded)."),
+		jobsResumed: reg.Counter("service_jobs_resumed_total",
+			"Jobs restored from checkpoints (admission-exempt submissions)."),
 		jobsCoalesced: reg.Counter("service_jobs_coalesced_total",
 			"Submissions attached to an identical already-active job."),
-		jobsShed: reg.Counter("service_jobs_shed_total",
-			"Submissions refused because the active-job cap was reached."),
+		jobsShed: reg.CounterVec("service_jobs_shed_total",
+			"Submissions refused by admission, by reason.", "reason"),
+		tenantSubmitted: reg.CounterVec("service_tenant_jobs_submitted_total",
+			"Fresh jobs accepted, by tenant.", "tenant"),
+		tenantShed: reg.CounterVec("service_tenant_jobs_shed_total",
+			"Submissions refused by admission, by tenant.", "tenant"),
+		tenantPhotons: reg.CounterVec("service_tenant_photons_total",
+			"Photons reduced into results, by tenant.", "tenant"),
 		cacheLookups: reg.Counter("service_cache_lookups_total",
 			"Result-cache probes (one per non-coalesced submission)."),
 		cacheMisses: reg.Counter("service_cache_misses_total",
@@ -178,6 +193,7 @@ func (r *Registry) newSpans() *obs.Spans {
 	return obs.NewSpans(r.opts.SpanEvents)
 }
 
-// ErrOverloaded is wrapped by Submit when the registry's active-job cap
-// refuses new work; the HTTP layer maps it to 429 + Retry-After.
-var ErrOverloaded = fmt.Errorf("service: too many active jobs")
+// ErrOverloaded is wrapped by every ShedError Submit returns when
+// admission refuses new work (active-job cap or per-tenant token buckets);
+// the HTTP layer maps it to 429 with the verdict's computed Retry-After.
+var ErrOverloaded = fmt.Errorf("service: submission shed by admission control")

@@ -223,8 +223,10 @@ func TestObsShedOverCapacity(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("over-cap submit: http %d, want 429", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Fatal("429 without Retry-After")
+	// One active job against the cap → a one-second, depth-derived wait
+	// (the deeper-backlog shape is pinned in TestHTTPRetryAfterShapes).
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("429 Retry-After %q, want %q", got, "1")
 	}
 
 	// Coalescing with the active job does not count against the cap.
@@ -237,10 +239,60 @@ func TestObsShedOverCapacity(t *testing.T) {
 	}
 
 	m := scrape(t, ts.URL+"/metrics")
-	if got := m["service_jobs_shed_total"]; got != 1 {
-		t.Fatalf("jobs shed %g, want 1", got)
+	if got := m[`service_jobs_shed_total{reason="cap"}`]; got != 1 {
+		t.Fatalf(`jobs shed{reason="cap"} %g, want 1`, got)
+	}
+	if got := m[`service_tenant_jobs_shed_total{tenant="default"}`]; got != 1 {
+		t.Fatalf("default-tenant shed %g, want 1", got)
 	}
 	if got := m["service_jobs_submitted_total"]; got != 1 {
 		t.Fatalf("jobs submitted %g, want 1", got)
+	}
+}
+
+// TestObsResumeNotCountedAsSubmit pins the resume-accounting fix: a
+// checkpointed job restored via SubmitSnapshot moves the dedicated resumed
+// counter, never the submitted one, and the scraped series agree with the
+// Stats rollup — per tenant included.
+func TestObsResumeNotCountedAsSubmit(t *testing.T) {
+	seed := New(Options{})
+	out, err := seed.Submit(JobSpec{
+		Spec: slabSpec(5), TotalPhotons: 300, ChunkPhotons: 100, Seed: 9, Tenant: "carol",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := out.Job.Snapshot()
+
+	reg, ts := obsServer(t, Options{})
+	if _, err := reg.SubmitSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	m := scrape(t, ts.URL+"/metrics")
+	if got := m["service_jobs_resumed_total"]; got != 1 {
+		t.Fatalf("jobs resumed %g, want 1", got)
+	}
+	if got := m["service_jobs_submitted_total"]; got != 0 {
+		t.Fatalf("resume leaked into jobs submitted: %g", got)
+	}
+
+	// A fresh submission moves submitted, not resumed.
+	if _, code := postJob(t, ts, JobRequest{Spec: slabSpec(8), Photons: 100, ChunkPhotons: 100, Seed: 10}); code != http.StatusCreated {
+		t.Fatalf("fresh submit: http %d", code)
+	}
+	m = scrape(t, ts.URL+"/metrics")
+	st := reg.Stats()
+	if m["service_jobs_submitted_total"] != float64(st.JobsSubmitted) || st.JobsSubmitted != 1 {
+		t.Fatalf("submitted: scrape %g, stats %d, want 1",
+			m["service_jobs_submitted_total"], st.JobsSubmitted)
+	}
+	if m["service_jobs_resumed_total"] != float64(st.JobsResumed) || st.JobsResumed != 1 {
+		t.Fatalf("resumed: scrape %g, stats %d, want 1",
+			m["service_jobs_resumed_total"], st.JobsResumed)
+	}
+	// The snapshot carried its tenant through, and the rollup counts the
+	// resume as a resume.
+	if c := st.Tenants["carol"]; c.Resumed != 1 || c.Submitted != 0 {
+		t.Fatalf("carol rollup %+v, want resumed 1, submitted 0", c)
 	}
 }

@@ -10,6 +10,8 @@ type Candidate struct {
 	Seq             uint64 // submission order, ascending
 	Priority        int
 	Weight          float64
+	Tenant          string  // owning tenant (DefaultTenant when unattributed)
+	TenantWeight    float64 // tenant's share under TenantFairShare
 	PendingChunks   int
 	AssignedPhotons int64
 }
@@ -17,20 +19,20 @@ type Candidate struct {
 // Policy chooses which job's chunk the next idle worker receives. The
 // registry holds its lock across calls, so implementations may keep state
 // without their own synchronisation. Pick receives at least one candidate
-// and returns an index into the slice; Charge is called after the chosen
-// job is granted work photons; Forget is called when a job leaves the
-// schedulable set (done or cancelled).
+// and returns an index into the slice; Charge is called with the chosen
+// candidate after its job is granted work photons; Forget is called when a
+// job leaves the schedulable set (done or cancelled).
 type Policy interface {
 	Name() string
 	Pick(cands []Candidate) int
-	Charge(id uint64, workPhotons int64, weight float64)
+	Charge(c Candidate, workPhotons int64)
 	Forget(id uint64)
 }
 
 type noAccounting struct{}
 
-func (noAccounting) Charge(uint64, int64, float64) {}
-func (noAccounting) Forget(uint64)                 {}
+func (noAccounting) Charge(Candidate, int64) {}
+func (noAccounting) Forget(uint64)           {}
 
 // fifoPolicy serves jobs strictly in submission order.
 type fifoPolicy struct{ noAccounting }
@@ -74,14 +76,14 @@ func (priorityPolicy) Pick(cands []Candidate) int {
 // fairPolicy interleaves jobs in proportion to their weights using
 // start-time fair queueing (sched.FairShare) with work = assigned photons.
 type fairPolicy struct {
-	fs *sched.FairShare
+	fs *sched.FairShare[uint64]
 }
 
 // FairShare returns the weighted fair-share policy: concurrent jobs
 // receive fleet throughput proportional to JobSpec.Weight, and a job
 // submitted mid-run competes from the current service frontier instead of
 // starving the incumbents.
-func FairShare() Policy { return &fairPolicy{fs: sched.NewFairShare()} }
+func FairShare() Policy { return &fairPolicy{fs: sched.NewFairShare[uint64]()} }
 
 func (p *fairPolicy) Name() string { return "fair-share" }
 
@@ -94,12 +96,46 @@ func (p *fairPolicy) Pick(cands []Candidate) int {
 	return p.fs.Pick(ids)
 }
 
-func (p *fairPolicy) Charge(id uint64, workPhotons int64, weight float64) {
-	p.fs.Observe(id, weight)
-	p.fs.Charge(id, float64(workPhotons))
+func (p *fairPolicy) Charge(c Candidate, workPhotons int64) {
+	p.fs.Observe(c.ID, c.Weight)
+	p.fs.Charge(c.ID, float64(workPhotons))
 }
 
 func (p *fairPolicy) Forget(id uint64) { p.fs.Forget(id) }
+
+// tenantFairPolicy serves tenants by weighted start-time fair queueing and
+// jobs within the picked tenant the same way — sched.TwoLevel with outer
+// weights from the tenant table and inner weights from JobSpec.Weight.
+type tenantFairPolicy struct {
+	tl *sched.TwoLevel
+	tj []sched.TenantJob // Pick scratch, reused under the registry lock
+}
+
+// TenantFairShare returns the two-level tenant→job fair-share policy: each
+// tenant receives fleet throughput proportional to its table weight no
+// matter how many jobs it queues, and a tenant's allocation splits across
+// its own jobs by job weight.
+func TenantFairShare() Policy { return &tenantFairPolicy{tl: sched.NewTwoLevel()} }
+
+func (p *tenantFairPolicy) Name() string { return "tenant-fair" }
+
+func (p *tenantFairPolicy) Pick(cands []Candidate) int {
+	tj := p.tj[:0]
+	for _, c := range cands {
+		tj = append(tj, sched.TenantJob{
+			Tenant: c.Tenant, TenantWeight: c.TenantWeight,
+			Job: c.ID, JobWeight: c.Weight,
+		})
+	}
+	p.tj = tj
+	return p.tl.Pick(tj)
+}
+
+func (p *tenantFairPolicy) Charge(c Candidate, workPhotons int64) {
+	p.tl.Charge(c.ID, float64(workPhotons))
+}
+
+func (p *tenantFairPolicy) Forget(id uint64) { p.tl.Forget(id) }
 
 // PolicyByName maps the CLI spelling to a policy; unknown names fall back
 // to FIFO with ok=false.
@@ -111,6 +147,8 @@ func PolicyByName(name string) (Policy, bool) {
 		return Priority(), true
 	case "fair", "fair-share", "fairshare":
 		return FairShare(), true
+	case "tenant-fair", "tenant", "tenantfair":
+		return TenantFairShare(), true
 	default:
 		return FIFO(), false
 	}

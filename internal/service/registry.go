@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"log/slog"
+	"sort"
 	"sync"
 	"time"
 
@@ -13,10 +14,11 @@ import (
 // shared worker fleet that drains them. Create one with New, submit jobs
 // with Submit, and serve worker connections with Serve / HandleConn.
 type Registry struct {
-	opts   Options
-	policy Policy
-	log    *slog.Logger
-	met    *svcMetrics
+	opts      Options
+	policy    Policy
+	admission AdmissionPolicy
+	log       *slog.Logger
+	met       *svcMetrics
 
 	mu        sync.Mutex
 	jobs      map[uint64]*Job
@@ -27,13 +29,16 @@ type Registry struct {
 	seq       uint64
 	sessions  map[uint64]*session
 	nextSess  uint64
-	seenNames map[string]bool // worker names ever connected (reconnect detection)
+	seenNames map[string]bool         // worker names ever connected (reconnect detection)
+	tenants   map[string]*tenantStats // per-tenant accounting, keyed by tenant name
 
 	chunksAssigned int64 // lifetime fleet counters
 	photonsDone    int64
 	rejected       int64
 	batches        int64 // worker result batches reduced
 	merges         int64 // tally merges into job tallies (≤ chunks: pre-reduction)
+	submitted      int64 // fresh jobs accepted (cache hits / coalesced excluded)
+	resumed        int64 // jobs restored from checkpoints
 
 	// Dispatch scratch buffers, reused under mu so the per-request
 	// candidate gathering allocates nothing at steady state.
@@ -52,18 +57,23 @@ func New(opts Options) *Registry {
 	if opts.Policy == nil {
 		opts.Policy = FIFO()
 	}
+	if opts.Admission == nil {
+		opts.Admission = AlwaysAdmit()
+	}
 	if opts.RetainDone == 0 {
 		opts.RetainDone = 1024
 	}
 	r := &Registry{
 		opts:      opts,
 		policy:    opts.Policy,
+		admission: opts.Admission,
 		log:       opts.Logger,
 		jobs:      make(map[uint64]*Job),
 		byKey:     make(map[Key]*Job),
 		cache:     newCache(opts.CacheSize),
 		sessions:  make(map[uint64]*session),
 		seenNames: make(map[string]bool),
+		tenants:   make(map[string]*tenantStats),
 		drained:   make(chan struct{}),
 	}
 	// A nil Obs still gets live instruments (they are plain atomics and the
@@ -148,12 +158,15 @@ func (r *Registry) Submit(spec JobSpec) (*SubmitOutcome, error) {
 	}
 	r.met.cacheMisses.Inc()
 
-	// Early admission check: a fresh job is refused before paying
+	// Early admission probe: a fresh job is refused before paying
 	// Spec.Build (which may materialise a voxel geometry). Coalesced and
 	// cache-hit submissions returned above — they add no work and are
-	// never shed. The check repeats authoritatively under the lock below.
+	// never shed. The probe spends no tokens; the authoritative, debiting
+	// check repeats under the lock below.
+	cost := spec.admissionPhotons()
 	r.mu.Lock()
-	if err := r.admitLocked(); err != nil {
+	ts := r.tenantLocked(spec.Tenant)
+	if err := r.admitLocked(ts, cost, false); err != nil {
 		r.mu.Unlock()
 		return nil, err
 	}
@@ -172,16 +185,19 @@ func (r *Registry) Submit(spec JobSpec) (*SubmitOutcome, error) {
 		live.trace(obs.Event{Kind: obs.EvCoalesced})
 		return &SubmitOutcome{Job: live, Coalesced: true}, nil
 	}
-	if err := r.admitLocked(); err != nil { // authoritative re-check under the lock
+	if err := r.admitLocked(ts, cost, true); err != nil { // authoritative, spends tokens
 		r.mu.Unlock()
 		return nil, err
 	}
 	r.registerLocked(j)
 	r.active = append(r.active, j)
 	r.byKey[key] = j
+	r.submitted++
+	ts.submitted++
 	r.mu.Unlock()
 	r.met.jobsSubmitted.Inc()
-	j.trace(obs.Event{Kind: obs.EvSubmitted})
+	ts.subC.Inc()
+	j.trace(obs.Event{Kind: obs.EvSubmitted, Detail: spec.Tenant})
 	if spec.Target != nil {
 		r.log.Info("job submitted", "job", jobHex(j.id),
 			"observable", spec.Target.Observable, "relErr", spec.Target.RelErr,
@@ -193,14 +209,85 @@ func (r *Registry) Submit(spec JobSpec) (*SubmitOutcome, error) {
 	return &SubmitOutcome{Job: j}, nil
 }
 
-// admitLocked enforces the MaxActiveJobs shed cap on a would-be fresh job.
-func (r *Registry) admitLocked() error {
+// admitLocked evaluates every shed reason for a would-be fresh job of the
+// given tenant: the global MaxActiveJobs cap first, then the per-tenant
+// admission policy. debit=false probes (the pre-Build check, spends
+// nothing); debit=true is the authoritative check that spends tokens.
+// Either outcome of a failed check records exactly one shed — a refused
+// submission fails at most one of the two calls.
+func (r *Registry) admitLocked(ts *tenantStats, photons int64, debit bool) error {
 	if r.opts.MaxActiveJobs > 0 && len(r.active) >= r.opts.MaxActiveJobs {
-		r.met.jobsShed.Inc()
-		return fmt.Errorf("%w (%d active, cap %d)", ErrOverloaded,
-			len(r.active), r.opts.MaxActiveJobs)
+		return r.shedLocked(ts, &ShedError{
+			Tenant:     ts.name,
+			Reason:     ShedReasonCap,
+			RetryAfter: capRetryAfter(len(r.active)),
+			Detail:     fmt.Sprintf("%d active, cap %d", len(r.active), r.opts.MaxActiveJobs),
+		})
+	}
+	var v AdmissionVerdict
+	if debit {
+		v = r.admission.Admit(ts.name, photons)
+	} else {
+		v = r.admission.Probe(ts.name, photons)
+	}
+	if !v.OK {
+		return r.shedLocked(ts, &ShedError{
+			Tenant: ts.name, Reason: v.Reason, RetryAfter: v.RetryAfter, Detail: v.Detail,
+		})
 	}
 	return nil
+}
+
+// shedLocked accounts one refused submission and returns the error.
+func (r *Registry) shedLocked(ts *tenantStats, e *ShedError) error {
+	ts.shed++
+	ts.shedC.Inc()
+	r.met.jobsShed.With(e.Reason).Inc()
+	r.log.Warn("job shed", "tenant", ts.name, "reason", e.Reason,
+		"retryAfter", e.RetryAfter, "detail", e.Detail)
+	return e
+}
+
+// capRetryAfter scales the cap path's Retry-After with queue depth — one
+// second per active job, clamped to [1s, 60s] — so a deeply backlogged
+// service pushes clients further out than a barely-over one.
+func capRetryAfter(active int) time.Duration {
+	d := time.Duration(active) * time.Second
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > time.Minute {
+		d = time.Minute
+	}
+	return d
+}
+
+// tenantLocked lazily materialises a tenant's accounting bucket with its
+// metric children pre-resolved (the reduce hot path adds photons per batch).
+func (r *Registry) tenantLocked(name string) *tenantStats {
+	ts, ok := r.tenants[name]
+	if !ok {
+		ts = &tenantStats{
+			name:  name,
+			subC:  r.met.tenantSubmitted.With(name),
+			shedC: r.met.tenantShed.With(name),
+			photC: r.met.tenantPhotons.With(name),
+		}
+		r.tenants[name] = ts
+	}
+	return ts
+}
+
+// tenantStats is one tenant's lifetime accounting, guarded by the registry
+// lock, with pre-resolved per-tenant counter children alongside.
+type tenantStats struct {
+	name      string
+	submitted int64
+	resumed   int64
+	shed      int64
+	photons   int64
+
+	subC, shedC, photC *obs.Counter
 }
 
 // jobHex is the log spelling of a job ID (matches the HTTP API's).
@@ -245,7 +332,7 @@ func (r *Registry) SubmitSnapshot(snap *Snapshot) (*Job, error) {
 		return nil, err
 	}
 	j.pkey = pkey
-	j.trace(obs.Event{Kind: obs.EvResumed, Value: float64(len(snap.Completed))})
+	j.trace(obs.Event{Kind: obs.EvResumed, Detail: spec.Tenant, Value: float64(len(snap.Completed))})
 	if j.openEnded() {
 		// Re-issue the snapshot's chunk space; incomplete ids are queued
 		// below and issuance continues past the high-water mark on demand.
@@ -299,6 +386,12 @@ func (r *Registry) SubmitSnapshot(snap *Snapshot) (*Job, error) {
 		return live, nil
 	}
 	r.registerLocked(j)
+	// Resumes are admission-exempt (the work was admitted before the
+	// checkpoint) but they are submissions: count them, or the scraped
+	// series disagree with Stats after every restart.
+	r.resumed++
+	j.tstats.resumed++
+	r.met.jobsResumed.Inc()
 	if complete {
 		r.checkDrainLocked()
 	} else {
@@ -331,6 +424,8 @@ func (r *Registry) freeIDLocked(key Key) uint64 {
 func (r *Registry) registerLocked(j *Job) {
 	j.id = r.freeIDLocked(j.key)
 	j.seq = r.nextSeqLocked()
+	j.tstats = r.tenantLocked(j.spec.Tenant)
+	j.tweight = r.opts.Tenants.Weight(j.spec.Tenant)
 	r.jobs[j.id] = j
 	r.order = append(r.order, j)
 	r.evictFinishedLocked()
@@ -477,7 +572,22 @@ type Stats struct {
 	CacheEntries      int    `json:"cacheEntries"`
 	CacheHits         int64  `json:"cacheHits"`
 	CacheMisses       int64  `json:"cacheMisses"`
+	JobsSubmitted     int64  `json:"jobsSubmitted"`
+	JobsResumed       int64  `json:"jobsResumed,omitempty"`
 	Policy            string `json:"policy"`
+	Admission         string `json:"admission"`
+	// Tenants is the per-tenant rollup: one entry per tenant ever seen.
+	Tenants map[string]TenantStat `json:"tenants,omitempty"`
+}
+
+// TenantStat is one tenant's slice of the Stats rollup.
+type TenantStat struct {
+	Weight     float64 `json:"weight"`
+	ActiveJobs int     `json:"activeJobs"`
+	Submitted  int64   `json:"submitted"`
+	Resumed    int64   `json:"resumed,omitempty"`
+	Shed       int64   `json:"shed"`
+	Photons    int64   `json:"photons"`
 }
 
 // Stats snapshots fleet and queue health.
@@ -491,9 +601,29 @@ func (r *Registry) Stats() Stats {
 		RejectedResults:  r.rejected,
 		BatchesReduced:   r.batches,
 		TallyMerges:      r.merges,
+		JobsSubmitted:    r.submitted,
+		JobsResumed:      r.resumed,
 		Policy:           r.policy.Name(),
+		Admission:        r.admission.Name(),
 	}
 	s.CacheEntries, s.CacheHits, s.CacheMisses = r.cache.stats()
+	if len(r.tenants) > 0 {
+		s.Tenants = make(map[string]TenantStat, len(r.tenants))
+		for name, ts := range r.tenants {
+			s.Tenants[name] = TenantStat{
+				Weight:    r.opts.Tenants.Weight(name),
+				Submitted: ts.submitted,
+				Resumed:   ts.resumed,
+				Shed:      ts.shed,
+				Photons:   ts.photons,
+			}
+		}
+		for _, j := range r.active {
+			t := s.Tenants[j.spec.Tenant]
+			t.ActiveJobs++
+			s.Tenants[j.spec.Tenant] = t
+		}
+	}
 	for _, j := range r.order {
 		switch j.state {
 		case StateQueued:
@@ -516,4 +646,62 @@ func (r *Registry) Stats() Stats {
 		}
 	}
 	return s
+}
+
+// TenantStatus is one tenant's live view behind GET /tenants: accounting,
+// scheduling weight, and — under a token-bucket admission policy — the
+// current bucket levels.
+type TenantStatus struct {
+	Name       string  `json:"name"`
+	Weight     float64 `json:"weight"`
+	ActiveJobs int     `json:"activeJobs"`
+	Submitted  int64   `json:"submitted"`
+	Resumed    int64   `json:"resumed,omitempty"`
+	Shed       int64   `json:"shed"`
+	Photons    int64   `json:"photons"`
+	// Bucket state, present only when the admission policy keeps buckets.
+	Class        *TenantClass `json:"class,omitempty"`
+	JobTokens    *float64     `json:"jobTokens,omitempty"`
+	PhotonTokens *float64     `json:"photonTokens,omitempty"`
+}
+
+// Tenants snapshots every tenant the registry knows about — seen by a
+// submission, named in the configured table, or holding live admission
+// buckets — sorted by name.
+func (r *Registry) Tenants() []TenantStatus {
+	byName := make(map[string]*TenantStatus)
+	get := func(name string) *TenantStatus {
+		t, ok := byName[name]
+		if !ok {
+			t = &TenantStatus{Name: name, Weight: r.opts.Tenants.Weight(name)}
+			byName[name] = t
+		}
+		return t
+	}
+	r.mu.Lock()
+	for name, ts := range r.tenants {
+		t := get(name)
+		t.Submitted, t.Resumed, t.Shed, t.Photons = ts.submitted, ts.resumed, ts.shed, ts.photons
+	}
+	for _, j := range r.active {
+		get(j.spec.Tenant).ActiveJobs++
+	}
+	r.mu.Unlock()
+	if r.opts.Tenants != nil {
+		for name := range r.opts.Tenants.Tenants {
+			get(name)
+		}
+	}
+	// Levels takes the admission policy's own lock; call it off r.mu.
+	for _, lv := range r.admission.Levels() {
+		t := get(lv.Tenant)
+		class, jobs, photons := lv.Class, lv.JobTokens, lv.PhotonTokens
+		t.Class, t.JobTokens, t.PhotonTokens = &class, &jobs, &photons
+	}
+	out := make([]TenantStatus, 0, len(byName))
+	for _, t := range byName {
+		out = append(out, *t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }

@@ -3,8 +3,9 @@
 // concurrent jobs — each wrapping the chunk queue / timeout-reassignment /
 // exactly-once reduction logic of a single distributed run — and one shared
 // worker fleet drains them all: every idle worker is handed the next chunk
-// chosen by a pluggable cross-job Policy (FIFO, priority, or weighted
-// fair-share built on sched.FairShare), and results are routed back to
+// chosen by a pluggable cross-job Policy (FIFO, priority, weighted
+// fair-share built on sched.FairShare, or two-level tenant-fair built on
+// sched.TwoLevel), and results are routed back to
 // their job by the protocol's JobID. Workers are job-agnostic; a session
 // learns a job's spec the first time it is assigned one of its chunks.
 // Since protocol v3, workers flush pre-reduced result batches (compact
@@ -20,8 +21,18 @@
 // single chunk, and an identical submission racing an active job coalesces
 // onto it.
 //
+// Every submission belongs to a tenant (JobSpec.Tenant; the HTTP layer
+// resolves it from the X-MC-Tenant header, the request body, or the
+// "default" fallback). An AdmissionPolicy — AlwaysAdmit, or TokenBucket
+// fed by a TenantTable of per-tenant job-rate and photon-quota classes —
+// decides at Submit whether a fresh job is accepted; refusals are typed
+// ShedErrors the HTTP layer turns into 429s with a computed Retry-After.
+// Cache hits, coalesced submissions and checkpoint resumes bypass
+// admission: they add no new simulation work.
+//
 // The API surface is programmatic (Registry) and HTTP (NewAPI): POST /jobs,
-// GET /jobs/{id}, GET /jobs/{id}/result, DELETE /jobs/{id}, GET /stats.
+// GET /jobs/{id}, GET /jobs/{id}/result, DELETE /jobs/{id}, GET /stats,
+// GET /tenants.
 // cmd/mcqueue serves both; cmd/mcserver keeps its one-job CLI behaviour by
 // delegating to a single-job Registry.
 package service
@@ -57,10 +68,18 @@ type Options struct {
 	// DefaultMaxTargetPhotons. An operator guard against a tight RelErr
 	// on a noisy observable monopolising the fleet.
 	MaxTargetPhotons int64
-	// MaxActiveJobs sheds fresh submissions (ErrOverloaded) while that many
-	// jobs are already queued or running; 0 means unbounded. Cache hits and
-	// coalesced submissions never shed — they add no work.
+	// MaxActiveJobs sheds fresh submissions (ShedError, reason "cap") while
+	// that many jobs are already queued or running; 0 means unbounded.
+	// Cache hits and coalesced submissions never shed — they add no work.
 	MaxActiveJobs int
+	// Admission decides per tenant whether a fresh submission is accepted
+	// (token buckets on jobs/sec and photons); nil means AlwaysAdmit. The
+	// MaxActiveJobs cap is evaluated first, as one more shed reason.
+	Admission AdmissionPolicy
+	// Tenants maps tenant names to their class; the registry reads
+	// scheduling weights (tenant-fair policy, GET /tenants) from it. nil
+	// gives every tenant the default class (weight 1).
+	Tenants *TenantTable
 	// Obs receives the service-plane metrics; nil instruments into a
 	// private unexported registry (the counters still run — they are cheap
 	// atomics — but nothing scrapes them).
@@ -115,6 +134,11 @@ type JobSpec struct {
 	Weight float64
 	// Label is a free-form operator tag surfaced in statuses.
 	Label string
+	// Tenant attributes the job to a tenant for admission control,
+	// two-level fair scheduling and per-tenant accounting. Empty maps to
+	// DefaultTenant. The tenant never enters the result-cache key: the same
+	// physics submitted by two tenants coalesces and cache-hits freely.
+	Tenant string
 }
 
 // Precision-job defaults: the chunk size when the submission names none,
@@ -191,6 +215,12 @@ func (s *JobSpec) normalize(maxTargetPhotons int64) error {
 	}
 	if s.Fan <= 1 {
 		s.Fan = 0 // canonical "no fan": fan 1 computes the same tally
+	}
+	if s.Tenant == "" {
+		s.Tenant = DefaultTenant
+	}
+	if len(s.Tenant) > MaxTenantNameLen {
+		return fmt.Errorf("service: tenant name longer than %d bytes", MaxTenantNameLen)
 	}
 	return nil
 }

@@ -8,7 +8,10 @@
 # values for this known job (plus build identity), GET /jobs/{id}/events
 # tells the lifecycle story (and filters by kind), GET /jobs/{id}/spans
 # decomposes every chunk's timing, GET /fleet shows the worker's
-# piggybacked telemetry, mctop -once renders it all, pprof answers, and
+# piggybacked telemetry, mctop -once renders it all, pprof answers,
+# per-tenant admission control sheds a flooding tenant with 429 +
+# a bucket-derived Retry-After (reason- and tenant-labeled on /metrics,
+# bucket levels on GET /tenants) while another tenant's job completes, and
 # SIGTERM shuts mcqueue down cleanly — with an unfinished job still
 # queued, so the final checkpoint pass must actually run before the
 # process exits (a drain that returns early loses it).
@@ -55,7 +58,22 @@ go build -ldflags '-X repro/internal/obs.Version=smoke-test' -o "$WORK" \
   ./cmd/mcqueue ./cmd/mcworker ./cmd/mctop
 go run ./scripts/genjob >"$WORK/job.json"
 
+# Tenant table: alice gets a 3x scheduling weight, flood may create one
+# job per 50s burst-1 — the default class stays unlimited so the rest of
+# the smoke test is unaffected. Passing -tenants also auto-upgrades the
+# scheduling policy to tenant-fair.
+cat >"$WORK/tenants.json" <<'EOF'
+{
+  "default": {},
+  "tenants": {
+    "alice": {"weight": 3},
+    "flood": {"jobsPerSec": 0.02, "jobBurst": 1}
+  }
+}
+EOF
+
 "$WORK/mcqueue" -addr "$FLEET" -http "$HTTP" -log-format json \
+  -tenants "$WORK/tenants.json" \
   -checkpoint-dir "$WORK/ckpt" >"$WORK/mcqueue.log" 2>&1 &
 QPID=$!
 wait_http "http://$HTTP/readyz"
@@ -135,7 +153,7 @@ echo "$FLEETJSON" | grep -q '"version":"smoke-test"' || fail "/fleet row missing
 echo "obs-smoke: mctop -once renders the dashboard..."
 TOP=$("$WORK/mctop" -addr "http://$HTTP" -once)
 echo "$TOP" | grep -q "smoke-worker" || fail "mctop does not list the worker: $TOP"
-echo "$TOP" | grep -q "policy fair" || fail "mctop lost the stats header: $TOP"
+echo "$TOP" | grep -q "policy tenant-fair" || fail "mctop lost the stats header: $TOP"
 echo "$TOP" | grep -q "build smoke-test" || fail "mctop lost the build version: $TOP"
 
 WMETRICS=$(curl -fsS "http://$WDBG/metrics")
@@ -144,6 +162,59 @@ echo "$WMETRICS" | grep -q '^worker_photons_total 2000$' ||
 echo "$WMETRICS" | grep -q '^worker_chunks_computed_total 4$' || fail "worker chunk count wrong"
 echo "$WMETRICS" | grep -Eq '^worker_conn_frames_total\{dir="send",type="result-batch"\} [1-9]' ||
   fail "wire frame counters silent"
+
+echo "obs-smoke: tenant admission control..."
+# alice, attributed via header, sails through and completes.
+go run ./scripts/genjob -photons 2000 -seed 15 -label smoke-alice >"$WORK/alice.json"
+AID=$(curl -fsS -X POST "http://$HTTP/jobs" -H "X-MC-Tenant: alice" -d @"$WORK/alice.json" |
+  sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p')
+[ -n "$AID" ] || fail "alice's POST /jobs returned no job id"
+
+# flood's first job spends its burst-1 bucket...
+go run ./scripts/genjob -photons 2000 -seed 16 -label smoke-flood-1 >"$WORK/flood1.json"
+FID=$(curl -fsS -X POST "http://$HTTP/jobs" -H "X-MC-Tenant: flood" -d @"$WORK/flood1.json" |
+  sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p')
+[ -n "$FID" ] || fail "flood's first POST /jobs returned no job id"
+
+# ...so the immediate second one sheds: 429, a refill-derived Retry-After
+# (0.02 jobs/s → ~50s, certainly not the old constant "1"), and the shed
+# reason in the error body.
+go run ./scripts/genjob -photons 2000 -seed 17 -label smoke-flood-2 >"$WORK/flood2.json"
+CODE=$(curl -s -o "$WORK/shed.body" -D "$WORK/shed.hdr" -w '%{http_code}' \
+  -X POST "http://$HTTP/jobs" -H "X-MC-Tenant: flood" -d @"$WORK/flood2.json")
+[ "$CODE" = 429 ] || fail "flooding tenant answered $CODE, want 429"
+RETRY=$(tr -d '\r' <"$WORK/shed.hdr" | sed -n 's/^[Rr]etry-[Aa]fter: *\([0-9]*\)$/\1/p')
+[ -n "$RETRY" ] && [ "$RETRY" -ge 2 ] ||
+  fail "429 Retry-After '$RETRY' is not a bucket-derived wait"
+grep -q 'tenant_rate' "$WORK/shed.body" || fail "429 body lost the shed reason: $(cat "$WORK/shed.body")"
+
+# Both admitted jobs complete despite flood's empty bucket.
+for JOB in "$AID" "$FID"; do
+  for _ in $(seq 1 150); do
+    STATE=$(curl -fsS "http://$HTTP/jobs/$JOB" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')
+    [ "$STATE" = done ] && break
+    sleep 0.2
+  done
+  [ "$STATE" = done ] || fail "tenant job $JOB stuck in state '$STATE'"
+done
+
+METRICS=$(curl -fsS "http://$HTTP/metrics")
+expect 'service_jobs_shed_total{reason="tenant_rate"}' 1
+expect 'service_tenant_jobs_shed_total{tenant="flood"}' 1
+expect 'service_tenant_jobs_submitted_total{tenant="alice"}' 1
+expect 'service_tenant_jobs_submitted_total{tenant="flood"}' 1
+expect 'service_tenant_photons_total{tenant="alice"}' 2000
+
+TENANTS=$(curl -fsS "http://$HTTP/tenants")
+echo "$TENANTS" | grep -q '"admission":"token-bucket"' || fail "/tenants lost the policy name: $TENANTS"
+echo "$TENANTS" | grep -q '"name":"flood"' || fail "/tenants does not list flood: $TENANTS"
+echo "$TENANTS" | grep -q '"jobTokens":' || fail "/tenants carries no bucket levels: $TENANTS"
+curl -fsS "http://$HTTP/stats" | grep -q '"tenants":{' || fail "/stats lost the tenant rollup"
+curl -fsS "http://$HTTP/fleet" | grep -q '"tenants":\[' || fail "/fleet lost the tenant rollup"
+
+TOP=$("$WORK/mctop" -addr "http://$HTTP" -once)
+echo "$TOP" | grep -q "TENANT" || fail "mctop renders no tenant table: $TOP"
+echo "$TOP" | grep -q "flood" || fail "mctop tenant table misses flood: $TOP"
 
 echo "obs-smoke: graceful shutdown checkpoints the active job..."
 # Stop the worker, then queue a job nothing can advance: it must still be

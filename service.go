@@ -42,6 +42,20 @@ type (
 	// server-side accounting joined with the worker's own piggybacked
 	// report (GET /fleet).
 	FleetSession = service.SessionStatus
+	// AdmissionPolicy decides per tenant whether a fresh submission is
+	// accepted (RegistryOptions.Admission); refusals surface as
+	// ShedErrors (HTTP 429 + Retry-After).
+	AdmissionPolicy = service.AdmissionPolicy
+	// TenantTable maps tenant names to admission/scheduling classes — the
+	// mcqueue -tenants payload (service.LoadTenantTable reads it).
+	TenantTable = service.TenantTable
+	// TenantClass is one tenant's rate, quota and weight envelope.
+	TenantClass = service.TenantClass
+	// ShedError reports a refused submission: tenant, reason
+	// (cap | tenant_rate | tenant_quota) and a computed retry hint.
+	ShedError = service.ShedError
+	// TenantStatus is one tenant's live rollup (GET /tenants, GET /fleet).
+	TenantStatus = service.TenantStatus
 )
 
 // NewMetricsRegistry returns an empty metrics registry.
@@ -59,7 +73,7 @@ func NewJobRegistry(opts RegistryOptions) *JobRegistry { return service.New(opts
 // NewServiceHandler wraps a registry in the HTTP JSON API:
 // POST /jobs, GET /jobs, GET /jobs/{id}, GET /jobs/{id}/result,
 // GET /jobs/{id}/events, GET /jobs/{id}/spans, DELETE /jobs/{id},
-// GET /stats, GET /fleet.
+// GET /stats, GET /fleet, GET /tenants.
 func NewServiceHandler(reg *JobRegistry) http.Handler {
 	return service.NewAPI(reg).Handler()
 }
@@ -75,3 +89,16 @@ func PriorityPolicy() SchedulingPolicy { return service.Priority() }
 // FairSharePolicy interleaves concurrent jobs in proportion to their
 // weights (start-time fair queueing over assigned photons).
 func FairSharePolicy() SchedulingPolicy { return service.FairShare() }
+
+// TenantFairSharePolicy stacks fair queueing two levels deep: fleet
+// throughput splits across tenants by their table weights, then within a
+// tenant across its jobs — so no tenant can grow its share by submitting
+// more jobs.
+func TenantFairSharePolicy() SchedulingPolicy { return service.TenantFairShare() }
+
+// TokenBucketAdmission builds the per-tenant token-bucket admission
+// policy from a tenant table (pass as RegistryOptions.Admission, with the
+// table itself as RegistryOptions.Tenants for scheduling weights).
+func TokenBucketAdmission(table *TenantTable) AdmissionPolicy {
+	return service.NewTokenBucket(table, nil)
+}
