@@ -7,7 +7,7 @@ GO ?= go
 VERSION ?= $(shell git describe --always --dirty 2>/dev/null || echo dev)
 LDFLAGS = -X repro/internal/obs.Version=$(VERSION)
 
-.PHONY: build test race short bench bench-smoke cover fmt vet fuzz-smoke obs-smoke
+.PHONY: build test race short bench bench-smoke cover fmt vet fuzz-smoke obs-smoke crash-smoke
 
 build:
 	$(GO) build -ldflags '$(LDFLAGS)' ./...
@@ -26,7 +26,7 @@ race:
 # for the multi-job service registry, and the telemetry on/off A/B.
 # Compare against the committed BENCH_pr*.json trajectory.
 bench:
-	$(GO) run ./cmd/mcbench -out BENCH_pr7.json
+	$(GO) run ./cmd/mcbench -out BENCH_pr9.json
 
 # bench-smoke is the CI bitrot guard: tiny budgets, noisy numbers, proves
 # the harness still runs.
@@ -39,6 +39,12 @@ bench-smoke:
 # drain) from the outside.
 obs-smoke:
 	./scripts/obs-smoke.sh
+
+# crash-smoke SIGKILLs a real journal-armed mcqueue at a WAL crashpoint,
+# restarts it on the same journal, and asserts the accepted job survives
+# under its original ID, completes, and that SIGTERM compacts the journal.
+crash-smoke:
+	./scripts/crash-smoke.sh
 
 # fuzz-smoke gives the wire decoder ten seconds of coverage-guided input on
 # top of the committed corpus (which seeds the v3 batch frames) — enough to

@@ -1,7 +1,7 @@
 // Command mcbench measures the repository's headline throughput numbers
 // and writes them to a machine-readable JSON file, seeding the performance
-// trajectory across PRs (`make bench` → BENCH_pr7.json, alongside the
-// committed BENCH_pr2/pr3/pr4.json for comparison):
+// trajectory across PRs (`make bench` → BENCH_pr9.json, alongside the
+// committed BENCH_pr2/pr3/pr4/pr7.json for comparison):
 //
 //   - photons/sec of the layered kernel (Table 1 adult head),
 //   - photons/sec of the voxel kernel (the same head voxelized),
@@ -46,6 +46,7 @@ import (
 	"repro/internal/source"
 	"repro/internal/tissue"
 	"repro/internal/voxel"
+	"repro/internal/wal"
 )
 
 // Report is the JSON schema of the benchmark output.
@@ -89,6 +90,15 @@ type Report struct {
 	TelemetryOffJobsPerSec float64 `json:"telemetryOffJobsPerSec"`
 	TelemetryOverheadPct   float64 `json:"telemetryOverheadPct"`
 
+	// WAL A/B: the same batched service-plane workload with the crash
+	// journal off vs on (fsync policy "interval", the production
+	// default) — the price of crash durability on the control plane,
+	// which must stay within a few percent. Best-of over interleaved
+	// paired rounds, like the telemetry A/B.
+	WALOffJobsPerSec float64 `json:"walOffJobsPerSec"`
+	WALOnJobsPerSec  float64 `json:"walOnJobsPerSec"`
+	WALOverheadPct   float64 `json:"walOverheadPct"`
+
 	// End-to-end distributed vs local on the same realistic job.
 	DistributedWorkers       int     `json:"distributedWorkers"`
 	LocalPhotonsPerSec       float64 `json:"localPhotonsPerSec"`
@@ -107,7 +117,7 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr7.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr9.json", "output JSON path")
 	photons := flag.Int64("photons", 200_000, "photons per kernel benchmark run")
 	jobs := flag.Int("jobs", 32, "jobs for the registry benchmark")
 	workers := flag.Int("workers", 4, "fleet size for the registry benchmark")
@@ -196,6 +206,21 @@ func main() {
 		rep.TelemetryOffJobsPerSec
 	fmt.Printf("telemetry A/B:  %.1f on vs %.1f off jobs/sec (%.2f%% overhead)\n",
 		rep.TelemetryOnJobsPerSec, rep.TelemetryOffJobsPerSec, rep.TelemetryOverheadPct)
+
+	// WAL A/B on the same wire-bound workload: the journal's appends ride
+	// every accept, chunk batch, snapshot and finalize, so any real cost
+	// shows here. Same interleaved best-of discipline as the telemetry
+	// A/B so host drift does not masquerade as journal overhead.
+	for round := 0; round < 3; round++ {
+		off := servicePlaneRate(planeJobs, planeChunks, *workers, batchedClient, defaultOpts)
+		on := walPlaneRate(planeJobs, planeChunks, *workers, batchedClient)
+		rep.WALOffJobsPerSec = math.Max(rep.WALOffJobsPerSec, off)
+		rep.WALOnJobsPerSec = math.Max(rep.WALOnJobsPerSec, on)
+	}
+	rep.WALOverheadPct = 100 * (rep.WALOffJobsPerSec - rep.WALOnJobsPerSec) /
+		rep.WALOffJobsPerSec
+	fmt.Printf("wal A/B:        %.1f off vs %.1f on jobs/sec (%.2f%% overhead)\n",
+		rep.WALOffJobsPerSec, rep.WALOnJobsPerSec, rep.WALOverheadPct)
 
 	distributedBench(&rep, *distPhotons, 3)
 	fmt.Printf("distributed:    %.0f photons/sec over %d workers vs %.0f local (%.2fx), "+
@@ -375,6 +400,27 @@ func servicePlaneRate(jobs, chunksPerJob, workers int, c client, opts service.Op
 		handles = append(handles, out.Job)
 	}
 	return drain(reg, handles, workers, c)
+}
+
+// walPlaneRate is the batched service-plane workload with the crash
+// journal armed on a throwaway directory: every accept, reduced chunk
+// batch, amortized snapshot and finalize is write-ahead logged under the
+// production-default "interval" fsync policy. Jobs/sec here against the
+// journal-off arm prices crash durability.
+func walPlaneRate(jobs, chunksPerJob, workers int, c client) float64 {
+	dir, err := os.MkdirTemp("", "mcbench-wal")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	wlog, _, err := wal.Open(wal.Options{Dir: dir, Fsync: wal.FsyncInterval})
+	if err != nil {
+		fatal(err)
+	}
+	defer wlog.Close()
+	journal := service.NewJournal(wlog, service.JournalOptions{})
+	return servicePlaneRate(jobs, chunksPerJob, workers, c,
+		service.Options{DrainOnEmpty: true, CacheSize: -1, Journal: journal})
 }
 
 // servicePlanePhysics measures the bare compute cost of the service-plane

@@ -63,6 +63,16 @@
 // unfinished job is checkpointed into -checkpoint-dir before exit, and
 // those checkpoints are resumed automatically on the next start, so an
 // operator Ctrl-C never loses work.
+//
+// -wal-dir additionally arms the crash-durable journal: every accepted
+// job, reduced chunk batch, amortized tally snapshot, finalize and
+// cancel is write-ahead logged, and on start the journal is replayed —
+// before /readyz flips — so even a kill -9, OOM kill or power cut
+// replays instead of losing accepted jobs. -wal-fsync picks the
+// always/interval/none fsync policy (a process kill loses nothing under
+// any of them; the policy prices power loss), and the SIGTERM
+// checkpoint pass doubles as a final journal compaction. See DESIGN.md
+// "Durability".
 package main
 
 import (
@@ -82,6 +92,7 @@ import (
 	"repro/internal/distsys"
 	"repro/internal/obs"
 	"repro/internal/service"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -108,6 +119,16 @@ func main() {
 		"per-job chunk span ring capacity (0: 512 default, negative: disable span recording)")
 	ckptDir := fs.String("checkpoint-dir", "mcqueue-ckpt",
 		"directory for shutdown checkpoints (resumed on next start)")
+	walDir := fs.String("wal-dir", "",
+		"write-ahead journal directory; crashes (kill -9, OOM, power) replay instead of losing accepted jobs (empty: disabled)")
+	walFsync := fs.String("wal-fsync", "interval",
+		"journal fsync policy: always, interval, none")
+	walSegBytes := fs.Int64("wal-segment-bytes", 0,
+		"journal segment rotation size (0: 8 MiB default)")
+	walCompactBytes := fs.Int64("wal-compact-bytes", 0,
+		"journal size triggering snapshot compaction (0: 64 MiB default, negative: disable)")
+	walSnapshotEvery := fs.Int("wal-snapshot-every", 0,
+		"reduced chunks per job between journaled tally snapshots (0: 64 default)")
 	var lf cli.LogFlags
 	lf.Register(fs)
 	fs.Parse(os.Args[1:])
@@ -139,9 +160,44 @@ func main() {
 		fatal(fmt.Errorf("unknown policy %q", *policyName))
 	}
 	oreg := obs.NewRegistry()
-	ready := obs.NewReadiness("fleet-listener", "checkpoint-resume")
+	ready := obs.NewReadiness("fleet-listener", "checkpoint-resume", "wal-replay")
 	ckpt := oreg.CounterVec("mcqueue_checkpoint_total",
 		"Checkpoint operations by kind and outcome.", "op", "outcome")
+
+	// Open the journal before the registry exists: its records must be
+	// replayed into the registry before any listener accepts traffic, and
+	// /readyz holds until the replay condition flips.
+	var (
+		journal   *service.Journal
+		walReplay *wal.Replay
+	)
+	if *walDir != "" {
+		fpolicy, err := wal.ParseFsyncPolicy(*walFsync)
+		if err != nil {
+			fatal(err)
+		}
+		wlog, replay, err := wal.Open(wal.Options{
+			Dir:          *walDir,
+			SegmentBytes: *walSegBytes,
+			Fsync:        fpolicy,
+			Obs:          oreg,
+			Logger:       logger,
+		})
+		if err != nil {
+			fatal(fmt.Errorf("wal open: %w", err))
+		}
+		defer wlog.Close()
+		journal = service.NewJournal(wlog, service.JournalOptions{
+			SnapshotEvery: *walSnapshotEvery,
+			CompactBytes:  *walCompactBytes,
+			Logger:        logger,
+		})
+		walReplay = replay
+		if replay.TornTruncations > 0 {
+			logger.Warn("journal had torn segment tails", "truncations", replay.TornTruncations)
+		}
+	}
+
 	reg := service.New(service.Options{
 		Policy:           policy,
 		CacheSize:        *cacheSize,
@@ -154,7 +210,23 @@ func main() {
 		SpanEvents:       *spanEvents,
 		Obs:              oreg,
 		Logger:           logger,
+		Journal:          journal,
 	})
+
+	// Journal replay first: it reconstructs everything up to the crash,
+	// including jobs a SIGTERM checkpoint pass never saw. The legacy
+	// checkpoint resume after it dedups naturally — an identical live job
+	// coalesces by content key.
+	if journal != nil {
+		replayed, err := journal.Replay(reg, walReplay.Records)
+		if err != nil {
+			fatal(fmt.Errorf("wal replay: %w", err))
+		}
+		if replayed > 0 {
+			logger.Info("replayed journaled jobs", "jobs", replayed, "dir", *walDir)
+		}
+	}
+	ready.Set("wal-replay", true)
 
 	resumed := resumeCheckpoints(reg, *ckptDir, logger, ckpt)
 	ready.Set("checkpoint-resume", true)
@@ -230,6 +302,14 @@ func main() {
 	<-drained
 	saved, failed := saveCheckpoints(reg, *ckptDir, logger, ckpt)
 	logger.Info("checkpointed active jobs", "saved", saved, "dir", *ckptDir)
+	// With a journal the SIGTERM pass is a final compaction, not the only
+	// durability: the log shrinks to one snapshot per retained job, so the
+	// next boot replays a minimal record set.
+	if journal != nil {
+		if err := reg.CompactJournal(); err != nil {
+			logger.Error("final journal compaction failed", "err", err)
+		}
+	}
 	if failed > 0 {
 		logger.Error("some jobs could not be checkpointed", "failed", failed)
 		os.Exit(1)

@@ -14,6 +14,13 @@
 // session is established) and net/http/pprof. Logging is structured
 // (-log-format text|json); -v only lowers the level to debug.
 //
+// The worker survives a restarting server: by default it redials after
+// dial failures and dropped sessions under exponential backoff with
+// jitter (-reconnect=false restores the old exit-on-first-error
+// behaviour; -reconnect-max caps the backoff). SIGTERM/SIGINT drain
+// gracefully — the current chunk finishes, the held pre-reduced batch
+// flushes, then the process exits.
+//
 // The worker also piggybacks a small telemetry report on its chunk
 // requests — smoothed photons/sec, per-chunk compute and encode seconds,
 // goroutine and heap stats, build version — which the server surfaces on
@@ -27,6 +34,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/cli"
@@ -44,6 +53,10 @@ func main() {
 		"artificial slowdown factor (testing heterogeneous fleets)")
 	noTelemetry := flag.Bool("no-telemetry", false,
 		"do not piggyback worker telemetry reports on chunk requests")
+	reconnect := flag.Bool("reconnect", true,
+		"redial after dial failures and dropped sessions (exponential backoff with jitter)")
+	reconnectMax := flag.Duration("reconnect-max", distsys.DefaultReconnectMax,
+		"backoff ceiling between reconnect attempts")
 	var lf cli.LogFlags
 	lf.Register(flag.CommandLine)
 	flag.Parse()
@@ -68,6 +81,18 @@ func main() {
 		logger.Info("debug listener up", "addr", dl.Addr().String())
 	}
 
+	// SIGTERM/SIGINT request a graceful drain: the worker finishes its
+	// current chunk, flushes the held pre-reduced batch, and exits — no
+	// buffered result is abandoned to the server's timeout reclaim.
+	stop := make(chan struct{})
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		s := <-sigCh
+		logger.Info("signal received; draining", "signal", s.String())
+		close(stop)
+	}()
+
 	opts := distsys.WorkerOptions{
 		Name:             *name,
 		Mflops:           *mflops,
@@ -76,10 +101,14 @@ func main() {
 		Obs:              oreg,
 		Ready:            ready,
 		Logger:           logger,
+		Stop:             stop,
 	}
 
 	start := time.Now()
-	stats, err := distsys.WorkTCP(*addr, opts)
+	stats, err := distsys.WorkLoopTCP(*addr, opts, distsys.LoopOptions{
+		Reconnect: *reconnect,
+		Max:       *reconnectMax,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcworker:", err)
 		os.Exit(1)

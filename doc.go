@@ -61,6 +61,24 @@
 // fleet on completion); both binaries checkpoint on Ctrl-C so a long job
 // is never lost.
 //
+// # Crash durability
+//
+// mcqueue survives more than polite deaths: started with -wal-dir, it
+// writes every control-plane transition (job accepted, chunk batches
+// reduced, amortized tally snapshots, finalize, cancel) to a segmented,
+// CRC32C-framed write-ahead journal (internal/wal) before serving it.
+// After a SIGKILL, OOM-kill or power cut, the restart replays the
+// journal before /readyz flips: accepted jobs come back under their
+// original IDs, finished jobs re-seed the result cache, and anything
+// reduced since the last snapshot is recomputed — chunk tallies are pure
+// functions of (seed, stream, fan) — so the resumed tally is
+// byte-identical to an uninterrupted run's. -wal-fsync picks the
+// durability/latency trade (always, interval, none), SIGTERM compacts
+// the journal to a snapshot, and a fault-injection harness
+// (internal/fault, TestCrashChaosEndToEnd, make crash-smoke) proves the
+// contract by SIGKILLing the real binary at armed crashpoints inside the
+// journal's append, rotation and compaction windows.
+//
 // # Adaptive precision
 //
 // A job may carry a PrecisionTarget instead of a fixed photon budget —

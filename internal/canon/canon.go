@@ -1,0 +1,161 @@
+// Package canon encodes plain-data values into a canonical byte form for
+// content addressing: equal values always produce equal bytes, in every
+// process, regardless of what else the process has serialised before.
+//
+// Neither of the stdlib's obvious candidates has that property over the
+// repo's spec types. Gob grants wire type IDs from a process-global
+// first-encode-wins counter, so the byte stream for identical values
+// shifts with the process's encoding history (connecting a gob-protocol
+// worker before the first job submission was enough to change every
+// content key). JSON is history-free but cannot represent the ±Inf that
+// semi-infinite tissue layers legitimately carry. This encoding is both:
+// structs serialise their exported fields in declaration order, floats
+// serialise as exact hex literals (covering ±Inf and NaN), and there is
+// no registry, cache or counter anywhere.
+//
+// The format is for hashing, not interchange: there is no decoder, and
+// the encoding of a type may only change together with every digest
+// derived from it (cache keys, job IDs, report merge gates).
+package canon
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+	"strconv"
+)
+
+// Write encodes v canonically into w (typically a hash.Hash). It returns
+// an error only for values outside the plain-data subset — funcs,
+// channels, unsafe pointers, complex numbers and non-nil interface cycles
+// have no canonical form.
+func Write(w io.Writer, v any) error {
+	buf, err := Append(nil, v)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// Append appends the canonical encoding of v to dst and returns the
+// extended slice.
+func Append(dst []byte, v any) ([]byte, error) {
+	return appendValue(dst, reflect.ValueOf(v))
+}
+
+// appendValue emits a kind tag before every value so that values of
+// different shapes can never collide byte-wise ("1" the int, "1" the
+// string and [1] the slice all encode distinctly), and length-prefixes
+// everything variable-sized so no separator can be forged from data.
+func appendValue(dst []byte, v reflect.Value) ([]byte, error) {
+	if !v.IsValid() {
+		return append(dst, 'z', ';'), nil // untyped nil
+	}
+	switch v.Kind() {
+	case reflect.Bool:
+		if v.Bool() {
+			return append(dst, 'b', '1', ';'), nil
+		}
+		return append(dst, 'b', '0', ';'), nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		dst = append(dst, 'i')
+		dst = strconv.AppendInt(dst, v.Int(), 10)
+		return append(dst, ';'), nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		dst = append(dst, 'u')
+		dst = strconv.AppendUint(dst, v.Uint(), 10)
+		return append(dst, ';'), nil
+	case reflect.Float32, reflect.Float64:
+		// Hex float literals are exact for every finite value and spell
+		// the infinities out; all NaN payloads collapse to "NaN", which
+		// is fine for content addressing (a NaN-bearing spec is already
+		// degenerate — it only must hash consistently).
+		dst = append(dst, 'f')
+		dst = strconv.AppendFloat(dst, v.Float(), 'x', -1, 64)
+		return append(dst, ';'), nil
+	case reflect.String:
+		dst = append(dst, 's')
+		dst = strconv.AppendInt(dst, int64(v.Len()), 10)
+		dst = append(dst, ':')
+		return append(append(dst, v.String()...), ';'), nil
+	case reflect.Pointer:
+		if v.IsNil() {
+			return append(dst, 'n', ';'), nil
+		}
+		dst = append(dst, 'p')
+		return appendValue(dst, v.Elem())
+	case reflect.Interface:
+		if v.IsNil() {
+			return append(dst, 'n', ';'), nil
+		}
+		dst = append(dst, 'a')
+		return appendValue(dst, v.Elem())
+	case reflect.Slice:
+		if v.IsNil() {
+			// A nil slice and an empty slice mean the same experiment.
+			dst = append(dst, 'l', '0', ';')
+			return dst, nil
+		}
+		fallthrough
+	case reflect.Array:
+		dst = append(dst, 'l')
+		dst = strconv.AppendInt(dst, int64(v.Len()), 10)
+		dst = append(dst, ';')
+		var err error
+		for i := 0; i < v.Len(); i++ {
+			if dst, err = appendValue(dst, v.Index(i)); err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+	case reflect.Struct:
+		t := v.Type()
+		dst = append(dst, 't')
+		dst = append(dst, '{')
+		var err error
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			dst = strconv.AppendInt(dst, int64(len(f.Name)), 10)
+			dst = append(dst, ':')
+			dst = append(dst, f.Name...)
+			if dst, err = appendValue(dst, v.Field(i)); err != nil {
+				return nil, err
+			}
+		}
+		return append(dst, '}'), nil
+	case reflect.Map:
+		// Maps iterate in random order; canonicalise by sorting the
+		// entries on their encoded keys.
+		dst = append(dst, 'm')
+		dst = strconv.AppendInt(dst, int64(v.Len()), 10)
+		dst = append(dst, ';')
+		type kv struct{ k, kv []byte }
+		entries := make([]kv, 0, v.Len())
+		iter := v.MapRange()
+		for iter.Next() {
+			ek, err := appendValue(nil, iter.Key())
+			if err != nil {
+				return nil, err
+			}
+			ekv, err := appendValue(ek[:len(ek):len(ek)], iter.Value())
+			if err != nil {
+				return nil, err
+			}
+			entries = append(entries, kv{ek, ekv})
+		}
+		sort.Slice(entries, func(i, j int) bool {
+			return string(entries[i].k) < string(entries[j].k)
+		})
+		for _, e := range entries {
+			dst = append(dst, e.kv...)
+		}
+		return dst, nil
+	default:
+		return nil, fmt.Errorf("canon: %s has no canonical encoding", v.Kind())
+	}
+}

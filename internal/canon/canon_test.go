@@ -1,0 +1,152 @@
+package canon
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"testing"
+)
+
+type inner struct {
+	Name string
+	Val  float64
+}
+
+type outer struct {
+	A   int
+	B   uint64
+	C   bool
+	S   []inner
+	P   *inner
+	M   map[string]int
+	F   float64
+	hid int // unexported: must not affect the encoding
+}
+
+func enc(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := Append(nil, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestEqualValuesEncodeEqually(t *testing.T) {
+	mk := func() outer {
+		return outer{
+			A: -3, B: 1 << 60, C: true,
+			S: []inner{{"x", 1.5}, {"y", math.Inf(1)}},
+			P: &inner{"p", -0.25},
+			M: map[string]int{"k1": 1, "k2": 2, "k3": 3},
+			F: 19.000000000000004,
+		}
+	}
+	a, b := enc(t, mk()), enc(t, mk())
+	if !bytes.Equal(a, b) {
+		t.Fatalf("equal values encoded differently:\n%q\n%q", a, b)
+	}
+}
+
+func TestEncodingIgnoresGobHistory(t *testing.T) {
+	before := enc(t, outer{A: 1})
+	// Churn gob's process-global type-ID counter, which made gob-based
+	// content keys history-dependent.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(outer{A: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if after := enc(t, outer{A: 1}); !bytes.Equal(before, after) {
+		t.Fatalf("encoding moved after unrelated gob use:\n%q\n%q", before, after)
+	}
+}
+
+func TestDistinguishesValues(t *testing.T) {
+	seen := map[string]string{}
+	for name, v := range map[string]any{
+		"int-1":       1,
+		"uint-1":      uint(1),
+		"string-1":    "1",
+		"float-1":     1.0,
+		"bool":        true,
+		"slice-1":     []int{1},
+		"nil-ptr":     (*inner)(nil),
+		"ptr":         &inner{},
+		"neg-zero":    math.Copysign(0, -1),
+		"pos-zero":    0.0,
+		"inf":         math.Inf(1),
+		"neg-inf":     math.Inf(-1),
+		"empty-s":     "",
+		"struct-zero": inner{},
+	} {
+		e := string(enc(t, v))
+		if prev, dup := seen[e]; dup {
+			t.Fatalf("%s and %s collide: %q", name, prev, e)
+		}
+		seen[e] = name
+	}
+}
+
+func TestStringsCannotForgeStructure(t *testing.T) {
+	// A string containing encoding syntax must not collide with the
+	// structure it mimics.
+	a := enc(t, []string{"ab", "c"})
+	b := enc(t, []string{"a", "bc"})
+	if bytes.Equal(a, b) {
+		t.Fatalf("length prefixes failed: %q", a)
+	}
+}
+
+func TestMapOrderCanonical(t *testing.T) {
+	// Build the same map with different insertion orders.
+	m1 := map[string]int{}
+	m2 := map[string]int{}
+	keys := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for i, k := range keys {
+		m1[k] = i
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		m2[keys[i]] = i
+	}
+	if !bytes.Equal(enc(t, m1), enc(t, m2)) {
+		t.Fatal("map encoding depends on insertion order")
+	}
+}
+
+func TestNaNCollapses(t *testing.T) {
+	quiet := math.NaN()
+	payload := math.Float64frombits(math.Float64bits(quiet) ^ 1)
+	if !bytes.Equal(enc(t, quiet), enc(t, payload)) {
+		t.Fatal("NaN payloads must hash alike")
+	}
+}
+
+func TestUnsupportedKindErrors(t *testing.T) {
+	if _, err := Append(nil, func() {}); err == nil {
+		t.Fatal("func encoded without error")
+	}
+	if _, err := Append(nil, outer{}); err != nil {
+		t.Fatalf("plain struct rejected: %v", err)
+	}
+	type bad struct{ C chan int }
+	if _, err := Append(nil, bad{}); err == nil {
+		t.Fatal("chan field encoded without error")
+	}
+}
+
+// TestGolden pins the byte format: cache keys, job IDs and report merge
+// digests are all derived from these bytes, so an accidental format
+// change silently invalidates every stored digest. Change this golden
+// only deliberately, together with a note in DESIGN.md.
+func TestGolden(t *testing.T) {
+	v := outer{
+		A: 7, B: 9, C: true,
+		S: []inner{{"x", 0.5}},
+		M: map[string]int{"b": 2, "a": 1},
+		F: math.Inf(1),
+	}
+	const want = "t{1:Ai7;1:Bu9;1:Cb1;1:Sl1;t{4:Names1:x;3:Valf0x1p-01;}1:Pn;1:Mm2;s1:a;i1;s1:b;i2;1:Ff+Inf;}"
+	if got := string(enc(t, v)); got != want {
+		t.Fatalf("canonical format drifted:\ngot  %q\nwant %q", got, want)
+	}
+}

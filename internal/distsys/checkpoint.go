@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/mc"
 	"repro/internal/service"
+	"repro/internal/wal"
 )
 
 // Checkpoint is a serialisable snapshot of a running job: which chunks have
@@ -92,23 +93,17 @@ func (cp *Checkpoint) Snapshot() *service.Snapshot {
 	}
 }
 
-// Save writes the checkpoint to path atomically (write + rename).
+// Save writes the checkpoint to path crash-durably via wal.AtomicReplace:
+// the temp file is fsynced before the rename and the directory after, so
+// a power cut right after Save returns cannot leave a zero-length or torn
+// checkpoint behind the committed name (a bare write+rename can).
 func (cp *Checkpoint) Save(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := gob.NewEncoder(f).Encode(cp); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("distsys: checkpoint encode: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return wal.AtomicReplace(path, func(f *os.File) error {
+		if err := gob.NewEncoder(f).Encode(cp); err != nil {
+			return fmt.Errorf("distsys: checkpoint encode: %w", err)
+		}
+		return nil
+	})
 }
 
 // LoadCheckpoint reads a checkpoint from path.

@@ -7,8 +7,11 @@ import (
 	"testing"
 	"time"
 
+	"os"
+
 	"repro/internal/mc"
 	"repro/internal/service"
+	"repro/internal/wal"
 )
 
 // partialJob runs exactly `chunks` chunks of a job by letting a worker fail
@@ -203,5 +206,34 @@ func TestCheckpointCarriesFanAndTarget(t *testing.T) {
 	}
 	if rs.NChunks != 5 || len(rs.Completed) != 2 {
 		t.Fatalf("resumed chunk state wrong: %+v", rs)
+	}
+}
+
+// TestCheckpointSaveUsesAtomicReplace pins Save to the shared
+// crash-durable write helper (fsync the temp file, rename over the
+// target, fsync the directory) — the same path WAL compaction uses. A
+// process killed mid-save must leave either the old checkpoint or the
+// new one on disk, never a torn file.
+func TestCheckpointSaveUsesAtomicReplace(t *testing.T) {
+	dm := partialJob(t, 3)
+	path := filepath.Join(t.TempDir(), "job.ckpt")
+	var replaced []string
+	wal.ReplaceHook = func(p string) { replaced = append(replaced, p) }
+	defer func() { wal.ReplaceHook = nil }()
+	if err := dm.Checkpoint().Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if len(replaced) != 1 || replaced[0] != path {
+		t.Fatalf("Save bypassed wal.AtomicReplace: hook saw %v", replaced)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("Save left its temp file behind")
+	}
+	cp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint after durable save: %v", err)
+	}
+	if len(cp.Completed) != 3 {
+		t.Fatalf("durable save lost progress: %d completed, want 3", len(cp.Completed))
 	}
 }

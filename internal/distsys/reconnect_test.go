@@ -1,0 +1,198 @@
+package distsys
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWorkerReconnectAcrossServerRestart is the reconnect e2e: a worker
+// under WorkLoop survives its server dying mid-job — the listener and
+// every live connection are torn down, the job is resumed from a
+// checkpoint on a fresh manager at the same address, and the same worker
+// process finishes it through exponential-backoff redials.
+func TestWorkerReconnectAcrossServerRestart(t *testing.T) {
+	dmA, err := NewDataManager(JobOptions{
+		Spec: quickSpec(), TotalPhotons: 1000, ChunkPhotons: 100, Seed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	var mu sync.Mutex
+	var conns []net.Conn
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, c)
+			mu.Unlock()
+			go dmA.HandleConn(c)
+		}
+	}()
+
+	type loopResult struct {
+		stats *WorkerStats
+		err   error
+	}
+	loopCh := make(chan loopResult, 1)
+	go func() {
+		stats, err := WorkLoopTCP(addr, WorkerOptions{Name: "phoenix", FlushChunks: 1},
+			LoopOptions{Reconnect: true, Base: 5 * time.Millisecond, Max: 50 * time.Millisecond})
+		loopCh <- loopResult{stats, err}
+	}()
+
+	// Let the worker reduce a few chunks, then kill the server under it.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if done, _ := dmA.Progress(); done >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker never made progress against server A")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ln.Close()
+	mu.Lock()
+	for _, c := range conns {
+		c.Close()
+	}
+	mu.Unlock()
+
+	// Restart: resume the job from a checkpoint on the same address. The
+	// worker's in-flight dials fail and back off until the port returns.
+	cp := dmA.Checkpoint()
+	if len(cp.Completed) < 3 {
+		t.Fatalf("checkpoint has %d chunks, want >= 3", len(cp.Completed))
+	}
+	dmB, err := Resume(cp, JobOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ln2 net.Listener
+	for i := 0; ; i++ {
+		ln2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if i > 200 {
+			t.Fatalf("could not rebind %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer ln2.Close()
+	go func() {
+		for {
+			c, err := ln2.Accept()
+			if err != nil {
+				return
+			}
+			go dmB.HandleConn(c)
+		}
+	}()
+
+	res, err := dmB.Wait(time.Minute)
+	if err != nil {
+		t.Fatalf("resumed job did not finish: %v", err)
+	}
+	if res.Tally.Launched != 1000 {
+		t.Fatalf("launched %d photons, want 1000 (lost or double-counted chunks)", res.Tally.Launched)
+	}
+	select {
+	case lr := <-loopCh:
+		if lr.err != nil {
+			t.Fatalf("WorkLoop exited with error: %v", lr.err)
+		}
+		if want := dmA.NumChunks() - len(cp.Completed); lr.stats.Chunks < want {
+			t.Fatalf("worker reduced %d chunks after restart, want >= %d", lr.stats.Chunks, want)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("WorkLoop did not exit after the service drained")
+	}
+}
+
+// TestWorkerDrainFlushesHeldBatch: a graceful drain must flush the
+// batched results the worker is holding, not drop them with the
+// connection the way FailAfterChunks does.
+func TestWorkerDrainFlushesHeldBatch(t *testing.T) {
+	dm, err := NewDataManager(JobOptions{
+		Spec: quickSpec(), TotalPhotons: 1000, ChunkPhotons: 100, Seed: 43,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, client := net.Pipe()
+	go dm.HandleConn(server)
+	// FlushChunks 8 > DrainAfterChunks 3: at drain time all three results
+	// are still held in the batch buffer.
+	stats, err := Work(client, WorkerOptions{Name: "drainer", FlushChunks: 8, DrainAfterChunks: 3})
+	if err != nil {
+		t.Fatalf("drain is graceful, got error: %v", err)
+	}
+	if stats.Chunks != 3 {
+		t.Fatalf("worker computed %d chunks, want 3", stats.Chunks)
+	}
+	if done, _ := dm.Progress(); done != 3 {
+		t.Fatalf("server reduced %d chunks, want 3 (held batch lost in drain)", done)
+	}
+}
+
+// TestWorkerStopChannelDrains drives the production SIGTERM path: closing
+// WorkerOptions.Stop mid-session makes the worker flush everything it
+// holds and return cleanly — the server's completed count matches the
+// worker's exactly.
+func TestWorkerStopChannelDrains(t *testing.T) {
+	dm, err := NewDataManager(JobOptions{
+		Spec: quickSpec(), TotalPhotons: 2000, ChunkPhotons: 100, Seed: 47,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, client := net.Pipe()
+	go dm.HandleConn(server)
+	stop := make(chan struct{})
+	type res struct {
+		stats *WorkerStats
+		err   error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		stats, err := Work(client, WorkerOptions{Name: "sigterm", FlushChunks: 4, Stop: stop})
+		ch <- res{stats, err}
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if done, _ := dm.Progress(); done >= 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker never flushed a batch")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			t.Fatalf("stop-drain returned error: %v", r.err)
+		}
+		done, total := dm.Progress()
+		if done != r.stats.Chunks {
+			t.Fatalf("server reduced %d chunks, worker computed %d: drain dropped results", done, r.stats.Chunks)
+		}
+		if done == total {
+			t.Fatal("job finished before the stop: test raced itself, raise the photon budget")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker did not drain after Stop closed")
+	}
+}

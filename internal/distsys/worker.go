@@ -40,6 +40,15 @@ type WorkerOptions struct {
 	// fault-injection for tests. Losing an *unflushed* buffer is the
 	// abrupt-transport-death case, covered by closing the connection.
 	FailAfterChunks int
+	// Stop, when non-nil and closed, requests a graceful drain: the worker
+	// finishes the chunk it is computing, flushes the held pre-reduced
+	// batch so buffered results are not abandoned to timeout reclaim, and
+	// returns nil. The daemon's SIGTERM handler closes it.
+	Stop <-chan struct{}
+	// DrainAfterChunks, if positive, triggers the same graceful drain
+	// after computing that many chunks — the deterministic test form of
+	// Stop (compare FailAfterChunks, which drops the connection instead).
+	DrainAfterChunks int
 	// FlushChunks caps the chunk results pre-reduced into one batch before
 	// it must flush; 0 means DefaultFlushChunks, 1 disables batching (every
 	// result flushes on the next request).
@@ -401,6 +410,20 @@ func Work(rw io.ReadWriteCloser, opts WorkerOptions) (*WorkerStats, error) {
 	stats := &WorkerStats{}
 	computed := 0
 
+	// stopping reports whether a graceful drain was requested (Stop closed
+	// or the DrainAfterChunks budget spent).
+	stopping := func() bool {
+		if opts.DrainAfterChunks > 0 && computed >= opts.DrainAfterChunks {
+			return true
+		}
+		select {
+		case <-opts.Stop:
+			return true
+		default:
+			return false
+		}
+	}
+
 	applyAcks := func(acks []protocol.ResultAck) {
 		for _, a := range acks {
 			if a.Rejected {
@@ -461,6 +484,16 @@ func Work(rw io.ReadWriteCloser, opts WorkerOptions) (*WorkerStats, error) {
 	// round trip across a full batch.
 	want := 1
 	for {
+		if stopping() {
+			// Graceful drain: push the held batch out, then leave. Chunks
+			// granted but never computed are released when the connection
+			// closes; nothing buffered is abandoned to timeout reclaim.
+			if err := flushStandalone(); err != nil {
+				return stats, err
+			}
+			log.Info("worker drained", "chunks", stats.Chunks)
+			return stats, nil
+		}
 		req := &protocol.TaskRequest{KnownJobs: known, Want: want}
 		if !opts.DisableTelemetry {
 			req.Report = tel.maybeReport(batch.chunks)
@@ -554,6 +587,13 @@ func Work(rw io.ReadWriteCloser, opts WorkerOptions) (*WorkerStats, error) {
 						return stats, err
 					}
 					return stats, ErrInjectedFailure
+				}
+				if stopping() {
+					if err := flushStandalone(); err != nil {
+						return stats, err
+					}
+					log.Info("worker drained mid-assignment", "chunks", stats.Chunks)
+					return stats, nil
 				}
 			}
 		case protocol.MsgNoWork:

@@ -1,0 +1,93 @@
+// Package fault provides env-armed deterministic crashpoints for crash
+// testing the durability plane. A crashpoint is a named call site —
+// fault.Crash("wal.post-append") — that is inert unless the process was
+// started with MC_CRASHPOINT naming it, in which case the site kills the
+// process with SIGKILL (not a panic, not os.Exit: recover, deferred
+// flushes and signal handlers must all get no chance to tidy up, exactly
+// as in an OOM kill or power cut).
+//
+// MC_CRASH_AFTER selects which hit fires (1-based, default 1), so a test
+// can let a few appends succeed before the crash lands mid-run. The
+// countdown is atomic: exactly one call fires even under concurrency.
+//
+// The production cost when disarmed is one string comparison against a
+// package-level variable set once at init.
+package fault
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync/atomic"
+)
+
+// Environment variables that arm a crashpoint.
+const (
+	// EnvPoint names the crashpoint to arm (empty means disarmed).
+	EnvPoint = "MC_CRASHPOINT"
+	// EnvAfter is the 1-based hit count at which the armed point fires;
+	// unset, empty or unparsable means the first hit.
+	EnvAfter = "MC_CRASH_AFTER"
+)
+
+var (
+	armed     string
+	remaining atomic.Int64
+)
+
+func init() {
+	Arm(os.Getenv(EnvPoint), parseAfter(os.Getenv(EnvAfter)))
+}
+
+func parseAfter(s string) int {
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 1
+	}
+	return n
+}
+
+// Arm programmatically arms (or, with an empty point, disarms) a
+// crashpoint; tests and harnesses use it instead of the environment.
+// Not safe to call concurrently with Take.
+func Arm(point string, after int) {
+	armed = point
+	if after < 1 {
+		after = 1
+	}
+	remaining.Store(int64(after))
+}
+
+// Armed returns the armed crashpoint name, or "" when disarmed.
+func Armed() string { return armed }
+
+// Take reports whether the named crashpoint is armed and this call is the
+// hit that should fire. It returns true exactly once per arming, letting
+// a call site stage its own damage (say, a half-written frame) before
+// calling Kill.
+func Take(point string) bool {
+	if armed != point || armed == "" {
+		return false
+	}
+	return remaining.Add(-1) == 0
+}
+
+// Kill terminates the process with SIGKILL after a one-line stderr note
+// (the only trace a crash test sees). It never returns.
+func Kill(point string) {
+	fmt.Fprintf(os.Stderr, "fault: crashing at %q\n", point)
+	if p, err := os.FindProcess(os.Getpid()); err == nil {
+		p.Kill()
+	}
+	// SIGKILL is delivered asynchronously and cannot be handled; block
+	// until it lands rather than return into code that assumes survival.
+	select {}
+}
+
+// Crash fires the named crashpoint if it is armed and due: the canonical
+// one-liner placed at the nasty moments of the durability plane.
+func Crash(point string) {
+	if Take(point) {
+		Kill(point)
+	}
+}

@@ -1,0 +1,87 @@
+package fault
+
+import (
+	"os"
+	"os/exec"
+	"testing"
+)
+
+func TestDisarmedTakeNeverFires(t *testing.T) {
+	Arm("", 1)
+	for i := 0; i < 3; i++ {
+		if Take("wal.post-append") {
+			t.Fatal("disarmed crashpoint fired")
+		}
+	}
+}
+
+func TestTakeFiresExactlyOnceAtCountdown(t *testing.T) {
+	Arm("wal.post-append", 3)
+	defer Arm("", 1)
+	if Take("wal.mid-append") {
+		t.Fatal("wrong point fired")
+	}
+	fires := 0
+	for i := 0; i < 10; i++ {
+		if Take("wal.post-append") {
+			fires++
+			if i != 2 {
+				t.Fatalf("fired on hit %d, want hit 3", i+1)
+			}
+		}
+	}
+	if fires != 1 {
+		t.Fatalf("fired %d times, want exactly 1", fires)
+	}
+}
+
+func TestArmedReportsPoint(t *testing.T) {
+	Arm("wal.mid-rotation", 1)
+	defer Arm("", 1)
+	if Armed() != "wal.mid-rotation" {
+		t.Fatalf("Armed() = %q", Armed())
+	}
+}
+
+// TestCrashKillsWithSigkill re-execs the test binary with the crashpoint
+// armed via the environment (the production arming path) and asserts the
+// child dies by SIGKILL — not a panic, not a clean exit.
+func TestCrashKillsWithSigkill(t *testing.T) {
+	if os.Getenv("FAULT_TEST_CHILD") == "1" {
+		Crash("test.point") // armed via env: never returns
+		os.Exit(0)          // unreachable if the harness works
+	}
+	cmd := exec.Command(os.Args[0], "-test.run", "TestCrashKillsWithSigkill")
+	cmd.Env = append(os.Environ(),
+		"FAULT_TEST_CHILD=1", EnvPoint+"=test.point", EnvAfter+"=1")
+	err := cmd.Run()
+	if err == nil {
+		t.Fatal("armed child exited cleanly")
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("child failed oddly: %v", err)
+	}
+	// SIGKILL surfaces as exit status -1 with "signal: killed".
+	if ee.ProcessState.ExitCode() != -1 || ee.ProcessState.String() != "signal: killed" {
+		t.Fatalf("child died with %q, want SIGKILL", ee.ProcessState.String())
+	}
+}
+
+// TestCrashAfterCountsInChild verifies MC_CRASH_AFTER lets earlier hits
+// pass in a real armed process.
+func TestCrashAfterCountsInChild(t *testing.T) {
+	if os.Getenv("FAULT_TEST_CHILD2") == "1" {
+		Crash("test.count") // hit 1: survives
+		Crash("test.count") // hit 2: dies
+		os.Exit(7)          // unreachable
+	}
+	cmd := exec.Command(os.Args[0], "-test.run", "TestCrashAfterCountsInChild")
+	cmd.Env = append(os.Environ(),
+		"FAULT_TEST_CHILD2=1", EnvPoint+"=test.count", EnvAfter+"=2")
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ProcessState.String() != "signal: killed" {
+		t.Fatalf("child state %v, want SIGKILL on second hit", err)
+	}
+}

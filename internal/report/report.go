@@ -13,6 +13,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/canon"
 	"repro/internal/mc"
 )
 
@@ -33,10 +34,14 @@ type File struct {
 	Tally   *mc.Tally
 }
 
-// Digest fingerprints a Spec by hashing its gob encoding.
+// Digest fingerprints a Spec by hashing its canonical encoding
+// (internal/canon). The merge gate compares digests computed by different
+// worker processes, so the encoding must not depend on process history —
+// which rules out gob, whose wire type IDs come from a global counter
+// ordered by whatever the process happened to encode first.
 func Digest(spec *mc.Spec) (string, error) {
 	h := sha256.New()
-	if err := gob.NewEncoder(h).Encode(spec); err != nil {
+	if err := canon.Write(h, spec); err != nil {
 		return "", fmt.Errorf("report: digest: %w", err)
 	}
 	return hex.EncodeToString(h.Sum(nil)[:16]), nil

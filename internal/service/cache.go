@@ -2,27 +2,33 @@ package service
 
 import (
 	"crypto/sha256"
-	"encoding/gob"
 	"fmt"
 	"sync"
 
+	"repro/internal/canon"
 	"repro/internal/mc"
 )
 
-// Key content-addresses a job result: the SHA-256 of the canonical gob
-// encoding of (Spec, TotalPhotons, ChunkPhotons, Seed). Those four fields
-// are exactly what the reproducibility contract says a result depends on —
-// the spec fixes the physics, the photon totals fix the chunking (and with
-// it the RNG stream count), and the seed fixes the streams — so two
-// submissions with equal keys produce bit-identical tallies and the second
-// can be served from cache.
+// Key content-addresses a job result: the SHA-256 of the canonical
+// encoding (internal/canon) of (Spec, TotalPhotons, ChunkPhotons, Seed).
+// Those four fields are exactly what the reproducibility contract says a
+// result depends on — the spec fixes the physics, the photon totals fix
+// the chunking (and with it the RNG stream count), and the seed fixes
+// the streams — so two submissions with equal keys produce bit-identical
+// tallies and the second can be served from cache.
+//
+// canon, not gob: gob grants wire type IDs from a process-global
+// first-encode-wins counter, so the byte stream for identical values
+// depends on what else the process gob-encoded earlier (a worker
+// connection's protocol traffic was enough to shift every subsequent
+// key, which broke journal replay's job-ID stability). canon has no
+// global state, so equal specs hash equally in every process.
 type Key [sha256.Size]byte
 
 // String renders the key as hex for logs and the HTTP API.
 func (k Key) String() string { return fmt.Sprintf("%x", k[:]) }
 
-// KeyOf computes the content address of a job. Spec is plain data with no
-// maps, so its gob encoding is deterministic.
+// KeyOf computes the content address of a job.
 func KeyOf(spec *mc.Spec, totalPhotons, chunkPhotons int64, seed uint64) (Key, error) {
 	return KeyOfFan(spec, totalPhotons, chunkPhotons, seed, 0)
 }
@@ -46,23 +52,22 @@ func KeyOfTarget(spec *mc.Spec, chunkPhotons int64, seed uint64, fan int, tgt *m
 
 func keyOf(spec *mc.Spec, totalPhotons, chunkPhotons int64, seed uint64, fan int, tgt *mc.Target) (Key, error) {
 	h := sha256.New()
-	enc := gob.NewEncoder(h)
 	canonical := struct {
-		Spec         mc.Spec
+		Spec         *mc.Spec
 		TotalPhotons int64
 		ChunkPhotons int64
 		Seed         uint64
-	}{*spec, totalPhotons, chunkPhotons, seed}
-	if err := enc.Encode(&canonical); err != nil {
+	}{spec, totalPhotons, chunkPhotons, seed}
+	if err := canon.Write(h, &canonical); err != nil {
 		return Key{}, fmt.Errorf("service: cache key: %w", err)
 	}
 	if fan > 1 {
-		if err := enc.Encode(fan); err != nil {
+		if err := canon.Write(h, fan); err != nil {
 			return Key{}, fmt.Errorf("service: cache key: %w", err)
 		}
 	}
 	if tgt != nil {
-		if err := enc.Encode(tgt); err != nil {
+		if err := canon.Write(h, tgt); err != nil {
 			return Key{}, fmt.Errorf("service: cache key: %w", err)
 		}
 	}
@@ -80,15 +85,14 @@ func keyOf(spec *mc.Spec, totalPhotons, chunkPhotons int64, seed uint64, fan int
 // tighter RSE), whether that run was itself targeted or fixed-count.
 func PhysicsKeyOf(spec *mc.Spec, chunkPhotons int64, seed uint64, fan int) (Key, error) {
 	h := sha256.New()
-	enc := gob.NewEncoder(h)
 	canonical := struct {
 		Physics      string // domain separator vs the job-key tuple
-		Spec         mc.Spec
+		Spec         *mc.Spec
 		ChunkPhotons int64
 		Seed         uint64
 		Fan          int
-	}{"physics", *spec, chunkPhotons, seed, fan}
-	if err := enc.Encode(&canonical); err != nil {
+	}{"physics", spec, chunkPhotons, seed, fan}
+	if err := canon.Write(h, &canonical); err != nil {
 		return Key{}, fmt.Errorf("service: physics key: %w", err)
 	}
 	var k Key

@@ -714,6 +714,7 @@ func (r *Registry) reduceGroup(sess *session, jobID uint64, chunks []int, tally 
 	// Phase 3: publish.
 	r.mu.Lock()
 	var finished *Job
+	var reduced bool
 	switch {
 	case mergeErr != nil:
 		for i, id := range chunks {
@@ -747,6 +748,7 @@ func (r *Registry) reduceGroup(sess *session, jobID uint64, chunks []int, tally 
 				Worker: sess.name, Detail: reason})
 		}
 	default:
+		reduced = true
 		for _, id := range chunks {
 			delete(j.merging, id)
 			j.completed[id] = true
@@ -850,6 +852,12 @@ func (r *Registry) reduceGroup(sess *session, jobID uint64, chunks []int, tally 
 	}
 	r.mu.Unlock()
 	j.redMu.Unlock()
+	if reduced {
+		// Journal off both locks. On finalize this runs before sealJob:
+		// waiters stay blocked on j.finished until the final snapshot is
+		// appended, so nothing can mutate the returned tally mid-encode.
+		r.journal.chunksReduced(r, j, chunks, finished != nil)
+	}
 	if finished != nil {
 		r.sealJob(finished) // cache clone + waiter release, off the hot lock
 	}

@@ -1,0 +1,438 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/mc"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/wal"
+)
+
+// journaledRegistry opens a WAL in dir and builds a registry journaling
+// into it. Auto-compaction is disabled (CompactBytes < 0) so tests see
+// exactly the records their scenario produced.
+func journaledRegistry(t *testing.T, dir string, snapEvery int, o Options) (*Registry, *wal.Log, *wal.Replay) {
+	t.Helper()
+	wl, rep, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	o.Journal = NewJournal(wl, JournalOptions{SnapshotEvery: snapEvery, CompactBytes: -1})
+	return New(o), wl, rep
+}
+
+// replayInto folds the records from dir into a fresh registry.
+func replayInto(t *testing.T, dir string, o Options) (*Registry, *wal.Log, int) {
+	t.Helper()
+	reg, wl, rep := journaledRegistry(t, dir, 0, o)
+	restored, err := reg.journal.Replay(reg, rep.Records)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return reg, wl, restored
+}
+
+// workChunks runs the minimal per-chunk worker loop until n chunks are
+// accepted, then disconnects — the mid-run crash shape the journal tests
+// need. It mirrors workClient but with a chunk budget.
+func workChunks(rw net.Conn, n int) error {
+	pc := protocol.NewConn(rw)
+	defer pc.Close()
+	if err := pc.Send(&protocol.Message{Type: protocol.MsgHello,
+		Hello: &protocol.Hello{Version: protocol.Version, Name: "crashy"}}); err != nil {
+		return err
+	}
+	if _, err := pc.Recv(); err != nil {
+		return err
+	}
+	type rt struct {
+		cfg     *mc.Config
+		seed    uint64
+		streams int
+	}
+	jobs := map[uint64]*rt{}
+	for done := 0; done < n; {
+		if err := pc.Send(&protocol.Message{Type: protocol.MsgTaskRequest,
+			Request: &protocol.TaskRequest{}}); err != nil {
+			return err
+		}
+		msg, err := pc.Recv()
+		if err != nil {
+			return err
+		}
+		switch msg.Type {
+		case protocol.MsgTaskAssign:
+			a := msg.Assign
+			r := jobs[a.JobID]
+			if r == nil {
+				if a.Job == nil {
+					return errors.New("assign without descriptor")
+				}
+				cfg, err := a.Job.Spec.Build()
+				if err != nil {
+					return err
+				}
+				r = &rt{cfg: cfg, seed: a.Job.Seed, streams: a.Job.Streams}
+				jobs[a.JobID] = r
+			}
+			tally, err := mc.RunStream(r.cfg, a.Photons, r.seed, a.Stream, r.streams)
+			if err != nil {
+				return err
+			}
+			if err := pc.Send(&protocol.Message{Type: protocol.MsgTaskResult,
+				Result: &protocol.TaskResult{JobID: a.JobID, ChunkID: a.ChunkID, Tally: tally}}); err != nil {
+				return err
+			}
+			if _, err := pc.Recv(); err != nil {
+				return err
+			}
+			done++
+		case protocol.MsgNoWork:
+			if msg.NoWork.Done {
+				return nil
+			}
+			time.Sleep(msg.NoWork.RetryIn)
+		default:
+			return errors.New("unexpected message")
+		}
+	}
+	return nil
+}
+
+func tallyBytes(t *testing.T, tt *mc.Tally) []byte {
+	t.Helper()
+	if tt == nil {
+		t.Fatal("nil tally")
+	}
+	return mc.AppendTally(nil, tt)
+}
+
+// TestJournalReplayResumesAcceptedJob: a job journaled at accept time but
+// never started survives a crash — replay re-queues it under the same
+// content-derived ID, admission-exempt, counted in stats and metrics, and
+// a worker then completes it to the standalone ground truth.
+func TestJournalReplayResumesAcceptedJob(t *testing.T) {
+	dir := t.TempDir()
+	regA, wlA, rep0 := journaledRegistry(t, dir, 0, Options{})
+	if len(rep0.Records) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(rep0.Records))
+	}
+	spec := slabSpec(3)
+	out, err := regA.Submit(JobSpec{Spec: spec, TotalPhotons: 2000, ChunkPhotons: 250, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := out.Job.ID()
+	wlA.Close() // the crash: nothing but the journal survives
+
+	obsReg := obs.NewRegistry()
+	regB, wlB, restored := replayInto(t, dir, Options{Obs: obsReg})
+	defer wlB.Close()
+	if restored != 1 {
+		t.Fatalf("replay restored %d jobs, want 1", restored)
+	}
+	j := regB.Get(id)
+	if j == nil {
+		t.Fatal("replayed job did not keep its content-derived ID")
+	}
+	if st := j.Status().State; st != StateQueued.String() {
+		t.Fatalf("replayed job state %q, want queued", st)
+	}
+	if got := regB.Stats().JobsReplayed; got != 1 {
+		t.Fatalf("Stats.JobsReplayed = %d, want 1", got)
+	}
+	var buf bytes.Buffer
+	obsReg.WriteText(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("service_jobs_replayed_total 1")) {
+		t.Fatalf("metrics missing replay count:\n%s", buf.String())
+	}
+
+	startWorkers(t, regB, 1)
+	res, err := j.Wait(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := localTally(t, spec, 2000, 250, 7)
+	if res.Tally.Launched != 2000 {
+		t.Fatalf("launched %d, want 2000", res.Tally.Launched)
+	}
+	if math.Abs(res.Tally.AbsorbedWeight-want.AbsorbedWeight) > 1e-9 {
+		t.Fatalf("absorbed %g != standalone %g", res.Tally.AbsorbedWeight, want.AbsorbedWeight)
+	}
+}
+
+// TestJournalCrashMidRunByteIdenticalTally is the PR's durability
+// acceptance property: kill the registry mid-job, replay from the last
+// amortized snapshot, recompute the lost tail, and the final tally is
+// byte-for-byte the uninterrupted run's. Single worker + per-chunk
+// results make the merge order deterministic (grants pop descending), so
+// "identical" here means identical float fold — not just close.
+func TestJournalCrashMidRunByteIdenticalTally(t *testing.T) {
+	spec := slabSpec(4)
+	js := JobSpec{Spec: spec, TotalPhotons: 2000, ChunkPhotons: 250, Seed: 13}
+
+	// Baseline: the same job on an unjournaled registry, one worker,
+	// never interrupted.
+	base := New(Options{})
+	outBase, err := base.Submit(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startWorkers(t, base, 1)
+	resBase, err := outBase.Job.Wait(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseBytes := tallyBytes(t, resBase.Tally)
+
+	// Crash run: snapshot every 2 reduced chunks, kill after 5 of 8.
+	dir := t.TempDir()
+	regA, wlA, _ := journaledRegistry(t, dir, 2, Options{})
+	outA, err := regA.Submit(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, client := net.Pipe()
+	go regA.HandleConn(server)
+	if err := workChunks(client, 5); err != nil {
+		t.Fatalf("partial worker: %v", err)
+	}
+	client.Close()
+	if done, _ := outA.Job.Progress(); done != 5 {
+		t.Fatalf("crash run completed %d chunks, want 5", done)
+	}
+	wlA.Close() // SIGKILL
+
+	regB, wlB, restored := replayInto(t, dir, Options{})
+	defer wlB.Close()
+	if restored != 1 {
+		t.Fatalf("replay restored %d jobs, want 1", restored)
+	}
+	j := regB.Get(outA.Job.ID())
+	if j == nil {
+		t.Fatal("mid-run job not replayed")
+	}
+	// The 5th chunk landed after the last snapshot: its chunk record is a
+	// progress marker only, so replay resumes from 4 completed and the
+	// 5th recomputes (chunk tallies are pure functions of the stream).
+	if done, total := j.Progress(); done != 4 || total != 8 {
+		t.Fatalf("resumed at %d/%d chunks, want 4/8 (last snapshot)", done, total)
+	}
+	startWorkers(t, regB, 1)
+	res, err := j.Wait(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tallyBytes(t, res.Tally), baseBytes) {
+		t.Fatal("resumed tally is not byte-identical to the uninterrupted run")
+	}
+}
+
+// TestJournalFinalizedReplayBornDone: a finished job replays born-Done —
+// its result is servable with zero workers attached, and the result cache
+// is re-seeded so an identical resubmission is a cache hit.
+func TestJournalFinalizedReplayBornDone(t *testing.T) {
+	dir := t.TempDir()
+	regA, wlA, _ := journaledRegistry(t, dir, 0, Options{})
+	spec := slabSpec(5)
+	js := JobSpec{Spec: spec, TotalPhotons: 1000, ChunkPhotons: 250, Seed: 3}
+	out, err := regA.Submit(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startWorkers(t, regA, 1)
+	resA, err := out.Job.Wait(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wlA.Close()
+
+	regB, wlB, restored := replayInto(t, dir, Options{})
+	defer wlB.Close()
+	if restored != 1 {
+		t.Fatalf("replay restored %d jobs, want 1", restored)
+	}
+	j := regB.Get(out.Job.ID())
+	if j == nil {
+		t.Fatal("finished job not replayed")
+	}
+	if st := j.Status().State; st != StateDone.String() {
+		t.Fatalf("replayed job state %q, want done", st)
+	}
+	resB, err := j.Wait(time.Second) // no workers: must already be done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tallyBytes(t, resB.Tally), tallyBytes(t, resA.Tally)) {
+		t.Fatal("replayed final tally differs from the pre-crash result")
+	}
+	dup, err := regB.Submit(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup.Cached {
+		t.Fatal("replay did not re-seed the result cache")
+	}
+}
+
+// TestJournalCanceledJobNotReplayed: a cancel mark drops the job from the
+// fold — a restart must not resurrect work the operator killed.
+func TestJournalCanceledJobNotReplayed(t *testing.T) {
+	dir := t.TempDir()
+	regA, wlA, _ := journaledRegistry(t, dir, 0, Options{})
+	out, err := regA.Submit(JobSpec{Spec: slabSpec(6), TotalPhotons: 1000, ChunkPhotons: 250, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := regA.Cancel(out.Job.ID()); err != nil {
+		t.Fatal(err)
+	}
+	wlA.Close()
+
+	regB, wlB, restored := replayInto(t, dir, Options{})
+	defer wlB.Close()
+	if restored != 0 {
+		t.Fatalf("replay restored %d jobs, want 0", restored)
+	}
+	if regB.Get(out.Job.ID()) != nil {
+		t.Fatal("canceled job resurrected by replay")
+	}
+}
+
+// TestJournalCompactionShrinksAndReplays: CompactJournal rewrites a
+// chatty history (accept + per-chunk records + per-chunk snapshots) down
+// to one snapshot per retained job, the log shrinks, canceled jobs are
+// dropped, and a replay of the compacted log restores the same state.
+func TestJournalCompactionShrinksAndReplays(t *testing.T) {
+	dir := t.TempDir()
+	regA, wlA, _ := journaledRegistry(t, dir, 1, Options{}) // snapshot every chunk: maximal history
+	specDone := slabSpec(7)
+	outDone, err := regA.Submit(JobSpec{Spec: specDone, TotalPhotons: 2000, ChunkPhotons: 250, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, client := net.Pipe()
+	go regA.HandleConn(server)
+	if err := workChunks(client, 8); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	resDone, err := outDone.Job.Wait(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outQueued, err := regA.Submit(JobSpec{Spec: slabSpec(8), TotalPhotons: 1000, ChunkPhotons: 250, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outCanceled, err := regA.Submit(JobSpec{Spec: slabSpec(9), TotalPhotons: 1000, ChunkPhotons: 250, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := regA.Cancel(outCanceled.Job.ID()); err != nil {
+		t.Fatal(err)
+	}
+
+	before := wlA.Size()
+	if err := regA.CompactJournal(); err != nil {
+		t.Fatalf("CompactJournal: %v", err)
+	}
+	if after := wlA.Size(); after >= before {
+		t.Fatalf("compaction did not shrink the journal: %d -> %d", before, after)
+	}
+	wlA.Close()
+
+	regB, wlB, restored := replayInto(t, dir, Options{})
+	defer wlB.Close()
+	if restored != 2 {
+		t.Fatalf("replay restored %d jobs, want 2 (done + queued)", restored)
+	}
+	jd := regB.Get(outDone.Job.ID())
+	if jd == nil || jd.Status().State != StateDone.String() {
+		t.Fatalf("finished job lost in compaction: %v", jd)
+	}
+	resB, err := jd.Wait(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tallyBytes(t, resB.Tally), tallyBytes(t, resDone.Tally)) {
+		t.Fatal("compaction changed the finished job's tally")
+	}
+	jq := regB.Get(outQueued.Job.ID())
+	if jq == nil || jq.Status().State != StateQueued.String() {
+		t.Fatalf("queued job lost in compaction: %v", jq)
+	}
+	if regB.Get(outCanceled.Job.ID()) != nil {
+		t.Fatal("compaction retained a canceled job")
+	}
+}
+
+// TestJournalCompactionCrashDoubleReplay reconstructs, at the service
+// layer, the on-disk state of a crash at wal.mid-compaction: old history
+// AND the compacted segment both present. Replay must be idempotent — the
+// compacted records fold last and supersede the duplicated history.
+func TestJournalCompactionCrashDoubleReplay(t *testing.T) {
+	dir := t.TempDir()
+	regA, wlA, _ := journaledRegistry(t, dir, 2, Options{})
+	out, err := regA.Submit(JobSpec{Spec: slabSpec(10), TotalPhotons: 2000, ChunkPhotons: 250, Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, client := net.Pipe()
+	go regA.HandleConn(server)
+	if err := workChunks(client, 8); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	resA, err := out.Job.Wait(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wlA.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	saved := map[string][]byte{}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	for _, s := range segs {
+		data, err := os.ReadFile(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saved[filepath.Base(s)] = data
+	}
+	if err := regA.CompactJournal(); err != nil {
+		t.Fatal(err)
+	}
+	wlA.Close()
+	// Resurrect the pre-compaction segments next to the compacted one.
+	for name, data := range saved {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	regB, wlB, restored := replayInto(t, dir, Options{})
+	defer wlB.Close()
+	if restored != 1 {
+		t.Fatalf("double replay restored %d jobs, want 1 (idempotence)", restored)
+	}
+	j := regB.Get(out.Job.ID())
+	if j == nil || j.Status().State != StateDone.String() {
+		t.Fatal("job lost across compaction crash")
+	}
+	resB, err := j.Wait(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tallyBytes(t, resB.Tally), tallyBytes(t, resA.Tally)) {
+		t.Fatal("double replay changed the tally")
+	}
+}

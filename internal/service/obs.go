@@ -15,6 +15,7 @@ import (
 type svcMetrics struct {
 	jobsSubmitted *obs.Counter
 	jobsResumed   *obs.Counter
+	jobsReplayed  *obs.Counter
 	jobsCoalesced *obs.Counter
 	jobsShed      *obs.CounterVec // by shed reason: cap, tenant_rate, tenant_quota
 
@@ -63,6 +64,8 @@ func newServiceMetrics(reg *obs.Registry, r *Registry) *svcMetrics {
 			"Jobs accepted as fresh work (cache hits, coalesced submissions and checkpoint resumes excluded)."),
 		jobsResumed: reg.Counter("service_jobs_resumed_total",
 			"Jobs restored from checkpoints (admission-exempt submissions)."),
+		jobsReplayed: reg.Counter("service_jobs_replayed_total",
+			"Jobs restored by write-ahead journal replay after a restart."),
 		jobsCoalesced: reg.Counter("service_jobs_coalesced_total",
 			"Submissions attached to an identical already-active job."),
 		jobsShed: reg.CounterVec("service_jobs_shed_total",

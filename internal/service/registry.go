@@ -17,6 +17,7 @@ type Registry struct {
 	opts      Options
 	policy    Policy
 	admission AdmissionPolicy
+	journal   *Journal // nil means no write-ahead journaling
 	log       *slog.Logger
 	met       *svcMetrics
 
@@ -39,6 +40,7 @@ type Registry struct {
 	merges         int64 // tally merges into job tallies (≤ chunks: pre-reduction)
 	submitted      int64 // fresh jobs accepted (cache hits / coalesced excluded)
 	resumed        int64 // jobs restored from checkpoints
+	replayed       int64 // jobs restored by journal replay (subset of the above two)
 
 	// Dispatch scratch buffers, reused under mu so the per-request
 	// candidate gathering allocates nothing at steady state.
@@ -67,6 +69,7 @@ func New(opts Options) *Registry {
 		opts:      opts,
 		policy:    opts.Policy,
 		admission: opts.Admission,
+		journal:   opts.Journal,
 		log:       opts.Logger,
 		jobs:      make(map[uint64]*Job),
 		byKey:     make(map[Key]*Job),
@@ -166,9 +169,13 @@ func (r *Registry) Submit(spec JobSpec) (*SubmitOutcome, error) {
 	cost := spec.admissionPhotons()
 	r.mu.Lock()
 	ts := r.tenantLocked(spec.Tenant)
-	if err := r.admitLocked(ts, cost, false); err != nil {
-		r.mu.Unlock()
-		return nil, err
+	// Journal replay bypasses admission: the work was admitted before the
+	// crash, and a restart must never shed jobs it already accepted.
+	if !spec.replay {
+		if err := r.admitLocked(ts, cost, false); err != nil {
+			r.mu.Unlock()
+			return nil, err
+		}
 	}
 	r.mu.Unlock()
 
@@ -185,18 +192,28 @@ func (r *Registry) Submit(spec JobSpec) (*SubmitOutcome, error) {
 		live.trace(obs.Event{Kind: obs.EvCoalesced})
 		return &SubmitOutcome{Job: live, Coalesced: true}, nil
 	}
-	if err := r.admitLocked(ts, cost, true); err != nil { // authoritative, spends tokens
-		r.mu.Unlock()
-		return nil, err
+	if !spec.replay {
+		if err := r.admitLocked(ts, cost, true); err != nil { // authoritative, spends tokens
+			r.mu.Unlock()
+			return nil, err
+		}
 	}
 	r.registerLocked(j)
 	r.active = append(r.active, j)
 	r.byKey[key] = j
 	r.submitted++
 	ts.submitted++
+	if spec.replay {
+		r.replayed++
+	}
+	jspec := j.spec // copy under the lock: absorbParamsLocked may mutate j.spec
 	r.mu.Unlock()
 	r.met.jobsSubmitted.Inc()
+	if spec.replay {
+		r.met.jobsReplayed.Inc()
+	}
 	ts.subC.Inc()
+	r.journal.jobAccepted(j.key, jspec)
 	j.trace(obs.Event{Kind: obs.EvSubmitted, Detail: spec.Tenant})
 	if spec.Target != nil {
 		r.log.Info("job submitted", "job", jobHex(j.id),
@@ -381,8 +398,8 @@ func (r *Registry) SubmitSnapshot(snap *Snapshot) (*Job, error) {
 	}
 
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if live := r.byKey[key]; live != nil {
+		r.mu.Unlock()
 		return live, nil
 	}
 	r.registerLocked(j)
@@ -392,12 +409,20 @@ func (r *Registry) SubmitSnapshot(snap *Snapshot) (*Job, error) {
 	r.resumed++
 	j.tstats.resumed++
 	r.met.jobsResumed.Inc()
+	if spec.replay {
+		r.replayed++
+		r.met.jobsReplayed.Inc()
+	}
 	if complete {
 		r.checkDrainLocked()
 	} else {
 		r.active = append(r.active, j)
 		r.byKey[key] = j
 	}
+	r.mu.Unlock()
+	// Re-journal the restored job so the log is self-contained from here
+	// on, whether it came from a legacy checkpoint or from replay itself.
+	r.journal.resumed(j, complete)
 	return j, nil
 }
 
@@ -481,13 +506,15 @@ func (r *Registry) List() []JobStatus {
 // job is an error.
 func (r *Registry) Cancel(id uint64) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	j := r.jobs[id]
 	if j == nil {
+		r.mu.Unlock()
 		return fmt.Errorf("service: no job %016x", id)
 	}
 	if !j.activeLocked() {
-		return fmt.Errorf("service: job %016x already %s", id, j.state)
+		state := j.state
+		r.mu.Unlock()
+		return fmt.Errorf("service: job %016x already %s", id, state)
 	}
 	j.state = StateCanceled
 	j.pending = nil
@@ -501,6 +528,9 @@ func (r *Registry) Cancel(id uint64) error {
 	r.log.Info("job canceled", "job", jobHex(j.id))
 	r.evictFinishedLocked()
 	r.checkDrainLocked()
+	key := j.key
+	r.mu.Unlock()
+	r.journal.canceled(key)
 	return nil
 }
 
@@ -574,6 +604,7 @@ type Stats struct {
 	CacheMisses       int64  `json:"cacheMisses"`
 	JobsSubmitted     int64  `json:"jobsSubmitted"`
 	JobsResumed       int64  `json:"jobsResumed,omitempty"`
+	JobsReplayed      int64  `json:"jobsReplayed,omitempty"`
 	Policy            string `json:"policy"`
 	Admission         string `json:"admission"`
 	// Tenants is the per-tenant rollup: one entry per tenant ever seen.
@@ -603,6 +634,7 @@ func (r *Registry) Stats() Stats {
 		TallyMerges:      r.merges,
 		JobsSubmitted:    r.submitted,
 		JobsResumed:      r.resumed,
+		JobsReplayed:     r.replayed,
 		Policy:           r.policy.Name(),
 		Admission:        r.admission.Name(),
 	}

@@ -95,6 +95,10 @@ type Options struct {
 	SpanEvents int
 	// Logger, if set, receives structured progress logging (nil discards).
 	Logger *slog.Logger
+	// Journal, if set, write-ahead journals every control-plane transition
+	// (accept, reduce, finalize, cancel) so a crashed registry replays its
+	// job set on restart; nil disables journaling. See NewJournal.
+	Journal *Journal
 }
 
 // JobSpec describes one simulation job submitted to a Registry.
@@ -139,6 +143,12 @@ type JobSpec struct {
 	// DefaultTenant. The tenant never enters the result-cache key: the same
 	// physics submitted by two tenants coalesces and cache-hits freely.
 	Tenant string
+
+	// replay marks a submission reconstructed by journal replay: it
+	// bypasses admission (the work was admitted before the crash) and
+	// counts into Stats.JobsReplayed. Unexported on purpose — invisible
+	// to gob, JSON and every caller outside the journal.
+	replay bool
 }
 
 // Precision-job defaults: the chunk size when the submission names none,

@@ -1,0 +1,246 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// lastSegment returns the path of the highest-sequence segment in dir.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments in %s (err %v)", dir, err)
+	}
+	last := segs[0]
+	for _, s := range segs[1:] {
+		if s > last {
+			last = s
+		}
+	}
+	return last
+}
+
+// buildLog writes n records into a fresh dir and closes the log.
+func buildLog(t *testing.T, dir string, n int, segBytes int64) {
+	t.Helper()
+	l, _ := openT(t, Options{Dir: dir, SegmentBytes: segBytes})
+	appendN(t, l, n)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// copyDir clones every segment file from src into a fresh temp dir.
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	segs, _ := filepath.Glob(filepath.Join(src, "wal-*.log"))
+	for _, s := range segs {
+		data, err := os.ReadFile(s)
+		if err != nil {
+			t.Fatalf("read %s: %v", s, err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, filepath.Base(s)), data, 0o644); err != nil {
+			t.Fatalf("write clone: %v", err)
+		}
+	}
+	return dst
+}
+
+// TestTornTailEveryByteOffset is the property test of the torn-tail
+// contract: truncating the log inside the last frame, at every byte
+// offset, must replay all records but the last, count one truncation,
+// and leave the log appendable.
+func TestTornTailEveryByteOffset(t *testing.T) {
+	const n = 8
+	src := t.TempDir()
+	buildLog(t, src, n, 0)
+	seg := lastSegment(t, src)
+	full, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastFrame := frameHeader + 1 + len(rec(n-1).Data)
+	cleanPrefix := len(full) - lastFrame
+	for cut := cleanPrefix + 1; cut < len(full); cut++ {
+		dir := copyDir(t, src)
+		segc := lastSegment(t, dir)
+		if err := os.Truncate(segc, int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+		l, rep, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatalf("cut=%d: Open: %v", cut, err)
+		}
+		if len(rep.Records) != n-1 {
+			t.Fatalf("cut=%d: replayed %d records, want %d", cut, len(rep.Records), n-1)
+		}
+		if rep.TornTruncations != 1 {
+			t.Fatalf("cut=%d: %d truncations, want 1", cut, rep.TornTruncations)
+		}
+		// The file must be physically truncated to the clean prefix and
+		// the log appendable on a clean frame boundary.
+		if st, _ := os.Stat(segc); st.Size() != int64(cleanPrefix) {
+			t.Fatalf("cut=%d: tail segment is %d bytes, want %d", cut, st.Size(), cleanPrefix)
+		}
+		last := rec(n - 1)
+		if err := l.Append(last.Type, last.Data); err != nil {
+			t.Fatalf("cut=%d: append after truncation: %v", cut, err)
+		}
+		l.Close()
+		_, rep2, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatalf("cut=%d: reopen: %v", cut, err)
+		}
+		wantRecords(t, rep2.Records, n)
+	}
+}
+
+// TestBitFlipEveryByte flips one byte at every offset of a small log and
+// asserts replay never panics, never errors, and yields an exact prefix
+// of the original records (corruption truncates, never resyncs past).
+func TestBitFlipEveryByte(t *testing.T) {
+	const n = 6
+	src := t.TempDir()
+	buildLog(t, src, n, 0)
+	seg := lastSegment(t, src)
+	full, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(full); off++ {
+		dir := t.TempDir()
+		mut := bytes.Clone(full)
+		mut[off] ^= 0x40
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(seg)), mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, rep, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatalf("off=%d: Open: %v", off, err)
+		}
+		l.Close()
+		if len(rep.Records) >= n {
+			t.Fatalf("off=%d: corruption went undetected (%d records)", off, len(rep.Records))
+		}
+		wantRecords(t, rep.Records, len(rep.Records)) // prefix property
+		if rep.TornTruncations != 1 {
+			t.Fatalf("off=%d: %d truncations, want 1", off, rep.TornTruncations)
+		}
+	}
+}
+
+// TestEmptyAndMissingSegments: a crash mid-rotation leaves an empty
+// trailing segment; retention tooling or a crash mid-compaction can
+// leave sequence gaps. Replay tolerates both.
+func TestEmptyAndMissingSegments(t *testing.T) {
+	dir := t.TempDir()
+	buildLog(t, dir, 9, 64) // ~20B frames, 3 per segment
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(segs) < 3 {
+		t.Fatalf("want >= 3 segments, got %d", len(segs))
+	}
+	// Gap: remove a middle segment (its 3 records vanish, the rest stay).
+	if err := os.Remove(segs[1]); err != nil {
+		t.Fatal(err)
+	}
+	// Empty trailing segment, as a died-mid-rotation boot would leave.
+	if err := os.WriteFile(filepath.Join(dir, "wal-9999999999999999.log"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, rep, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if want := 9 - 3; len(rep.Records) != want {
+		t.Fatalf("replayed %d records, want %d", len(rep.Records), want)
+	}
+	if rep.TornTruncations != 0 {
+		t.Fatalf("gap/empty segments are not torn tails: %d truncations", rep.TornTruncations)
+	}
+	// The empty trailing segment is the append target; writes go through.
+	if err := l.Append(RecJobAccepted, []byte("after-gap")); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	l.Close()
+	_, rep2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rep2.Records); got != 7 {
+		t.Fatalf("reopen replayed %d records, want 7", got)
+	}
+}
+
+// TestCompactionCrashDoubleReplay reconstructs the mid-compaction crash
+// state — compacted segment written, predecessors not yet unlinked — and
+// asserts replaying (old + compacted) appends the compacted records
+// last, so a fold where later records supersede earlier ones lands in
+// exactly the state of replaying the compacted log alone. Double replay
+// of the duplicated history must be idempotent.
+func TestCompactionCrashDoubleReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, Options{Dir: dir, SegmentBytes: 64})
+	appendN(t, l, 10)
+	// Preserve the pre-compaction segments, compact, then restore them
+	// alongside the compacted segment: the exact on-disk state of a crash
+	// at the wal.mid-compaction crashpoint.
+	saved := map[string][]byte{}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	for _, s := range segs {
+		data, err := os.ReadFile(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saved[filepath.Base(s)] = data
+	}
+	snap := Record{Type: RecSnapshot, Data: []byte("compacted-state")}
+	if err := l.Compact([]Record{snap}); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	l.Close()
+	for name, data := range saved {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, rep, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("Open after simulated crash: %v", err)
+	}
+	if want := 10 + 1; len(rep.Records) != want {
+		t.Fatalf("replayed %d records, want %d (old history + compacted)", len(rep.Records), want)
+	}
+	// Supersession: the compacted snapshot must be the FINAL record, so
+	// any last-write-wins fold ends in the compacted state.
+	lastRec := rep.Records[len(rep.Records)-1]
+	if lastRec.Type != RecSnapshot || !bytes.Equal(lastRec.Data, snap.Data) {
+		t.Fatalf("compacted record not last: {%d %q}", lastRec.Type, lastRec.Data)
+	}
+	wantRecords(t, rep.Records[:10], 10) // old history replays intact, in order
+}
+
+// TestOpenCleansStaleCompactionTemp: a compaction that died before its
+// rename leaves wal-*.log.tmp, which must not be replayed and must be
+// removed at open.
+func TestOpenCleansStaleCompactionTemp(t *testing.T) {
+	dir := t.TempDir()
+	buildLog(t, dir, 3, 0)
+	stale := filepath.Join(dir, fmt.Sprintf("wal-%016d.log.tmp", 99))
+	if err := os.WriteFile(stale, []byte("half-written garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, rep, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	wantRecords(t, rep.Records, 3)
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale compaction temp survived Open")
+	}
+}
