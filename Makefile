@@ -7,7 +7,7 @@ GO ?= go
 VERSION ?= $(shell git describe --always --dirty 2>/dev/null || echo dev)
 LDFLAGS = -X repro/internal/obs.Version=$(VERSION)
 
-.PHONY: build test race short bench bench-smoke cover fmt vet fuzz-smoke obs-smoke crash-smoke
+.PHONY: build test race short bench bench-smoke cover fmt vet fuzz-smoke obs-smoke crash-smoke shard-smoke
 
 build:
 	$(GO) build -ldflags '$(LDFLAGS)' ./...
@@ -26,7 +26,7 @@ race:
 # for the multi-job service registry, and the telemetry on/off A/B.
 # Compare against the committed BENCH_pr*.json trajectory.
 bench:
-	$(GO) run ./cmd/mcbench -out BENCH_pr9.json
+	$(GO) run ./cmd/mcbench -out BENCH_pr10.json
 
 # bench-smoke is the CI bitrot guard: tiny budgets, noisy numbers, proves
 # the harness still runs.
@@ -45,6 +45,15 @@ obs-smoke:
 # under its original ID, completes, and that SIGTERM compacts the journal.
 crash-smoke:
 	./scripts/crash-smoke.sh
+
+# shard-smoke boots the sharded control plane for real — mcgate over two
+# journaled mcqueue shards, one with a flock-lease standby — SIGKILLs a
+# shard primary mid-run, and asserts zero accepted-job loss: the standby
+# replays the journal and takes over, every job finishes under its
+# original ID through the gateway, and the tallies are byte-identical to
+# a single-node reference run.
+shard-smoke:
+	./scripts/shard-smoke.sh
 
 # fuzz-smoke gives the wire decoder ten seconds of coverage-guided input on
 # top of the committed corpus (which seeds the v3 batch frames) — enough to

@@ -1,7 +1,7 @@
 // Command mcbench measures the repository's headline throughput numbers
 // and writes them to a machine-readable JSON file, seeding the performance
-// trajectory across PRs (`make bench` → BENCH_pr9.json, alongside the
-// committed BENCH_pr2/pr3/pr4/pr7.json for comparison):
+// trajectory across PRs (`make bench` → BENCH_pr10.json, alongside the
+// committed BENCH_pr2/pr3/pr4/pr7/pr9.json for comparison):
 //
 //   - photons/sec of the layered kernel (Table 1 adult head),
 //   - photons/sec of the voxel kernel (the same head voxelized),
@@ -11,6 +11,13 @@
 //     trajectory comparability — and is physics-bound on a small host
 //     (the result plane contributes only a few percent), so it moves with
 //     kernel speed, not wire speed;
+//   - the sharded control plane A/B: the same near-zero-physics workload
+//     over one registry vs four independent registries with submissions
+//     routed by content key (the mcgate split), measured on this host and
+//     modeled under the paper's master-bound campus-LAN parameters. The
+//     measured arms share this host's cores, so on a small machine they
+//     understate the win; the modeled arms price exactly the serial-master
+//     term the sharding divides;
 //   - jobs/sec of the *service plane* proper: near-zero-physics jobs
 //     drained twice on the same host — once by legacy-style per-chunk
 //     gob-tally clients (the PR 3 wire behaviour, still spoken by the
@@ -37,11 +44,13 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/detector"
 	"repro/internal/distsys"
 	"repro/internal/mc"
 	"repro/internal/protocol"
 	"repro/internal/rng"
+	"repro/internal/sched"
 	"repro/internal/service"
 	"repro/internal/source"
 	"repro/internal/tissue"
@@ -99,6 +108,28 @@ type Report struct {
 	WALOnJobsPerSec  float64 `json:"walOnJobsPerSec"`
 	WALOverheadPct   float64 `json:"walOverheadPct"`
 
+	// Sharded control plane A/B: the batched service-plane workload over
+	// one registry vs ShardPlaneShards independent registries, submissions
+	// routed by ShardOfKey on the content key — the in-process equivalent
+	// of mcgate over N mcqueues. The measured arms run on this host, where
+	// every shard master shares the same cores: on a few-core machine they
+	// understate the win badly and are reported for trajectory honesty
+	// only. The model arms run the cluster package's serial-master event
+	// simulation under master-bound campus-LAN parameters (64 workers,
+	// 3 ms serial master service, ~30 ms chunks), where the makespan is
+	// chunks × MasterService and N masters divide it — the configuration
+	// the paper's Section 4 model prices and the one this PR's sharding
+	// exists for. ShardModelSpeedup is the headline ≥3× number.
+	ShardPlaneShards          int     `json:"shardPlaneShards"`
+	ShardPlane1JobsPerSec     float64 `json:"shardPlane1JobsPerSec"`
+	ShardPlaneNJobsPerSec     float64 `json:"shardPlaneNJobsPerSec"`
+	ShardPlaneMeasuredSpeedup float64 `json:"shardPlaneMeasuredSpeedup"`
+	ShardModelWorkers         int     `json:"shardModelWorkers"`
+	ShardModelPhotons         int64   `json:"shardModelPhotons"`
+	ShardModel1MakespanSec    float64 `json:"shardModel1MakespanSec"`
+	ShardModelNMakespanSec    float64 `json:"shardModelNMakespanSec"`
+	ShardModelSpeedup         float64 `json:"shardModelSpeedup"`
+
 	// End-to-end distributed vs local on the same realistic job.
 	DistributedWorkers       int     `json:"distributedWorkers"`
 	LocalPhotonsPerSec       float64 `json:"localPhotonsPerSec"`
@@ -117,7 +148,7 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr9.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr10.json", "output JSON path")
 	photons := flag.Int64("photons", 200_000, "photons per kernel benchmark run")
 	jobs := flag.Int("jobs", 32, "jobs for the registry benchmark")
 	workers := flag.Int("workers", 4, "fleet size for the registry benchmark")
@@ -221,6 +252,27 @@ func main() {
 		rep.WALOffJobsPerSec
 	fmt.Printf("wal A/B:        %.1f off vs %.1f on jobs/sec (%.2f%% overhead)\n",
 		rep.WALOffJobsPerSec, rep.WALOnJobsPerSec, rep.WALOverheadPct)
+
+	// Sharded control plane A/B: measured on this host (best-of over
+	// interleaved rounds, same discipline as the other A/Bs) and modeled
+	// under master-bound parameters where the serial master is the
+	// bottleneck sharding removes.
+	const shardN = 4
+	rep.ShardPlaneShards = shardN
+	for round := 0; round < 3; round++ {
+		one := shardPlaneRate(planeJobs, planeChunks, 2*shardN, 1, batchedClient)
+		n := shardPlaneRate(planeJobs, planeChunks, 2*shardN, shardN, batchedClient)
+		rep.ShardPlane1JobsPerSec = math.Max(rep.ShardPlane1JobsPerSec, one)
+		rep.ShardPlaneNJobsPerSec = math.Max(rep.ShardPlaneNJobsPerSec, n)
+	}
+	rep.ShardPlaneMeasuredSpeedup = rep.ShardPlaneNJobsPerSec / rep.ShardPlane1JobsPerSec
+	shardModelBench(&rep, shardN)
+	fmt.Printf("shard plane:    measured %.1f → %.1f jobs/sec at %d shards (%.2fx on %d cores); "+
+		"modeled %.2fs → %.2fs makespan (%.2fx, %d workers, master-bound)\n",
+		rep.ShardPlane1JobsPerSec, rep.ShardPlaneNJobsPerSec, shardN,
+		rep.ShardPlaneMeasuredSpeedup, rep.NumCPU,
+		rep.ShardModel1MakespanSec, rep.ShardModelNMakespanSec,
+		rep.ShardModelSpeedup, rep.ShardModelWorkers)
 
 	distributedBench(&rep, *distPhotons, 3)
 	fmt.Printf("distributed:    %.0f photons/sec over %d workers vs %.0f local (%.2fx), "+
@@ -400,6 +452,92 @@ func servicePlaneRate(jobs, chunksPerJob, workers int, c client, opts service.Op
 		handles = append(handles, out.Job)
 	}
 	return drain(reg, handles, workers, c)
+}
+
+// shardPlaneRate is the service-plane workload split across `shards`
+// independent registries, each submission routed by ShardOfKey on its
+// content key — exactly how mcgate partitions mcqueues, collapsed into
+// one process. totalWorkers divide evenly across the shards (each shard
+// keeps at least one), so the 1-shard and N-shard arms drive the same
+// fleet size. On a host with fewer free cores than workers the arms
+// serialize onto the same silicon and the measured speedup understates;
+// see the model arms for the master-bound regime.
+func shardPlaneRate(jobs, chunksPerJob, totalWorkers, shards int, c client) float64 {
+	regs := make([]*service.Registry, shards)
+	for s := range regs {
+		regs[s] = service.New(service.Options{DrainOnEmpty: true, CacheSize: -1})
+	}
+	model := tissue.HomogeneousSlab("slab", tissue.ScalpProps, 5)
+	handles := make([]*service.Job, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		spec := mc.NewSpec(model,
+			source.Spec{Kind: source.KindPencil},
+			detector.Spec{Kind: detector.KindAnnulus, RMin: 1, RMax: 4})
+		js := service.JobSpec{
+			Spec:         spec,
+			TotalPhotons: int64(chunksPerJob),
+			ChunkPhotons: 1,
+			Seed:         uint64(i + 1),
+		}
+		key, _, err := service.RoutingKeys(&js, 0)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := regs[service.ShardOfKey(key, shards)].Submit(js)
+		if err != nil {
+			fatal(err)
+		}
+		handles = append(handles, out.Job)
+	}
+	perShard := totalWorkers / shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s, reg := range regs {
+		for w := 0; w < perShard; w++ {
+			server, pipeClient := net.Pipe()
+			go reg.HandleConn(server)
+			wg.Add(1)
+			go func(s, w int) {
+				defer wg.Done()
+				c(pipeClient, fmt.Sprintf("bench-s%d-%d", s, w))
+			}(s, w)
+		}
+	}
+	for _, j := range handles {
+		if _, err := j.Wait(5 * time.Minute); err != nil {
+			fatal(err)
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	wg.Wait()
+	return float64(len(handles)) / elapsed
+}
+
+// shardModelBench runs the cluster package's serial-master simulation in
+// the master-bound regime — 64 homogeneous 233 Mflops workers, campus-LAN
+// 3 ms serial master service, fixed 100-photon (~30 ms) chunks — once with
+// one master over the whole fleet, once sharded 4 ways. One master can
+// feed ~10 such workers; 64 queue on it and the makespan degenerates to
+// chunks × MasterService, which N masters divide. This is the deployment
+// the sharded control plane targets, independent of this host's core count.
+func shardModelBench(rep *Report, shards int) {
+	fleet := cluster.Homogeneous(64, 233)
+	netw := cluster.CampusLAN()
+	p := cluster.Params{
+		TotalPhotons: 200_000,
+		Policy:       sched.FixedChunk{Photons: 100},
+		Seed:         7,
+	}
+	one := cluster.Simulate(fleet, netw, p)
+	n := cluster.SimulateSharded(fleet, netw, p, shards)
+	rep.ShardModelWorkers = len(fleet)
+	rep.ShardModelPhotons = p.TotalPhotons
+	rep.ShardModel1MakespanSec = one.Makespan.Seconds()
+	rep.ShardModelNMakespanSec = n.Makespan.Seconds()
+	rep.ShardModelSpeedup = rep.ShardModel1MakespanSec / rep.ShardModelNMakespanSec
 }
 
 // walPlaneRate is the batched service-plane workload with the crash

@@ -73,6 +73,15 @@
 // any of them; the policy prices power loss), and the SIGTERM
 // checkpoint pass doubles as a final journal compaction. See DESIGN.md
 // "Durability".
+//
+// As a shard: -lease-file arms flock-based failover. The process blocks
+// until it exclusively holds the lease file, so a standby started with
+// the same -lease-file and -wal-dir waits idle; the moment the primary
+// exits — SIGTERM or kill -9, the kernel drops the lock either way — the
+// standby replays the shared journal and serves the same jobs under the
+// same IDs. cmd/mcgate routes a content-keyed slice of the submission
+// space to each such shard and fails client requests over from the dead
+// primary to the risen standby. See DESIGN.md "Sharding".
 package main
 
 import (
@@ -129,6 +138,8 @@ func main() {
 		"journal size triggering snapshot compaction (0: 64 MiB default, negative: disable)")
 	walSnapshotEvery := fs.Int("wal-snapshot-every", 0,
 		"reduced chunks per job between journaled tally snapshots (0: 64 default)")
+	leaseFile := fs.String("lease-file", "",
+		"flock-based shard lease: blocks until exclusively held, so a standby started on the same file (and -wal-dir) takes over the instant the primary dies (empty: disabled)")
 	var lf cli.LogFlags
 	lf.Register(fs)
 	fs.Parse(os.Args[1:])
@@ -159,6 +170,25 @@ func main() {
 	if !ok {
 		fatal(fmt.Errorf("unknown policy %q", *policyName))
 	}
+	// The shard lease comes first — before the journal is opened, before
+	// any listener binds. A standby blocks here holding nothing, and when
+	// the kernel hands it the flock (the primary exited or was killed) it
+	// proceeds through the exact same boot: replay the shared journal,
+	// bind the ports, serve. That ordering is the failover correctness
+	// argument — the journal is never open in two processes at once.
+	if *leaseFile != "" {
+		lease, err := wal.AcquireLease(*leaseFile, false)
+		if err != nil {
+			logger.Info("standby: waiting for shard lease", "file", *leaseFile)
+			lease, err = wal.AcquireLease(*leaseFile, true)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		defer lease.Release()
+		logger.Info("shard lease acquired", "file", *leaseFile)
+	}
+
 	oreg := obs.NewRegistry()
 	ready := obs.NewReadiness("fleet-listener", "checkpoint-resume", "wal-replay")
 	ckpt := oreg.CounterVec("mcqueue_checkpoint_total",
@@ -308,6 +338,12 @@ func main() {
 	if journal != nil {
 		if err := reg.CompactJournal(); err != nil {
 			logger.Error("final journal compaction failed", "err", err)
+		}
+		// Close the journal before the lease is released so a blocked
+		// standby never opens a log this process still holds; the deferred
+		// wlog.Close then no-ops (Close is idempotent).
+		if err := journal.Close(); err != nil {
+			logger.Error("journal close failed", "err", err)
 		}
 	}
 	if failed > 0 {

@@ -17,7 +17,10 @@
 // The worker survives a restarting server: by default it redials after
 // dial failures and dropped sessions under exponential backoff with
 // jitter (-reconnect=false restores the old exit-on-first-error
-// behaviour; -reconnect-max caps the backoff). SIGTERM/SIGINT drain
+// behaviour; -reconnect-max caps the backoff). -addr may list several
+// comma-separated endpoints — a shard's primary and its lease-file
+// standbys — and reconnect attempts rotate through them, so the worker
+// follows a failover to whichever process inherited the shard. SIGTERM/SIGINT drain
 // gracefully — the current chunk finishes, the held pre-reduced batch
 // flushes, then the process exits.
 //
@@ -35,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,13 +48,17 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "localhost:9876", "DataManager address")
+	addr := flag.String("addr", "localhost:9876",
+		"DataManager address, or a comma-separated list (shard primary,standby: dial attempts rotate)")
 	debugAddr := flag.String("debug-addr", "",
 		"HTTP listener for /metrics, /healthz, /readyz and /debug/pprof (empty: disabled)")
 	name := flag.String("name", hostnameDefault(), "worker name reported to the server")
 	mflops := flag.Float64("mflops", 0, "self-reported processing rate (informational)")
 	slowdown := flag.Float64("slowdown", 0,
 		"artificial slowdown factor (testing heterogeneous fleets)")
+	flushChunks := flag.Int("flush-chunks", 0,
+		"chunk results pre-reduced into one batch before it must flush "+
+			"(0: the default; 1: per-chunk results, a deterministic tally fold)")
 	noTelemetry := flag.Bool("no-telemetry", false,
 		"do not piggyback worker telemetry reports on chunk requests")
 	reconnect := flag.Bool("reconnect", true,
@@ -97,6 +105,7 @@ func main() {
 		Name:             *name,
 		Mflops:           *mflops,
 		Slowdown:         *slowdown,
+		FlushChunks:      *flushChunks,
 		DisableTelemetry: *noTelemetry,
 		Obs:              oreg,
 		Ready:            ready,
@@ -104,8 +113,15 @@ func main() {
 		Stop:             stop,
 	}
 
+	// A comma-separated -addr lists a shard's fleet endpoints (primary
+	// first, then standbys); reconnect attempts rotate through them so the
+	// worker follows a lease-file failover to whichever process took over.
+	addrs := strings.Split(*addr, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
 	start := time.Now()
-	stats, err := distsys.WorkLoopTCP(*addr, opts, distsys.LoopOptions{
+	stats, err := distsys.WorkLoopTCPMulti(addrs, opts, distsys.LoopOptions{
 		Reconnect: *reconnect,
 		Max:       *reconnectMax,
 	})

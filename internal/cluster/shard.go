@@ -1,0 +1,60 @@
+package cluster
+
+// SimulateSharded models the sharded control plane: the fleet is split
+// round-robin across shardCount independent masters, the photon budget
+// is divided evenly (remainder to the low shards), and each shard runs
+// the same serial-master event simulation with its own seed stream. The
+// shards share nothing — exactly the mcgate/mcqueue deployment, where a
+// gateway partitions the submission space and each shard's master serves
+// only its own workers.
+//
+// The aggregate Result reads as "the cluster's": Makespan is the slowest
+// shard's (shards run concurrently), Chunks and PerProc accumulate, and
+// MasterBusy is the busiest single master's — the serial-master term the
+// paper's Section 4 model prices, and the one sharding divides. When the
+// one-master configuration is master-bound (MasterService per grant
+// rivals chunk compute time spread over the fleet), N shards approach an
+// N× speedup; when it is compute-bound, sharding only buys the removed
+// queueing delay.
+//
+// The Params are passed to every shard as given; a caller supplying an
+// explicit Policy should use a stateless one (e.g. sched.FixedChunk), as
+// the value is shared. shardCount <= 1 degenerates to Simulate.
+func SimulateSharded(fleet Fleet, net Network, p Params, shardCount int) *Result {
+	if shardCount <= 1 {
+		return Simulate(fleet, net, p)
+	}
+	if shardCount > len(fleet) {
+		shardCount = len(fleet)
+	}
+	subFleets := make([]Fleet, shardCount)
+	for i, proc := range fleet {
+		s := i % shardCount
+		subFleets[s] = append(subFleets[s], proc)
+	}
+	base := p.TotalPhotons / int64(shardCount)
+	rem := p.TotalPhotons % int64(shardCount)
+
+	agg := &Result{}
+	for s, sub := range subFleets {
+		sp := p
+		sp.TotalPhotons = base
+		if int64(s) < rem {
+			sp.TotalPhotons++
+		}
+		sp.Seed = p.Seed + uint64(s)
+		if sp.TotalPhotons <= 0 || len(sub) == 0 {
+			continue
+		}
+		r := Simulate(sub, net, sp)
+		if r.Makespan > agg.Makespan {
+			agg.Makespan = r.Makespan
+		}
+		if r.MasterBusy > agg.MasterBusy {
+			agg.MasterBusy = r.MasterBusy
+		}
+		agg.Chunks += r.Chunks
+		agg.PerProc = append(agg.PerProc, r.PerProc...)
+	}
+	return agg
+}

@@ -1,6 +1,7 @@
 package distsys
 
 import (
+	"errors"
 	"io"
 	"math/rand/v2"
 	"net"
@@ -108,6 +109,26 @@ func WorkLoop(dial func() (io.ReadWriteCloser, error), opts WorkerOptions, lo Lo
 // WorkLoopTCP is WorkLoop over a TCP dialer to addr.
 func WorkLoopTCP(addr string, opts WorkerOptions, lo LoopOptions) (*WorkerStats, error) {
 	return WorkLoop(func() (io.ReadWriteCloser, error) {
+		return net.Dial("tcp", addr)
+	}, opts, lo)
+}
+
+// WorkLoopTCPMulti is WorkLoop over a list of candidate fleet addresses —
+// a shard primary and its standbys. Each dial attempt tries the next
+// address in rotation, so when the primary dies the ordinary reconnect
+// backoff lands the worker on whichever standby inherited the shard; no
+// address is privileged and none needs to be up at start.
+func WorkLoopTCPMulti(addrs []string, opts WorkerOptions, lo LoopOptions) (*WorkerStats, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("distsys: no fleet addresses")
+	}
+	if len(addrs) == 1 {
+		return WorkLoopTCP(addrs[0], opts, lo)
+	}
+	next := 0
+	return WorkLoop(func() (io.ReadWriteCloser, error) {
+		addr := addrs[next%len(addrs)]
+		next++
 		return net.Dial("tcp", addr)
 	}, opts, lo)
 }

@@ -1,0 +1,133 @@
+package gateway
+
+import (
+	"sync"
+
+	"repro/internal/mc"
+	"repro/internal/service"
+)
+
+// resultCache is the gateway's shared result tier: completed tallies it
+// has seen flow back through proxied GET /jobs/{id}/result responses,
+// keyed exactly like the per-shard caches — an exact index on the full
+// content key and a meets-or-exceeds index on the physics key. A tenant
+// on shard 0 thereby reuses physics shard 3 finished an hour ago without
+// either shard knowing about the other.
+//
+// Entries are immutable once inserted: every tally is freshly decoded
+// from a response body and only ever re-encoded, never merged into, so
+// the cache hands out shared pointers without cloning.
+type resultCache struct {
+	mu  sync.Mutex
+	max int
+	// exact maps the full content key to its completed result.
+	exact map[service.Key]*cachedResult
+	// physics groups results of identical physics, any depth, for
+	// meets-or-exceeds probes by precision-targeted submissions.
+	physics map[service.Key][]*cachedResult
+	order   []service.Key // insertion order, for FIFO eviction
+}
+
+// cachedResult is one completed run as the gateway saw it on the wire.
+type cachedResult struct {
+	key       service.Key
+	pkey      service.Key
+	target    *mc.Target // the stored run's own target, if it had one
+	targetMet bool
+	elapsed   float64
+	tally     *mc.Tally
+}
+
+func newResultCache(size int) *resultCache {
+	if size == 0 {
+		size = 256
+	}
+	if size < 0 {
+		size = 0
+	}
+	return &resultCache{
+		max:     size,
+		exact:   make(map[service.Key]*cachedResult),
+		physics: make(map[service.Key][]*cachedResult),
+	}
+}
+
+// get returns the exact-key entry, or nil.
+func (c *resultCache) get(key service.Key) *cachedResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.exact[key]
+}
+
+// getMeeting returns any stored run of the same physics deep enough to
+// satisfy tgt, or nil.
+func (c *resultCache) getMeeting(pkey service.Key, tgt *mc.Target) *cachedResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.physics[pkey] {
+		if e.tally != nil && tgt.MetBy(e.tally) {
+			return e
+		}
+	}
+	return nil
+}
+
+// put inserts a completed result. Deepest run wins on an exact-key
+// collision (a re-run can only add photons); results without a tally are
+// dropped.
+func (c *resultCache) put(e *cachedResult) {
+	if c.max <= 0 || e == nil || e.tally == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old := c.exact[e.key]; old != nil {
+		if old.tally.Launched >= e.tally.Launched {
+			return
+		}
+		c.exact[e.key] = e
+		group := c.physics[e.pkey]
+		for i, g := range group {
+			if g == old {
+				group[i] = e
+				break
+			}
+		}
+		return
+	}
+	for len(c.order) >= c.max {
+		c.evictLocked()
+	}
+	c.exact[e.key] = e
+	c.physics[e.pkey] = append(c.physics[e.pkey], e)
+	c.order = append(c.order, e.key)
+}
+
+func (c *resultCache) evictLocked() {
+	victim := c.order[0]
+	c.order = c.order[1:]
+	e := c.exact[victim]
+	if e == nil {
+		return
+	}
+	delete(c.exact, victim)
+	group := c.physics[e.pkey]
+	for i, g := range group {
+		if g == e {
+			group = append(group[:i], group[i+1:]...)
+			break
+		}
+	}
+	if len(group) == 0 {
+		delete(c.physics, e.pkey)
+	} else {
+		c.physics[e.pkey] = group
+	}
+}
+
+// size reports the number of cached results.
+func (c *resultCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.exact)
+}

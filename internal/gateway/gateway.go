@@ -1,0 +1,748 @@
+// Package gateway is the stateless routing tier in front of N journaled
+// registry shards. Each shard is an ordinary mcqueue daemon owning a
+// contiguous range of the content-key space (service.ShardOfKey); the
+// gateway computes every submission's key itself — the same
+// normalize-and-hash the shards run — so routing is a pure function of
+// the request bytes and the shard count. It holds no routing table and
+// no durable state: a restarted gateway routes identically, and any
+// number of gateways can front the same shards.
+//
+// Requests flow three ways:
+//
+//   - POST /jobs is keyed, checked against the gateway's shared result
+//     tier (exact and physics-keyed meets-or-exceeds, filled from result
+//     responses it has proxied), admission-checked when the gateway owns
+//     the tenant buckets, and then forwarded to the owning shard.
+//   - GET/DELETE /jobs/{id}... is routed by the ID alone: job IDs are
+//     the uint64 prefix of the content key, so service.ShardOfID names
+//     the owner with no lookup.
+//   - GET /stats, /fleet, /tenants and GET /jobs fan out to every shard
+//     and merge.
+//
+// Each shard may list several replicas (a primary and its lease-file
+// standbys sharing one journal directory). The gateway tries them in
+// order and fails over on connection errors and 503s — never on 4xx: a
+// 422 is the client's own malformed job and deterministic, a 429 is the
+// shard's admission verdict, and retrying either elsewhere would be
+// wrong twice over. Re-sending a submission after a mid-flight error is
+// safe because submissions are content-addressed: the shard that already
+// accepted it coalesces or cache-hits the retry onto the same job ID.
+package gateway
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/mc"
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// Options configure a Gateway.
+type Options struct {
+	// Shards lists, per shard, the replica base URLs ("http://host:port")
+	// in preference order: the primary first, then any standbys waiting on
+	// its lease file. The slice's length fixes the key-space partition —
+	// changing it remaps keys, so grow a fleet by draining, not in place.
+	Shards [][]string
+	// Admission, when set, runs the tenant token buckets at the gateway —
+	// the natural place once submissions fan out over shards that cannot
+	// see each other's arrival rates. Shards behind an admitting gateway
+	// should run AlwaysAdmit, or tenants pay twice. nil forwards
+	// everything and leaves admission to the shards.
+	Admission service.AdmissionPolicy
+	// MaxTargetPhotons must match the shards' own -target-max-photons: it
+	// participates in spec normalization and therefore in the content key.
+	// 0 means the service default.
+	MaxTargetPhotons int64
+	// MaxBodyBytes caps the POST /jobs body exactly like service.API;
+	// 0 means service.DefaultMaxBodyBytes, negative disables the cap.
+	MaxBodyBytes int64
+	// CacheSize bounds the gateway's shared result tier in entries;
+	// 0 means 256, negative disables it.
+	CacheSize int
+	// Client issues the proxied requests; nil gets a 30s-timeout default.
+	Client *http.Client
+	// Obs receives gateway_* metrics; nil instruments privately.
+	Obs *obs.Registry
+	// Logger receives structured routing logs; nil discards.
+	Logger *slog.Logger
+}
+
+// Gateway routes the service HTTP API across registry shards.
+type Gateway struct {
+	shards    [][]string
+	admission service.AdmissionPolicy
+	maxTarget int64
+	maxBody   int64
+	client    *http.Client
+	log       *slog.Logger
+	cache     *resultCache
+
+	mu     sync.Mutex
+	routed map[uint64]routeInfo // job ID -> keys, for result-tier fill
+	order  []uint64             // routed insertion order, FIFO bound
+	minted map[uint64]*mintedJob
+
+	met gatewayMetrics
+}
+
+// routeInfo remembers the keys behind a job ID the gateway routed, so a
+// later proxied result response can be filed into the shared tier.
+type routeInfo struct {
+	key, pkey service.Key
+	target    *mc.Target
+}
+
+// mintedJob is a submission the gateway answered from its own result
+// tier: it was never forwarded, so the gateway must serve its status and
+// result itself under the ID it minted (the key's own ID — the same one
+// the owning shard would have used).
+type mintedJob struct {
+	idHex     string
+	tenant    string
+	target    *mc.Target
+	targetMet bool
+	born      time.Time
+	res       *cachedResult
+}
+
+// routedMemoMax bounds the ID->key memo and the minted-job map; both
+// evict oldest-first. 8192 in-flight-or-recent jobs per gateway is far
+// beyond the shards' own retention.
+const routedMemoMax = 8192
+
+type gatewayMetrics struct {
+	submissions *obs.CounterVec
+	cacheHits   *obs.CounterVec
+	sheds       *obs.Counter
+	invalid     *obs.Counter
+	proxies     *obs.CounterVec
+	failovers   *obs.CounterVec
+	unavailable *obs.CounterVec
+}
+
+// New builds a Gateway over the given shard replica sets.
+func New(opts Options) (*Gateway, error) {
+	if len(opts.Shards) == 0 {
+		return nil, errors.New("gateway: no shards configured")
+	}
+	for i, reps := range opts.Shards {
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("gateway: shard %d has no replicas", i)
+		}
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	log := opts.Logger
+	if log == nil {
+		log = obs.NopLogger()
+	}
+	oreg := opts.Obs
+	if oreg == nil {
+		oreg = obs.NewRegistry()
+	}
+	g := &Gateway{
+		shards:    opts.Shards,
+		admission: opts.Admission,
+		maxTarget: opts.MaxTargetPhotons,
+		maxBody:   opts.MaxBodyBytes,
+		client:    client,
+		log:       log,
+		cache:     newResultCache(opts.CacheSize),
+		routed:    make(map[uint64]routeInfo),
+		minted:    make(map[uint64]*mintedJob),
+	}
+	g.met = gatewayMetrics{
+		submissions: oreg.CounterVec("gateway_submissions_total",
+			"Submissions forwarded to a shard, by shard index.", "shard"),
+		cacheHits: oreg.CounterVec("gateway_cache_hits_total",
+			"Submissions answered from the gateway's shared result tier.", "index"),
+		sheds: oreg.Counter("gateway_sheds_total",
+			"Submissions refused by gateway-side admission."),
+		invalid: oreg.Counter("gateway_invalid_total",
+			"Submissions rejected at the gateway as malformed (4xx, never routed)."),
+		proxies: oreg.CounterVec("gateway_proxies_total",
+			"Non-submit requests proxied to a shard, by shard index.", "shard"),
+		failovers: oreg.CounterVec("gateway_replica_failovers_total",
+			"Replica attempts skipped past after a connection error or 503.", "shard"),
+		unavailable: oreg.CounterVec("gateway_shard_unavailable_total",
+			"Requests failed because every replica of a shard was down.", "shard"),
+	}
+	oreg.GaugeFunc("gateway_cache_entries",
+		"Results held in the gateway's shared tier.",
+		func() float64 { return float64(g.cache.size()) })
+	oreg.GaugeFunc("gateway_shards",
+		"Configured shard count (the key-space partition width).",
+		func() float64 { return float64(len(g.shards)) })
+	return g, nil
+}
+
+// Shards returns the configured shard count.
+func (g *Gateway) Shards() int { return len(g.shards) }
+
+// Handler returns the gateway's route multiplexer — the same surface as
+// service.API.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	g.Register(mux)
+	return mux
+}
+
+// Register mounts the gateway's routes on an existing mux.
+func (g *Gateway) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /jobs", g.submit)
+	mux.HandleFunc("GET /jobs", g.list)
+	mux.HandleFunc("GET /jobs/{id}", g.proxyJob)
+	mux.HandleFunc("GET /jobs/{id}/result", g.proxyJob)
+	mux.HandleFunc("GET /jobs/{id}/events", g.proxyJob)
+	mux.HandleFunc("GET /jobs/{id}/spans", g.proxyJob)
+	mux.HandleFunc("DELETE /jobs/{id}", g.proxyJob)
+	mux.HandleFunc("GET /stats", g.stats)
+	mux.HandleFunc("GET /fleet", g.fleet)
+	mux.HandleFunc("GET /tenants", g.tenants)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+	State string `json:"state,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(body)
+}
+
+// writeShed maps an admission refusal to the same 429 + Retry-After the
+// shards produce.
+func writeShed(w http.ResponseWriter, err error, v service.AdmissionVerdict) {
+	secs := int64((v.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+}
+
+func (g *Gateway) submit(w http.ResponseWriter, req *http.Request) {
+	limit := g.maxBody
+	if limit == 0 {
+		limit = service.DefaultMaxBodyBytes
+	}
+	r := req.Body
+	if limit > 0 {
+		r = http.MaxBytesReader(w, req.Body, limit)
+	}
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		g.met.invalid.Inc()
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				apiError{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	var body service.JobRequest
+	if err := dec.Decode(&body); err != nil {
+		g.met.invalid.Inc()
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	tenant := strings.TrimSpace(req.Header.Get(service.TenantHeader))
+	if tenant == "" {
+		tenant = strings.TrimSpace(body.Tenant)
+	}
+	if len(tenant) > service.MaxTenantNameLen {
+		g.met.invalid.Inc()
+		writeJSON(w, http.StatusBadRequest,
+			apiError{Error: fmt.Sprintf("tenant name longer than %d bytes", service.MaxTenantNameLen)})
+		return
+	}
+
+	// The same normalize-and-hash the owning shard will run: the key is a
+	// pure function of the request, so gateway and shard always agree.
+	spec := service.JobSpec{
+		Spec:         body.Spec,
+		TotalPhotons: body.Photons,
+		ChunkPhotons: body.ChunkPhotons,
+		Seed:         body.Seed,
+		Fan:          body.Fan,
+		Target:       body.Target,
+		ChunkTimeout: body.ChunkTimeout,
+		Priority:     body.Priority,
+		Weight:       body.Weight,
+		Label:        body.Label,
+		Tenant:       tenant,
+	}
+	key, pkey, err := service.RoutingKeys(&spec, g.maxTarget)
+	if err != nil {
+		// Deterministically malformed: the client's fault, no shard would
+		// accept it either — do not route, do not retry.
+		g.met.invalid.Inc()
+		writeJSON(w, http.StatusUnprocessableEntity, apiError{Error: err.Error()})
+		return
+	}
+
+	// Shared result tier: a hit is answered here, with the same ID the
+	// owning shard would mint, after the same one-job-token admission
+	// debit a shard-local cache hit pays.
+	hit := g.cache.get(key)
+	index := "exact"
+	if hit == nil && spec.Target != nil {
+		hit = g.cache.getMeeting(pkey, spec.Target)
+		index = "physics"
+	}
+	if hit != nil {
+		if g.admission != nil {
+			if v := g.admission.Admit(tenant, 0); !v.OK {
+				g.met.sheds.Inc()
+				writeShed(w, shedErr(tenant, v), v)
+				return
+			}
+		}
+		id := service.KeyID(key)
+		m := &mintedJob{
+			idHex:     fmt.Sprintf("%016x", id),
+			tenant:    tenant,
+			target:    spec.Target,
+			targetMet: spec.Target != nil && spec.Target.MetBy(hit.tally),
+			born:      time.Now(),
+			res:       hit,
+		}
+		g.mu.Lock()
+		if len(g.minted) >= routedMemoMax {
+			for k := range g.minted { // bound blown: drop an arbitrary entry
+				delete(g.minted, k)
+				break
+			}
+		}
+		g.minted[id] = m
+		g.mu.Unlock()
+		g.met.cacheHits.With(index).Inc()
+		g.log.Info("submission served from gateway tier", "job", m.idHex, "index", index)
+		writeJSON(w, http.StatusOK, service.JobAccepted{
+			ID: m.idHex, State: service.StateDone.String(), Cached: true,
+		})
+		return
+	}
+
+	// Fresh work: debit the full admission cost before spending a shard's
+	// time. Fail-closed — a routed submission that then fails everywhere
+	// has spent its tokens, like any accepted-then-crashed job.
+	if g.admission != nil {
+		if v := g.admission.Admit(tenant, spec.AdmissionPhotons()); !v.OK {
+			g.met.sheds.Inc()
+			writeShed(w, shedErr(tenant, v), v)
+			return
+		}
+	}
+
+	shard := service.ShardOfKey(key, len(g.shards))
+	status, hdr, respBody, err := g.doShard(shard, func(base string) (*http.Request, error) {
+		preq, err := http.NewRequestWithContext(req.Context(), http.MethodPost,
+			base+"/jobs", strings.NewReader(string(raw)))
+		if err != nil {
+			return nil, err
+		}
+		preq.Header.Set("Content-Type", "application/json")
+		if tenant != "" {
+			preq.Header.Set(service.TenantHeader, tenant)
+		}
+		return preq, nil
+	})
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway,
+			apiError{Error: fmt.Sprintf("shard %d unavailable: %v", shard, err)})
+		return
+	}
+	g.met.submissions.With(strconv.Itoa(shard)).Inc()
+	if status == http.StatusCreated || status == http.StatusOK {
+		var acc service.JobAccepted
+		if json.Unmarshal(respBody, &acc) == nil {
+			if id, err := strconv.ParseUint(acc.ID, 16, 64); err == nil {
+				g.rememberRoute(id, routeInfo{key: key, pkey: pkey, target: spec.Target})
+			}
+		}
+	}
+	copyResponse(w, status, hdr, respBody)
+}
+
+func shedErr(tenant string, v service.AdmissionVerdict) error {
+	return &service.ShedError{
+		Tenant: tenant, Reason: v.Reason, RetryAfter: v.RetryAfter, Detail: v.Detail,
+	}
+}
+
+func (g *Gateway) rememberRoute(id uint64, info routeInfo) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.routed[id]; !ok {
+		for len(g.order) >= routedMemoMax {
+			delete(g.routed, g.order[0])
+			g.order = g.order[1:]
+		}
+		g.order = append(g.order, id)
+	}
+	g.routed[id] = info
+}
+
+// proxyJob forwards a single-job request to the shard owning its ID —
+// unless the ID is one the gateway minted from its own result tier, in
+// which case no shard has the job and the gateway answers itself.
+func (g *Gateway) proxyJob(w http.ResponseWriter, req *http.Request) {
+	id, err := strconv.ParseUint(req.PathValue("id"), 16, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad job id: %v", err)})
+		return
+	}
+	g.mu.Lock()
+	m := g.minted[id]
+	g.mu.Unlock()
+	if m != nil {
+		g.serveMinted(w, req, m)
+		return
+	}
+	shard := service.ShardOfID(id, len(g.shards))
+	url := req.URL.Path
+	if q := req.URL.RawQuery; q != "" {
+		url += "?" + q
+	}
+	status, hdr, respBody, err := g.doShard(shard, func(base string) (*http.Request, error) {
+		return http.NewRequestWithContext(req.Context(), req.Method, base+url, nil)
+	})
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway,
+			apiError{Error: fmt.Sprintf("shard %d unavailable: %v", shard, err)})
+		return
+	}
+	g.met.proxies.With(strconv.Itoa(shard)).Inc()
+	// A completed result flowing through is the shared tier's fill path.
+	if status == http.StatusOK && strings.HasSuffix(req.URL.Path, "/result") {
+		g.fillCache(id, respBody)
+	}
+	copyResponse(w, status, hdr, respBody)
+}
+
+// fillCache files a proxied result body into the shared tier, when the
+// gateway routed the job itself and still remembers its keys.
+func (g *Gateway) fillCache(id uint64, respBody []byte) {
+	g.mu.Lock()
+	info, ok := g.routed[id]
+	g.mu.Unlock()
+	if !ok {
+		return
+	}
+	var res service.JobResultBody
+	if err := json.Unmarshal(respBody, &res); err != nil || res.Tally == nil {
+		return
+	}
+	g.cache.put(&cachedResult{
+		key: info.key, pkey: info.pkey,
+		target: res.Target, targetMet: res.TargetMet,
+		elapsed: res.Elapsed, tally: res.Tally,
+	})
+}
+
+func (g *Gateway) serveMinted(w http.ResponseWriter, req *http.Request, m *mintedJob) {
+	switch {
+	case req.Method == http.MethodDelete:
+		writeJSON(w, http.StatusConflict,
+			apiError{Error: "job already done", State: service.StateDone.String()})
+	case strings.HasSuffix(req.URL.Path, "/result"):
+		writeJSON(w, http.StatusOK, service.JobResultBody{
+			ID: m.idHex, CacheHit: true,
+			Target: m.target, TargetMet: m.targetMet,
+			Elapsed: m.res.elapsed, Tally: m.res.tally,
+		})
+	case strings.HasSuffix(req.URL.Path, "/events"), strings.HasSuffix(req.URL.Path, "/spans"):
+		// Born done at the gateway: no lifecycle ever ran, the rings are
+		// empty but well-formed.
+		kind := "events"
+		if strings.HasSuffix(req.URL.Path, "/spans") {
+			kind = "spans"
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"id": m.idHex, kind: []any{}})
+	default:
+		writeJSON(w, http.StatusOK, service.JobStatus{
+			IDHex: m.idHex, Tenant: m.tenant,
+			State: service.StateDone.String(), CacheHit: true,
+			TotalPhotons: m.res.tally.Launched,
+			Target:       m.target, TargetMet: m.targetMet,
+			Submitted: m.born, Finished: m.born,
+		})
+	}
+}
+
+// doShard runs one request against a shard, walking its replicas in
+// preference order. Connection errors and 503s fail over to the next
+// replica; anything else — including every 4xx — is the shard's answer
+// and is returned as-is. When every replica fails, the last 503 (if any)
+// is passed through so the client sees the shard's own words.
+func (g *Gateway) doShard(shard int, build func(base string) (*http.Request, error)) (int, http.Header, []byte, error) {
+	label := strconv.Itoa(shard)
+	var lastStatus int
+	var lastHdr http.Header
+	var lastBody []byte
+	var lastErr error
+	for i, base := range g.shards[shard] {
+		if i > 0 {
+			g.met.failovers.With(label).Inc()
+		}
+		preq, err := build(strings.TrimSuffix(base, "/"))
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		resp, err := g.client.Do(preq)
+		if err != nil {
+			lastErr = err
+			g.log.Warn("shard replica unreachable", "shard", shard, "replica", base, "err", err)
+			continue
+		}
+		respBody, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			lastStatus, lastHdr, lastBody, lastErr = resp.StatusCode, resp.Header, respBody, nil
+			g.log.Warn("shard replica 503", "shard", shard, "replica", base)
+			continue
+		}
+		return resp.StatusCode, resp.Header, respBody, nil
+	}
+	if lastStatus != 0 {
+		return lastStatus, lastHdr, lastBody, nil
+	}
+	g.met.unavailable.With(label).Inc()
+	return 0, nil, nil, lastErr
+}
+
+func copyResponse(w http.ResponseWriter, status int, hdr http.Header, body []byte) {
+	if ct := hdr.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := hdr.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// eachShard fans a GET out to every shard (any live replica each) and
+// hands the decoded bodies to merge, reporting how many answered.
+func eachShard[T any](g *Gateway, path string, merge func(shard int, v T)) int {
+	up := 0
+	for shard := range g.shards {
+		status, _, body, err := g.doShard(shard, func(base string) (*http.Request, error) {
+			return http.NewRequest(http.MethodGet, base+path, nil)
+		})
+		if err != nil || status != http.StatusOK {
+			continue
+		}
+		var v T
+		if json.Unmarshal(body, &v) != nil {
+			continue
+		}
+		merge(shard, v)
+		up++
+	}
+	return up
+}
+
+// list concatenates every shard's retained jobs, in shard order.
+func (g *Gateway) list(w http.ResponseWriter, _ *http.Request) {
+	all := []service.JobStatus{}
+	up := eachShard(g, "/jobs", func(_ int, v []service.JobStatus) {
+		all = append(all, v...)
+	})
+	if up == 0 {
+		writeJSON(w, http.StatusBadGateway, apiError{Error: "no shard reachable"})
+		return
+	}
+	writeJSON(w, http.StatusOK, all)
+}
+
+// statsBody is the gateway's /stats: the familiar per-registry snapshot
+// summed across shards, plus how many shards answered.
+type statsBody struct {
+	service.Stats
+	Shards   int `json:"shards"`
+	ShardsUp int `json:"shardsUp"`
+}
+
+func (g *Gateway) stats(w http.ResponseWriter, _ *http.Request) {
+	var agg service.Stats
+	first := true
+	up := eachShard(g, "/stats", func(_ int, s service.Stats) {
+		if first {
+			agg.Policy, agg.Admission = s.Policy, s.Admission
+			first = false
+		}
+		agg.Workers += s.Workers
+		agg.JobsQueued += s.JobsQueued
+		agg.JobsRunning += s.JobsRunning
+		agg.JobsDone += s.JobsDone
+		agg.JobsCanceled += s.JobsCanceled
+		agg.PendingChunks += s.PendingChunks
+		agg.OutstandingChunks += s.OutstandingChunks
+		agg.ChunksAssigned += s.ChunksAssigned
+		agg.PhotonsCompleted += s.PhotonsCompleted
+		agg.RejectedResults += s.RejectedResults
+		agg.BatchesReduced += s.BatchesReduced
+		agg.TallyMerges += s.TallyMerges
+		agg.CacheEntries += s.CacheEntries
+		agg.CacheHits += s.CacheHits
+		agg.CacheMisses += s.CacheMisses
+		agg.JobsSubmitted += s.JobsSubmitted
+		agg.JobsResumed += s.JobsResumed
+		agg.JobsReplayed += s.JobsReplayed
+		for name, t := range s.Tenants {
+			if agg.Tenants == nil {
+				agg.Tenants = make(map[string]service.TenantStat)
+			}
+			a := agg.Tenants[name]
+			a.Weight = t.Weight
+			a.ActiveJobs += t.ActiveJobs
+			a.Submitted += t.Submitted
+			a.Resumed += t.Resumed
+			a.Shed += t.Shed
+			a.Photons += t.Photons
+			agg.Tenants[name] = a
+		}
+	})
+	if up == 0 {
+		writeJSON(w, http.StatusBadGateway, apiError{Error: "no shard reachable"})
+		return
+	}
+	if g.admission != nil {
+		agg.Admission = g.admission.Name()
+	}
+	writeJSON(w, http.StatusOK, statsBody{Stats: agg, Shards: len(g.shards), ShardsUp: up})
+}
+
+// fleetView mirrors the shards' GET /fleet body.
+type fleetView struct {
+	Workers []service.SessionStatus `json:"workers"`
+	Tenants []service.TenantStatus  `json:"tenants,omitempty"`
+}
+
+func (g *Gateway) fleet(w http.ResponseWriter, _ *http.Request) {
+	var agg fleetView
+	byName := map[string]*service.TenantStatus{}
+	up := eachShard(g, "/fleet", func(_ int, v fleetView) {
+		agg.Workers = append(agg.Workers, v.Workers...)
+		mergeTenants(byName, v.Tenants)
+	})
+	if up == 0 {
+		writeJSON(w, http.StatusBadGateway, apiError{Error: "no shard reachable"})
+		return
+	}
+	agg.Tenants = g.overlayLevels(byName)
+	writeJSON(w, http.StatusOK, agg)
+}
+
+// tenantsView mirrors the shards' GET /tenants body.
+type tenantsView struct {
+	Admission string                 `json:"admission"`
+	Tenants   []service.TenantStatus `json:"tenants"`
+}
+
+func (g *Gateway) tenants(w http.ResponseWriter, _ *http.Request) {
+	byName := map[string]*service.TenantStatus{}
+	admission := ""
+	up := eachShard(g, "/tenants", func(_ int, v tenantsView) {
+		if admission == "" {
+			admission = v.Admission
+		}
+		mergeTenants(byName, v.Tenants)
+	})
+	if up == 0 {
+		writeJSON(w, http.StatusBadGateway, apiError{Error: "no shard reachable"})
+		return
+	}
+	if g.admission != nil {
+		admission = g.admission.Name()
+	}
+	writeJSON(w, http.StatusOK, tenantsView{
+		Admission: admission, Tenants: g.overlayLevels(byName),
+	})
+}
+
+// mergeTenants sums one shard's tenant rollup into the cross-shard view.
+// Per-shard bucket levels are dropped: independent buckets on different
+// shards do not sum to anything meaningful.
+func mergeTenants(byName map[string]*service.TenantStatus, in []service.TenantStatus) {
+	for _, t := range in {
+		a, ok := byName[t.Name]
+		if !ok {
+			a = &service.TenantStatus{Name: t.Name, Weight: t.Weight}
+			byName[t.Name] = a
+		}
+		a.ActiveJobs += t.ActiveJobs
+		a.Submitted += t.Submitted
+		a.Resumed += t.Resumed
+		a.Shed += t.Shed
+		a.Photons += t.Photons
+	}
+}
+
+// overlayLevels sorts the merged rollup and, when the gateway owns the
+// buckets, stamps each tenant with the one authoritative bucket state.
+func (g *Gateway) overlayLevels(byName map[string]*service.TenantStatus) []service.TenantStatus {
+	if g.admission != nil {
+		for _, lv := range g.admission.Levels() {
+			t, ok := byName[lv.Tenant]
+			if !ok {
+				t = &service.TenantStatus{Name: lv.Tenant}
+				byName[lv.Tenant] = t
+			}
+			cls, jt, pt := lv.Class, lv.JobTokens, lv.PhotonTokens
+			t.Class, t.JobTokens, t.PhotonTokens = &cls, &jt, &pt
+		}
+	}
+	out := make([]service.TenantStatus, 0, len(byName))
+	for _, t := range byName {
+		out = append(out, *t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Probe checks one replica-set per shard and flips the matching
+// readiness condition ("shard0", "shard1", ...). Wire the conditions up
+// with ShardConds and call Probe on a ticker.
+func (g *Gateway) Probe(ready *obs.Readiness) {
+	for shard := range g.shards {
+		status, _, _, err := g.doShard(shard, func(base string) (*http.Request, error) {
+			return http.NewRequest(http.MethodGet, base+"/stats", nil)
+		})
+		ready.Set(fmt.Sprintf("shard%d", shard), err == nil && status == http.StatusOK)
+	}
+}
+
+// ShardConds names the readiness conditions Probe maintains.
+func (g *Gateway) ShardConds() []string {
+	conds := make([]string, len(g.shards))
+	for i := range conds {
+		conds[i] = fmt.Sprintf("shard%d", i)
+	}
+	return conds
+}

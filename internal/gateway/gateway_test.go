@@ -1,0 +1,528 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/detector"
+	"repro/internal/distsys"
+	"repro/internal/mc"
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/source"
+	"repro/internal/tissue"
+)
+
+func slabSpec(thicknessMM float64) *mc.Spec {
+	model := tissue.HomogeneousSlab("slab", tissue.ScalpProps, thicknessMM)
+	return mc.NewSpec(model,
+		source.Spec{Kind: source.KindPencil},
+		detector.Spec{Kind: detector.KindAnnulus, RMin: 1, RMax: 4})
+}
+
+// shardServer is one backing shard: a registry with its own worker pump
+// behind a real HTTP listener.
+func shardServer(t *testing.T, opts service.Options, workers int) (*service.Registry, *httptest.Server) {
+	t.Helper()
+	reg := service.New(opts)
+	for i := 0; i < workers; i++ {
+		server, client := net.Pipe()
+		go reg.HandleConn(server)
+		go func(i int) {
+			_, _ = distsys.Work(client, distsys.WorkerOptions{Name: fmt.Sprintf("w%d", i)})
+		}(i)
+		t.Cleanup(func() { client.Close() })
+	}
+	ts := httptest.NewServer(service.NewAPI(reg).Handler())
+	t.Cleanup(ts.Close)
+	return reg, ts
+}
+
+func gatewayServer(t *testing.T, opts Options) (*Gateway, *httptest.Server) {
+	t.Helper()
+	g, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(ts.Close)
+	return g, ts
+}
+
+func post(t *testing.T, url, tenant string, body []byte) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set(service.TenantHeader, tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(raw)
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(raw)
+}
+
+func submitJob(t *testing.T, base, tenant string, req service.JobRequest) service.JobAccepted {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, raw := post(t, base+"/jobs", tenant, body)
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /jobs: http %d: %s", resp.StatusCode, raw)
+	}
+	var acc service.JobAccepted
+	if err := json.Unmarshal([]byte(raw), &acc); err != nil {
+		t.Fatalf("bad accept body %q: %v", raw, err)
+	}
+	return acc
+}
+
+func waitDone(t *testing.T, base, id string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		code, raw := get(t, base+"/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("GET /jobs/%s: http %d: %s", id, code, raw)
+		}
+		var st service.JobStatus
+		if err := json.Unmarshal([]byte(raw), &st); err != nil {
+			t.Fatal(err)
+		}
+		switch st.State {
+		case service.StateDone.String():
+			return
+		case service.StateCanceled.String():
+			t.Fatalf("job %s canceled", id)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+}
+
+// TestGatewayRoutesAndCompletes is the tentpole e2e: jobs submitted to a
+// 2-shard gateway land on the shard owning their key, complete on that
+// shard's fleet, and every read — status, result, list, stats — comes
+// back through the gateway as if it were one registry.
+func TestGatewayRoutesAndCompletes(t *testing.T) {
+	regA, tsA := shardServer(t, service.Options{}, 2)
+	regB, tsB := shardServer(t, service.Options{}, 2)
+	_, gw := gatewayServer(t, Options{Shards: [][]string{{tsA.URL}, {tsB.URL}}})
+
+	const jobs = 8
+	ids := make([]string, 0, jobs)
+	for seed := uint64(1); seed <= jobs; seed++ {
+		acc := submitJob(t, gw.URL, "", service.JobRequest{
+			Spec: slabSpec(5), Photons: 300, ChunkPhotons: 100, Seed: seed,
+		})
+		ids = append(ids, acc.ID)
+	}
+	for _, id := range ids {
+		waitDone(t, gw.URL, id)
+	}
+	if a, b := regA.Stats().JobsSubmitted, regB.Stats().JobsSubmitted; a == 0 || b == 0 || a+b != jobs {
+		t.Fatalf("shard split %d/%d, want both nonzero summing to %d", a, b, jobs)
+	}
+
+	// The gateway's proxied result bytes are the shard's own bytes: fetch
+	// each result both ways and compare verbatim.
+	for _, id := range ids {
+		code, viaGW := get(t, gw.URL+"/jobs/"+id+"/result")
+		if code != http.StatusOK {
+			t.Fatalf("result via gateway: http %d: %s", code, viaGW)
+		}
+		direct := tsA
+		var idNum uint64
+		fmt.Sscanf(id, "%016x", &idNum)
+		if service.ShardOfID(idNum, 2) == 1 {
+			direct = tsB
+		}
+		if _, viaShard := get(t, direct.URL+"/jobs/"+id+"/result"); viaShard != viaGW {
+			t.Fatalf("gateway result differs from shard result for %s:\n%s\nvs\n%s", id, viaGW, viaShard)
+		}
+	}
+
+	// Aggregated surfaces: /stats sums, GET /jobs concatenates, /fleet
+	// concatenates workers.
+	code, raw := get(t, gw.URL+"/stats")
+	if code != http.StatusOK {
+		t.Fatalf("GET /stats: %d", code)
+	}
+	var st statsBody
+	if err := json.Unmarshal([]byte(raw), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 2 || st.ShardsUp != 2 {
+		t.Fatalf("stats shards %d up %d, want 2/2", st.Shards, st.ShardsUp)
+	}
+	if st.JobsDone != jobs || st.JobsSubmitted != jobs {
+		t.Fatalf("aggregated stats done=%d submitted=%d, want %d", st.JobsDone, st.JobsSubmitted, jobs)
+	}
+	if st.Workers != 4 {
+		t.Fatalf("aggregated workers %d, want 4", st.Workers)
+	}
+	code, raw = get(t, gw.URL+"/jobs")
+	if code != http.StatusOK {
+		t.Fatalf("GET /jobs: %d", code)
+	}
+	var listed []service.JobStatus
+	if err := json.Unmarshal([]byte(raw), &listed); err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != jobs {
+		t.Fatalf("gateway listed %d jobs, want %d", len(listed), jobs)
+	}
+	code, raw = get(t, gw.URL+"/fleet")
+	if code != http.StatusOK {
+		t.Fatalf("GET /fleet: %d", code)
+	}
+	var fl fleetView
+	if err := json.Unmarshal([]byte(raw), &fl); err != nil {
+		t.Fatal(err)
+	}
+	if len(fl.Workers) != 4 {
+		t.Fatalf("gateway fleet has %d workers, want 4", len(fl.Workers))
+	}
+}
+
+// TestGatewayRoutingIsStableAcrossInstances pins statelessness: a second
+// gateway built over the same shard list routes an identical submission
+// to the same shard — there is no per-instance salt, table, or ordering
+// dependence to lose in a restart.
+func TestGatewayRoutingIsStableAcrossInstances(t *testing.T) {
+	regA, tsA := shardServer(t, service.Options{}, 1)
+	regB, tsB := shardServer(t, service.Options{}, 1)
+	_, gw1 := gatewayServer(t, Options{Shards: [][]string{{tsA.URL}, {tsB.URL}}})
+	_, gw2 := gatewayServer(t, Options{Shards: [][]string{{tsA.URL}, {tsB.URL}}})
+
+	req := service.JobRequest{Spec: slabSpec(7), Photons: 200, ChunkPhotons: 100, Seed: 123}
+	acc1 := submitJob(t, gw1.URL, "", req)
+	acc2 := submitJob(t, gw2.URL, "", req) // coalesces or cache-hits on the same shard
+	if acc1.ID != acc2.ID {
+		t.Fatalf("two gateways minted different IDs for one spec: %s vs %s", acc1.ID, acc2.ID)
+	}
+	if got := regA.Stats().JobsSubmitted + regB.Stats().JobsSubmitted; got != 1 {
+		t.Fatalf("identical submissions created %d jobs across shards, want 1", got)
+	}
+}
+
+// TestGatewaySharedTierServesShardless proves the gateway's result tier
+// is a real shared cache layer: once a result has flowed through the
+// gateway, identical and meets-or-exceeds resubmissions are answered with
+// every shard down — status and result served under a gateway-minted ID.
+func TestGatewaySharedTierServesShardless(t *testing.T) {
+	_, tsA := shardServer(t, service.Options{}, 2)
+	_, tsB := shardServer(t, service.Options{}, 2)
+	_, gw := gatewayServer(t, Options{Shards: [][]string{{tsA.URL}, {tsB.URL}}})
+
+	fixed := service.JobRequest{Spec: slabSpec(4), Photons: 300, ChunkPhotons: 100, Seed: 3}
+	tight := service.JobRequest{
+		Spec: slabSpec(4), ChunkPhotons: 200, Seed: 3,
+		Target: &mc.Target{Observable: mc.ObsDiffuse, RelErr: 0.05},
+	}
+	accFixed := submitJob(t, gw.URL, "", fixed)
+	accTight := submitJob(t, gw.URL, "", tight)
+	waitDone(t, gw.URL, accFixed.ID)
+	waitDone(t, gw.URL, accTight.ID)
+	// Results flow through the gateway once, filling the tier.
+	if code, _ := get(t, gw.URL+"/jobs/"+accFixed.ID+"/result"); code != http.StatusOK {
+		t.Fatalf("fixed result: %d", code)
+	}
+	code, tightRaw := get(t, gw.URL+"/jobs/"+accTight.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("tight result: %d", code)
+	}
+
+	tsA.Close()
+	tsB.Close()
+
+	// Exact resubmission: same bytes, shards dead, answer from the tier.
+	body, _ := json.Marshal(fixed)
+	resp, raw := post(t, gw.URL+"/jobs", "", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exact resubmission with shards down: http %d: %s", resp.StatusCode, raw)
+	}
+	var acc service.JobAccepted
+	if err := json.Unmarshal([]byte(raw), &acc); err != nil {
+		t.Fatal(err)
+	}
+	if !acc.Cached || acc.ID != accFixed.ID {
+		t.Fatalf("tier answer %+v, want cached with original id %s", acc, accFixed.ID)
+	}
+	if code, _ := get(t, gw.URL+"/jobs/"+acc.ID); code != http.StatusOK {
+		t.Fatalf("minted status: %d", code)
+	}
+	code, res := get(t, gw.URL+"/jobs/"+acc.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("minted result: %d", code)
+	}
+	var mintedRes, origRes service.JobResultBody
+	if err := json.Unmarshal([]byte(res), &mintedRes); err != nil {
+		t.Fatal(err)
+	}
+	if mintedRes.Tally == nil || !mintedRes.CacheHit {
+		t.Fatalf("minted result not a cache hit with tally: %s", res)
+	}
+
+	// Meets-or-exceeds: a looser target over the same physics is a
+	// different content key, but the stored tight run satisfies it.
+	loose := tight
+	loose.Target = &mc.Target{Observable: mc.ObsDiffuse, RelErr: 0.2}
+	body, _ = json.Marshal(loose)
+	resp, raw = post(t, gw.URL+"/jobs", "", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("meets-or-exceeds resubmission with shards down: http %d: %s", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal([]byte(raw), &acc); err != nil {
+		t.Fatal(err)
+	}
+	if !acc.Cached || acc.ID == accTight.ID {
+		t.Fatalf("physics-tier answer %+v, want cached under a fresh minted id", acc)
+	}
+	code, res = get(t, gw.URL+"/jobs/"+acc.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("physics minted result: %d", code)
+	}
+	if err := json.Unmarshal([]byte(res), &mintedRes); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(tightRaw), &origRes); err != nil {
+		t.Fatal(err)
+	}
+	if !mintedRes.TargetMet || mintedRes.Tally == nil ||
+		mintedRes.Tally.Launched != origRes.Tally.Launched {
+		t.Fatalf("physics tier served wrong depth: got %d launched, stored run has %d",
+			mintedRes.Tally.Launched, origRes.Tally.Launched)
+	}
+
+	// A fresh spec no tier entry can answer fails loudly, not silently.
+	other := service.JobRequest{Spec: slabSpec(11), Photons: 100, ChunkPhotons: 100, Seed: 9}
+	body, _ = json.Marshal(other)
+	resp, raw = post(t, gw.URL+"/jobs", "", body)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("fresh job with shards down: http %d: %s (want 502)", resp.StatusCode, raw)
+	}
+}
+
+// TestGatewayFailoverPolicy pins the retry matrix with scripted replicas:
+// connection errors and 503s walk to the next replica; 4xx answers are
+// the shard's verdict and are never retried elsewhere.
+func TestGatewayFailoverPolicy(t *testing.T) {
+	accept := func() string {
+		b, _ := json.Marshal(service.JobAccepted{ID: "00000000000000ab", State: "queued"})
+		return string(b)
+	}
+	valid, _ := json.Marshal(service.JobRequest{
+		Spec: slabSpec(5), Photons: 100, ChunkPhotons: 100, Seed: 1,
+	})
+
+	t.Run("connection error fails over", func(t *testing.T) {
+		var liveHits int
+		live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			liveHits++
+			w.WriteHeader(http.StatusCreated)
+			fmt.Fprint(w, accept())
+		}))
+		defer live.Close()
+		dead := httptest.NewServer(http.NotFoundHandler())
+		dead.Close() // nothing listens here any more
+		_, gw := gatewayServer(t, Options{Shards: [][]string{{dead.URL, live.URL}}})
+		resp, raw := post(t, gw.URL+"/jobs", "", valid)
+		if resp.StatusCode != http.StatusCreated || liveHits != 1 {
+			t.Fatalf("failover POST: http %d (live hits %d): %s", resp.StatusCode, liveHits, raw)
+		}
+	})
+
+	t.Run("503 fails over, 4xx does not", func(t *testing.T) {
+		var fallbackHits int
+		flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method == http.MethodPost {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprint(w, `{"error":"spec build failed"}`)
+				return
+			}
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"tenant rate"}`)
+		}))
+		defer flaky.Close()
+		fallback := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			fallbackHits++
+			w.WriteHeader(http.StatusCreated)
+			fmt.Fprint(w, accept())
+		}))
+		defer fallback.Close()
+		_, gw := gatewayServer(t, Options{Shards: [][]string{{flaky.URL, fallback.URL}}})
+		// POST: first replica 503s, the fallback accepts.
+		resp, raw := post(t, gw.URL+"/jobs", "", valid)
+		if resp.StatusCode != http.StatusCreated || fallbackHits != 1 {
+			t.Fatalf("503 failover: http %d (fallback hits %d): %s", resp.StatusCode, fallbackHits, raw)
+		}
+		// GET: first replica answers 429 — a verdict, passed through with
+		// its Retry-After, and the fallback must not be consulted.
+		before := fallbackHits
+		req, _ := http.NewRequest(http.MethodGet, gw.URL+"/jobs/00000000000000ab", nil)
+		r2, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+		if r2.StatusCode != http.StatusTooManyRequests || r2.Header.Get("Retry-After") != "7" {
+			t.Fatalf("4xx passthrough: http %d Retry-After %q", r2.StatusCode, r2.Header.Get("Retry-After"))
+		}
+		if fallbackHits != before {
+			t.Fatalf("gateway retried a 4xx on the fallback replica")
+		}
+	})
+
+	t.Run("malformed never routed", func(t *testing.T) {
+		var hits int
+		shard := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			hits++
+			w.WriteHeader(http.StatusCreated)
+		}))
+		defer shard.Close()
+		_, gw := gatewayServer(t, Options{Shards: [][]string{{shard.URL}}})
+		bad, _ := json.Marshal(service.JobRequest{Spec: slabSpec(5)}) // no photons, no target
+		resp, raw := post(t, gw.URL+"/jobs", "", bad)
+		if resp.StatusCode != http.StatusUnprocessableEntity || hits != 0 {
+			t.Fatalf("malformed job: http %d (shard hits %d): %s", resp.StatusCode, hits, raw)
+		}
+	})
+}
+
+// TestGatewayTenantFairnessAcrossShards is the two-tenant e2e through
+// the gateway: admission runs at the routing tier over AlwaysAdmit
+// shards, flood's burst sheds at the gateway with Retry-After, alice is
+// untouched, and /tenants //stats roll the per-shard accounting up with
+// the gateway's authoritative bucket levels.
+func TestGatewayTenantFairnessAcrossShards(t *testing.T) {
+	table := &service.TenantTable{Tenants: map[string]service.TenantClass{
+		"flood": {JobsPerSec: 0.001, JobBurst: 1},
+		"alice": {Weight: 3},
+	}}
+	regA, tsA := shardServer(t, service.Options{Tenants: table, Policy: service.TenantFairShare()}, 2)
+	regB, tsB := shardServer(t, service.Options{Tenants: table, Policy: service.TenantFairShare()}, 2)
+	oreg := obs.NewRegistry()
+	_, gw := gatewayServer(t, Options{
+		Shards:    [][]string{{tsA.URL}, {tsB.URL}},
+		Admission: service.NewTokenBucket(table, nil),
+		Obs:       oreg,
+	})
+
+	// Find seeds owned by each shard, so the fairness story provably
+	// crosses the shard boundary.
+	seedFor := func(shard int) uint64 {
+		for seed := uint64(1); ; seed++ {
+			spec := service.JobSpec{Spec: slabSpec(6), TotalPhotons: 300, ChunkPhotons: 100, Seed: seed}
+			key, _, err := service.RoutingKeys(&spec, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if service.ShardOfKey(key, 2) == shard {
+				return seed
+			}
+		}
+	}
+	floodAcc := submitJob(t, gw.URL, "flood", service.JobRequest{
+		Spec: slabSpec(6), Photons: 300, ChunkPhotons: 100, Seed: seedFor(0),
+	})
+	aliceAcc := submitJob(t, gw.URL, "alice", service.JobRequest{
+		Spec: slabSpec(6), Photons: 300, ChunkPhotons: 100, Seed: seedFor(1),
+	})
+
+	// Flood's second distinct job sheds at the gateway: no shard sees it.
+	beforeA, beforeB := regA.Stats().JobsSubmitted, regB.Stats().JobsSubmitted
+	body, _ := json.Marshal(service.JobRequest{
+		Spec: slabSpec(9), Photons: 300, ChunkPhotons: 100, Seed: 77,
+	})
+	resp, raw := post(t, gw.URL+"/jobs", "flood", body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("flood's second job: http %d: %s", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("gateway shed carries no Retry-After")
+	}
+	if a, b := regA.Stats().JobsSubmitted, regB.Stats().JobsSubmitted; a != beforeA || b != beforeB {
+		t.Fatalf("shed submission reached a shard: %d/%d -> %d/%d", beforeA, beforeB, a, b)
+	}
+
+	waitDone(t, gw.URL, floodAcc.ID)
+	waitDone(t, gw.URL, aliceAcc.ID)
+
+	// Cross-shard rollup: each tenant ran on a different shard, and the
+	// gateway's /tenants merges them with its own bucket levels on top.
+	code, tenRaw := get(t, gw.URL+"/tenants")
+	if code != http.StatusOK {
+		t.Fatalf("GET /tenants: %d", code)
+	}
+	var tens tenantsView
+	if err := json.Unmarshal([]byte(tenRaw), &tens); err != nil {
+		t.Fatal(err)
+	}
+	if tens.Admission != "token-bucket" {
+		t.Fatalf("gateway admission name %q", tens.Admission)
+	}
+	var flood, alice *service.TenantStatus
+	for i := range tens.Tenants {
+		switch tens.Tenants[i].Name {
+		case "flood":
+			flood = &tens.Tenants[i]
+		case "alice":
+			alice = &tens.Tenants[i]
+		}
+	}
+	if flood == nil || alice == nil {
+		t.Fatalf("rollup missing tenants: %s", tenRaw)
+	}
+	if flood.Submitted != 1 || flood.Photons != 300 {
+		t.Fatalf("flood rollup %+v", flood)
+	}
+	if alice.Submitted != 1 || alice.Weight != 3 {
+		t.Fatalf("alice rollup %+v", alice)
+	}
+	if flood.JobTokens == nil || *flood.JobTokens >= 1 {
+		t.Fatalf("gateway bucket levels not overlaid: %+v", flood)
+	}
+	// The shard-side shed counters stayed untouched — the gateway shed it.
+	code, stRaw := get(t, gw.URL+"/stats")
+	if code != http.StatusOK {
+		t.Fatalf("GET /stats: %d", code)
+	}
+	var st statsBody
+	if err := json.Unmarshal([]byte(stRaw), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Tenants["flood"].Shed != 0 {
+		t.Fatalf("shard-side shed %d, want 0 (gateway owns admission)", st.Tenants["flood"].Shed)
+	}
+}

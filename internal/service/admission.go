@@ -149,8 +149,9 @@ type TenantLevel struct {
 // AdmissionPolicy decides, per tenant, whether a fresh submission is
 // accepted. The registry probes before paying Spec.Build and admits
 // authoritatively under its lock, so implementations must be cheap and
-// goroutine-safe. Cache hits, coalesced submissions and checkpoint resumes
-// are never consulted — they add no new work.
+// goroutine-safe. Cache hits and coalesced submissions are consulted with
+// zero photon cost (Admit(tenant, 0) — one job token, no quota spend);
+// checkpoint resumes and journal replay are never consulted.
 type AdmissionPolicy interface {
 	Name() string
 	// Probe reports whether a submission costing photons would be admitted

@@ -225,8 +225,9 @@ func TestShedErrorWrapsOverloaded(t *testing.T) {
 
 // TestRegistrySubmitTenantAdmission drives the registry directly: a
 // rate-limited tenant's second fresh job sheds with a typed ShedError,
-// coalescing stays exempt, other tenants are untouched, and the per-tenant
-// stats rollup records it all.
+// coalescing costs one job-rate token (an empty bucket sheds even a
+// duplicate — PR 10 closed the resubmit-a-live-spec quota bypass), other
+// tenants are untouched, and the per-tenant stats rollup records it all.
 func TestRegistrySubmitTenantAdmission(t *testing.T) {
 	clk := newFakeClock()
 	table := &TenantTable{Tenants: map[string]TenantClass{
@@ -254,10 +255,19 @@ func TestRegistrySubmitTenantAdmission(t *testing.T) {
 		t.Fatalf("RetryAfter %v at 0.25 jobs/s, want 4s", shed.RetryAfter)
 	}
 
-	// Coalescing with the live identical job spends no tokens and never sheds.
+	// Coalescing with the live identical job is a submission too: with the
+	// job bucket empty it sheds like any other, so resubmitting a popular
+	// live spec cannot bypass the jobs/sec quota.
+	_, err = reg.Submit(JobSpec{Spec: slabSpec(5), TotalPhotons: 300, ChunkPhotons: 100, Seed: 1, Tenant: "flood"})
+	if !errors.As(err, &shed) || shed.Reason != ShedReasonTenantRate {
+		t.Fatalf("coalesced resubmission on empty bucket: %v, want tenant_rate ShedError", err)
+	}
+	// Once the bucket refills, the duplicate coalesces — it debits the one
+	// job token but no photons, and it skips any active-jobs cap.
+	clk.advance(4 * time.Second)
 	dup, err := reg.Submit(JobSpec{Spec: slabSpec(5), TotalPhotons: 300, ChunkPhotons: 100, Seed: 1, Tenant: "flood"})
 	if err != nil || !dup.Coalesced || dup.Job != first.Job {
-		t.Fatalf("coalesced resubmission: %+v, %v", dup, err)
+		t.Fatalf("coalesced resubmission after refill: %+v, %v", dup, err)
 	}
 
 	// Another tenant has its own (unlimited, default-class) bucket.
@@ -270,7 +280,7 @@ func TestRegistrySubmitTenantAdmission(t *testing.T) {
 		t.Fatalf("stats admission %q", st.Admission)
 	}
 	f := st.Tenants["flood"]
-	if f.Submitted != 1 || f.Shed != 1 || f.ActiveJobs != 1 {
+	if f.Submitted != 1 || f.Shed != 2 || f.ActiveJobs != 1 {
 		t.Fatalf("flood rollup %+v", f)
 	}
 	if c := st.Tenants["calm"]; c.Submitted != 1 || c.Shed != 0 {

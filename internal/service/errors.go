@@ -1,0 +1,30 @@
+package service
+
+import "errors"
+
+// InvalidJobError marks a Submit refusal the submission itself caused — a
+// malformed spec, a contradictory target, an over-long tenant name. The
+// HTTP layer maps it to 422 Unprocessable Entity, and a routing tier must
+// never retry it on another shard: the same bytes fail everywhere. Every
+// other non-shed Submit error is the service's own problem (a Spec.Build
+// failure, journal wiring) and maps to 503 Service Unavailable, which a
+// gateway may retry on a standby.
+type InvalidJobError struct{ Err error }
+
+func (e *InvalidJobError) Error() string { return e.Err.Error() }
+func (e *InvalidJobError) Unwrap() error { return e.Err }
+
+// invalid wraps a validation failure as client-attributable; nil-safe.
+func invalid(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &InvalidJobError{Err: err}
+}
+
+// IsInvalid reports whether err is client-attributable (422, don't retry)
+// as opposed to a service-side failure (503, retry another replica).
+func IsInvalid(err error) bool {
+	var e *InvalidJobError
+	return errors.As(err, &e)
+}

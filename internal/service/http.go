@@ -201,7 +201,15 @@ func (a *API) submit(w http.ResponseWriter, req *http.Request) {
 			writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
 			return
 		}
-		writeJSON(w, http.StatusUnprocessableEntity, apiError{Error: err.Error()})
+		if IsInvalid(err) {
+			// The submission itself is malformed: the client's fault, and
+			// deterministic — a gateway must not retry it on another shard.
+			writeJSON(w, http.StatusUnprocessableEntity, apiError{Error: err.Error()})
+			return
+		}
+		// Everything else (a Spec.Build failure, internal wiring) is the
+		// service's own problem: a 503 a routing tier may retry elsewhere.
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
 		return
 	}
 	st := out.Job.Status()

@@ -164,13 +164,14 @@ func TestHTTPRetryAfterShapes(t *testing.T) {
 
 // TestHTTPTenantFloodEndToEnd is the PR acceptance e2e: tenant flood's
 // second job sheds with 429 while tenant alice's job completes on the same
-// fleet; cache hits stay exempt even with the bucket empty; and the shed
-// shows up reason- and tenant-labeled on /metrics, in /stats, /fleet and
-// /tenants.
+// fleet; cache hits debit one job-rate token (and zero photons); and the
+// shed shows up reason- and tenant-labeled on /metrics, in /stats, /fleet
+// and /tenants.
 func TestHTTPTenantFloodEndToEnd(t *testing.T) {
 	table := &TenantTable{Tenants: map[string]TenantClass{
 		"flood": {JobsPerSec: 0.001, JobBurst: 1},
 		"alice": {Weight: 3},
+		"probe": {JobsPerSec: 0.001, JobBurst: 5, PhotonsPerSec: 0.001, PhotonBurst: 1},
 	}}
 	reg, ts := obsServer(t, Options{
 		Admission: NewTokenBucket(table, nil),
@@ -215,12 +216,25 @@ func TestHTTPTenantFloodEndToEnd(t *testing.T) {
 	waitDone(t, ts, aliceAcc.ID)
 	waitDone(t, ts, floodAcc.ID)
 
-	// Cache hits are admission-exempt: flood resubmits its finished job
-	// verbatim with an empty bucket and still gets the cached result.
+	// Cache hits debit one job-rate token: flood resubmits its finished
+	// job verbatim with an empty bucket and is shed before the cache can
+	// hand out the result for free.
 	body, _ = json.Marshal(floodReq)
 	resp, raw = rawPost(t, ts.URL+"/jobs", "flood", body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("flood's cached resubmission with empty bucket: http %d: %s", resp.StatusCode, raw)
+	}
+	if !strings.Contains(raw, ShedReasonTenantRate) {
+		t.Fatalf("cached-resubmission 429 missing shed reason: %s", raw)
+	}
+
+	// The debit is one job token and zero photons: probe's photon burst
+	// (1) is 500× too small for this job's physics, yet the cached result
+	// is served because a cache hit adds no photon load to the fleet.
+	body, _ = json.Marshal(floodReq)
+	resp, raw = rawPost(t, ts.URL+"/jobs", "probe", body)
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("flood's cached resubmission shed: http %d: %s", resp.StatusCode, raw)
+		t.Fatalf("probe's cached submission: http %d: %s", resp.StatusCode, raw)
 	}
 	var dup JobAccepted
 	if err := json.Unmarshal([]byte(raw), &dup); err != nil {
@@ -230,14 +244,14 @@ func TestHTTPTenantFloodEndToEnd(t *testing.T) {
 		t.Fatalf("verbatim resubmission neither cached nor coalesced: %+v", dup)
 	}
 
-	// The shed is visible, labeled by reason and by tenant — and exactly
-	// once: the exempt paths above must not have moved it.
+	// The sheds are visible, labeled by reason and by tenant — flood's
+	// flooded job plus its rate-limited cache hit, and nothing else.
 	m := scrape(t, ts.URL+"/metrics")
-	if got := m[`service_jobs_shed_total{reason="tenant_rate"}`]; got != 1 {
-		t.Fatalf(`shed{reason="tenant_rate"} %g, want 1`, got)
+	if got := m[`service_jobs_shed_total{reason="tenant_rate"}`]; got != 2 {
+		t.Fatalf(`shed{reason="tenant_rate"} %g, want 2`, got)
 	}
-	if got := m[`service_tenant_jobs_shed_total{tenant="flood"}`]; got != 1 {
-		t.Fatalf("flood shed counter %g, want 1", got)
+	if got := m[`service_tenant_jobs_shed_total{tenant="flood"}`]; got != 2 {
+		t.Fatalf("flood shed counter %g, want 2", got)
 	}
 	if got := m[`service_tenant_jobs_submitted_total{tenant="alice"}`]; got != 1 {
 		t.Fatalf("alice submitted counter %g, want 1", got)
@@ -255,7 +269,7 @@ func TestHTTPTenantFloodEndToEnd(t *testing.T) {
 	if st.Admission != "token-bucket" {
 		t.Fatalf("stats admission %q", st.Admission)
 	}
-	if f := st.Tenants["flood"]; f.Submitted != 1 || f.Shed != 1 || f.Photons != 500 {
+	if f := st.Tenants["flood"]; f.Submitted != 1 || f.Shed != 2 || f.Photons != 500 {
 		t.Fatalf("stats flood rollup %+v", f)
 	}
 	if a := st.Tenants["alice"]; a.Weight != 3 || a.Shed != 0 {
@@ -275,20 +289,29 @@ func TestHTTPTenantFloodEndToEnd(t *testing.T) {
 	if tens.Admission != "token-bucket" {
 		t.Fatalf("tenants admission %q", tens.Admission)
 	}
-	found := false
+	foundFlood, foundProbe := false, false
 	for _, tn := range tens.Tenants {
-		if tn.Name != "flood" {
-			continue
-		}
-		found = true
-		if tn.JobTokens == nil || *tn.JobTokens >= 1 {
-			t.Fatalf("flood bucket not visibly drained: %+v", tn)
-		}
-		if tn.Class == nil || tn.Class.JobsPerSec != 0.001 {
-			t.Fatalf("flood class not echoed: %+v", tn.Class)
+		switch tn.Name {
+		case "flood":
+			foundFlood = true
+			if tn.JobTokens == nil || *tn.JobTokens >= 1 {
+				t.Fatalf("flood bucket not visibly drained: %+v", tn)
+			}
+			if tn.Class == nil || tn.Class.JobsPerSec != 0.001 {
+				t.Fatalf("flood class not echoed: %+v", tn.Class)
+			}
+		case "probe":
+			foundProbe = true
+			// The cache hit cost probe one job token and zero photons.
+			if tn.JobTokens == nil || *tn.JobTokens > 4.5 {
+				t.Fatalf("probe job bucket not debited by cache hit: %+v", tn)
+			}
+			if tn.PhotonTokens == nil || *tn.PhotonTokens < 0.999 {
+				t.Fatalf("probe photon bucket debited by cache hit: %+v", tn)
+			}
 		}
 	}
-	if !found {
-		t.Fatalf("flood missing from /tenants: %+v", tens.Tenants)
+	if !foundFlood || !foundProbe {
+		t.Fatalf("flood/probe missing from /tenants: %+v", tens.Tenants)
 	}
 }

@@ -82,6 +82,19 @@ func NewJournal(l *wal.Log, opts JournalOptions) *Journal {
 		acceptC: newAcceptCodec(), sinceSnap: make(map[Key]int)}
 }
 
+// Close releases the journal's write-ahead log. It is idempotent and
+// nil-safe: the SIGTERM drain path and a failover teardown can both close
+// the same journal, and the second call is a no-op returning nil (the
+// underlying wal.Log carries the same guarantee). Appends after Close
+// fail cleanly — logged and dropped like any other append failure, per
+// the journal's availability-over-durability write policy.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	return j.wlog.Close()
+}
+
 // Record payloads. Only the cold accept record is gob-encoded (it
 // carries the arbitrarily-structured spec, once per job); every
 // high-rate record — chunk batches, snapshots, finalize/cancel marks —

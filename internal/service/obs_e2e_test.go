@@ -202,7 +202,8 @@ func TestObsMetricsEndToEnd(t *testing.T) {
 
 // TestObsShedOverCapacity pins the -max-active-jobs admission behaviour:
 // over the cap POST /jobs sheds with 429 + Retry-After and the shed
-// counter moves, while coalescing and cache hits are never shed.
+// counter moves, while coalescing and cache hits bypass the active-jobs
+// cap (they add no job; with no token-bucket policy they shed nowhere).
 func TestObsShedOverCapacity(t *testing.T) {
 	_, ts := obsServer(t, Options{MaxActiveJobs: 1})
 

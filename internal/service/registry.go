@@ -114,15 +114,19 @@ type SubmitOutcome struct {
 // the registry mutex so a large submission never stalls fleet dispatch.
 func (r *Registry) Submit(spec JobSpec) (*SubmitOutcome, error) {
 	if err := spec.normalize(r.opts.MaxTargetPhotons); err != nil {
-		return nil, err
+		return nil, invalid(err)
 	}
 	key, pkey, err := keysOf(&spec)
 	if err != nil {
-		return nil, err
+		return nil, invalid(err)
 	}
 
 	r.mu.Lock()
 	if live := r.byKey[key]; live != nil {
+		if err := r.admitRideLocked(&spec); err != nil {
+			r.mu.Unlock()
+			return nil, err
+		}
 		live.absorbParamsLocked(spec)
 		r.mu.Unlock()
 		r.met.jobsCoalesced.Inc()
@@ -143,6 +147,12 @@ func (r *Registry) Submit(spec JobSpec) (*SubmitOutcome, error) {
 		hitIndex = "physics"
 	}
 	if tally != nil {
+		r.mu.Lock()
+		if err := r.admitRideLocked(&spec); err != nil {
+			r.mu.Unlock()
+			return nil, err
+		}
+		r.mu.Unlock()
 		// A cached key proves these exact spec bytes built and completed
 		// before, so the job is born Done without touching the geometry.
 		if hitIndex == "exact" {
@@ -163,9 +173,9 @@ func (r *Registry) Submit(spec JobSpec) (*SubmitOutcome, error) {
 
 	// Early admission probe: a fresh job is refused before paying
 	// Spec.Build (which may materialise a voxel geometry). Coalesced and
-	// cache-hit submissions returned above — they add no work and are
-	// never shed. The probe spends no tokens; the authoritative, debiting
-	// check repeats under the lock below.
+	// cache-hit submissions returned above after debiting one job-rate
+	// token via admitRideLocked. The probe spends no tokens; the
+	// authoritative, debiting check repeats under the lock below.
 	cost := spec.admissionPhotons()
 	r.mu.Lock()
 	ts := r.tenantLocked(spec.Tenant)
@@ -186,6 +196,10 @@ func (r *Registry) Submit(spec JobSpec) (*SubmitOutcome, error) {
 	j.pkey = pkey
 	r.mu.Lock()
 	if live := r.byKey[key]; live != nil { // lost a race with an identical submission
+		if err := r.admitRideLocked(&spec); err != nil {
+			r.mu.Unlock()
+			return nil, err
+		}
 		live.absorbParamsLocked(spec)
 		r.mu.Unlock()
 		r.met.jobsCoalesced.Inc()
@@ -247,6 +261,29 @@ func (r *Registry) admitLocked(ts *tenantStats, photons int64, debit bool) error
 	} else {
 		v = r.admission.Probe(ts.name, photons)
 	}
+	if !v.OK {
+		return r.shedLocked(ts, &ShedError{
+			Tenant: ts.name, Reason: v.Reason, RetryAfter: v.RetryAfter, Detail: v.Detail,
+		})
+	}
+	return nil
+}
+
+// admitRideLocked admits a submission that rides existing work — a
+// coalesced duplicate or a cache hit. Resubmitting a popular spec is
+// still a submission, so it debits one token from the tenant's job-rate
+// bucket (otherwise a tenant replays a live spec to bypass its jobs/sec
+// quota entirely — worse once the cache is a shared fleet-wide tier).
+// The exemptions that remain are exactly the ones that cost nothing: the
+// photon dimension (no new photons will be simulated), the MaxActiveJobs
+// cap (no job joins the active set), and journal replay (the work was
+// admitted before the crash).
+func (r *Registry) admitRideLocked(spec *JobSpec) error {
+	if spec.replay {
+		return nil
+	}
+	ts := r.tenantLocked(spec.Tenant)
+	v := r.admission.Admit(ts.name, 0)
 	if !v.OK {
 		return r.shedLocked(ts, &ShedError{
 			Tenant: ts.name, Reason: v.Reason, RetryAfter: v.RetryAfter, Detail: v.Detail,

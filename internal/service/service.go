@@ -27,8 +27,20 @@
 // fed by a TenantTable of per-tenant job-rate and photon-quota classes —
 // decides at Submit whether a fresh job is accepted; refusals are typed
 // ShedErrors the HTTP layer turns into 429s with a computed Retry-After.
-// Cache hits, coalesced submissions and checkpoint resumes bypass
-// admission: they add no new simulation work.
+// Cache hits and coalesced submissions still debit one job-rate token —
+// a resubmission is a submission — but are exempt from the photon quota
+// and the active-jobs cap (they add no new simulation work); checkpoint
+// resumes and journal replay bypass admission entirely.
+//
+// The same content keys shard the control plane: RoutingKeys derives a
+// submission's key without a Registry, ShardOfKey maps it onto one of N
+// contiguous key ranges, and job IDs are minted from the key prefix
+// (KeyID) so ShardOfID routes by ID to the same shard — a stateless
+// gateway (internal/gateway, cmd/mcgate) needs no routing table and any
+// two gateway instances route identically. Submit distinguishes
+// deterministic rejections (InvalidJobError: normalization or key
+// derivation failed; HTTP 422 — every shard would refuse) from
+// environmental ones (HTTP 503 — a routing tier may retry elsewhere).
 //
 // The API surface is programmatic (Registry) and HTTP (NewAPI): POST /jobs,
 // GET /jobs/{id}, GET /jobs/{id}/result, DELETE /jobs/{id}, GET /stats,
@@ -70,7 +82,8 @@ type Options struct {
 	MaxTargetPhotons int64
 	// MaxActiveJobs sheds fresh submissions (ShedError, reason "cap") while
 	// that many jobs are already queued or running; 0 means unbounded.
-	// Cache hits and coalesced submissions never shed — they add no work.
+	// Cache hits and coalesced submissions are exempt from this cap — they
+	// add no job — though they still debit the tenant's job-rate bucket.
 	MaxActiveJobs int
 	// Admission decides per tenant whether a fresh submission is accepted
 	// (token buckets on jobs/sec and photons); nil means AlwaysAdmit. The

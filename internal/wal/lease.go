@@ -1,0 +1,73 @@
+//go:build unix
+
+package wal
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// Lease is an exclusive claim on a shard's journal directory, backed by
+// flock(2) on a lease file. Exactly one process holds it at a time, and
+// the arbitration is the kernel's: the lock dies with the holder's last
+// open descriptor, so a SIGKILLed primary releases its lease the instant
+// it dies — no TTL to tune, no heartbeat to miss, and none of the
+// stat-then-steal races a mtime-freshness lease file invites (two
+// standbys can both judge a lease stale and both "win"). A standby
+// blocks in AcquireLease until the primary exits for any reason, then
+// replays the journal and takes over the shard's key range.
+//
+// The one scope limit is the kernel itself: flock arbitrates within one
+// machine (or one NFS server with working lock forwarding). That matches
+// the failover design — a standby must share the primary's journal
+// directory anyway, or it would have nothing to replay.
+type Lease struct {
+	f    *os.File
+	path string
+}
+
+// AcquireLease claims the lease file at path, creating it if needed.
+// With block=false it fails immediately when another process holds the
+// lease; with block=true it waits for the holder to release or die. On
+// success the file's content is overwritten with the holder's PID —
+// informational only, for operators inspecting a wedged shard; the lock
+// itself lives in the kernel, not in the bytes.
+func AcquireLease(path string, block bool) (*Lease, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: lease %s: %w", path, err)
+	}
+	how := syscall.LOCK_EX
+	if !block {
+		how |= syscall.LOCK_NB
+	}
+	for {
+		err = syscall.Flock(int(f.Fd()), how)
+		if err != syscall.EINTR {
+			break
+		}
+	}
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: lease %s held by another process: %w", path, err)
+	}
+	f.Truncate(0)
+	fmt.Fprintf(f, "%d\n", os.Getpid()) // best-effort holder breadcrumb
+	return &Lease{f: f, path: path}, nil
+}
+
+// Path returns the lease file's path.
+func (l *Lease) Path() string { return l.path }
+
+// Release drops the lease so a waiting standby can acquire it. Idempotent
+// and nil-safe; the file itself is left in place (it is the rendezvous
+// point, not the lock).
+func (l *Lease) Release() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	f := l.f
+	l.f = nil
+	return f.Close()
+}

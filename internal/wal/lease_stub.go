@@ -1,0 +1,20 @@
+//go:build !unix
+
+package wal
+
+import "fmt"
+
+// Lease requires flock(2); shard failover is unix-only.
+type Lease struct{ path string }
+
+// AcquireLease is unsupported off unix: the shard-failover design leans
+// on the kernel releasing flock locks when the holder dies.
+func AcquireLease(path string, block bool) (*Lease, error) {
+	return nil, fmt.Errorf("wal: lease %s: flock-based leases are unix-only", path)
+}
+
+// Path returns the lease file's path.
+func (l *Lease) Path() string { return l.path }
+
+// Release is a no-op on the stub.
+func (l *Lease) Release() error { return nil }

@@ -1,0 +1,71 @@
+//go:build unix
+
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// Two opens of the same lease file conflict even within one process:
+// flock locks belong to the open file description, not the PID, so the
+// in-process test exercises the same kernel arbitration a two-process
+// failover does.
+func TestLeaseExcludesSecondHolder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.lease")
+	l1, err := AcquireLease(path, false)
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if _, err := AcquireLease(path, false); err == nil {
+		t.Fatal("second non-blocking acquire succeeded while lease held")
+	}
+	if err := l1.Release(); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	if err := l1.Release(); err != nil {
+		t.Fatalf("double release: %v (want nil no-op)", err)
+	}
+	l2, err := AcquireLease(path, false)
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	l2.Release()
+}
+
+// A blocking standby must wake the moment the holder releases — the
+// in-process stand-in for "the primary died and the kernel dropped its
+// lock".
+func TestLeaseBlockingHandoff(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.lease")
+	l1, err := AcquireLease(path, false)
+	if err != nil {
+		t.Fatalf("primary acquire: %v", err)
+	}
+	got := make(chan *Lease, 1)
+	go func() {
+		l, err := AcquireLease(path, true)
+		if err != nil {
+			t.Errorf("standby acquire: %v", err)
+		}
+		got <- l
+	}()
+	select {
+	case <-got:
+		t.Fatal("standby acquired while primary held the lease")
+	case <-time.After(100 * time.Millisecond):
+	}
+	l1.Release()
+	select {
+	case l2 := <-got:
+		defer l2.Release()
+	case <-time.After(5 * time.Second):
+		t.Fatal("standby never acquired after release")
+	}
+	// The breadcrumb is informational but should name this process.
+	if b, err := os.ReadFile(path); err != nil || len(b) == 0 {
+		t.Fatalf("lease file unreadable after handoff: %q, %v", b, err)
+	}
+}

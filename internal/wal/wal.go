@@ -444,7 +444,10 @@ func (l *Log) Compact(records []Record) error {
 	return nil
 }
 
-// Close syncs and closes the log. Further appends fail.
+// Close syncs and closes the log. Further appends fail. Close is
+// idempotent: the SIGTERM drain and a failover teardown can both close
+// the same log, and every call after the first is a no-op returning nil
+// — never an error on the already-closed descriptor.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()

@@ -181,6 +181,27 @@ func TestAppendAfterCloseFails(t *testing.T) {
 	}
 }
 
+// TestCloseIdempotent pins the failover/drain contract: the SIGTERM pass
+// and a lease-handoff teardown may both close the same log, and every
+// Close after the first must be a nil no-op, with appends still failing
+// cleanly in between.
+func TestCloseIdempotent(t *testing.T) {
+	l, _ := openT(t, Options{Dir: t.TempDir()})
+	appendN(t, l, 3)
+	if err := l.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v (want nil no-op)", err)
+	}
+	if err := l.Append(RecJobAccepted, []byte("x")); err == nil {
+		t.Fatal("append between closes succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close after failed append: %v", err)
+	}
+}
+
 func TestMetricsAccounting(t *testing.T) {
 	reg := obs.NewRegistry()
 	dir := t.TempDir()
